@@ -1,0 +1,35 @@
+"""Ablation benchmarks — the modeling choices DESIGN.md calls out.
+
+* series resistance neglected (paper's 10 mOhm claim),
+* ASDM fit-floor placement,
+* driver-bank collapse equivalence.
+"""
+
+from repro.experiments import ablations
+
+
+def test_resistance_ablation(benchmark, publish):
+    result = benchmark.pedantic(ablations.resistance_ablation, rounds=1, iterations=1)
+    publish("ablation_resistance", result.format_report())
+
+    # Paper: "it is a very good approximation to neglect the small
+    # resistance" (10 mOhm) — the peak shift must be far below 1%.
+    assert abs(result.percent_shift(1)) < 0.1
+    # Even 100x the quoted resistance barely moves the peak.
+    assert abs(result.percent_shift(2)) < 1.0
+
+
+def test_fit_floor_ablation(benchmark, publish):
+    result = benchmark.pedantic(ablations.fit_floor_ablation, rounds=1, iterations=1)
+    publish("ablation_fit_floor", result.format_report())
+
+    # Fitting deeper into the knee (lower floor) lowers V0 monotonically.
+    assert list(result.v0_values) == sorted(result.v0_values)
+
+
+def test_collapse_ablation(benchmark, publish):
+    result = benchmark.pedantic(ablations.collapse_ablation, rounds=1, iterations=1)
+    publish("ablation_collapse", result.format_report())
+
+    assert result.peak_diff_percent < 0.01
+    assert result.max_waveform_diff < 1e-6

@@ -1,0 +1,14 @@
+"""Benchmark E17 — peak SSN vs ground capacitance (worst-case decap)."""
+
+from repro.experiments import capacitance_sweep
+
+
+def test_capacitance_sweep(benchmark, publish):
+    result = benchmark.pedantic(capacitance_sweep.run, rounds=1, iterations=1)
+    publish("capacitance_sweep", result.format_report())
+
+    # Peak SSN has an interior maximum in C: a badly sized ground "decap"
+    # makes things worse (the Eqn 27 under-damping trap).
+    assert result.model_has_interior_maximum()
+    # Table 1 + the post-ramp extension track simulation across the arc.
+    assert result.max_abs_extended_error() < 4.0

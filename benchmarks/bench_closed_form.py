@@ -1,0 +1,61 @@
+"""Speed benchmarks: the analytic model vs the golden simulation.
+
+The paper's practical pitch is that a closed-form SSN estimate replaces a
+SPICE run.  These benchmarks quantify the gap on this repository's own
+substrate: microseconds (Eqn 10 / Table 1) vs around a second (transient
+simulation) per configuration — five to six orders of magnitude.
+"""
+
+from repro.analysis import DriverBankSpec, simulate_ssn
+from repro.core import InductiveSsnModel, LcSsnModel, circuit_figure, peak_noise_from_figure
+from repro.experiments.common import NOMINAL_GROUND, NOMINAL_RISE_TIME, fitted_models
+
+
+def _nominal_spec():
+    models = fitted_models("tsmc018")
+    return models, DriverBankSpec(
+        technology=models.technology,
+        n_drivers=8,
+        inductance=NOMINAL_GROUND.inductance,
+        capacitance=NOMINAL_GROUND.capacitance,
+        rise_time=NOMINAL_RISE_TIME,
+    )
+
+
+def test_eqn10_evaluation_speed(benchmark):
+    models, spec = _nominal_spec()
+    vdd = models.technology.vdd
+    z = circuit_figure(spec.n_drivers, spec.inductance, spec.slope)
+    result = benchmark(peak_noise_from_figure, z, models.asdm, vdd)
+    assert result > 0
+
+
+def test_table1_evaluation_speed(benchmark):
+    models, spec = _nominal_spec()
+    vdd = models.technology.vdd
+
+    def evaluate():
+        return LcSsnModel(
+            models.asdm, spec.n_drivers, spec.inductance, spec.capacitance, vdd,
+            spec.rise_time,
+        ).peak_voltage()
+
+    assert benchmark(evaluate) > 0
+
+
+def test_inductive_waveform_speed(benchmark):
+    import numpy as np
+
+    models, spec = _nominal_spec()
+    model = InductiveSsnModel(
+        models.asdm, spec.n_drivers, spec.inductance, models.technology.vdd, spec.rise_time
+    )
+    ts = np.linspace(0, spec.rise_time, 1000)
+    out = benchmark(model.voltage, ts)
+    assert np.nanmax(out) > 0
+
+
+def test_golden_simulation_speed(benchmark):
+    _, spec = _nominal_spec()
+    sim = benchmark.pedantic(simulate_ssn, args=(spec,), rounds=1, iterations=1)
+    assert sim.peak_voltage > 0

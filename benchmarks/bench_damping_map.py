@@ -1,0 +1,20 @@
+"""Benchmark E7 — Eqn (27), the critical capacitance and region map.
+
+Timed region: the analytic damping map (no circuit simulation — this is
+the cheap end of the harness and shows the closed-form model's cost).
+"""
+
+import pytest
+
+from repro.experiments import damping_map
+
+
+def test_damping_map(benchmark, publish):
+    result = benchmark.pedantic(damping_map.run, rounds=3, iterations=1)
+    publish("damping_map", result.format_report())
+
+    assert result.loglog_slope == pytest.approx(2.0, abs=1e-6)
+    for row in result.rows:
+        assert row.zeta_at_crit == pytest.approx(1.0, rel=1e-9)
+        assert row.overshoot_above > 1.0
+        assert row.overshoot_below <= 1.0 + 1e-9

@@ -1,0 +1,14 @@
+"""Benchmark E16 — SSN-induced delay degradation."""
+
+from repro.experiments import delay_degradation
+
+
+def test_delay_degradation(benchmark, publish):
+    result = benchmark.pedantic(delay_degradation.run, rounds=1, iterations=1)
+    publish("delay_degradation", result.format_report())
+
+    pushouts = [p.pushout for p in result.points]
+    assert all(b > a for a, b in zip(pushouts, pushouts[1:]))
+    # The intro's "decreased effective driving strength" is material:
+    # hundreds of picoseconds at N = 16 on this load.
+    assert result.points[-1].pushout > 100e-12

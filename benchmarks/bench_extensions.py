@@ -1,0 +1,40 @@
+"""Extension benchmarks — E10 (power rail), E11 (coupled pins), E12 (skew).
+
+These validate the paper's asides and design implications end-to-end; see
+DESIGN.md Section 5.
+"""
+
+import pytest
+
+from repro.experiments import mutual_coupling, power_rail, skew
+
+
+def test_power_rail_duality(benchmark, publish):
+    result = benchmark.pedantic(power_rail.run, rounds=1, iterations=1)
+    publish("power_rail", result.format_report())
+
+    # Paper: "The SSN at the power-supply node can be analyzed similarly."
+    assert result.max_droop_error() < 7.0
+    # Paper's implicit idealization: pull-ups negligible on the rising edge.
+    assert result.max_crowbar_effect() < 0.5
+
+
+def test_mutual_coupling(benchmark, publish):
+    result = benchmark.pedantic(mutual_coupling.run, rounds=1, iterations=1)
+    publish("mutual_coupling", result.format_report())
+
+    strongest = result.points[-1]
+    assert strongest.naive_percent_error < -15.0
+    for point in result.points:
+        assert abs(point.corrected_percent_error) < 5.0
+
+
+def test_skew_schedule(benchmark, publish):
+    result = benchmark.pedantic(skew.run, rounds=1, iterations=1)
+    publish("skew", result.format_report())
+
+    assert result.simulated_skewed_peak <= result.budget * 1.05
+    assert result.simulated_simultaneous_peak > result.budget
+    assert result.simulated_skewed_peak == pytest.approx(
+        result.plan.peak_noise, rel=0.08
+    )

@@ -1,0 +1,17 @@
+"""Benchmark E1 — regenerate paper Fig. 1 (IV curves vs ASDM fit).
+
+Timed region: the full experiment (golden IV sweep + least-squares fit),
+i.e. the cost of characterizing a process for ASDM.
+"""
+
+from repro.experiments import fig1_iv_fit
+
+
+def test_fig1_iv_fit(benchmark, publish):
+    result = benchmark.pedantic(fig1_iv_fit.run, rounds=3, iterations=1)
+    publish("fig1_iv_fit", result.format_report())
+
+    # Shape assertions mirroring the paper's Fig. 1 claims.
+    assert result.report.max_relative_error < 0.06
+    assert result.params.v0 > result.device_vth
+    assert result.params.lam > 1.0

@@ -1,0 +1,17 @@
+"""Benchmark E2 — regenerate paper Fig. 2 (waveform validation).
+
+Timed region: the full experiment, dominated by the golden transient
+simulation the closed forms are judged against.
+"""
+
+from repro.experiments import fig2_waveforms
+
+
+def test_fig2_waveforms(benchmark, publish):
+    result = benchmark.pedantic(fig2_waveforms.run, rounds=1, iterations=1)
+    publish("fig2_waveforms", result.format_report())
+
+    # Paper claim: "both the SSN voltage formula and the current formula
+    # match the simulation results very well."
+    assert result.current_match.normalized_max_error < 0.06
+    assert result.ssn_match.normalized_max_error < 0.20

@@ -1,0 +1,20 @@
+"""Benchmark E3 — regenerate paper Fig. 3 (model shoot-out vs driver count).
+
+Timed region: the full N sweep — ten golden simulations plus all five
+estimators at every point.
+"""
+
+from repro.experiments import fig3_model_comparison
+from repro.experiments.fig3_model_comparison import THIS_WORK
+
+
+def test_fig3_model_comparison(benchmark, publish):
+    result = benchmark.pedantic(fig3_model_comparison.run, rounds=1, iterations=1)
+    publish("fig3_model_comparison", result.format_report())
+
+    # Paper claim: "The new model is shown to be the most accurate with
+    # different number of simultaneously switching drivers."
+    assert result.best_estimator() == THIS_WORK
+    assert result.summaries[THIS_WORK].max_abs_percent < 7.0
+    assert result.summaries["vemuru-1996"].mean_abs_percent > result.summaries[THIS_WORK].mean_abs_percent
+    assert result.summaries["song-1999"].mean_abs_percent > result.summaries[THIS_WORK].mean_abs_percent

@@ -1,0 +1,26 @@
+"""Benchmark E4 — regenerate paper Fig. 4 (the capacitance effect).
+
+Timed region: both pad configurations' full N sweeps (twenty golden
+simulations) plus the LC and L-only estimates at every point.
+"""
+
+from repro.experiments import fig4_capacitance
+from repro.experiments.fig4_capacitance import L_ONLY, WITH_C
+
+
+def test_fig4_capacitance(benchmark, publish):
+    result = benchmark.pedantic(fig4_capacitance.run, rounds=1, iterations=1)
+    publish("fig4_capacitance", result.format_report())
+
+    for panel in result.panels:
+        l_only = panel.errors_by_region(L_ONLY)
+        lc = panel.errors_by_region(WITH_C)
+        # Paper: the L-only model "performs adequately in the over-damped
+        # and critically damped regions. But the error is significant in
+        # the under-damped region."
+        assert l_only["under-damped"] > 10.0
+        assert l_only["not-under-damped"] < 5.0
+        # Paper: the LC model is "within 3%" with the authors' BSIM3 fit;
+        # our golden-device substitution lands within ~6% (EXPERIMENTS.md).
+        assert lc["under-damped"] < 7.0
+        assert lc["not-under-damped"] < 4.0

@@ -1,0 +1,21 @@
+"""Benchmark E14 — ground-path impedance vs damping regions."""
+
+import pytest
+
+from repro.core import DampingRegion
+from repro.experiments import impedance
+
+
+def test_impedance_map(benchmark, publish):
+    result = benchmark.pedantic(impedance.run, rounds=1, iterations=1)
+    publish("impedance", result.format_report())
+
+    for point in result.points:
+        # Parallel resonance pinned at f0; height set by the drivers.
+        assert point.peak_frequency == pytest.approx(
+            result.resonant_frequency, rel=0.05
+        )
+        # Q = 1/(2*zeta): the Eqn 15 damping ratio, measured in ohms.
+        assert point.peaking_ratio == pytest.approx(1.0 / (2.0 * point.zeta), rel=0.20)
+        if point.region is DampingRegion.OVERDAMPED:
+            assert point.peaking_ratio < 1.0

@@ -1,0 +1,17 @@
+"""Benchmark E15 — random-data bus SSN statistics."""
+
+import numpy as np
+
+from repro.experiments import pattern_statistics
+
+
+def test_pattern_statistics(benchmark, publish):
+    result = benchmark.pedantic(pattern_statistics.run, rounds=1, iterations=1)
+    publish("pattern_statistics", result.format_report())
+
+    assert float(np.sum(result.probabilities)) == 1.0 or abs(
+        float(np.sum(result.probabilities)) - 1.0
+    ) < 1e-9
+    assert result.mean_peak < result.p99_peak < result.worst_case
+    for n, sim, model in result.sim_checks:
+        assert abs(model - sim) / sim < 0.06

@@ -1,0 +1,18 @@
+"""Benchmark E6 — the paper's cross-process claim (0.25 and 0.35 um).
+
+Timed region: the Fig. 3 shoot-out repeated on all three technology cards.
+"""
+
+from repro.experiments import processes
+from repro.experiments.fig3_model_comparison import THIS_WORK
+
+
+def test_cross_process_accuracy(benchmark, publish):
+    result = benchmark.pedantic(processes.run, rounds=1, iterations=1)
+    publish("processes", result.format_report())
+
+    # Paper: "Similar results are also observed using 0.25 um and 0.35 um
+    # processes" — i.e. the ASDM formula stays the most accurate.
+    winners = result.best_estimators()
+    assert set(winners) == {"tsmc018", "tsmc025", "tsmc035"}
+    assert all(winner == THIS_WORK for winner in winners.values())

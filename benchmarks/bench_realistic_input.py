@@ -1,0 +1,15 @@
+"""Benchmark E13 — realistic tapered-chain gate edges and the PWL model."""
+
+from repro.experiments import realistic_input
+
+
+def test_realistic_input(benchmark, publish):
+    result = benchmark.pedantic(realistic_input.run, rounds=1, iterations=1)
+    publish("realistic_input", result.format_report())
+
+    # The PWL-drive closed form recovers paper-level accuracy on a real
+    # (non-ramp) gate waveform; the effective-ramp bridge stays loose.
+    assert abs(result.percent_error(result.pwl_peak)) < 8.0
+    assert abs(result.percent_error(result.pwl_peak)) < abs(
+        result.percent_error(result.effective_ramp_peak)
+    )

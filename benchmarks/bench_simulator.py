@@ -1,0 +1,38 @@
+"""Simulator-substrate benchmarks: transient cost scaling.
+
+Not a paper artifact, but the number that justifies the collapsed-driver
+harness: explicit N-driver netlists grow the MNA system and the Newton
+work, while the collapsed equivalent stays constant-size.
+"""
+
+import pytest
+
+from repro.analysis import DriverBankSpec, simulate_ssn
+from repro.experiments.common import NOMINAL_GROUND, NOMINAL_RISE_TIME
+from repro.process import TSMC018
+
+
+def _spec(n, collapse):
+    return DriverBankSpec(
+        technology=TSMC018,
+        n_drivers=n,
+        inductance=NOMINAL_GROUND.inductance,
+        capacitance=NOMINAL_GROUND.capacitance,
+        rise_time=NOMINAL_RISE_TIME,
+        collapse=collapse,
+    )
+
+
+@pytest.mark.parametrize("n", [2, 8])
+def test_explicit_bank_simulation(benchmark, n):
+    sim = benchmark.pedantic(
+        simulate_ssn, args=(_spec(n, collapse=False),), rounds=1, iterations=1
+    )
+    assert sim.peak_voltage > 0
+
+
+def test_collapsed_bank_simulation(benchmark):
+    sim = benchmark.pedantic(
+        simulate_ssn, args=(_spec(8, collapse=True),), rounds=1, iterations=1
+    )
+    assert sim.peak_voltage > 0

@@ -1,0 +1,19 @@
+"""Benchmark E5 — validate paper Table 1 (the four maximum-SSN formulas).
+
+Timed region: the full experiment — four case configurations, each with a
+high-precision ODE integration and a golden transient simulation.
+"""
+
+from repro.core import Table1Case
+from repro.experiments import table1_formulas
+
+
+def test_table1_formulas(benchmark, publish):
+    result = benchmark.pedantic(table1_formulas.run, rounds=1, iterations=1)
+    publish("table1_formulas", result.format_report())
+
+    assert {row.config.case for row in result.rows} == set(Table1Case)
+    for row in result.rows:
+        # The derivation is exact given ASDM: formula == ODE to precision.
+        assert abs(row.formula_vs_ode_percent) < 0.01
+        assert row.waveform_max_diff < 1e-9

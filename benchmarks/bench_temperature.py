@@ -1,0 +1,13 @@
+"""Benchmark E18 — SSN across temperature corners."""
+
+from repro.experiments import temperature
+
+
+def test_temperature_corners(benchmark, publish):
+    result = benchmark.pedantic(temperature.run, rounds=1, iterations=1)
+    publish("temperature", result.format_report())
+
+    # Cold is the ground-bounce sign-off corner.
+    assert result.coldest().simulated_peak > result.hottest().simulated_peak
+    # Per-corner refits keep the closed form accurate everywhere.
+    assert result.max_abs_error() < 6.0

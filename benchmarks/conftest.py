@@ -1,0 +1,32 @@
+"""Benchmark-harness plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures and both
+prints the rows (visible with ``pytest benchmarks/ --benchmark-only -s``)
+and writes them to ``benchmarks/reports/<name>.txt`` so the artifacts
+survive the run either way.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def publish(report_dir):
+    """Write a report file and echo it to stdout."""
+
+    def _publish(name: str, text: str) -> None:
+        (report_dir / f"{name}.txt").write_text(text)
+        print(f"\n{text}")
+
+    return _publish

@@ -1,0 +1,50 @@
+"""Scenario: how does ground bounce evolve when a design migrates nodes?
+
+Re-characterizes the same I/O bank on the 0.35, 0.25 and 0.18 um cards
+(each with its own VDD, threshold and drive strength), showing how the
+fitted ASDM parameters move and what the closed-form model predicts.
+This is the cross-process repetition the paper reports at the end of
+Section 3 ("similar results are also observed using 0.25 um and 0.35 um
+processes"), turned into a migration-planning table.
+
+Run:  python examples/process_migration.py
+"""
+
+from repro.core import InductiveSsnModel, fit_asdm, required_rise_time
+from repro.devices import sweep_id_vg
+from repro.packaging import PGA
+from repro.process import get_technology, list_technologies
+
+N_DRIVERS = 16
+RISE_TIME = 0.5e-9
+#: Keep the same absolute noise budget across nodes.
+BUDGET = 0.3
+
+
+def main() -> None:
+    inductance = PGA.pin.inductance
+    print(f"I/O bank: {N_DRIVERS} drivers, L = {inductance * 1e9:.0f} nH, "
+          f"tr = {RISE_TIME * 1e9:.1f} ns, budget = {BUDGET} V\n")
+    header = (f"{'node':>8}  {'VDD':>4}  {'K (mA/V)':>8}  {'V0 (V)':>6}  {'lam':>5}  "
+              f"{'peak (V)':>8}  {'%VDD':>5}  {'tr for budget':>13}")
+    print(header)
+    print("-" * len(header))
+
+    for name in sorted(list_technologies(), reverse=True):  # oldest node first
+        tech = get_technology(name)
+        params, _ = fit_asdm(sweep_id_vg(tech.driver_device(), tech.vdd))
+        model = InductiveSsnModel(params, N_DRIVERS, inductance, tech.vdd, RISE_TIME)
+        peak = model.peak_voltage()
+        tr_budget = required_rise_time(BUDGET, params, N_DRIVERS, inductance, tech.vdd)
+        print(f"{name:>8}  {tech.vdd:4.1f}  {params.k * 1e3:8.2f}  {params.v0:6.3f}  "
+              f"{params.lam:5.3f}  {peak:8.3f}  {100 * peak / tech.vdd:5.1f}  "
+              f"{tr_budget * 1e9:10.2f} ns")
+
+    print("\nReading the table: absolute bounce falls with VDD, but the noise")
+    print("*fraction* of the shrinking supply is what erodes margins — the")
+    print("trend the paper's introduction calls out. The last column is the")
+    print("edge rate each node can afford under the same absolute budget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Scenario: how much SSN guard band does process variation demand?
+
+A payoff of having Eqn (10) in closed form: propagating die-to-die
+parameter spread to a noise distribution costs microseconds per sample,
+so a designer can size guard bands statistically instead of padding the
+worst case.  (An extension beyond the paper — see DESIGN.md Section 5.)
+
+Run:  python examples/variation_guardband.py
+"""
+
+from repro.analysis import ParameterSpread, peak_noise_distribution
+from repro.core import fit_asdm
+from repro.devices import sweep_id_vg
+from repro.packaging import PGA
+from repro.process import TSMC018
+
+N_DRIVERS = 12
+RISE_TIME = 0.5e-9
+TRIALS = 5000
+
+
+def main() -> None:
+    tech = TSMC018
+    params, _ = fit_asdm(sweep_id_vg(tech.driver_device(), tech.vdd))
+
+    print(f"{N_DRIVERS} drivers, {tech.name}, PGA ground pin, "
+          f"tr = {RISE_TIME * 1e9:.1f} ns, {TRIALS} Monte Carlo trials\n")
+
+    corners = {
+        "tight  (K 4%, V0 15 mV)": ParameterSpread(k_sigma=0.04, v0_sigma=0.015, lam_sigma=0.005),
+        "typical(K 8%, V0 30 mV)": ParameterSpread(k_sigma=0.08, v0_sigma=0.030, lam_sigma=0.010),
+        "loose  (K 15%, V0 60 mV)": ParameterSpread(k_sigma=0.15, v0_sigma=0.060, lam_sigma=0.020),
+    }
+    print(f"{'process spread':>26}  {'nominal':>7}  {'mean':>6}  {'sigma':>6}  "
+          f"{'p95':>6}  {'guard band':>10}")
+    for label, spread in corners.items():
+        result = peak_noise_distribution(
+            params, N_DRIVERS, PGA.pin.inductance, tech.vdd, RISE_TIME,
+            spread=spread, trials=TRIALS,
+        )
+        print(f"{label:>26}  {result.nominal:7.3f}  {result.mean:6.3f}  "
+              f"{result.std:6.3f}  {result.p95:6.3f}  {result.guard_band * 1e3:7.1f} mV")
+
+    print("\nGuard band = p95 - nominal: the margin a sign-off methodology must")
+    print("add on top of the nominal-corner estimate to cover 95% of dies.")
+
+
+if __name__ == "__main__":
+    main()

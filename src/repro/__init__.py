@@ -1,0 +1,42 @@
+"""repro — reproduction of Ding & Mazumder, DATE 2002.
+
+"Accurate Estimating Simultaneous Switching Noises by Using Application
+Specific Device Modeling": an application-specific MOSFET model (ASDM)
+yielding exact closed-form formulas for simultaneous switching noise (SSN,
+ground bounce) at chip I/O pads, with and without the package's parasitic
+capacitance.
+
+Package layout:
+
+* :mod:`repro.core`       — ASDM, the SSN formulas, damping analysis,
+  parameter extraction and design helpers (the paper's contribution).
+* :mod:`repro.devices`    — MOSFET models (golden short-channel device,
+  alpha-power law, square law).
+* :mod:`repro.process`    — synthetic 0.18/0.25/0.35 um technology cards.
+* :mod:`repro.packaging`  — package ground-path parasitics.
+* :mod:`repro.spice`      — MNA transient circuit simulator (the HSPICE
+  substitute used for golden validation).
+* :mod:`repro.baselines`  — prior-art SSN estimators (Vemuru, Song, Jou,
+  Senthinathan).
+* :mod:`repro.analysis`   — golden-simulation harness, sweeps, metrics,
+  Monte Carlo.
+* :mod:`repro.experiments`— one module per paper table/figure.
+
+Quickstart: see ``examples/quickstart.py`` or :mod:`repro.core`.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, baselines, core, devices, experiments, packaging, process, spice
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "baselines",
+    "core",
+    "devices",
+    "experiments",
+    "packaging",
+    "process",
+    "spice",
+]

@@ -1,0 +1,62 @@
+"""Golden-simulation harness, sweeps, metrics and Monte Carlo extensions."""
+
+from .buffer_chain import (
+    BufferChainSimulation,
+    BufferChainSpec,
+    build_buffer_chain,
+    simulate_buffer_chain,
+)
+from .cmos_driver import CmosDriverBankSpec, CmosSimulation, build_cmos_driver_bank, simulate_cmos
+from .driver_bank import DriverBankSpec, build_driver_bank
+from .metrics import (
+    ErrorSummary,
+    WaveformComparison,
+    compare_waveforms,
+    percent_error,
+    relative_error,
+)
+from .montecarlo import MonteCarloResult, ParameterSpread, peak_noise_distribution
+from .ramps import EffectiveRamp, crossing_time, extract_effective_ramp
+from .simulate import SsnSimulation, default_stop_time, default_time_step, simulate_ssn
+from .sweeps import (
+    SweepPoint,
+    SweepResult,
+    sweep,
+    sweep_driver_count,
+    sweep_ground_capacitance,
+    sweep_rise_time,
+)
+
+__all__ = [
+    "BufferChainSimulation",
+    "BufferChainSpec",
+    "CmosDriverBankSpec",
+    "CmosSimulation",
+    "DriverBankSpec",
+    "EffectiveRamp",
+    "ErrorSummary",
+    "MonteCarloResult",
+    "ParameterSpread",
+    "SsnSimulation",
+    "SweepPoint",
+    "SweepResult",
+    "WaveformComparison",
+    "build_buffer_chain",
+    "build_cmos_driver_bank",
+    "build_driver_bank",
+    "compare_waveforms",
+    "crossing_time",
+    "default_stop_time",
+    "default_time_step",
+    "extract_effective_ramp",
+    "peak_noise_distribution",
+    "percent_error",
+    "relative_error",
+    "simulate_buffer_chain",
+    "simulate_cmos",
+    "simulate_ssn",
+    "sweep",
+    "sweep_driver_count",
+    "sweep_ground_capacitance",
+    "sweep_rise_time",
+]

@@ -1,0 +1,164 @@
+"""Tapered pre-driver (buffer) chain substrate.
+
+The SSN design literature the paper builds on (Senthinathan & Prince 1993,
+Yang & Brews 1996, Vemuru 1997 — refs [9]-[11]) studies output drivers fed
+by tapered inverter chains, whose finite edge rates are what the paper's
+``sr`` abstracts.  This module builds that substrate: a chain of CMOS
+inverters, each stage ``taper``-times wider than the previous, driving the
+final pull-down bank through the ground inductance.
+
+Device gate loading is modeled with explicit input capacitors (our MOSFET
+element is capacitance-free by design; the gate charge of stage i+1 is the
+load of stage i):
+
+    C_in = (Wn + Wp) * L * Cox * GATE_CAP_FACTOR
+
+With an odd number of inverting stages a rising chain input produces a
+rising final gate — the SSN-triggering polarity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..process.technology import Technology
+from ..spice.circuit import Circuit
+from ..spice.sources import Ramp
+from ..spice.transient import transient
+from ..spice.waveform import Waveform
+
+#: Effective gate capacitance factor (channel + overlap, per unit Cox*W*L).
+GATE_CAP_FACTOR = 1.5
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferChainSpec:
+    """A tapered pre-driver chain feeding an N-driver pull-down bank.
+
+    Attributes:
+        technology: process card (with a PMOS card for the inverters).
+        n_drivers: output drivers switching simultaneously.
+        stages: number of pre-driver inverters (use an even count so the
+            final gate rises when the chain input rises: each inverter
+            inverts, and the bank needs a rising gate).
+        taper: width ratio between consecutive stages.
+        first_stage_strength: width of stage 1's NMOS as a multiple of the
+            technology reference width.
+        inductance: ground-path inductance under the final bank.
+        capacitance: ground-path capacitance (None for L-only).
+        input_rise_time: edge rate of the (ideal) chain input.
+        load_capacitance: per-driver output load.
+    """
+
+    technology: Technology
+    n_drivers: int
+    stages: int = 2
+    taper: float = 3.0
+    first_stage_strength: float = 0.15
+    inductance: float = 5e-9
+    capacitance: float | None = None
+    input_rise_time: float = 0.2e-9
+    load_capacitance: float = 10e-12
+
+    def __post_init__(self):
+        if self.stages < 1:
+            raise ValueError("need at least one pre-driver stage")
+        if self.stages % 2 != 0:
+            raise ValueError(
+                "use an even stage count: the final gate must rise with the input"
+            )
+        if self.taper <= 1.0:
+            raise ValueError("taper must exceed 1")
+        if self.n_drivers <= 0 or self.first_stage_strength <= 0:
+            raise ValueError("n_drivers and first_stage_strength must be positive")
+        if self.inductance <= 0 or self.input_rise_time <= 0:
+            raise ValueError("inductance and input_rise_time must be positive")
+
+    def stage_strength(self, index: int) -> float:
+        """Drive strength of pre-driver stage ``index`` (0-based)."""
+        return self.first_stage_strength * self.taper**index
+
+
+def gate_capacitance(tech: Technology, nmos_width: float, pmos_width: float) -> float:
+    """Explicit input capacitance of an inverter with the given widths."""
+    return GATE_CAP_FACTOR * tech.nmos.cox * tech.node * (nmos_width + pmos_width)
+
+
+def build_buffer_chain(spec: BufferChainSpec) -> Circuit:
+    """Netlist: input ramp -> tapered inverters -> pull-down bank on L(C)."""
+    tech = spec.technology
+    vdd = tech.vdd
+    circuit = Circuit(f"{spec.stages}-stage tapered chain + {spec.n_drivers}-driver bank")
+    circuit.vsource("Vin", "a0", "0", Ramp(0.0, vdd, 0.0, spec.input_rise_time))
+    circuit.vsource("Vdd", "vdd", "0", vdd)
+
+    # Pre-driver inverters: stage i reads node a{i}, drives node a{i+1}.
+    # A rising chain input makes odd-indexed internal nodes fall and even
+    # ones rise; internal nodes therefore start at alternating rails.
+    for i in range(spec.stages):
+        strength = spec.stage_strength(i)
+        node_in = f"a{i}"
+        node_out = f"a{i + 1}"
+        nmos = tech.driver_device(strength)
+        pmos = tech.pullup_device(strength)
+        circuit.mosfet(f"Xn{i + 1}", node_out, node_in, "0", "0", nmos)
+        circuit.mosfet(f"Xp{i + 1}", node_out, node_in, "vdd", "vdd", pmos)
+        # Load of this stage: the next stage's (or the bank's) gate charge.
+        if i + 1 < spec.stages:
+            next_strength = spec.stage_strength(i + 1)
+            next_n = tech.reference_width * next_strength
+            next_p = next_n * tech.pmos_width_ratio
+        else:
+            next_n = tech.reference_width * spec.n_drivers
+            next_p = 0.0  # the output bank is pull-down only (paper circuit)
+        initial = vdd if i % 2 == 0 else 0.0  # node a{i+1} before switching
+        circuit.capacitor(
+            f"Cg{i + 1}", node_out, "0", gate_capacitance(tech, next_n, next_p),
+            ic=initial,
+        )
+
+    gate = f"a{spec.stages}"
+    circuit.inductor("Lgnd", "ssn", "0", spec.inductance, ic=0.0)
+    if spec.capacitance is not None:
+        circuit.capacitor("Cgnd", "ssn", "0", spec.capacitance, ic=0.0)
+    circuit.capacitor("CL1", "out1", "0", spec.load_capacitance * spec.n_drivers, ic=vdd)
+    circuit.mosfet("M1", "out1", gate, "ssn", "ssn", tech.driver_device(spec.n_drivers))
+    return circuit
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferChainSimulation:
+    """Waveforms of one chain-driven SSN run.
+
+    Attributes:
+        spec: the simulated configuration.
+        final_gate: the realistic gate waveform at the bank's input.
+        ssn: ground-bounce waveform.
+        peak_voltage: maximum ground bounce.
+    """
+
+    spec: BufferChainSpec
+    final_gate: Waveform
+    ssn: Waveform
+    peak_voltage: float
+
+
+def simulate_buffer_chain(
+    spec: BufferChainSpec, tstop: float | None = None, dt: float | None = None
+) -> BufferChainSimulation:
+    """Run the golden transient of the chain-driven bank."""
+    circuit = build_buffer_chain(spec)
+    # The chain stretches the edge by roughly its stage delays; give the
+    # run generous room and resolution.
+    if tstop is None:
+        tstop = 6.0 * spec.input_rise_time + 2e-9
+    if dt is None:
+        dt = spec.input_rise_time / 200.0
+    result = transient(circuit, tstop, dt)
+    ssn = result.voltage("ssn")
+    return BufferChainSimulation(
+        spec=spec,
+        final_gate=result.voltage(f"a{spec.stages}"),
+        ssn=ssn,
+        peak_voltage=ssn.peak()[1],
+    )

@@ -1,0 +1,161 @@
+"""Full CMOS driver bank: both rails, both devices (extension harness).
+
+The paper models the pull-down NFETs only and asserts that (i) the
+power-supply node "can be analyzed similarly" and (ii) the pull-up's
+contribution during the output-falling transition is negligible (drivers
+modeled as pull-down current sources).  This harness builds the complete
+circuit — PMOS pull-ups, NMOS pull-downs, and parasitics on *both* the
+VDD and ground paths — so both assertions become measurable:
+
+* a rising input: NMOS discharge -> ground bounce, with the PMOS initially
+  still on (crowbar current adds to the ground-path current);
+* a falling input: PMOS charge -> VDD droop, the dual problem.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..packaging.parasitics import GroundPathParasitics
+from ..process.technology import Technology
+from ..spice.circuit import Circuit
+from ..spice.sources import Ramp
+from ..spice.transient import TransientOptions, transient
+from ..spice.waveform import Waveform
+from .simulate import POINTS_PER_RAMP  # shared resolution policy
+
+#: Node names of the generated netlist.
+INPUT_NODE = "in"
+GROUND_BOUNCE_NODE = "gndint"
+VDD_RAIL_NODE = "vddint"
+OUTPUT_NODE = "out1"
+
+
+@dataclasses.dataclass(frozen=True)
+class CmosDriverBankSpec:
+    """A bank of full CMOS output drivers with parasitics on both rails.
+
+    Attributes:
+        technology: process card (must carry a PMOS card).
+        n_drivers: number of simultaneously switching drivers.
+        ground: ground-path parasitics (L, C; R unused here).
+        power: VDD-path parasitics.
+        edge: "rise" (output falls, ground bounces) or "fall" (output
+            rises, VDD droops).
+        edge_time: input ramp duration in seconds.
+        load_capacitance: per-driver output load in farads.
+        driver_strength: width multiple of the technology reference.
+        include_pullup: include the PMOS devices (disable to reproduce the
+            paper's NMOS-only idealization on a rising edge).
+        include_pulldown: include the NMOS devices.
+    """
+
+    technology: Technology
+    n_drivers: int
+    ground: GroundPathParasitics
+    power: GroundPathParasitics
+    edge: str = "rise"
+    edge_time: float = 0.5e-9
+    load_capacitance: float = 10e-12
+    driver_strength: float = 1.0
+    include_pullup: bool = True
+    include_pulldown: bool = True
+
+    def __post_init__(self):
+        if self.edge not in ("rise", "fall"):
+            raise ValueError(f"edge must be 'rise' or 'fall', got {self.edge!r}")
+        if self.n_drivers <= 0:
+            raise ValueError("n_drivers must be positive")
+        if self.edge_time <= 0 or self.load_capacitance <= 0:
+            raise ValueError("edge_time and load_capacitance must be positive")
+        if not (self.include_pullup or self.include_pulldown):
+            raise ValueError("at least one of the pull-up/pull-down must be included")
+        if self.technology.pmos is None and self.include_pullup:
+            raise ValueError(f"technology {self.technology.name!r} has no PMOS card")
+
+
+def build_cmos_driver_bank(spec: CmosDriverBankSpec) -> Circuit:
+    """Build the two-rail CMOS bank (drivers collapsed into one N-wide pair)."""
+    tech = spec.technology
+    vdd = tech.vdd
+    circuit = Circuit(f"{spec.n_drivers}-driver CMOS bank ({spec.edge})")
+
+    if spec.edge == "rise":
+        circuit.vsource("Vin", INPUT_NODE, "0", Ramp(0.0, vdd, 0.0, spec.edge_time))
+        load_ic = vdd
+    else:
+        circuit.vsource("Vin", INPUT_NODE, "0", Ramp(vdd, 0.0, 0.0, spec.edge_time))
+        load_ic = 0.0
+
+    circuit.vsource("Vdd", "vddrail", "0", vdd)
+    circuit.inductor("Lvdd", "vddrail", VDD_RAIL_NODE, spec.power.inductance, ic=0.0)
+    circuit.capacitor("Cvdd", VDD_RAIL_NODE, "0", spec.power.capacitance, ic=vdd)
+    circuit.inductor("Lgnd", GROUND_BOUNCE_NODE, "0", spec.ground.inductance, ic=0.0)
+    circuit.capacitor("Cgnd", GROUND_BOUNCE_NODE, "0", spec.ground.capacitance, ic=0.0)
+
+    total = spec.driver_strength * spec.n_drivers
+    circuit.capacitor("CL1", OUTPUT_NODE, "0", spec.load_capacitance * spec.n_drivers,
+                      ic=load_ic)
+    if spec.include_pulldown:
+        circuit.mosfet("Mn1", OUTPUT_NODE, INPUT_NODE, GROUND_BOUNCE_NODE,
+                       GROUND_BOUNCE_NODE, tech.driver_device(total))
+    if spec.include_pullup:
+        circuit.mosfet("Mp1", OUTPUT_NODE, INPUT_NODE, VDD_RAIL_NODE,
+                       VDD_RAIL_NODE, tech.pullup_device(total))
+    return circuit
+
+
+@dataclasses.dataclass(frozen=True)
+class CmosSimulation:
+    """Waveforms and summary numbers of one two-rail golden run.
+
+    Attributes:
+        spec: the simulated configuration.
+        ground_bounce: voltage of the internal ground node.
+        vdd_droop: droop below VDD of the internal supply node (positive =
+            rail sagging).
+        output_voltage: the shared pad voltage.
+        peak_ground_bounce: maximum ground bounce over the run.
+        peak_vdd_droop: maximum supply droop over the run.
+    """
+
+    spec: CmosDriverBankSpec
+    ground_bounce: Waveform
+    vdd_droop: Waveform
+    output_voltage: Waveform
+    peak_ground_bounce: float
+    peak_vdd_droop: float
+
+
+def simulate_cmos(
+    spec: CmosDriverBankSpec,
+    tstop: float | None = None,
+    dt: float | None = None,
+    options: TransientOptions | None = None,
+) -> CmosSimulation:
+    """Run the golden transient of a two-rail CMOS bank."""
+    circuit = build_cmos_driver_bank(spec)
+    if dt is None:
+        dt = spec.edge_time / POINTS_PER_RAMP
+        for path in (spec.ground, spec.power):
+            ring = 2.0 * math.pi * math.sqrt(path.inductance * path.capacitance)
+            dt = min(dt, ring / 80.0)
+    if tstop is None:
+        tstop = 2.0 * spec.edge_time
+        for path in (spec.ground, spec.power):
+            ring = 2.0 * math.pi * math.sqrt(path.inductance * path.capacitance)
+            tstop = max(tstop, spec.edge_time + 1.5 * ring)
+
+    result = transient(circuit, tstop, dt, options=options)
+    bounce = result.voltage(GROUND_BOUNCE_NODE)
+    rail = result.voltage(VDD_RAIL_NODE)
+    droop = Waveform(rail.t, spec.technology.vdd - rail.y)
+    return CmosSimulation(
+        spec=spec,
+        ground_bounce=bounce,
+        vdd_droop=droop,
+        output_voltage=result.voltage(OUTPUT_NODE),
+        peak_ground_bounce=bounce.peak()[1],
+        peak_vdd_droop=droop.peak()[1],
+    )

@@ -1,0 +1,93 @@
+"""Error metrics used when judging estimators against the golden simulation."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..spice.waveform import Waveform
+
+
+def relative_error(estimate: float, reference: float) -> float:
+    """Signed (estimate - reference)/reference; reference must be nonzero."""
+    if reference == 0.0:
+        raise ValueError("relative error undefined for a zero reference")
+    return (estimate - reference) / reference
+
+
+def percent_error(estimate: float, reference: float) -> float:
+    """Signed relative error in percent."""
+    return 100.0 * relative_error(estimate, reference)
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate accuracy of one estimator over a sweep.
+
+    Attributes:
+        mean_abs_percent: mean of |percent error| over the sweep points.
+        max_abs_percent: worst |percent error|.
+        rms_percent: RMS percent error.
+        bias_percent: mean signed percent error (positive = overestimates).
+    """
+
+    mean_abs_percent: float
+    max_abs_percent: float
+    rms_percent: float
+    bias_percent: float
+
+    @classmethod
+    def from_pairs(cls, estimates, references) -> "ErrorSummary":
+        """Summary over aligned arrays of estimates and golden references."""
+        estimates = np.asarray(estimates, dtype=float)
+        references = np.asarray(references, dtype=float)
+        if estimates.shape != references.shape or estimates.size == 0:
+            raise ValueError("estimates and references must be equal-length, non-empty")
+        if np.any(references == 0.0):
+            raise ValueError("references must be nonzero")
+        pct = 100.0 * (estimates - references) / references
+        return cls(
+            mean_abs_percent=float(np.mean(np.abs(pct))),
+            max_abs_percent=float(np.max(np.abs(pct))),
+            rms_percent=float(np.sqrt(np.mean(np.square(pct)))),
+            bias_percent=float(np.mean(pct)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class WaveformComparison:
+    """Pointwise agreement of a model waveform with a golden waveform.
+
+    Comparison is restricted to the model's validity window (NaN samples in
+    the model waveform are ignored), normalized by the golden peak.
+
+    Attributes:
+        max_abs_error: worst |model - golden| in volts (or amperes).
+        rms_error: RMS difference over the window.
+        normalized_max_error: max_abs_error / max|golden|.
+    """
+
+    max_abs_error: float
+    rms_error: float
+    normalized_max_error: float
+
+
+def compare_waveforms(model: Waveform, golden: Waveform) -> WaveformComparison:
+    """Compare a (possibly partially-NaN) model waveform against a golden one."""
+    reference = golden.value_at(model.t)
+    diff = model.y - reference
+    valid = np.isfinite(diff)
+    if not np.any(valid):
+        raise ValueError("model waveform has no finite samples to compare")
+    diff = diff[valid]
+    scale = float(np.max(np.abs(golden.y)))
+    if scale == 0.0 or math.isclose(scale, 0.0):
+        raise ValueError("golden waveform is identically zero")
+    max_abs = float(np.max(np.abs(diff)))
+    return WaveformComparison(
+        max_abs_error=max_abs,
+        rms_error=float(np.sqrt(np.mean(np.square(diff)))),
+        normalized_max_error=max_abs / scale,
+    )

@@ -1,0 +1,109 @@
+"""Process-variation Monte Carlo on the ASDM parameters (extension).
+
+The paper fits (K, V0, lambda) to one nominal process corner.  Real silicon
+varies; because the peak-SSN formula (Eqn 10) is closed-form, propagating
+parameter spread to a noise distribution is essentially free — one of the
+practical payoffs of an analytic model over simulation.  This module draws
+correlated-lognormal K and normal V0/lambda perturbations and reports the
+resulting peak-SSN statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.asdm import AsdmParameters
+from ..core.figure import circuit_figure, peak_noise_from_figure
+
+
+@dataclasses.dataclass(frozen=True)
+class ParameterSpread:
+    """Relative (1-sigma) spreads of the ASDM parameters.
+
+    Attributes:
+        k_sigma: lognormal sigma of K (drive-strength variation).
+        v0_sigma: absolute normal sigma of V0 in volts (threshold variation).
+        lam_sigma: absolute normal sigma of lambda.
+    """
+
+    k_sigma: float = 0.08
+    v0_sigma: float = 0.03
+    lam_sigma: float = 0.01
+
+    def __post_init__(self):
+        if min(self.k_sigma, self.v0_sigma, self.lam_sigma) < 0:
+            raise ValueError("spreads must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class MonteCarloResult:
+    """Distribution of the peak SSN voltage under process variation.
+
+    Attributes:
+        samples: per-trial peak SSN voltages.
+        mean: sample mean in volts.
+        std: sample standard deviation in volts.
+        p95: 95th-percentile peak SSN (the guard-band number).
+        nominal: peak SSN at the nominal parameters.
+    """
+
+    samples: np.ndarray
+    mean: float
+    std: float
+    p95: float
+    nominal: float
+
+    @property
+    def guard_band(self) -> float:
+        """How much margin variation demands: p95 - nominal, volts."""
+        return self.p95 - self.nominal
+
+
+def peak_noise_distribution(
+    params: AsdmParameters,
+    n_drivers: int,
+    inductance: float,
+    vdd: float,
+    rise_time: float,
+    spread: ParameterSpread | None = None,
+    trials: int = 2000,
+    seed: int = 0,
+) -> MonteCarloResult:
+    """Monte Carlo the Eqn (10) peak SSN under ASDM parameter variation.
+
+    Args:
+        params: nominal fitted parameters.
+        n_drivers, inductance, vdd, rise_time: circuit configuration.
+        spread: parameter sigmas (defaults are typical die-to-die numbers).
+        trials: number of Monte Carlo draws.
+        seed: RNG seed for reproducibility.
+
+    Returns:
+        The sampled distribution and its summary statistics.
+    """
+    if trials < 2:
+        raise ValueError("trials must be at least 2")
+    spread = spread or ParameterSpread()
+    rng = np.random.default_rng(seed)
+    z = circuit_figure(n_drivers, inductance, vdd / rise_time)
+
+    ks = params.k * rng.lognormal(mean=0.0, sigma=max(spread.k_sigma, 1e-12), size=trials)
+    v0s = params.v0 + rng.normal(0.0, spread.v0_sigma, size=trials)
+    lams = params.lam + rng.normal(0.0, spread.lam_sigma, size=trials)
+
+    samples = np.empty(trials)
+    for i in range(trials):
+        v0 = min(max(v0s[i], 0.0), 0.9 * vdd)
+        lam = max(lams[i], 1e-3)
+        trial = AsdmParameters(k=float(ks[i]), v0=float(v0), lam=float(lam))
+        samples[i] = peak_noise_from_figure(z, trial, vdd)
+
+    return MonteCarloResult(
+        samples=samples,
+        mean=float(np.mean(samples)),
+        std=float(np.std(samples)),
+        p95=float(np.percentile(samples, 95.0)),
+        nominal=peak_noise_from_figure(z, params, vdd),
+    )

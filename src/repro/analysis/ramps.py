@@ -1,0 +1,101 @@
+"""Effective-ramp extraction from realistic (non-ideal) input waveforms.
+
+Every formula in the paper assumes an ideal linear gate ramp ``Vg = sr*t``.
+Real driver inputs come out of a pre-driver chain with exponential-ish
+edges.  The standard engineering bridge is an *effective* ramp: fit the
+measured edge between two crossing fractions (20%/80% by default) and use
+the equivalent full-swing slope in the closed forms.  This module extracts
+that ramp; the realistic-input experiment (E13) quantifies how well the
+paper's model holds under it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..spice.waveform import Waveform
+
+
+@dataclasses.dataclass(frozen=True)
+class EffectiveRamp:
+    """A linear ramp equivalent to a measured rising edge.
+
+    Attributes:
+        slope: equivalent full-swing slope sr in V/s.
+        rise_time: equivalent 0-to-vdd rise time vdd/sr in seconds.
+        start_time: time at which the equivalent ramp leaves 0 V.
+        low_crossing: measured time of the lower reference crossing.
+        high_crossing: measured time of the upper reference crossing.
+    """
+
+    slope: float
+    rise_time: float
+    start_time: float
+    low_crossing: float
+    high_crossing: float
+
+    def voltage(self, t, vdd: float):
+        """The equivalent ramp evaluated at ``t`` (clamped to [0, vdd])."""
+        t = np.asarray(t, dtype=float)
+        v = np.clip((t - self.start_time) * self.slope, 0.0, vdd)
+        if v.ndim == 0:
+            return float(v)
+        return v
+
+
+def crossing_time(waveform: Waveform, level: float) -> float:
+    """First time the waveform rises through ``level`` (interpolated).
+
+    Raises:
+        ValueError: if the waveform never reaches the level.
+    """
+    y = waveform.y
+    above = np.flatnonzero(y >= level)
+    if len(above) == 0:
+        raise ValueError(f"waveform never reaches {level} V (max {y.max():.4g} V)")
+    i = int(above[0])
+    if i == 0:
+        return float(waveform.t[0])
+    t0, t1 = waveform.t[i - 1], waveform.t[i]
+    y0, y1 = y[i - 1], y[i]
+    return float(t0 + (level - y0) * (t1 - t0) / (y1 - y0))
+
+
+def extract_effective_ramp(
+    waveform: Waveform,
+    vdd: float,
+    low_fraction: float = 0.2,
+    high_fraction: float = 0.8,
+) -> EffectiveRamp:
+    """Fit an equivalent linear ramp to a rising edge.
+
+    The slope is taken between the ``low_fraction`` and ``high_fraction``
+    crossings of ``vdd``; the equivalent ramp is the full-swing line with
+    that slope passing through the low crossing.
+
+    Args:
+        waveform: the measured rising edge.
+        vdd: full swing the edge settles to.
+        low_fraction: lower reference level as a fraction of vdd.
+        high_fraction: upper reference level as a fraction of vdd.
+
+    Returns:
+        The fitted :class:`EffectiveRamp`.
+    """
+    if not 0.0 < low_fraction < high_fraction < 1.0:
+        raise ValueError("need 0 < low_fraction < high_fraction < 1")
+    t_low = crossing_time(waveform, low_fraction * vdd)
+    t_high = crossing_time(waveform, high_fraction * vdd)
+    if t_high <= t_low:
+        raise ValueError("degenerate edge: upper crossing not after lower crossing")
+    slope = (high_fraction - low_fraction) * vdd / (t_high - t_low)
+    start = t_low - low_fraction * vdd / slope
+    return EffectiveRamp(
+        slope=slope,
+        rise_time=vdd / slope,
+        start_time=start,
+        low_crossing=t_low,
+        high_crossing=t_high,
+    )

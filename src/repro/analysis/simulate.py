@@ -1,0 +1,120 @@
+"""High-level golden SSN simulation (the "HSPICE run" of each experiment).
+
+Wraps circuit construction, time-step selection and waveform extraction so
+experiments can ask one question — "what does the real (simulated) circuit
+do?" — in one call.  The peak is reported over the *full* simulated span,
+like the paper's HSPICE measurements, not just over the model validity
+window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from ..spice.transient import TransientOptions, transient
+from ..spice.waveform import Waveform
+from .driver_bank import (
+    DriverBankSpec,
+    GROUND_BOUNCE_NODE,
+    INDUCTOR_NAME,
+    INPUT_NODE,
+    OUTPUT_NODE_FMT,
+    build_driver_bank,
+)
+
+#: Time-step resolution: points per input rise time.
+POINTS_PER_RAMP = 400
+#: And, when the network can ring, points per ringing period.
+POINTS_PER_RING = 80
+
+
+@dataclasses.dataclass(frozen=True)
+class SsnSimulation:
+    """Waveforms and summary numbers of one golden SSN run.
+
+    Attributes:
+        spec: the simulated configuration.
+        ssn: ground-bounce voltage at the internal ground node.
+        inductor_current: total current through the ground inductance.
+        driver_current: channel current of one driver.
+        input_voltage: the gate ramp.
+        output_voltage: one driver's pad voltage.
+        peak_voltage: maximum SSN voltage over the simulated span.
+        peak_time: instant of that maximum.
+    """
+
+    spec: DriverBankSpec
+    ssn: Waveform
+    inductor_current: Waveform
+    driver_current: Waveform
+    input_voltage: Waveform
+    output_voltage: Waveform
+    peak_voltage: float
+    peak_time: float
+
+
+def default_time_step(spec: DriverBankSpec) -> float:
+    """Step fine enough for both the ramp and any LC ringing."""
+    dt = spec.rise_time / POINTS_PER_RAMP
+    if spec.capacitance is not None:
+        ring_period = 2.0 * math.pi * math.sqrt(spec.inductance * spec.capacitance)
+        dt = min(dt, ring_period / POINTS_PER_RING)
+    return dt
+
+
+def default_stop_time(spec: DriverBankSpec) -> float:
+    """Span covering the ramp plus enough tail to catch delayed peaks."""
+    tstop = 2.0 * spec.rise_time
+    if spec.capacitance is not None:
+        ring_period = 2.0 * math.pi * math.sqrt(spec.inductance * spec.capacitance)
+        tstop = max(tstop, spec.rise_time + 1.5 * ring_period)
+    if spec.input_offsets is not None:
+        tstop += max(spec.input_offsets)
+    return tstop
+
+
+def simulate_ssn(
+    spec: DriverBankSpec,
+    tstop: float | None = None,
+    dt: float | None = None,
+    options: TransientOptions | None = None,
+) -> SsnSimulation:
+    """Run the golden transient simulation of one driver-bank configuration.
+
+    Args:
+        spec: circuit configuration.
+        tstop: simulation span (default: :func:`default_stop_time`).
+        dt: base time step (default: :func:`default_time_step`).
+        options: transient-engine knobs.
+
+    Returns:
+        The :class:`SsnSimulation` with waveforms and the global SSN peak.
+    """
+    circuit = build_driver_bank(spec)
+    result = transient(
+        circuit,
+        tstop if tstop is not None else default_stop_time(spec),
+        dt if dt is not None else default_time_step(spec),
+        options=options,
+    )
+    ssn = result.voltage(GROUND_BOUNCE_NODE)
+    peak_time, peak_voltage = ssn.peak()
+
+    first_driver = spec.driver_names()[0]
+    driver_current = result.current(first_driver)
+    if spec.collapse and spec.input_offsets is None and spec.n_drivers > 1:
+        # The collapsed device carries all N drivers' current.
+        driver_current = Waveform(driver_current.t, driver_current.y / spec.n_drivers)
+
+    input_node = INPUT_NODE if spec.input_offsets is None else f"{INPUT_NODE}1"
+    return SsnSimulation(
+        spec=spec,
+        ssn=ssn,
+        inductor_current=result.current(INDUCTOR_NAME),
+        driver_current=driver_current,
+        input_voltage=result.voltage(input_node),
+        output_voltage=result.voltage(OUTPUT_NODE_FMT.format(index=1)),
+        peak_voltage=peak_voltage,
+        peak_time=peak_time,
+    )

@@ -1,0 +1,154 @@
+"""Parameter-sweep engine: golden simulation vs any set of estimators.
+
+Every paper figure is a sweep of one knob (driver count N, ground
+capacitance C, ...) comparing the golden simulation's peak SSN against one
+or more closed-form estimates.  :func:`sweep` factors that pattern out:
+callers provide a base :class:`DriverBankSpec`, the values to sweep, how to
+apply a value to the spec, and named estimator callbacks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .driver_bank import DriverBankSpec
+from .simulate import simulate_ssn
+
+#: An estimator maps the concrete spec of one sweep point to a peak voltage.
+Estimator = Callable[[DriverBankSpec], float]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One sweep value: golden result plus every estimator's answer.
+
+    Attributes:
+        value: the swept knob's value at this point.
+        spec: the concrete circuit configuration simulated.
+        simulated_peak: golden-simulation maximum SSN voltage.
+        estimates: estimator name -> estimated maximum SSN voltage.
+    """
+
+    value: float
+    spec: DriverBankSpec
+    simulated_peak: float
+    estimates: dict[str, float]
+
+    def percent_error(self, name: str) -> float:
+        """Signed percent error of one estimator at this point."""
+        return 100.0 * (self.estimates[name] - self.simulated_peak) / self.simulated_peak
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """All points of one sweep, in sweep order."""
+
+    knob: str
+    points: tuple[SweepPoint, ...]
+
+    def values(self) -> list[float]:
+        return [p.value for p in self.points]
+
+    def simulated_peaks(self) -> list[float]:
+        return [p.simulated_peak for p in self.points]
+
+    def estimate_series(self, name: str) -> list[float]:
+        return [p.estimates[name] for p in self.points]
+
+    def percent_errors(self, name: str) -> list[float]:
+        return [p.percent_error(name) for p in self.points]
+
+    @property
+    def estimator_names(self) -> list[str]:
+        return sorted(self.points[0].estimates) if self.points else []
+
+    def to_csv(self, path) -> None:
+        """Write the sweep as CSV: knob, simulated peak, every estimate.
+
+        Column order: the knob, ``simulated``, then estimators sorted by
+        name — the layout external plotting scripts expect.
+        """
+        names = self.estimator_names
+        header = ",".join([self.knob, "simulated"] + names)
+        rows = [
+            [p.value, p.simulated_peak] + [p.estimates[n] for n in names]
+            for p in self.points
+        ]
+        np.savetxt(path, np.array(rows), delimiter=",", header=header, comments="")
+
+
+def sweep(
+    knob: str,
+    base: DriverBankSpec,
+    values: Sequence[float],
+    apply: Callable[[DriverBankSpec, float], DriverBankSpec],
+    estimators: dict[str, Estimator],
+) -> SweepResult:
+    """Run the golden simulation and all estimators across ``values``.
+
+    Args:
+        knob: label of the swept quantity (for reports).
+        base: template spec; ``apply(base, value)`` yields each point's spec.
+        values: knob values, in presentation order.
+        apply: pure function deriving a concrete spec from the template.
+        estimators: name -> callback evaluated on each concrete spec.
+
+    Returns:
+        The populated :class:`SweepResult`.
+    """
+    points = []
+    for value in values:
+        spec = apply(base, value)
+        sim = simulate_ssn(spec)
+        estimates = {name: float(fn(spec)) for name, fn in estimators.items()}
+        points.append(
+            SweepPoint(
+                value=float(value),
+                spec=spec,
+                simulated_peak=sim.peak_voltage,
+                estimates=estimates,
+            )
+        )
+    return SweepResult(knob=knob, points=tuple(points))
+
+
+def sweep_driver_count(
+    base: DriverBankSpec, counts: Sequence[int], estimators: dict[str, Estimator]
+) -> SweepResult:
+    """Sweep the number of simultaneously switching drivers (Figs. 3-4)."""
+    return sweep(
+        "n_drivers",
+        base,
+        list(counts),
+        lambda spec, n: dataclasses.replace(spec, n_drivers=int(n)),
+        estimators,
+    )
+
+
+def sweep_ground_capacitance(
+    base: DriverBankSpec, capacitances: Sequence[float], estimators: dict[str, Estimator]
+) -> SweepResult:
+    """Sweep the parasitic ground capacitance (Section 4 studies)."""
+    return sweep(
+        "capacitance",
+        base,
+        list(capacitances),
+        lambda spec, c: dataclasses.replace(spec, capacitance=float(c)),
+        estimators,
+    )
+
+
+def sweep_rise_time(
+    base: DriverBankSpec, rise_times: Sequence[float], estimators: dict[str, Estimator]
+) -> SweepResult:
+    """Sweep the input ramp duration (slope design-knob studies)."""
+    return sweep(
+        "rise_time",
+        base,
+        list(rise_times),
+        lambda spec, tr: dataclasses.replace(spec, rise_time=float(tr)),
+        estimators,
+    )

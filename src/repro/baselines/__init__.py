@@ -1,0 +1,23 @@
+"""Prior-art SSN estimators the paper compares against (its Fig. 3).
+
+Each baseline is reconstructed from the approximation the paper attributes
+to it (the original closed-source derivations are unavailable offline; see
+the module docstrings for the derivations used here):
+
+* :class:`VemuruSsnModel` — alpha-power, constant dId/dVgs.
+* :class:`SongSsnModel` — alpha-power, constant derivative + linear Vn(t).
+* :class:`JouSsnModel` — alpha-power, first-order Taylor expansion.
+* :class:`SenthinathanSsnModel` — square law, quasi-static peak.
+"""
+
+from .jou import JouSsnModel
+from .senthinathan import SenthinathanSsnModel
+from .song import SongSsnModel
+from .vemuru import VemuruSsnModel
+
+__all__ = [
+    "JouSsnModel",
+    "SenthinathanSsnModel",
+    "SongSsnModel",
+    "VemuruSsnModel",
+]

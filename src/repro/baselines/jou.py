@@ -1,0 +1,88 @@
+"""Jou et al. (1998) SSN estimator — Taylor-expanded alpha-power law.
+
+Reference [7] of the paper: "Simultaneous Switching Noise Analysis and Low
+Bouncing Buffer Design", CICC 1998.  The paper characterizes the approach
+as Taylor-expanding the alpha-power drain current and *neglecting second
+and higher order terms*.  Expanding ``Id = B*(Vgs - Vth)^alpha`` around the
+middle of the conduction window ``M = (Vth + VDD)/2``:
+
+    Id ~= I_M + g_M*(Vgs - M),
+    I_M = B*(M - Vth)^alpha,    g_M = alpha*B*(M - Vth)^(alpha-1)
+
+i.e. a linear drain-current model with slope ``g_M`` and effective turn-on
+voltage ``Veff = M - I_M/g_M``.  The ground-node ODE then solves exactly as
+in the ASDM/Vemuru derivations:
+
+    Vmax = N*L*g_M*sr * (1 - exp(-(VDD - Veff)/(sr*N*L*g_M)))
+
+The expansion point is the one free choice the paper's one-line description
+leaves open; mid-window is the natural symmetric pick and is exposed as a
+parameter for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.fitting import AlphaPowerSsnParameters
+
+
+class JouSsnModel:
+    """First-order-Taylor alpha-power SSN estimate.
+
+    Args:
+        expansion_fraction: where to linearize, as a fraction of the
+            conduction window above Vth (0.5 = mid-window default).
+    """
+
+    name = "jou-1998"
+
+    def __init__(
+        self,
+        params: AlphaPowerSsnParameters,
+        n_drivers: int,
+        inductance: float,
+        vdd: float,
+        rise_time: float,
+        expansion_fraction: float = 0.5,
+    ):
+        if n_drivers <= 0 or inductance <= 0 or rise_time <= 0:
+            raise ValueError("n_drivers, inductance and rise_time must be positive")
+        if vdd <= params.vth:
+            raise ValueError("vdd must exceed the extracted threshold")
+        if not 0.0 < expansion_fraction <= 1.0:
+            raise ValueError("expansion_fraction must be in (0, 1]")
+        self.params = params
+        self.n_drivers = int(n_drivers)
+        self.inductance = inductance
+        self.vdd = vdd
+        self.rise_time = rise_time
+        self.expansion_fraction = expansion_fraction
+
+    @property
+    def slope(self) -> float:
+        return self.vdd / self.rise_time
+
+    @property
+    def expansion_point(self) -> float:
+        """Gate voltage around which the current is linearized."""
+        return self.params.vth + self.expansion_fraction * (self.vdd - self.params.vth)
+
+    @property
+    def linear_slope(self) -> float:
+        """g_M: transconductance at the expansion point."""
+        return float(self.params.transconductance(self.expansion_point))
+
+    @property
+    def effective_turn_on(self) -> float:
+        """Veff: gate voltage where the linearized current crosses zero."""
+        m = self.expansion_point
+        i_m = float(self.params.saturation_current(m))
+        return m - i_m / self.linear_slope
+
+    def peak_voltage(self) -> float:
+        """Maximum SSN voltage of the linearized model."""
+        g = self.linear_slope
+        tau = self.n_drivers * self.inductance * g
+        window = (self.vdd - self.effective_turn_on) / self.slope
+        return tau * self.slope * -math.expm1(-window / tau)

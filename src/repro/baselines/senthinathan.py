@@ -1,0 +1,58 @@
+"""Senthinathan & Prince (1991) SSN estimator — square-law quasi-static peak.
+
+Reference [4] of the paper: "Simultaneous Switching Ground Noise
+Calculation for Packaged CMOS Devices", IEEE JSSC.  The classic long-
+channel estimate: drivers obey the square law
+
+    Id = beta/2 * (Vgs - Vth)^2,      Vgs = sr*t - Vn
+
+so ``dId/dt = beta*(Vgs - Vth)*(sr - dVn/dt)``.  Evaluating at the end of
+the ramp and dropping the (small) dVn/dt term — the quasi-static
+approximation of the original work — turns ``Vn = N*L*dId/dt`` into a
+linear equation for the peak:
+
+    Vmax = N*L*beta*(VDD - Vth - Vmax)*sr
+    =>  Vmax = N*L*beta*sr*(VDD - Vth) / (1 + N*L*beta*sr)
+
+Included mainly as the long-channel anchor: on a velocity-saturated
+process its square-law overdrive dependence systematically overestimates
+the current swing, which is exactly why the alpha-power works (and then
+ASDM) displaced it.
+"""
+
+from __future__ import annotations
+
+from ..core.fitting import SquareLawSsnParameters
+
+
+class SenthinathanSsnModel:
+    """Quasi-static square-law SSN peak estimate."""
+
+    name = "senthinathan-1991"
+
+    def __init__(
+        self,
+        params: SquareLawSsnParameters,
+        n_drivers: int,
+        inductance: float,
+        vdd: float,
+        rise_time: float,
+    ):
+        if n_drivers <= 0 or inductance <= 0 or rise_time <= 0:
+            raise ValueError("n_drivers, inductance and rise_time must be positive")
+        if vdd <= params.vth:
+            raise ValueError("vdd must exceed the extracted threshold")
+        self.params = params
+        self.n_drivers = int(n_drivers)
+        self.inductance = inductance
+        self.vdd = vdd
+        self.rise_time = rise_time
+
+    @property
+    def slope(self) -> float:
+        return self.vdd / self.rise_time
+
+    def peak_voltage(self) -> float:
+        """Closed-form quasi-static peak."""
+        nlbs = self.n_drivers * self.inductance * self.params.beta * self.slope
+        return nlbs * (self.vdd - self.params.vth) / (1.0 + nlbs)

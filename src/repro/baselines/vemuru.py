@@ -1,0 +1,96 @@
+"""Vemuru (1996) SSN estimator — alpha-power law + constant-derivative trick.
+
+Reference [6] of the paper: "Accurate Simultaneous Switching Noise
+Estimation Including Velocity-Saturation Effects", IEEE Trans. CPMT-B.
+The paper characterizes the approach by its key approximation: because the
+alpha-power ODE has no closed solution, *the derivative of the drain
+current with respect to the gate voltage is treated as a constant* for
+submicron (alpha -> 1) processes.  Concretely, with the alpha-power
+saturation law ``Id = B*(Vgs - Vth)^alpha`` driven by ``Vgs = sr*t - Vn``:
+
+    dId/dt = alpha*B*(Vgs - Vth)^(alpha-1) * (sr - dVn/dt)
+           ~= g * (sr - dVn/dt),   g = alpha*B*(VDD - Vth)^(alpha-1)
+
+(the transconductance frozen at full overdrive).  The ground-node equation
+``Vn = N*L*dId/dt`` then becomes the same first-order linear ODE as the
+ASDM derivation with K -> g, lambda -> 1, V0 -> Vth, so
+
+    Vn(t)  = N*L*g*sr * (1 - exp(-(t - Vth/sr)/(N*L*g)))
+    Vmax   = N*L*g*sr * (1 - exp(-(VDD - Vth)/(sr*N*L*g)))
+
+Exact published constants differ in secondary details we cannot verify
+offline; what this reproduction preserves — and what the paper's Fig. 3
+tests — is the approximation structure, which is where the accuracy gap
+versus ASDM comes from.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.fitting import AlphaPowerSsnParameters
+
+
+class VemuruSsnModel:
+    """Constant-transconductance alpha-power SSN estimate.
+
+    Args:
+        params: alpha-power law of one driver (fit to the same silicon the
+            competing models use).
+        n_drivers: simultaneously switching driver count.
+        inductance: ground inductance in henries.
+        vdd: supply voltage in volts.
+        rise_time: input ramp duration in seconds.
+    """
+
+    name = "vemuru-1996"
+
+    def __init__(
+        self,
+        params: AlphaPowerSsnParameters,
+        n_drivers: int,
+        inductance: float,
+        vdd: float,
+        rise_time: float,
+    ):
+        if n_drivers <= 0 or inductance <= 0 or rise_time <= 0:
+            raise ValueError("n_drivers, inductance and rise_time must be positive")
+        if vdd <= params.vth:
+            raise ValueError("vdd must exceed the extracted threshold")
+        self.params = params
+        self.n_drivers = int(n_drivers)
+        self.inductance = inductance
+        self.vdd = vdd
+        self.rise_time = rise_time
+
+    @property
+    def slope(self) -> float:
+        return self.vdd / self.rise_time
+
+    @property
+    def frozen_transconductance(self) -> float:
+        """g = alpha*B*(VDD - Vth)^(alpha-1), the constant-derivative value."""
+        return float(self.params.transconductance(self.vdd))
+
+    @property
+    def time_constant(self) -> float:
+        return self.n_drivers * self.inductance * self.frozen_transconductance
+
+    def voltage(self, t):
+        """SSN waveform under the constant-derivative approximation."""
+        t = np.asarray(t, dtype=float)
+        t0 = self.params.vth / self.slope
+        level = self.time_constant * self.slope
+        v = level * -np.expm1(-np.maximum(t - t0, 0.0) / self.time_constant)
+        v = np.where(t < t0, 0.0, v)
+        v = np.where(t > self.rise_time * (1 + 1e-12), np.nan, v)
+        if v.ndim == 0:
+            return float(v)
+        return v
+
+    def peak_voltage(self) -> float:
+        """Maximum SSN voltage at the end of the ramp."""
+        window = (self.vdd - self.params.vth) / self.slope
+        return self.time_constant * self.slope * -math.expm1(-window / self.time_constant)

@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's day-to-day uses:
+
+* ``fit``       — characterize a process: print the fitted ASDM (and
+  baseline) parameters for a technology card.
+* ``estimate``  — one-shot peak-SSN estimate for a configuration, with the
+  damping region and the applicable Table 1 case.
+* ``plan``      — the design helpers: how a bus can meet a noise budget
+  (max simultaneous drivers / slower edges / more pads / skewing).
+* ``report``    — run a paper experiment and print its report (the same
+  artifacts the benchmark harness regenerates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.design import (
+    max_simultaneous_drivers,
+    required_ground_pads,
+    required_rise_time,
+    skew_schedule,
+)
+from .core.ssn_inductive import InductiveSsnModel
+from .core.ssn_lc import LcSsnModel
+from .experiments import (
+    ablations,
+    capacitance_sweep,
+    damping_map,
+    delay_degradation,
+    fig1_iv_fit,
+    fig2_waveforms,
+    fig3_model_comparison,
+    fig4_capacitance,
+    impedance,
+    mutual_coupling,
+    pattern_statistics,
+    power_rail,
+    processes,
+    realistic_input,
+    skew,
+    table1_formulas,
+    temperature,
+)
+from .experiments.common import fitted_models
+from .process.library import list_technologies
+
+#: report-command registry: name -> zero-argument-after-tech runner.
+_EXPERIMENTS = {
+    "fig1": lambda tech: fig1_iv_fit.run(tech).format_report(),
+    "fig2": lambda tech: fig2_waveforms.run(tech).format_report(),
+    "fig3": lambda tech: fig3_model_comparison.run(tech).format_report(),
+    "fig4": lambda tech: fig4_capacitance.run(tech).format_report(),
+    "table1": lambda tech: table1_formulas.run(tech).format_report(),
+    "processes": lambda tech: processes.run().format_report(),
+    "damping": lambda tech: damping_map.run(tech).format_report(),
+    "power-rail": lambda tech: power_rail.run(tech).format_report(),
+    "coupling": lambda tech: mutual_coupling.run(tech).format_report(),
+    "impedance": lambda tech: impedance.run(tech).format_report(),
+    "patterns": lambda tech: pattern_statistics.run(tech).format_report(),
+    "delay": lambda tech: delay_degradation.run(tech).format_report(),
+    "cap-sweep": lambda tech: capacitance_sweep.run(tech).format_report(),
+    "temperature": lambda tech: temperature.run(tech).format_report(),
+    "skew": lambda tech: skew.run(tech).format_report(),
+    "realistic-input": lambda tech: realistic_input.run(tech).format_report(),
+    "ablations": lambda tech: "\n".join(
+        [
+            ablations.resistance_ablation(tech).format_report(),
+            ablations.fit_floor_ablation(tech).format_report(),
+            ablations.collapse_ablation(tech).format_report(),
+        ]
+    ),
+}
+
+
+def _add_tech_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tech",
+        default="tsmc018",
+        choices=list_technologies(),
+        help="technology card (default: tsmc018)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SSN estimation via application-specific device modeling "
+        "(Ding & Mazumder, DATE 2002).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fit = sub.add_parser("fit", help="fit ASDM and baseline models to a process")
+    _add_tech_argument(fit)
+    fit.add_argument("--strength", type=float, default=1.0,
+                     help="driver width as a multiple of the reference (default 1)")
+
+    est = sub.add_parser("estimate", help="peak-SSN estimate for one configuration")
+    _add_tech_argument(est)
+    est.add_argument("-n", "--drivers", type=int, required=True,
+                     help="simultaneously switching drivers")
+    est.add_argument("-l", "--inductance", type=float, default=5e-9,
+                     help="ground inductance in henries (default 5e-9)")
+    est.add_argument("-c", "--capacitance", type=float, default=None,
+                     help="ground capacitance in farads (default: none -> Eqn 7)")
+    est.add_argument("-t", "--rise-time", type=float, default=0.5e-9,
+                     help="input rise time in seconds (default 0.5e-9)")
+    est.add_argument("--gate-csv", default=None,
+                     help="CSV of a measured gate waveform (t,y columns); "
+                     "adds a PWL-drive estimate fed that waveform")
+
+    plan = sub.add_parser("plan", help="design a bus against a noise budget")
+    _add_tech_argument(plan)
+    plan.add_argument("-b", "--budget", type=float, required=True,
+                      help="peak-SSN budget in volts")
+    plan.add_argument("-w", "--bus-width", type=int, required=True,
+                      help="total bus width in drivers")
+    plan.add_argument("-l", "--inductance", type=float, default=5e-9)
+    plan.add_argument("-c", "--pin-capacitance", type=float, default=1e-12)
+    plan.add_argument("-t", "--rise-time", type=float, default=0.5e-9)
+
+    report = sub.add_parser("report", help="run a paper experiment and print its report")
+    _add_tech_argument(report)
+    report.add_argument("experiment", choices=sorted(_EXPERIMENTS) + ["all"])
+
+    return parser
+
+
+def _run_fit(args) -> str:
+    models = fitted_models(args.tech, args.strength)
+    a, ap, sq = models.asdm, models.alpha_power, models.square_law
+    lines = [
+        f"Technology {args.tech}, driver strength {args.strength}x "
+        f"({models.technology.reference_width * args.strength * 1e6:.1f} um pull-down)",
+        f"  ASDM (Eqn 3):    K = {a.k * 1e3:.3f} mA/V, V0 = {a.v0:.3f} V, "
+        f"lambda = {a.lam:.3f}   "
+        f"(max fit err {models.asdm_report.max_relative_error * 100:.1f}%)",
+        f"  alpha-power:     B = {ap.b * 1e3:.3f} mA/V^a, Vth = {ap.vth:.3f} V, "
+        f"alpha = {ap.alpha:.3f}",
+        f"  square law:      beta = {sq.beta * 1e3:.3f} mA/V^2, Vth = {sq.vth:.3f} V",
+    ]
+    return "\n".join(lines)
+
+
+def _run_estimate(args) -> str:
+    models = fitted_models(args.tech)
+    vdd = models.technology.vdd
+    lines = [
+        f"{args.drivers} drivers, L = {args.inductance:.3g} H, "
+        f"tr = {args.rise_time:.3g} s, {args.tech} (VDD = {vdd} V)"
+    ]
+    l_only = InductiveSsnModel(models.asdm, args.drivers, args.inductance, vdd, args.rise_time)
+    lines.append(f"  L-only model (Eqn 7):  peak SSN = {l_only.peak_voltage():.4f} V "
+                 f"at t = {l_only.peak_time():.3g} s")
+    if args.capacitance is not None:
+        lc = LcSsnModel(models.asdm, args.drivers, args.inductance, args.capacitance,
+                        vdd, args.rise_time)
+        lines.append(f"  LC model (Table 1):    peak SSN = {lc.peak_voltage():.4f} V "
+                     f"[{lc.case.value}; zeta = {lc.damping_ratio:.2f}]")
+        lines.append(f"  post-ramp extension:   peak SSN = {lc.peak_voltage_extended():.4f} V")
+    if args.gate_csv is not None:
+        from .core.ssn_pwl import PwlDriveSsnModel
+        from .spice.waveform import Waveform
+
+        gate = Waveform.from_csv(args.gate_csv)
+        pwl = PwlDriveSsnModel(models.asdm, args.drivers, args.inductance,
+                               gate.t, gate.y)
+        lines.append(
+            f"  PWL drive ({args.gate_csv}): peak SSN = {pwl.peak_voltage():.4f} V "
+            f"at t = {pwl.peak_time():.3g} s"
+        )
+    return "\n".join(lines)
+
+
+def _run_plan(args) -> str:
+    models = fitted_models(args.tech)
+    vdd = models.technology.vdd
+    params = models.asdm
+    lines = [
+        f"Bus of {args.bus_width} drivers under a {args.budget} V budget "
+        f"({args.tech}, L = {args.inductance:.3g} H, tr = {args.rise_time:.3g} s)"
+    ]
+    n_max = max_simultaneous_drivers(args.budget, params, args.inductance, vdd, args.rise_time)
+    lines.append(f"  max simultaneous drivers: {n_max}")
+    tr = required_rise_time(args.budget, params, args.bus_width, args.inductance, vdd)
+    lines.append(f"  rise time for the full bus: {tr:.3g} s")
+    try:
+        pads = required_ground_pads(
+            args.budget, params, args.bus_width, args.inductance,
+            args.pin_capacitance, vdd, args.rise_time,
+        )
+        lines.append(
+            f"  ground pads for the full bus: {pads.pads} "
+            f"(peak {pads.peak_noise:.4f} V)"
+        )
+    except ValueError as exc:
+        lines.append(f"  ground pads for the full bus: {exc}")
+    plan = skew_schedule(args.budget, params, args.bus_width, args.inductance, vdd,
+                         args.rise_time)
+    lines.append(
+        f"  skewed launch: {plan.groups} groups of <= {plan.group_size}, "
+        f"latency {plan.added_latency:.3g} s, per-group peak {plan.peak_noise:.4f} V"
+    )
+    return "\n".join(lines)
+
+
+def _run_report(args) -> str:
+    if args.experiment == "all":
+        return "\n".join(_EXPERIMENTS[name](args.tech) for name in sorted(_EXPERIMENTS))
+    return _EXPERIMENTS[args.experiment](args.tech)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "fit": _run_fit,
+        "estimate": _run_estimate,
+        "plan": _run_plan,
+        "report": _run_report,
+    }
+    print(handlers[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""The paper's contribution: ASDM device modeling and closed-form SSN estimation.
+
+Typical flow::
+
+    from repro.core import fit_asdm, InductiveSsnModel, LcSsnModel
+    from repro.devices import sweep_id_vg
+    from repro.process import TSMC018
+
+    surface = sweep_id_vg(TSMC018.driver_device(), TSMC018.vdd)
+    params, report = fit_asdm(surface)
+    model = LcSsnModel(params, n_drivers=8, inductance=5e-9,
+                       capacitance=1e-12, vdd=TSMC018.vdd, rise_time=0.1e-9)
+    print(model.case, model.peak_voltage())
+"""
+
+from .asdm import AsdmMosfet, AsdmParameters
+from .damping import (
+    DampingRegion,
+    classify,
+    critical_capacitance,
+    critical_driver_count,
+    damping_ratio,
+    decay_rate,
+    natural_frequency,
+)
+from .design import (
+    PadCountRecommendation,
+    SkewSchedule,
+    max_simultaneous_drivers,
+    required_ground_pads,
+    required_rise_time,
+    skew_schedule,
+)
+from .figure import (
+    circuit_figure,
+    equivalent_driver_count,
+    equivalent_inductance,
+    equivalent_slope,
+    figure_for_noise_budget,
+    peak_noise_from_figure,
+)
+from .fitting import (
+    AlphaPowerSsnParameters,
+    FitReport,
+    SquareLawSsnParameters,
+    fit_alpha_power,
+    fit_asdm,
+    fit_square_law,
+)
+from .ssn_inductive import InductiveSsnModel
+from .ssn_lc import LcSsnModel, Table1Case
+from .ssn_power import PowerRailSsnModel, fit_pmos_asdm, pmos_asdm_surface
+from .sensitivity import PeakSensitivities, linear_noise_spread, peak_sensitivities
+from .ssn_pwl import PwlDriveSsnModel
+
+__all__ = [
+    "AlphaPowerSsnParameters",
+    "AsdmMosfet",
+    "AsdmParameters",
+    "DampingRegion",
+    "FitReport",
+    "InductiveSsnModel",
+    "LcSsnModel",
+    "PadCountRecommendation",
+    "PeakSensitivities",
+    "PowerRailSsnModel",
+    "PwlDriveSsnModel",
+    "SkewSchedule",
+    "SquareLawSsnParameters",
+    "Table1Case",
+    "circuit_figure",
+    "classify",
+    "critical_capacitance",
+    "critical_driver_count",
+    "damping_ratio",
+    "decay_rate",
+    "equivalent_driver_count",
+    "equivalent_inductance",
+    "equivalent_slope",
+    "figure_for_noise_budget",
+    "fit_alpha_power",
+    "fit_asdm",
+    "fit_pmos_asdm",
+    "fit_square_law",
+    "max_simultaneous_drivers",
+    "natural_frequency",
+    "linear_noise_spread",
+    "peak_noise_from_figure",
+    "peak_sensitivities",
+    "pmos_asdm_surface",
+    "required_ground_pads",
+    "required_rise_time",
+    "skew_schedule",
+]

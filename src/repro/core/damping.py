@@ -1,0 +1,100 @@
+"""Damping-region arithmetic for the LC ground network (paper Section 4).
+
+With the parasitic capacitance C included, the SSN node obeys the
+second-order ODE of Eqn (13); its character is set by
+
+    a   = N*K*lambda / (2*C)        (decay rate, 1/s)
+    w0  = 1 / sqrt(L*C)             (undamped natural frequency, rad/s)
+    zeta = a / w0 = (N*K*lambda/2) * sqrt(L/C)
+
+The paper's Eqn (27) gives the boundary as a *critical capacitance*
+
+    C_crit = (N*K*lambda)^2 * L / 4
+
+under-damped for C > C_crit.  C_crit grows like N^2, hence the paper's
+observation that systems with few simultaneous switchers ring while heavily
+loaded ground rails are over-damped.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+from .asdm import AsdmParameters
+
+#: Relative half-width of the band around zeta = 1 treated as critical.
+CRITICAL_BAND = 1e-9
+
+
+class DampingRegion(enum.Enum):
+    """The three characters of the second-order SSN response."""
+
+    OVERDAMPED = "over-damped"
+    CRITICALLY_DAMPED = "critically damped"
+    UNDERDAMPED = "under-damped"
+
+
+def decay_rate(params: AsdmParameters, n_drivers: int, capacitance: float) -> float:
+    """``a = N*K*lambda / (2C)`` in 1/s."""
+    _check(n_drivers, capacitance=capacitance)
+    return n_drivers * params.k * params.lam / (2.0 * capacitance)
+
+
+def natural_frequency(inductance: float, capacitance: float) -> float:
+    """``w0 = 1/sqrt(LC)`` in rad/s."""
+    _check(1, inductance=inductance, capacitance=capacitance)
+    return 1.0 / math.sqrt(inductance * capacitance)
+
+
+def damping_ratio(
+    params: AsdmParameters, n_drivers: int, inductance: float, capacitance: float
+) -> float:
+    """``zeta = (N*K*lambda/2) * sqrt(L/C)``; 1 at the critical boundary."""
+    _check(n_drivers, inductance=inductance, capacitance=capacitance)
+    return 0.5 * n_drivers * params.k * params.lam * math.sqrt(inductance / capacitance)
+
+
+def classify(
+    params: AsdmParameters,
+    n_drivers: int,
+    inductance: float,
+    capacitance: float,
+    band: float = CRITICAL_BAND,
+) -> DampingRegion:
+    """Damping region of the configuration (Table 1 case conditions 1-3)."""
+    zeta = damping_ratio(params, n_drivers, inductance, capacitance)
+    if zeta > 1.0 + band:
+        return DampingRegion.OVERDAMPED
+    if zeta < 1.0 - band:
+        return DampingRegion.UNDERDAMPED
+    return DampingRegion.CRITICALLY_DAMPED
+
+
+def critical_capacitance(params: AsdmParameters, n_drivers: int, inductance: float) -> float:
+    """Eqn (27): ``C_crit = (N*K*lambda)^2 * L / 4``.
+
+    The ground network is under-damped when its parasitic capacitance
+    exceeds this value.
+    """
+    _check(n_drivers, inductance=inductance)
+    return (n_drivers * params.k * params.lam) ** 2 * inductance / 4.0
+
+
+def critical_driver_count(params: AsdmParameters, inductance: float, capacitance: float) -> float:
+    """The (real-valued) N at which the configuration is critically damped.
+
+    Configurations with fewer simultaneous switchers than this are
+    under-damped; the paper highlights this inverse N^2 relationship.
+    """
+    _check(1, inductance=inductance, capacitance=capacitance)
+    return 2.0 * math.sqrt(capacitance / inductance) / (params.k * params.lam)
+
+
+def _check(n_drivers: int, inductance: float | None = None, capacitance: float | None = None):
+    if n_drivers <= 0:
+        raise ValueError("number of drivers must be positive")
+    if inductance is not None and inductance <= 0:
+        raise ValueError("inductance must be positive")
+    if capacitance is not None and capacitance <= 0:
+        raise ValueError("capacitance must be positive")

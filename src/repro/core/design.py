@@ -1,0 +1,183 @@
+"""SSN-aware design helpers — the paper's design implications, executable.
+
+Section 3 of the paper closes with two observations: (i) for a fixed
+process, the designer controls SSN only through Z = N*L*sr, and (ii) the
+three factors are interchangeable.  This module turns those observations
+into the questions an I/O designer actually asks:
+
+* how many drivers may switch simultaneously under a noise budget?
+* how slow must the inputs ramp for a given bank of drivers?
+* how many ground pads does the package need?
+* how should a wide bus be *skewed* (staggered) to meet the budget without
+  slowing any individual driver?
+
+All answers derive from Eqn (10) via :mod:`repro.core.figure`; the
+pad-count answer is cross-checked against the full LC model of Section 4,
+because adding pads lowers L but *raises* C and can push the network into
+the under-damped region where the L-only estimate is optimistic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from .asdm import AsdmParameters
+from .figure import circuit_figure, figure_for_noise_budget, peak_noise_from_figure
+from .ssn_lc import LcSsnModel
+
+
+def max_simultaneous_drivers(
+    budget: float,
+    params: AsdmParameters,
+    inductance: float,
+    vdd: float,
+    rise_time: float,
+) -> int:
+    """Largest N whose Eqn (10) peak SSN stays within ``budget``.
+
+    Returns 0 if even a single driver violates the budget.
+    """
+    slope = vdd / rise_time
+    z_max = figure_for_noise_budget(budget, params, vdd)
+    n = math.floor(z_max / (inductance * slope) * (1 + 1e-12))
+    return max(n, 0)
+
+
+def required_rise_time(
+    budget: float,
+    params: AsdmParameters,
+    n_drivers: int,
+    inductance: float,
+    vdd: float,
+) -> float:
+    """Slowest-necessary input rise time for N drivers under a budget.
+
+    The paper's second design implication: when N and L are fixed, slowing
+    the inputs is the remaining SSN control knob.
+    """
+    if n_drivers <= 0:
+        raise ValueError("n_drivers must be positive")
+    z_max = figure_for_noise_budget(budget, params, vdd)
+    slope_max = z_max / (n_drivers * inductance)
+    return vdd / slope_max
+
+
+@dataclasses.dataclass(frozen=True)
+class PadCountRecommendation:
+    """Result of :func:`required_ground_pads`.
+
+    Attributes:
+        pads: smallest pad count meeting the budget.
+        inductance: resulting parallel ground inductance.
+        capacitance: resulting total parasitic capacitance.
+        peak_noise: LC-model peak SSN at that pad count.
+        l_only_peak_noise: what the L-only model would have promised.
+    """
+
+    pads: int
+    inductance: float
+    capacitance: float
+    peak_noise: float
+    l_only_peak_noise: float
+
+
+def required_ground_pads(
+    budget: float,
+    params: AsdmParameters,
+    n_drivers: int,
+    pin_inductance: float,
+    pin_capacitance: float,
+    vdd: float,
+    rise_time: float,
+    max_pads: int = 256,
+) -> PadCountRecommendation:
+    """Smallest number of ground pads meeting the noise budget.
+
+    ``k`` pads in parallel give ``L = pin_inductance/k`` and
+    ``C = k * pin_capacitance``.  The budget check uses the full LC model
+    (Table 1): lowering L while raising C drives the network under-damped,
+    where the first ringing peak — not the L-only boundary value — sets the
+    maximum (paper Section 4 and Fig. 4).
+
+    Raises:
+        ValueError: if the budget cannot be met within ``max_pads``.
+    """
+    if budget <= 0:
+        raise ValueError("noise budget must be positive")
+    for pads in range(1, max_pads + 1):
+        inductance = pin_inductance / pads
+        capacitance = pin_capacitance * pads
+        model = LcSsnModel(params, n_drivers, inductance, capacitance, vdd, rise_time)
+        peak = model.peak_voltage()
+        if peak <= budget:
+            z = circuit_figure(n_drivers, inductance, vdd / rise_time)
+            return PadCountRecommendation(
+                pads=pads,
+                inductance=inductance,
+                capacitance=capacitance,
+                peak_noise=peak,
+                l_only_peak_noise=peak_noise_from_figure(z, params, vdd),
+            )
+    raise ValueError(
+        f"budget {budget} V unreachable with up to {max_pads} ground pads "
+        f"(N={n_drivers}, pin L={pin_inductance}, pin C={pin_capacitance})"
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SkewSchedule:
+    """A staggered switching plan for a wide output bus.
+
+    Attributes:
+        group_size: drivers switching together in each group.
+        group_offsets: start time of each group, seconds from bus launch.
+        peak_noise: worst per-group Eqn (10) peak SSN.
+        added_latency: launch-to-last-group-settled penalty in seconds.
+    """
+
+    group_size: int
+    group_offsets: tuple[float, ...]
+    peak_noise: float
+    added_latency: float
+
+    @property
+    def groups(self) -> int:
+        return len(self.group_offsets)
+
+
+def skew_schedule(
+    budget: float,
+    params: AsdmParameters,
+    n_total: int,
+    inductance: float,
+    vdd: float,
+    rise_time: float,
+) -> SkewSchedule:
+    """Split an n_total-wide bus into sequential groups meeting the budget.
+
+    The paper's reading of "reduce N": don't let all drivers switch
+    simultaneously.  Groups are separated by one full rise time so their
+    active windows never overlap, making the effective N the group size.
+
+    Raises:
+        ValueError: if even one driver per group violates the budget.
+    """
+    if n_total <= 0:
+        raise ValueError("n_total must be positive")
+    group_size = max_simultaneous_drivers(budget, params, inductance, vdd, rise_time)
+    if group_size < 1:
+        raise ValueError(
+            f"budget {budget} V cannot be met even by a single driver; "
+            "slow the inputs or reduce the ground inductance"
+        )
+    group_size = min(group_size, n_total)
+    groups = math.ceil(n_total / group_size)
+    offsets = tuple(i * rise_time for i in range(groups))
+    z = circuit_figure(group_size, inductance, vdd / rise_time)
+    return SkewSchedule(
+        group_size=group_size,
+        group_offsets=offsets,
+        peak_noise=peak_noise_from_figure(z, params, vdd),
+        added_latency=offsets[-1],
+    )

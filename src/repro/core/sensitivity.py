@@ -1,0 +1,174 @@
+"""Closed-form sensitivities of the maximum SSN voltage (extension).
+
+Because Eqn (10) is analytic,
+
+    Vmax = K*Z * (1 - e^{-u}),     u = (VDD - V0)/(lambda*K*Z),
+
+its partial derivatives are one differentiation away — no finite
+differences, no re-simulation.  With ``E = e^{-u}``:
+
+    dV/dZ   = K * (1 - E - u*E)                (K and Z enter symmetrically)
+    dV/dK   = Z * (1 - E - u*E)
+    dV/dlam = -K*Z * u * E / lambda
+    dV/dV0  = -E / lambda
+    dV/dVDD = +E / lambda
+
+and the chain rule maps dV/dZ onto the physical knobs N, L, sr
+(``Z = N*L*sr``).  Uses: gradient-based design trade-offs, first-order
+variance propagation (cross-checked against the Monte Carlo module in the
+tests), and the elasticity view (percent change of Vmax per percent change
+of a knob) that makes the paper's "N, L and sr are interchangeable"
+statement exact: their elasticities are identical.
+
+Convention: Z is treated as independent of VDD (``dV/dVDD`` holds the
+slope sr fixed).  If your sr is defined as VDD/tr, add the corresponding
+dV/dZ * dZ/dVDD term yourself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from .asdm import AsdmParameters
+from .figure import circuit_figure, peak_noise_from_figure
+
+
+@dataclasses.dataclass(frozen=True)
+class PeakSensitivities:
+    """Partial derivatives of Vmax at one operating point.
+
+    Attributes:
+        vmax: the peak SSN voltage itself, volts.
+        d_z: dVmax/dZ in V per (V*H/s... i.e. per unit of Z).
+        d_k: dVmax/dK in V per (A/V).
+        d_lam: dVmax/dlambda in volts.
+        d_v0: dVmax/dV0 (dimensionless).
+        d_vdd: dVmax/dVDD at fixed slope (dimensionless).
+        d_n: dVmax/dN in volts per driver (real-valued N).
+        d_l: dVmax/dL in V/H.
+        d_slope: dVmax/dsr in V/(V/s).
+    """
+
+    vmax: float
+    d_z: float
+    d_k: float
+    d_lam: float
+    d_v0: float
+    d_vdd: float
+    d_n: float
+    d_l: float
+    d_slope: float
+
+    def elasticity(self, knob: str) -> float:
+        """d ln(Vmax) / d ln(knob): percent response per percent change.
+
+        Knobs: "z", "k", "lam", "n", "l", "slope" (multiplicative knobs
+        only; V0 and VDD are offsets, not scales).
+        """
+        pairs = {
+            "z": self.d_z * self._z,
+            "k": self.d_k * self._k,
+            "lam": self.d_lam * self._lam,
+            "n": self.d_n * self._n,
+            "l": self.d_l * self._l,
+            "slope": self.d_slope * self._slope,
+        }
+        if knob not in pairs:
+            raise KeyError(f"unknown knob {knob!r}; choose from {sorted(pairs)}")
+        return pairs[knob] / self.vmax
+
+    # Filled by the constructor function below (operating-point values).
+    _z: float = 0.0
+    _k: float = 0.0
+    _lam: float = 0.0
+    _n: float = 0.0
+    _l: float = 0.0
+    _slope: float = 0.0
+
+
+def peak_sensitivities(
+    params: AsdmParameters,
+    n_drivers: float,
+    inductance: float,
+    vdd: float,
+    rise_time: float,
+) -> PeakSensitivities:
+    """Analytic sensitivities of Eqn (10) at one configuration.
+
+    Args:
+        params: fitted ASDM parameters.
+        n_drivers: driver count (real-valued for derivative purposes).
+        inductance: ground inductance in henries.
+        vdd: supply voltage in volts.
+        rise_time: input rise time in seconds.
+
+    Returns:
+        All partials plus the operating-point context for elasticities.
+    """
+    slope = vdd / rise_time
+    z = circuit_figure(n_drivers, inductance, slope)
+    k, lam, v0 = params.k, params.lam, params.v0
+    c = vdd - v0
+    if c <= 0:
+        raise ValueError("vdd must exceed the ASDM offset V0")
+
+    u = c / (lam * k * z)
+    e = math.exp(-u)
+    vmax = peak_noise_from_figure(z, params, vdd)
+
+    core = 1.0 - e - u * e  # shared factor of the K/Z derivatives
+    d_z = k * core
+    d_k = z * core
+    d_lam = -k * z * u * e / lam
+    d_v0 = -e / lam
+    d_vdd = e / lam
+
+    return PeakSensitivities(
+        vmax=vmax,
+        d_z=d_z,
+        d_k=d_k,
+        d_lam=d_lam,
+        d_v0=d_v0,
+        d_vdd=d_vdd,
+        d_n=d_z * inductance * slope,
+        d_l=d_z * n_drivers * slope,
+        d_slope=d_z * n_drivers * inductance,
+        _z=z,
+        _k=k,
+        _lam=lam,
+        _n=float(n_drivers),
+        _l=inductance,
+        _slope=slope,
+    )
+
+
+def linear_noise_spread(
+    sensitivities: PeakSensitivities,
+    k_sigma_rel: float,
+    v0_sigma: float,
+    lam_sigma: float,
+) -> float:
+    """First-order standard deviation of Vmax under parameter spread.
+
+    Propagates independent Gaussian parameter variations through the
+    analytic gradient — the cheap alternative to Monte Carlo, accurate in
+    the small-spread regime (verified against
+    :func:`repro.analysis.montecarlo.peak_noise_distribution` in tests).
+
+    Args:
+        sensitivities: output of :func:`peak_sensitivities`.
+        k_sigma_rel: relative (1-sigma) spread of K.
+        v0_sigma: absolute spread of V0 in volts.
+        lam_sigma: absolute spread of lambda.
+
+    Returns:
+        Standard deviation of the peak SSN voltage in volts.
+    """
+    s = sensitivities
+    var = (
+        (s.d_k * s._k * k_sigma_rel) ** 2
+        + (s.d_v0 * v0_sigma) ** 2
+        + (s.d_lam * lam_sigma) ** 2
+    )
+    return math.sqrt(var)

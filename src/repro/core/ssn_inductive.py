@@ -1,0 +1,141 @@
+"""Inductance-only SSN model (paper Section 3, Eqns 4-10).
+
+Circuit: N identical output drivers discharge their (large) loads through a
+shared ground inductance L.  During the input rise the outputs stay high,
+so every pull-down NFET is in the ASDM validity region, its gate driven by
+the ramp ``Vg(t) = sr*t`` and its source riding on the SSN voltage Vn.
+
+KCL at the internal ground node (Eqn 4), with the ASDM current of Eqn (3):
+
+    Vn = N*L * dId/dt = N*L*K*(sr - lambda * dVn/dt)
+
+a first-order linear ODE whose exact solution — the paper's point is that
+ASDM needs *no* extra approximation here — is
+
+    Vn(t)  = Vss * (1 - exp(-(t - t0)/tau)),   t0 <= t <= te       (Eqn 6)
+    Id(t)  = K * (sr*t - V0 - lambda*Vn(t))                        (Eqn 8)
+    Vmax   = Vss * (1 - exp(-(te - t0)/tau))                       (Eqn 7)
+
+with ``t0 = V0/sr`` (devices turn on), ``te = VDD/sr`` (ramp ends),
+``tau = N*L*K*lambda`` and ``Vss = N*L*K*sr``.  The formulas hold only
+while the input is rising; outside [t0, te] this model reports 0 before
+turn-on and NaN after the ramp (the paper's derivation stops there).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .asdm import AsdmParameters
+
+
+class InductiveSsnModel:
+    """Closed-form SSN estimate with ground inductance as the only parasitic.
+
+    Args:
+        params: ASDM parameters of *one* driver's pull-down device.
+        n_drivers: number of simultaneously switching drivers, N.
+        inductance: total ground parasitic inductance L in henries.
+        vdd: supply voltage (top of the input ramp) in volts.
+        rise_time: input ramp time tr in seconds; the slope is sr = vdd/tr.
+    """
+
+    def __init__(
+        self,
+        params: AsdmParameters,
+        n_drivers: int,
+        inductance: float,
+        vdd: float,
+        rise_time: float,
+    ):
+        if n_drivers <= 0:
+            raise ValueError("n_drivers must be positive")
+        if inductance <= 0:
+            raise ValueError("inductance must be positive")
+        if rise_time <= 0:
+            raise ValueError("rise_time must be positive")
+        if vdd <= params.v0:
+            raise ValueError(
+                f"vdd={vdd} must exceed the ASDM offset V0={params.v0}; "
+                "the drivers never turn on otherwise"
+            )
+        self.params = params
+        self.n_drivers = int(n_drivers)
+        self.inductance = inductance
+        self.vdd = vdd
+        self.rise_time = rise_time
+
+    # -- derived quantities -------------------------------------------------------
+
+    @property
+    def slope(self) -> float:
+        """Input ramp slope sr = VDD / tr in V/s."""
+        return self.vdd / self.rise_time
+
+    @property
+    def turn_on_time(self) -> float:
+        """t0 = V0 / sr: instant the devices start conducting."""
+        return self.params.v0 / self.slope
+
+    @property
+    def ramp_end_time(self) -> float:
+        """te: instant the input reaches VDD."""
+        return self.rise_time
+
+    @property
+    def time_constant(self) -> float:
+        """tau = N*L*K*lambda (Eqn 5's first-order time constant)."""
+        return self.n_drivers * self.inductance * self.params.k * self.params.lam
+
+    @property
+    def asymptotic_voltage(self) -> float:
+        """Vss = N*L*K*sr: the level Vn relaxes toward during the ramp."""
+        return self.n_drivers * self.inductance * self.params.k * self.slope
+
+    # -- waveforms ----------------------------------------------------------------
+
+    def voltage(self, t):
+        """SSN voltage waveform, Eqn (6).
+
+        Returns 0 before turn-on and NaN after the ramp ends (the model's
+        validity window, as the paper notes below Eqn 8).
+        """
+        t = np.asarray(t, dtype=float)
+        tau_rel = (t - self.turn_on_time) / self.time_constant
+        v = self.asymptotic_voltage * -np.expm1(-np.maximum(tau_rel, 0.0))
+        v = np.where(t < self.turn_on_time, 0.0, v)
+        v = np.where(t > self.ramp_end_time * (1 + 1e-12), np.nan, v)
+        if v.ndim == 0:
+            return float(v)
+        return v
+
+    def driver_current(self, t):
+        """Per-driver drain current, Eqn (8); same validity window."""
+        t = np.asarray(t, dtype=float)
+        vn = self.voltage(t)
+        i = self.params.k * (self.slope * t - self.params.v0 - self.params.lam * vn)
+        i = np.where(t < self.turn_on_time, 0.0, np.maximum(i, 0.0))
+        if i.ndim == 0:
+            return float(i)
+        return i
+
+    def total_current(self, t):
+        """Current through the ground inductor: N drivers in parallel."""
+        return self.n_drivers * self.driver_current(t)
+
+    # -- peak ---------------------------------------------------------------------
+
+    def peak_voltage(self) -> float:
+        """Maximum SSN voltage, Eqn (7).
+
+        dVn/dt > 0 throughout the ramp, so the maximum sits at te, where
+        the input reaches VDD.
+        """
+        window = (self.vdd - self.params.v0) / self.slope
+        return self.asymptotic_voltage * -math.expm1(-window / self.time_constant)
+
+    def peak_time(self) -> float:
+        """Instant of the maximum: the end of the ramp."""
+        return self.ramp_end_time

@@ -1,0 +1,291 @@
+"""SSN model with both parasitic inductance and capacitance (paper Section 4).
+
+The ground bonding wires and pads contribute a parasitic capacitance C in
+parallel with the internal ground node (a PGA package: L ~ 5 nH, C ~ 1 pF).
+KCL/KVL at that node (Eqns 11-12),
+
+    N*Id = i_L + C*dVn/dt,        Vn = L*di_L/dt,
+
+combined with the ASDM current give the second-order ODE of Eqn (13):
+
+    L*C*Vn'' + N*L*K*lambda*Vn' + Vn = N*L*K*sr = Vss .
+
+With ``a = N*K*lambda/(2C)`` and ``w0 = 1/sqrt(LC)`` and initial conditions
+``Vn(t0) = Vn'(t0) = 0`` (devices just turning on, inductor current zero),
+the response during the active window ``tau in [0, te - t0]`` is:
+
+* over-damped  (a > w0), roots s12 = -a +- sqrt(a^2 - w0^2):
+      Vn = Vss * [1 + (s2*e^{s1 tau} - s1*e^{s2 tau}) / (s1 - s2)]     (Eqn 18)
+* critically damped (a = w0):
+      Vn = Vss * [1 - (1 + a*tau)*e^{-a tau}]                          (Eqn 20)
+* under-damped (a < w0), w = sqrt(w0^2 - a^2):
+      Vn = Vss * [1 - e^{-a tau} (cos(w tau) + (a/w) sin(w tau))]      (Eqn 22)
+
+In the first two cases dVn/dt > 0 on the whole window, so the maximum is at
+the window end.  Under-damped, dVn/dt = Vss*e^{-a tau}*(w0^2/w)*sin(w tau):
+local maxima at ``tau = k*pi/w`` with strictly decreasing values, so the
+global maximum is the *first peak*
+
+      Vmax = Vss * (1 + e^{-a pi / w})                                 (Eqn 24)
+
+provided it occurs inside the window, ``pi/w <= te - t0`` (Ineq. 26);
+otherwise the maximum is the window-end value.  That yields the paper's
+four-row Table 1, reproduced by :meth:`LcSsnModel.peak_voltage`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+from .asdm import AsdmParameters
+from .damping import CRITICAL_BAND, DampingRegion
+
+
+class Table1Case(enum.Enum):
+    """The four maximum-SSN formulas of the paper's Table 1."""
+
+    OVERDAMPED = "1: over-damped, boundary maximum"
+    CRITICALLY_DAMPED = "2: critically damped, boundary maximum"
+    UNDERDAMPED_FIRST_PEAK = "3a: under-damped, first ringing peak (Eqn 24)"
+    UNDERDAMPED_BOUNDARY = "3b: under-damped, ramp ends before first peak"
+
+
+class LcSsnModel:
+    """Closed-form SSN estimate including the ground parasitic capacitance.
+
+    Args:
+        params: ASDM parameters of one driver's pull-down device.
+        n_drivers: number of simultaneously switching drivers, N.
+        inductance: ground parasitic inductance L in henries.
+        capacitance: ground parasitic capacitance C in farads.
+        vdd: supply voltage in volts.
+        rise_time: input ramp time in seconds.
+    """
+
+    def __init__(
+        self,
+        params: AsdmParameters,
+        n_drivers: int,
+        inductance: float,
+        capacitance: float,
+        vdd: float,
+        rise_time: float,
+    ):
+        if n_drivers <= 0:
+            raise ValueError("n_drivers must be positive")
+        if inductance <= 0 or capacitance <= 0:
+            raise ValueError("inductance and capacitance must be positive")
+        if rise_time <= 0:
+            raise ValueError("rise_time must be positive")
+        if vdd <= params.v0:
+            raise ValueError(
+                f"vdd={vdd} must exceed the ASDM offset V0={params.v0}"
+            )
+        self.params = params
+        self.n_drivers = int(n_drivers)
+        self.inductance = inductance
+        self.capacitance = capacitance
+        self.vdd = vdd
+        self.rise_time = rise_time
+
+    # -- derived quantities ---------------------------------------------------------
+
+    @property
+    def slope(self) -> float:
+        """Input ramp slope sr = VDD / tr."""
+        return self.vdd / self.rise_time
+
+    @property
+    def turn_on_time(self) -> float:
+        """t0 = V0 / sr."""
+        return self.params.v0 / self.slope
+
+    @property
+    def ramp_end_time(self) -> float:
+        return self.rise_time
+
+    @property
+    def window(self) -> float:
+        """Active ramp window length te - t0 = (VDD - V0)/sr."""
+        return (self.vdd - self.params.v0) / self.slope
+
+    @property
+    def decay_rate(self) -> float:
+        """a = N*K*lambda/(2C) (Eqn 15's damping term)."""
+        return self.n_drivers * self.params.k * self.params.lam / (2.0 * self.capacitance)
+
+    @property
+    def natural_frequency(self) -> float:
+        """w0 = 1/sqrt(LC)."""
+        return 1.0 / math.sqrt(self.inductance * self.capacitance)
+
+    @property
+    def damping_ratio(self) -> float:
+        """zeta = a/w0."""
+        return self.decay_rate / self.natural_frequency
+
+    @property
+    def asymptotic_voltage(self) -> float:
+        """Vss = N*L*K*sr (particular solution of Eqn 13)."""
+        return self.n_drivers * self.inductance * self.params.k * self.slope
+
+    @property
+    def ringing_frequency(self) -> float:
+        """w = sqrt(w0^2 - a^2); only meaningful when under-damped."""
+        a, w0 = self.decay_rate, self.natural_frequency
+        if a >= w0:
+            raise ValueError("ringing frequency is defined only in the under-damped region")
+        return math.sqrt(w0 * w0 - a * a)
+
+    @property
+    def region(self) -> DampingRegion:
+        zeta = self.damping_ratio
+        if zeta > 1.0 + CRITICAL_BAND:
+            return DampingRegion.OVERDAMPED
+        if zeta < 1.0 - CRITICAL_BAND:
+            return DampingRegion.UNDERDAMPED
+        return DampingRegion.CRITICALLY_DAMPED
+
+    @property
+    def case(self) -> Table1Case:
+        """Which of the four Table 1 formulas applies."""
+        region = self.region
+        if region is DampingRegion.OVERDAMPED:
+            return Table1Case.OVERDAMPED
+        if region is DampingRegion.CRITICALLY_DAMPED:
+            return Table1Case.CRITICALLY_DAMPED
+        if math.pi / self.ringing_frequency <= self.window:
+            return Table1Case.UNDERDAMPED_FIRST_PEAK
+        return Table1Case.UNDERDAMPED_BOUNDARY
+
+    # -- waveform ---------------------------------------------------------------------
+
+    def normalized_response(self, tau):
+        """Normalized response Vn(tau)/Vss on tau >= 0 (analytic continuation).
+
+        Unlike :meth:`voltage` this applies no validity-window masking; the
+        damping-map experiment uses it to characterize the network itself.
+        """
+        a, w0 = self.decay_rate, self.natural_frequency
+        region = self.region
+        if region is DampingRegion.OVERDAMPED:
+            b = math.sqrt(a * a - w0 * w0)
+            s1, s2 = -a + b, -a - b
+            return 1.0 + (s2 * np.exp(s1 * tau) - s1 * np.exp(s2 * tau)) / (s1 - s2)
+        if region is DampingRegion.CRITICALLY_DAMPED:
+            return 1.0 - (1.0 + a * tau) * np.exp(-a * tau)
+        w = self.ringing_frequency
+        return 1.0 - np.exp(-a * tau) * (np.cos(w * tau) + (a / w) * np.sin(w * tau))
+
+    def voltage(self, t):
+        """SSN voltage waveform (Eqns 18/20/22 by region).
+
+        Zero before turn-on, NaN after the ramp ends (model validity
+        window), scalar-in scalar-out.
+        """
+        t = np.asarray(t, dtype=float)
+        tau = np.maximum(t - self.turn_on_time, 0.0)
+        v = self.asymptotic_voltage * self.normalized_response(tau)
+        v = np.where(t < self.turn_on_time, 0.0, v)
+        v = np.where(t > self.ramp_end_time * (1 + 1e-12), np.nan, v)
+        if v.ndim == 0:
+            return float(v)
+        return v
+
+    def voltage_derivative(self, t):
+        """dVn/dt; used to verify the positive-definiteness claims of Section 4."""
+        t = np.asarray(t, dtype=float)
+        tau = np.maximum(t - self.turn_on_time, 0.0)
+        a, w0 = self.decay_rate, self.natural_frequency
+        vss = self.asymptotic_voltage
+        region = self.region
+        if region is DampingRegion.OVERDAMPED:
+            b = math.sqrt(a * a - w0 * w0)
+            s1, s2 = -a + b, -a - b
+            d = vss * (s1 * s2) * (np.exp(s1 * tau) - np.exp(s2 * tau)) / (s1 - s2)
+        elif region is DampingRegion.CRITICALLY_DAMPED:
+            d = vss * a * a * tau * np.exp(-a * tau)
+        else:
+            w = self.ringing_frequency
+            d = vss * np.exp(-a * tau) * (w0 * w0 / w) * np.sin(w * tau)
+        d = np.where(t < self.turn_on_time, 0.0, d)
+        d = np.where(t > self.ramp_end_time * (1 + 1e-12), np.nan, d)
+        if d.ndim == 0:
+            return float(d)
+        return d
+
+    # -- peak -------------------------------------------------------------------------
+
+    def first_peak_time(self) -> float:
+        """tau of the first under-damped ringing peak: pi/w (Eqn 25)."""
+        return math.pi / self.ringing_frequency
+
+    def peak_voltage(self) -> float:
+        """Maximum SSN voltage over the active window — paper Table 1."""
+        case = self.case
+        if case is Table1Case.UNDERDAMPED_FIRST_PEAK:
+            a, w = self.decay_rate, self.ringing_frequency
+            return self.asymptotic_voltage * (1.0 + math.exp(-a * math.pi / w))
+        return self.asymptotic_voltage * float(self.normalized_response(self.window))
+
+    def peak_time(self) -> float:
+        """Instant of the maximum SSN voltage."""
+        if self.case is Table1Case.UNDERDAMPED_FIRST_PEAK:
+            return self.turn_on_time + self.first_peak_time()
+        return self.ramp_end_time
+
+    # -- post-ramp continuation (extension beyond the paper) ---------------------------
+
+    def post_ramp_voltage(self, t):
+        """SSN voltage for t >= te — an extension beyond the paper's model.
+
+        After the ramp the gate holds at VDD, so the ASDM current loses its
+        ``sr`` forcing and Eqn (13) becomes homogeneous:
+
+            L*C*Vn'' + N*L*K*lambda*Vn' + Vn = 0
+
+        with initial conditions taken from the closed-form solution at the
+        window end.  The paper stops its derivation at ``te``; this
+        continuation matters in case 3b (ramp ends before the first ringing
+        peak), where the physical maximum occurs shortly *after* the ramp
+        — see :meth:`peak_voltage_extended` and the EXPERIMENTS.md entry.
+        """
+        t = np.asarray(t, dtype=float)
+        tau = t - self.ramp_end_time
+        ve = self.asymptotic_voltage * float(self.normalized_response(self.window))
+        vpe = float(self.voltage_derivative(self.ramp_end_time))
+        a, w0 = self.decay_rate, self.natural_frequency
+        region = self.region
+        if region is DampingRegion.OVERDAMPED:
+            b = math.sqrt(a * a - w0 * w0)
+            s1, s2 = -a + b, -a - b
+            c1 = (vpe - s2 * ve) / (s1 - s2)
+            c2 = ve - c1
+            v = c1 * np.exp(s1 * tau) + c2 * np.exp(s2 * tau)
+        elif region is DampingRegion.CRITICALLY_DAMPED:
+            v = (ve + (vpe + a * ve) * tau) * np.exp(-a * tau)
+        else:
+            w = self.ringing_frequency
+            v = np.exp(-a * tau) * (
+                ve * np.cos(w * tau) + ((vpe + a * ve) / w) * np.sin(w * tau)
+            )
+        v = np.where(tau < 0.0, np.nan, v)
+        if v.ndim == 0:
+            return float(v)
+        return v
+
+    def peak_voltage_extended(self, horizon_periods: float = 3.0) -> float:
+        """Global maximum including the post-ramp tail (extension).
+
+        Returns max(Table 1 window maximum, post-ramp continuation peak).
+        The continuation peak is located numerically on a dense grid over a
+        few natural periods past ``te`` — more than enough, since every
+        mode decays at rate ``a``.
+        """
+        horizon = horizon_periods * 2.0 * math.pi / self.natural_frequency
+        tail_t = self.ramp_end_time + np.linspace(0.0, horizon, 4000)
+        tail_max = float(np.max(self.post_ramp_voltage(tail_t)))
+        return max(self.peak_voltage(), tail_max)

@@ -1,0 +1,109 @@
+"""Power-rail (VDD droop) SSN by duality — the paper's Section 2 aside.
+
+"The SSN at the power-supply node can be analyzed similarly."  The dual
+problem: a *falling* input turns the PMOS pull-ups on, which charge the
+output loads through the VDD-path inductance, sagging the internal supply
+rail.  Mirror every voltage about the rails (u = VDD - Vg is the effective
+rising gate drive, Vd = VDD - Vrail the droop) and the PMOS drain current
+in its SSN region takes exactly the ASDM form
+
+    |Id| = Kp * (u - V0p - lambda_p * Vd)
+
+so the ground-bounce mathematics of Sections 3-4 applies verbatim with
+PMOS-fitted parameters.  This module provides:
+
+* :func:`pmos_asdm_surface` / the fit path — characterize a pull-up by
+  sweeping its mirrored (NMOS-equivalent) device, so :func:`fit_asdm`
+  works unchanged;
+* :class:`PowerRailSsnModel` — droop waveform and peak via the existing
+  L-only / LC machinery, renamed into rail language.
+
+The duality is validated against the full two-rail CMOS golden simulation
+in the power-rail experiment.
+"""
+
+from __future__ import annotations
+
+from ..devices.pmos import ComplementaryMosfet
+from ..devices.sweep import IvSurface, sweep_id_vg
+from .asdm import AsdmParameters
+from .fitting import FitReport, fit_asdm
+from .ssn_inductive import InductiveSsnModel
+from .ssn_lc import LcSsnModel
+
+
+def pmos_asdm_surface(pullup: ComplementaryMosfet, vdd: float) -> IvSurface:
+    """IV surface of a pull-up in mirrored (magnitude) coordinates.
+
+    Sweeping the inner NMOS-equivalent device with its drain at VDD is
+    exactly the pull-up biased with its source on the (drooping) rail and
+    its drain on the still-low output — the PMOS SSN region.
+    """
+    return sweep_id_vg(pullup.inner, vdd)
+
+
+def fit_pmos_asdm(
+    pullup: ComplementaryMosfet, vdd: float, floor_fraction: float = 0.05
+) -> tuple[AsdmParameters, FitReport]:
+    """Extract ASDM parameters of a pull-up device (magnitude space).
+
+    The returned ``v0`` is the offset below VDD at which the pull-up
+    starts conducting; ``k`` and ``lam`` read as for the NMOS case.
+    """
+    return fit_asdm(pmos_asdm_surface(pullup, vdd), floor_fraction=floor_fraction)
+
+
+class PowerRailSsnModel:
+    """VDD-droop estimate for N pull-ups switching on a falling input.
+
+    A thin duality wrapper: internally this is the ground-bounce model
+    evaluated with PMOS-fitted parameters; externally it speaks in rail
+    droop and absolute rail voltage.
+
+    Args:
+        params: PMOS ASDM parameters from :func:`fit_pmos_asdm`.
+        n_drivers: simultaneously switching drivers.
+        inductance: VDD-path parasitic inductance in henries.
+        vdd: nominal supply in volts.
+        fall_time: input falling-ramp duration in seconds.
+        capacitance: VDD-path parasitic capacitance in farads, or None for
+            the inductance-only model.
+    """
+
+    def __init__(
+        self,
+        params: AsdmParameters,
+        n_drivers: int,
+        inductance: float,
+        vdd: float,
+        fall_time: float,
+        capacitance: float | None = None,
+    ):
+        self.vdd = vdd
+        if capacitance is None:
+            self._mirror = InductiveSsnModel(params, n_drivers, inductance, vdd, fall_time)
+        else:
+            self._mirror = LcSsnModel(
+                params, n_drivers, inductance, capacitance, vdd, fall_time
+            )
+
+    @property
+    def mirror(self):
+        """The underlying ground-bounce model in mirrored coordinates."""
+        return self._mirror
+
+    def droop(self, t):
+        """Rail droop below VDD (volts, positive = sagging)."""
+        return self._mirror.voltage(t)
+
+    def rail_voltage(self, t):
+        """Absolute internal-rail voltage VDD - droop."""
+        return self.vdd - self._mirror.voltage(t)
+
+    def peak_droop(self) -> float:
+        """Maximum rail droop (Eqn 7 or Table 1, mirrored)."""
+        return self._mirror.peak_voltage()
+
+    def peak_time(self) -> float:
+        """Instant of the maximum droop."""
+        return self._mirror.peak_time()

@@ -1,0 +1,158 @@
+"""Closed-form SSN under an arbitrary piecewise-linear gate drive (extension).
+
+The paper solves the inductance-only SSN equation for an ideal ramp.  The
+same ASDM linearity solves it for *any* piecewise-linear gate waveform:
+on a segment with slope ``s_i`` the ODE
+
+    tau * dVn/dt + Vn = N*L*K*s_i,      tau = N*L*K*lambda
+
+is the familiar first-order equation with a segment-local asymptote
+``Vss_i = N*L*K*s_i``, so
+
+    Vn(t) = Vss_i + (Vn(t_i) - Vss_i) * exp(-(t - t_i)/tau)
+
+with continuity at the knots.  Within each segment Vn moves monotonically
+toward ``Vss_i``, so the global maximum lies at a knot — peak evaluation
+stays exact and O(#segments).
+
+This closes the gap exposed by the tapered pre-driver experiment (E13):
+real driver gates are not linear ramps, and bridging them with an
+"effective" ramp leaves 15-25% error; feeding the measured waveform into
+this model recovers the paper-level accuracy.  A flat tail (slope 0 after
+the edge settles) also yields the post-ramp decay for free.
+
+Assumptions carried over from the paper: drains stay high (ASDM validity)
+and the devices stay on once the gate passes the turn-on point — valid for
+the monotone rising edges this is used on; a violation of the on-state
+assumption (Vn overtaking the overdrive) is detected and reported.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .asdm import AsdmParameters
+
+
+class PwlDriveSsnModel:
+    """Inductance-only SSN for N drivers under a piecewise-linear gate drive.
+
+    Args:
+        params: ASDM parameters of one driver.
+        n_drivers: simultaneously switching drivers.
+        inductance: ground inductance in henries.
+        gate_times: knot times of the gate waveform, strictly increasing.
+        gate_voltages: gate voltages at the knots (monotone rising edges
+            are the intended use; the first knot should precede turn-on).
+    """
+
+    def __init__(self, params: AsdmParameters, n_drivers: int, inductance: float,
+                 gate_times, gate_voltages):
+        if n_drivers <= 0 or inductance <= 0:
+            raise ValueError("n_drivers and inductance must be positive")
+        t = np.asarray(gate_times, dtype=float)
+        v = np.asarray(gate_voltages, dtype=float)
+        if t.ndim != 1 or t.shape != v.shape or len(t) < 2:
+            raise ValueError("gate waveform needs matching 1-D arrays of >= 2 knots")
+        if np.any(np.diff(t) <= 0):
+            raise ValueError("gate knot times must be strictly increasing")
+        self.params = params
+        self.n_drivers = int(n_drivers)
+        self.inductance = inductance
+        self._gate_t = t
+        self._gate_v = v
+        self._solve()
+
+    # -- construction ------------------------------------------------------------
+
+    def _turn_on_time(self) -> float:
+        """First crossing of the gate through V0 (Vn = 0 before turn-on)."""
+        v0 = self.params.v0
+        above = np.flatnonzero(self._gate_v >= v0)
+        if len(above) == 0:
+            raise ValueError(
+                f"gate waveform never reaches the ASDM turn-on voltage {v0:.3g} V"
+            )
+        i = int(above[0])
+        if i == 0:
+            return float(self._gate_t[0])
+        t0, t1 = self._gate_t[i - 1], self._gate_t[i]
+        y0, y1 = self._gate_v[i - 1], self._gate_v[i]
+        return float(t0 + (v0 - y0) * (t1 - t0) / (y1 - y0))
+
+    def _solve(self) -> None:
+        """Precompute per-segment (t_start, vn_start, vss) triples."""
+        k, lam = self.params.k, self.params.lam
+        nl = self.n_drivers * self.inductance
+        self.time_constant = nl * k * lam
+
+        t_on = self._turn_on_time()
+        knots = [t_on] + [float(t) for t in self._gate_t if t > t_on]
+        starts, vn_starts, asymptotes = [], [], []
+        vn = 0.0
+        for t_start, t_end in zip(knots, knots[1:]):
+            mid = 0.5 * (t_start + t_end)
+            slope = self._gate_slope(mid)
+            vss = nl * k * slope
+            starts.append(t_start)
+            vn_starts.append(vn)
+            asymptotes.append(vss)
+            vn = vss + (vn - vss) * math.exp(-(t_end - t_start) / self.time_constant)
+        # Final segment: gate flat (or whatever the last slope is) forever.
+        starts.append(knots[-1])
+        vn_starts.append(vn)
+        asymptotes.append(nl * k * self._gate_slope(knots[-1] + 1e-30))
+
+        self.turn_on_time = t_on
+        self._seg_start = np.array(starts)
+        self._seg_vn = np.array(vn_starts)
+        self._seg_vss = np.array(asymptotes)
+
+    def _gate_slope(self, t: float) -> float:
+        """Slope of the gate waveform at time t (0 outside the knots)."""
+        if t <= self._gate_t[0] or t >= self._gate_t[-1]:
+            return 0.0
+        i = int(np.searchsorted(self._gate_t, t) - 1)
+        dt = self._gate_t[i + 1] - self._gate_t[i]
+        return float((self._gate_v[i + 1] - self._gate_v[i]) / dt)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def voltage(self, t):
+        """SSN voltage at time(s) t; zero before turn-on."""
+        t = np.asarray(t, dtype=float)
+        idx = np.clip(np.searchsorted(self._seg_start, t, side="right") - 1, 0, None)
+        safe = np.maximum(idx, 0)
+        vss = self._seg_vss[safe]
+        vn0 = self._seg_vn[safe]
+        t0 = self._seg_start[safe]
+        v = vss + (vn0 - vss) * np.exp(-np.maximum(t - t0, 0.0) / self.time_constant)
+        v = np.where(t < self.turn_on_time, 0.0, v)
+        if v.ndim == 0:
+            return float(v)
+        return v
+
+    def peak_voltage(self) -> float:
+        """Global maximum SSN voltage.
+
+        Within each segment Vn relaxes monotonically toward the segment
+        asymptote, so the maximum is attained at a knot.
+        """
+        return float(np.max(self._seg_vn))
+
+    def peak_time(self) -> float:
+        """Time of the maximum (the knot attaining it)."""
+        return float(self._seg_start[int(np.argmax(self._seg_vn))])
+
+    def on_state_violated(self, vdd: float) -> bool:
+        """True if the always-on assumption breaks somewhere.
+
+        Checks at the knots whether the ASDM overdrive
+        ``Vg - V0 - lambda*Vn`` ever goes negative while the gate is high.
+        """
+        gate_at_knots = np.interp(self._seg_start, self._gate_t, self._gate_v)
+        overdrive = gate_at_knots - self.params.v0 - self.params.lam * self._seg_vn
+        past_turn_on = self._seg_start >= self.turn_on_time
+        return bool(np.any(overdrive[past_turn_on] < -1e-9 * vdd))

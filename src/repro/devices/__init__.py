@@ -1,0 +1,31 @@
+"""MOSFET device models: the substrate under every SSN estimator here.
+
+* :class:`BsimLikeMosfet` — the golden short-channel device standing in for
+  HSPICE/BSIM3 (see DESIGN.md, substitutions table).
+* :class:`AlphaPowerMosfet` — Sakurai-Newton alpha-power law, used by the
+  prior-art baselines.
+* :class:`Level1Mosfet` — classic square law, used by the Senthinathan &
+  Prince baseline and as a long-channel sanity limit.
+"""
+
+from .alpha_power import AlphaPowerMosfet, AlphaPowerParameters
+from .base import MosfetModel, OperatingPoint
+from .bsim_like import BsimLikeMosfet, BsimLikeParameters
+from .level1 import Level1Mosfet, Level1Parameters
+from .pmos import ComplementaryMosfet, pmos_from_parameters
+from .sweep import IvSurface, sweep_id_vg
+
+__all__ = [
+    "AlphaPowerMosfet",
+    "AlphaPowerParameters",
+    "BsimLikeMosfet",
+    "BsimLikeParameters",
+    "ComplementaryMosfet",
+    "IvSurface",
+    "Level1Mosfet",
+    "Level1Parameters",
+    "MosfetModel",
+    "OperatingPoint",
+    "pmos_from_parameters",
+    "sweep_id_vg",
+]

@@ -1,0 +1,82 @@
+"""Common interface for MOSFET drain-current models.
+
+Every SSN estimator in this repository — the paper's ASDM model, the
+alpha-power-law baselines, and the golden circuit simulator — consumes a
+MOSFET model through this interface.  A model maps terminal voltages to the
+drain current ``Id`` and (for the circuit simulator's Newton iteration) to
+the small-signal conductances
+
+* ``gm``   = dId/dVgs   (transconductance),
+* ``gds``  = dId/dVds   (output conductance),
+* ``gmbs`` = dId/dVbs   (body transconductance).
+
+Voltages follow the usual NMOS convention: ``vgs``, ``vds`` and ``vbs`` are
+gate, drain and bulk potentials referred to the source.  Models must be
+defined (and finite) for all real inputs; cutoff regions return 0 current.
+
+Subclasses may either override :meth:`partials` with analytic derivatives or
+inherit the central finite-difference default, which is accurate enough for
+Newton convergence on the well-scaled circuits used here.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+import numpy as np
+
+#: Perturbation used by the finite-difference default of ``partials``.
+_FD_STEP = 1e-6
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatingPoint:
+    """Drain current and its partial derivatives at one bias point."""
+
+    ids: float
+    gm: float
+    gds: float
+    gmbs: float
+
+
+class MosfetModel(abc.ABC):
+    """Abstract NMOS drain-current model ``Id(vgs, vds, vbs)``."""
+
+    #: Human-readable model name used in reports and experiment tables.
+    name: str = "mosfet"
+
+    @abc.abstractmethod
+    def ids(self, vgs, vds, vbs=0.0):
+        """Drain current in amperes.
+
+        Accepts scalars or numpy arrays (broadcast together) and returns the
+        same shape.  Must never return negative current for ``vds >= 0``.
+        """
+
+    def partials(self, vgs: float, vds: float, vbs: float = 0.0) -> OperatingPoint:
+        """Current and conductances at a scalar bias point.
+
+        The default implementation uses central finite differences on
+        :meth:`ids`; override for analytic derivatives.
+        """
+        h = _FD_STEP
+        ids = float(self.ids(vgs, vds, vbs))
+        gm = float(self.ids(vgs + h, vds, vbs) - self.ids(vgs - h, vds, vbs)) / (2 * h)
+        gds = float(self.ids(vgs, vds + h, vbs) - self.ids(vgs, vds - h, vbs)) / (2 * h)
+        gmbs = float(self.ids(vgs, vds, vbs + h) - self.ids(vgs, vds, vbs - h)) / (2 * h)
+        return OperatingPoint(ids=ids, gm=gm, gds=gds, gmbs=gmbs)
+
+    def saturation_current(self, vgs, vds_high, vbs=0.0):
+        """Convenience alias: current with the drain held at a high rail.
+
+        SSN modeling evaluates devices with the drain at (or near) VDD while
+        the source bounces; several callers read better with this name.
+        """
+        return self.ids(vgs, vds_high, vbs)
+
+
+def ensure_arrays(*values):
+    """Broadcast heterogeneous scalar/array inputs to common float arrays."""
+    arrays = np.broadcast_arrays(*[np.asarray(v, dtype=float) for v in values])
+    return [np.array(a, dtype=float) for a in arrays]

@@ -1,0 +1,86 @@
+"""Shichman-Hodges (SPICE level-1) square-law MOSFET model.
+
+The classic long-channel model: quadratic saturation current, linear/triode
+region below ``Vdsat = Vgs - Vth``, optional channel-length modulation and
+body effect.  It is *not* the golden device (long-channel physics is the
+wrong shape for a 0.18 um driver) but it serves three purposes:
+
+* reference implementation for unit-testing the model interface,
+* the device underlying the Senthinathan & Prince (1991) baseline, which
+  was derived for square-law devices,
+* a sanity limit: the alpha-power law with ``alpha = 2`` must agree with it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .base import MosfetModel, ensure_arrays
+
+
+@dataclasses.dataclass(frozen=True)
+class Level1Parameters:
+    """Parameters of the square-law model.
+
+    Attributes:
+        kp: transconductance factor ``mu * Cox`` in A/V^2.
+        vth0: zero-bias threshold voltage in volts.
+        w: channel width in meters.
+        l: channel length in meters.
+        lam: channel-length-modulation coefficient in 1/V.
+        gamma: body-effect coefficient in sqrt(V).
+        phi: surface potential ``2 phi_F`` in volts.
+    """
+
+    kp: float = 170e-6
+    vth0: float = 0.5
+    w: float = 10e-6
+    l: float = 0.18e-6
+    lam: float = 0.05
+    gamma: float = 0.45
+    phi: float = 0.85
+
+    def __post_init__(self):
+        if self.w <= 0 or self.l <= 0:
+            raise ValueError("channel width and length must be positive")
+        if self.kp <= 0:
+            raise ValueError("transconductance factor kp must be positive")
+        if self.phi <= 0:
+            raise ValueError("surface potential phi must be positive")
+
+
+class Level1Mosfet(MosfetModel):
+    """NMOS square-law model with body effect and CLM."""
+
+    name = "level1"
+
+    def __init__(self, params: Level1Parameters | None = None):
+        self.params = params or Level1Parameters()
+
+    def threshold(self, vbs=0.0):
+        """Body-effect-adjusted threshold voltage.
+
+        ``Vth = Vth0 + gamma * (sqrt(phi - Vbs) - sqrt(phi))`` with the
+        sqrt argument clamped at zero for strongly forward-biased bulk.
+        """
+        p = self.params
+        vbs = np.asarray(vbs, dtype=float)
+        arg = np.maximum(p.phi - vbs, 0.0)
+        return p.vth0 + p.gamma * (np.sqrt(arg) - np.sqrt(p.phi))
+
+    def ids(self, vgs, vds, vbs=0.0):
+        p = self.params
+        vgs, vds, vbs = ensure_arrays(vgs, vds, vbs)
+        beta = p.kp * p.w / p.l
+        vov = vgs - self.threshold(vbs)
+        clm = 1.0 + p.lam * vds
+
+        sat = 0.5 * beta * np.square(np.maximum(vov, 0.0)) * clm
+        tri = beta * (vov - 0.5 * vds) * vds * clm
+        out = np.where(vds >= vov, sat, tri)
+        out = np.where(vov <= 0.0, 0.0, out)
+        if out.ndim == 0:
+            return float(out)
+        return out

@@ -1,0 +1,86 @@
+"""IV-sweep utilities used by parameter extraction and Fig. 1.
+
+The paper fits ASDM to simulated ``Id`` vs ``Vg`` curves taken at several
+source voltages with the drain held high (the only bias family that matters
+for ground-bounce estimation).  :class:`IvSurface` is the container those
+fits and plots consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .base import MosfetModel
+
+
+@dataclasses.dataclass(frozen=True)
+class IvSurface:
+    """A family of Id(Vg) curves at fixed source voltages, drain held high.
+
+    Attributes:
+        vg: 1-D gate-voltage grid, shape (n_vg,).
+        vs: 1-D source-voltage values, shape (n_vs,).
+        ids: drain currents, shape (n_vs, n_vg); row i is the curve at vs[i].
+        vdd: drain rail voltage the sweep was taken at.
+    """
+
+    vg: np.ndarray
+    vs: np.ndarray
+    ids: np.ndarray
+    vdd: float
+
+    def __post_init__(self):
+        if self.ids.shape != (len(self.vs), len(self.vg)):
+            raise ValueError(
+                f"ids shape {self.ids.shape} does not match "
+                f"(n_vs={len(self.vs)}, n_vg={len(self.vg)})"
+            )
+
+    def curve(self, vs_value: float) -> np.ndarray:
+        """The Id(Vg) curve at the given source voltage (must be on the grid)."""
+        matches = np.flatnonzero(np.isclose(self.vs, vs_value))
+        if len(matches) == 0:
+            raise KeyError(f"vs={vs_value} is not one of the swept source voltages")
+        return self.ids[matches[0]]
+
+    def flattened(self):
+        """(vg, vs, ids) as aligned 1-D arrays — the least-squares data layout."""
+        vg_grid, vs_grid = np.meshgrid(self.vg, self.vs)
+        return vg_grid.ravel(), vs_grid.ravel(), self.ids.ravel()
+
+
+def sweep_id_vg(
+    model: MosfetModel,
+    vdd: float,
+    vg: np.ndarray | None = None,
+    vs: np.ndarray | None = None,
+) -> IvSurface:
+    """Sweep ``Id(Vg; Vs)`` with drain at ``vdd`` and bulk tied to source.
+
+    This reproduces the bias family of the paper's Fig. 1: the pull-down
+    transistor of an output driver whose source/bulk ride on the bouncing
+    ground node while the drain (the output pad) stays high.
+
+    Args:
+        model: the device to sweep.
+        vdd: drain rail; also the default top of the gate sweep.
+        vg: gate-voltage grid (default: 0..vdd in 10 mV steps).
+        vs: source voltages (default: 0..0.8 V in 0.2 V steps, as in Fig. 1).
+
+    Returns:
+        The sampled :class:`IvSurface`.
+    """
+    if vg is None:
+        vg = np.arange(0.0, vdd + 1e-12, 0.01)
+    if vs is None:
+        vs = np.arange(0.0, 0.8 + 1e-12, 0.2)
+    vg = np.asarray(vg, dtype=float)
+    vs = np.asarray(vs, dtype=float)
+
+    curves = np.empty((len(vs), len(vg)))
+    for i, source in enumerate(vs):
+        # Bulk tied to source (vbs = 0); vds = vdd - vs.
+        curves[i] = model.ids(vg - source, vdd - source, 0.0)
+    return IvSurface(vg=vg, vs=vs, ids=curves, vdd=vdd)

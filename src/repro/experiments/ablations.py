@@ -1,0 +1,180 @@
+"""Ablation studies for the modeling choices the paper asserts.
+
+Three choices the paper makes without a full quantitative defense, made
+checkable here:
+
+* **Series resistance neglected** — "it is a very good approximation to
+  neglect the small resistance" (10 mOhm for a PGA path).  We simulate with
+  R = 0, the quoted 10 mOhm, and a deliberately exaggerated value.
+* **Fit-region floor** — ASDM is fitted only to the strongly-on region;
+  how sensitive is the end-to-end SSN accuracy to where that floor sits?
+* **Driver-bank collapse** — the golden harness merges N identical drivers
+  into one scaled device; verified exactly equivalent to N explicit devices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..analysis.driver_bank import DriverBankSpec
+from ..analysis.simulate import simulate_ssn
+from ..core.fitting import fit_asdm
+from ..core.ssn_lc import LcSsnModel
+from ..devices.sweep import sweep_id_vg
+from ..process.library import get_technology
+from .common import NOMINAL_GROUND, NOMINAL_RISE_TIME, format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class ResistanceAblation:
+    """Peak SSN sensitivity to the neglected series resistance.
+
+    Attributes:
+        resistances: series R values simulated, ohms.
+        peaks: corresponding simulated peak SSN, volts.
+    """
+
+    n_drivers: int
+    resistances: tuple[float, ...]
+    peaks: tuple[float, ...]
+
+    def percent_shift(self, index: int) -> float:
+        """Peak shift of resistances[index] relative to R = 0, percent."""
+        return 100.0 * (self.peaks[index] - self.peaks[0]) / self.peaks[0]
+
+    def format_report(self) -> str:
+        rows = [
+            [f"{r * 1e3:.0f}", f"{p:.5f}", f"{self.percent_shift(i):+.3f}"]
+            for i, (r, p) in enumerate(zip(self.resistances, self.peaks))
+        ]
+        return (
+            f"Series-resistance ablation (N={self.n_drivers})\n"
+            + format_table(["R (mOhm)", "peak SSN (V)", "shift vs R=0 (%)"], rows)
+            + "\n"
+        )
+
+
+def resistance_ablation(
+    technology_name: str = "tsmc018",
+    n_drivers: int = 8,
+    resistances: tuple[float, ...] = (0.0, 10e-3, 100e-3, 1.0),
+) -> ResistanceAblation:
+    """Simulate the nominal bank with increasing ground-path resistance."""
+    if resistances[0] != 0.0:
+        raise ValueError("resistances must start at 0 (the reference)")
+    tech = get_technology(technology_name)
+    peaks = []
+    for r in resistances:
+        spec = DriverBankSpec(
+            technology=tech,
+            n_drivers=n_drivers,
+            inductance=NOMINAL_GROUND.inductance,
+            capacitance=NOMINAL_GROUND.capacitance,
+            resistance=r,
+            rise_time=NOMINAL_RISE_TIME,
+        )
+        peaks.append(simulate_ssn(spec).peak_voltage)
+    return ResistanceAblation(
+        n_drivers=n_drivers, resistances=tuple(resistances), peaks=tuple(peaks)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class FitFloorAblation:
+    """End-to-end LC-model accuracy vs the ASDM fit floor."""
+
+    floors: tuple[float, ...]
+    v0_values: tuple[float, ...]
+    percent_errors: tuple[float, ...]
+    n_drivers: int
+
+    def format_report(self) -> str:
+        rows = [
+            [f"{f:.2f}", f"{v0:.3f}", f"{e:+.2f}"]
+            for f, v0, e in zip(self.floors, self.v0_values, self.percent_errors)
+        ]
+        return (
+            f"ASDM fit-floor ablation (LC model, N={self.n_drivers})\n"
+            + format_table(["floor frac", "fitted V0 (V)", "peak %err vs sim"], rows)
+            + "\n"
+        )
+
+
+def fit_floor_ablation(
+    technology_name: str = "tsmc018",
+    n_drivers: int = 2,
+    floors: tuple[float, ...] = (0.02, 0.05, 0.10, 0.20),
+) -> FitFloorAblation:
+    """Refit ASDM at several floors and measure LC-model peak error."""
+    tech = get_technology(technology_name)
+    surface = sweep_id_vg(tech.driver_device(), tech.vdd)
+    spec = DriverBankSpec(
+        technology=tech,
+        n_drivers=n_drivers,
+        inductance=NOMINAL_GROUND.inductance,
+        capacitance=NOMINAL_GROUND.capacitance,
+        rise_time=NOMINAL_RISE_TIME,
+    )
+    sim_peak = simulate_ssn(spec).peak_voltage
+    v0s, errors = [], []
+    for floor in floors:
+        params, _ = fit_asdm(surface, floor_fraction=floor)
+        model = LcSsnModel(
+            params,
+            n_drivers,
+            NOMINAL_GROUND.inductance,
+            NOMINAL_GROUND.capacitance,
+            tech.vdd,
+            NOMINAL_RISE_TIME,
+        )
+        v0s.append(params.v0)
+        errors.append(100.0 * (model.peak_voltage() - sim_peak) / sim_peak)
+    return FitFloorAblation(
+        floors=tuple(floors),
+        v0_values=tuple(v0s),
+        percent_errors=tuple(errors),
+        n_drivers=n_drivers,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CollapseAblation:
+    """Collapsed vs explicit N-driver simulation agreement."""
+
+    n_drivers: int
+    collapsed_peak: float
+    explicit_peak: float
+    max_waveform_diff: float
+
+    @property
+    def peak_diff_percent(self) -> float:
+        return 100.0 * abs(self.collapsed_peak - self.explicit_peak) / self.explicit_peak
+
+    def format_report(self) -> str:
+        return (
+            f"Driver-collapse ablation (N={self.n_drivers}): "
+            f"collapsed peak {self.collapsed_peak:.5f} V, explicit {self.explicit_peak:.5f} V "
+            f"({self.peak_diff_percent:.4f}% apart), "
+            f"max SSN waveform difference {self.max_waveform_diff:.2e} V\n"
+        )
+
+
+def collapse_ablation(technology_name: str = "tsmc018", n_drivers: int = 4) -> CollapseAblation:
+    """Simulate the same bank collapsed and explicit; compare waveforms."""
+    tech = get_technology(technology_name)
+    base = dict(
+        technology=tech,
+        n_drivers=n_drivers,
+        inductance=NOMINAL_GROUND.inductance,
+        capacitance=NOMINAL_GROUND.capacitance,
+        rise_time=NOMINAL_RISE_TIME,
+    )
+    collapsed = simulate_ssn(DriverBankSpec(collapse=True, **base))
+    explicit = simulate_ssn(DriverBankSpec(collapse=False, **base))
+    diff = collapsed.ssn.max_abs_difference(explicit.ssn)
+    return CollapseAblation(
+        n_drivers=n_drivers,
+        collapsed_peak=collapsed.peak_voltage,
+        explicit_peak=explicit.peak_voltage,
+        max_waveform_diff=diff,
+    )

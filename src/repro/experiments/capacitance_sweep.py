@@ -1,0 +1,134 @@
+"""Experiment E17 — sweeping the ground capacitance itself.
+
+Fig. 4 is reproduced in this repository with N as the damping knob (E4);
+this companion sweeps C directly at fixed N — the literal reading of
+Section 4 — and surfaces a design consequence the closed form makes
+obvious but intuition misses:
+
+*adding* capacitance on the bouncing node is not monotonically good.
+Crossing C_crit (Eqn 27) moves the network under-damped, and the first
+ringing peak ``Vss*(1 + e^{-a pi/w})`` can exceed the over-damped
+boundary value — so a badly sized "decap" between the internal ground
+and the reference *raises* the peak SSN before raising it enough to help
+again.  The experiment maps peak SSN vs C from deep over-damped through
+deep under-damped, checks the Table 1 model across the whole arc against
+golden simulation, and locates the worst-case capacitance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.driver_bank import DriverBankSpec
+from ..analysis.simulate import simulate_ssn
+from ..core.damping import critical_capacitance
+from ..core.ssn_lc import LcSsnModel
+from .common import NOMINAL_GROUND, NOMINAL_RISE_TIME, fitted_models, format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class CapacitancePoint:
+    """One swept capacitance value."""
+
+    capacitance: float
+    case_name: str
+    simulated_peak: float
+    model_peak: float
+    extended_peak: float
+
+    @property
+    def percent_error(self) -> float:
+        return 100.0 * (self.model_peak - self.simulated_peak) / self.simulated_peak
+
+    @property
+    def extended_percent_error(self) -> float:
+        return 100.0 * (self.extended_peak - self.simulated_peak) / self.simulated_peak
+
+
+@dataclasses.dataclass(frozen=True)
+class CapacitanceSweepResult:
+    """Peak SSN vs ground capacitance at fixed N."""
+
+    technology_name: str
+    n_drivers: int
+    c_crit: float
+    points: tuple[CapacitancePoint, ...]
+
+    def worst_model_point(self) -> CapacitancePoint:
+        """The capacitance the Table 1 model says is worst."""
+        return max(self.points, key=lambda p: p.model_peak)
+
+    def max_abs_error(self) -> float:
+        return max(abs(p.percent_error) for p in self.points)
+
+    def max_abs_extended_error(self) -> float:
+        return max(abs(p.extended_percent_error) for p in self.points)
+
+    def model_has_interior_maximum(self) -> bool:
+        """True if peak SSN rises then falls along the C sweep."""
+        peaks = [p.model_peak for p in self.points]
+        worst = int(np.argmax(peaks))
+        return 0 < worst < len(peaks) - 1
+
+    def format_report(self) -> str:
+        rows = [
+            [f"{p.capacitance * 1e12:.2f}", p.case_name, f"{p.simulated_peak:.4f}",
+             f"{p.model_peak:.4f}", f"{p.percent_error:+.1f}",
+             f"{p.extended_peak:.4f}", f"{p.extended_percent_error:+.1f}"]
+            for p in self.points
+        ]
+        worst = self.worst_model_point()
+        return (
+            f"Peak SSN vs ground capacitance, {self.technology_name}, "
+            f"N = {self.n_drivers} (C_crit = {self.c_crit * 1e12:.2f} pF)\n"
+            + format_table(
+                ["C (pF)", "Table1 case", "sim (V)", "model (V)", "%err",
+                 "extended (V)", "%err"],
+                rows,
+            )
+            + f"\nWorst capacitance (model): {worst.capacitance * 1e12:.2f} pF "
+            f"at {worst.model_peak:.4f} V — adding capacitance past C_crit "
+            "under-damps the network and *raises* the peak before helping.\n"
+        )
+
+
+def run(
+    technology_name: str = "tsmc018",
+    n_drivers: int = 4,
+    c_over_crit: Sequence[float] = (0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+    inductance: float = NOMINAL_GROUND.inductance,
+    rise_time: float = NOMINAL_RISE_TIME,
+) -> CapacitanceSweepResult:
+    """Sweep C across the damping boundary at fixed driver count."""
+    models = fitted_models(technology_name)
+    tech = models.technology
+    c_crit = critical_capacitance(models.asdm, n_drivers, inductance)
+
+    points = []
+    for ratio in c_over_crit:
+        c = ratio * c_crit
+        model = LcSsnModel(models.asdm, n_drivers, inductance, c, tech.vdd, rise_time)
+        sim = simulate_ssn(
+            DriverBankSpec(
+                technology=tech, n_drivers=n_drivers, inductance=inductance,
+                capacitance=c, rise_time=rise_time,
+            )
+        )
+        points.append(
+            CapacitancePoint(
+                capacitance=c,
+                case_name=model.case.name,
+                simulated_peak=sim.peak_voltage,
+                model_peak=model.peak_voltage(),
+                extended_peak=model.peak_voltage_extended(),
+            )
+        )
+    return CapacitanceSweepResult(
+        technology_name=technology_name,
+        n_drivers=n_drivers,
+        c_crit=c_crit,
+        points=tuple(points),
+    )

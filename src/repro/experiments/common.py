@@ -1,0 +1,87 @@
+"""Shared experiment plumbing: nominal conditions and cached model fits.
+
+The paper's evaluation fixes one nominal configuration (PGA-class ground
+parasitics, sub-nanosecond input ramp, 10 pF pad loads) and varies one knob
+per figure.  Exact values are unrecoverable from the scan, so DESIGN.md
+documents the calibration: the nominal point below places the damping
+crossover of Section 4 inside the swept N range, which is the structural
+property Fig. 4 depends on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from ..core.asdm import AsdmParameters
+from ..core.fitting import (
+    AlphaPowerSsnParameters,
+    FitReport,
+    SquareLawSsnParameters,
+    fit_alpha_power,
+    fit_asdm,
+    fit_square_law,
+)
+from ..devices.sweep import sweep_id_vg
+from ..packaging.parasitics import PGA
+from ..process.library import get_technology
+from ..process.technology import Technology
+
+#: Nominal input ramp duration used across the experiments.
+NOMINAL_RISE_TIME = 0.5e-9
+#: Nominal per-driver output load.
+NOMINAL_LOAD = 10e-12
+#: Nominal ground-path parasitics (the paper's PGA numbers).
+NOMINAL_GROUND = PGA.pin
+#: Driver counts swept in the figures.
+NOMINAL_DRIVER_COUNTS = (1, 2, 3, 4, 6, 8, 10, 12, 14, 16)
+
+
+@dataclasses.dataclass(frozen=True)
+class FittedModels:
+    """All model parameters extracted from one device, plus fit reports."""
+
+    technology: Technology
+    asdm: AsdmParameters
+    asdm_report: FitReport
+    alpha_power: AlphaPowerSsnParameters
+    alpha_power_report: FitReport
+    square_law: SquareLawSsnParameters
+    square_law_report: FitReport
+
+
+@functools.lru_cache(maxsize=32)
+def fitted_models(technology_name: str, strength: float = 1.0) -> FittedModels:
+    """Fit ASDM, alpha-power and square-law models to one golden driver.
+
+    Results are cached per (technology, strength): every experiment and
+    benchmark compares models extracted from the *same* IV data, as the
+    paper does.
+    """
+    tech = get_technology(technology_name)
+    surface = sweep_id_vg(tech.driver_device(strength), tech.vdd)
+    asdm, asdm_report = fit_asdm(surface)
+    alpha, alpha_report = fit_alpha_power(surface)
+    square, square_report = fit_square_law(surface)
+    return FittedModels(
+        technology=tech,
+        asdm=asdm,
+        asdm_report=asdm_report,
+        alpha_power=alpha,
+        alpha_power_report=alpha_report,
+        square_law=square,
+        square_law_report=square_report,
+    )
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Fixed-width text table used by every experiment's report."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)

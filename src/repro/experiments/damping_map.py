@@ -1,0 +1,130 @@
+"""Experiment E7 — Eqn (27) and the damping-region geography.
+
+Validates the critical-capacitance formula and the paper's closing
+observation of Section 4: C_crit grows quadratically with N, so systems
+are "very likely in the under-damped region when N is small and in the
+over-damped region when N gets large".
+
+Checks performed:
+
+* at C = C_crit(N) the damping ratio is exactly 1 (formula consistency);
+* slightly above/below C_crit the model classifies under/over-damped;
+* the classification is *behavioral*: the numerically integrated ODE shows
+  an overshoot past the quasi-static level only in the under-damped case;
+* a log-log fit of C_crit(N) has slope 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.asdm import AsdmParameters
+from ..core.damping import DampingRegion, classify, critical_capacitance, damping_ratio
+from ..core.ssn_lc import LcSsnModel
+from .common import NOMINAL_GROUND, NOMINAL_RISE_TIME, fitted_models, format_table
+
+#: Relative offset used to probe just above/below the critical capacitance.
+PROBE = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class DampingMapRow:
+    """Critical capacitance and probe classifications for one N."""
+
+    n_drivers: int
+    c_crit: float
+    zeta_at_crit: float
+    region_below: DampingRegion
+    region_above: DampingRegion
+    overshoot_below: float
+    overshoot_above: float
+
+
+@dataclasses.dataclass(frozen=True)
+class DampingMapResult:
+    """Eqn (27) validation across driver counts."""
+
+    technology_name: str
+    params: AsdmParameters
+    inductance: float
+    rows: tuple[DampingMapRow, ...]
+    loglog_slope: float
+
+    def format_report(self) -> str:
+        body = [
+            [
+                f"{r.n_drivers}",
+                f"{r.c_crit * 1e12:.3f}",
+                f"{r.zeta_at_crit:.6f}",
+                r.region_below.value,
+                f"{r.overshoot_below:.4f}",
+                r.region_above.value,
+                f"{r.overshoot_above:.4f}",
+            ]
+            for r in self.rows
+        ]
+        table = format_table(
+            ["N", "C_crit (pF)", "zeta@Ccrit", f"region C*{1 - PROBE:.2f}", "overshoot",
+             f"region C*{1 + PROBE:.2f}", "overshoot"],
+            body,
+        )
+        return (
+            f"Eqn (27) damping map, {self.technology_name}, "
+            f"L = {self.inductance * 1e9:.1f} nH\n"
+            + table
+            + f"\nlog-log slope of C_crit vs N: {self.loglog_slope:.4f} (expected 2)\n"
+        )
+
+
+def _ringing_overshoot(model: LcSsnModel) -> float:
+    """Peak of the normalized step response over several natural periods.
+
+    Values above 1 indicate overshoot (ringing); over-damped responses
+    approach 1 from below.  Evaluated on the unconstrained response (the
+    analytic continuation past the ramp window) because the region is a
+    property of the network, not of the stimulus length.
+    """
+    horizon = 4.0 * 2.0 * np.pi / model.natural_frequency
+    tau = np.linspace(0.0, horizon, 4000)
+    return float(np.max(model.normalized_response(tau)))
+
+
+def run(
+    technology_name: str = "tsmc018",
+    driver_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    inductance: float = NOMINAL_GROUND.inductance,
+) -> DampingMapResult:
+    """Validate the critical-capacitance law for one technology."""
+    models = fitted_models(technology_name)
+    params = models.asdm
+    vdd = models.technology.vdd
+    rows = []
+    for n in driver_counts:
+        c_crit = critical_capacitance(params, n, inductance)
+        below = c_crit * (1.0 - PROBE)
+        above = c_crit * (1.0 + PROBE)
+        model_below = LcSsnModel(params, n, inductance, below, vdd, NOMINAL_RISE_TIME)
+        model_above = LcSsnModel(params, n, inductance, above, vdd, NOMINAL_RISE_TIME)
+        rows.append(
+            DampingMapRow(
+                n_drivers=n,
+                c_crit=c_crit,
+                zeta_at_crit=damping_ratio(params, n, inductance, c_crit),
+                region_below=classify(params, n, inductance, below),
+                region_above=classify(params, n, inductance, above),
+                overshoot_below=_ringing_overshoot(model_below),
+                overshoot_above=_ringing_overshoot(model_above),
+            )
+        )
+    ns = np.log([r.n_drivers for r in rows])
+    cs = np.log([r.c_crit for r in rows])
+    slope = float(np.polyfit(ns, cs, 1)[0])
+    return DampingMapResult(
+        technology_name=technology_name,
+        params=params,
+        inductance=inductance,
+        rows=tuple(rows),
+        loglog_slope=slope,
+    )

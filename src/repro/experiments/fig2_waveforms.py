@@ -1,0 +1,122 @@
+"""Experiment E2 — paper Fig. 2: waveform-level model-vs-simulation match.
+
+Reproduces the three panels for the nominal inductance-only configuration:
+
+(a) simulated input ramp, output pad voltage and SSN voltage,
+(b) simulated vs modeled (Eqn 6) SSN voltage,
+(c) simulated vs modeled (Eqn 8) current through the ground inductor,
+
+with the model evaluated only on its validity window (the input rise), as
+the paper notes under Fig. 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..analysis.driver_bank import DriverBankSpec
+from ..analysis.metrics import WaveformComparison, compare_waveforms
+from ..analysis.simulate import SsnSimulation, simulate_ssn
+from ..core.ssn_inductive import InductiveSsnModel
+from ..spice.waveform import Waveform
+from .common import NOMINAL_GROUND, NOMINAL_LOAD, NOMINAL_RISE_TIME, fitted_models, format_table
+from .plotting import ascii_chart
+
+#: Nominal driver count for the waveform figure.
+FIG2_DRIVERS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig2Result:
+    """Waveforms and agreement metrics for Fig. 2.
+
+    Attributes:
+        simulation: golden transient run (panels' dashed curves).
+        model: the closed-form Eqn 6/8 model.
+        model_ssn: modeled SSN voltage on the simulation time grid.
+        model_current: modeled inductor current on the same grid.
+        ssn_match: model-vs-simulation agreement for the SSN voltage.
+        current_match: agreement for the inductor current.
+    """
+
+    simulation: SsnSimulation
+    model: InductiveSsnModel
+    model_ssn: Waveform
+    model_current: Waveform
+    ssn_match: WaveformComparison
+    current_match: WaveformComparison
+
+    def format_report(self) -> str:
+        spec = self.simulation.spec
+        rows = []
+        for t in np.linspace(0.0, spec.rise_time, 11):
+            rows.append(
+                [
+                    f"{t * 1e9:.2f}",
+                    f"{self.simulation.input_voltage.value_at(t):.3f}",
+                    f"{self.simulation.output_voltage.value_at(t):.3f}",
+                    f"{self.simulation.ssn.value_at(t):.4f}",
+                    f"{self.model_ssn.value_at(t):.4f}",
+                    f"{self.simulation.inductor_current.value_at(t) * 1e3:.2f}",
+                    f"{self.model_current.value_at(t) * 1e3:.2f}",
+                ]
+            )
+        table = format_table(
+            ["t (ns)", "Vin", "Vout", "Vn sim", "Vn model", "iL sim (mA)", "iL model (mA)"],
+            rows,
+        )
+        header = (
+            f"Fig. 2 — waveforms, N={spec.n_drivers}, L={spec.inductance * 1e9:.1f} nH, "
+            f"tr={spec.rise_time * 1e9:.2f} ns\n"
+            f"SSN voltage: max |err| = {self.ssn_match.max_abs_error * 1e3:.1f} mV "
+            f"({self.ssn_match.normalized_max_error * 100:.1f}% of peak)\n"
+            f"inductor current: max |err| = {self.current_match.max_abs_error * 1e3:.2f} mA "
+            f"({self.current_match.normalized_max_error * 100:.1f}% of peak)\n"
+        )
+        grid = np.linspace(0.0, spec.rise_time, 48)
+        chart = ascii_chart(
+            grid * 1e9,
+            {
+                "Vn-model": self.model_ssn.value_at(grid),
+                "Vn-sim": self.simulation.ssn.value_at(grid),
+            },
+            x_label="time (ns), input rising",
+            y_label="SSN voltage (V)",
+        )
+        return header + table + "\n\n" + chart
+
+
+def run(
+    technology_name: str = "tsmc018",
+    n_drivers: int = FIG2_DRIVERS,
+    inductance: float = NOMINAL_GROUND.inductance,
+    rise_time: float = NOMINAL_RISE_TIME,
+) -> Fig2Result:
+    """Regenerate Fig. 2 for one configuration."""
+    models = fitted_models(technology_name)
+    tech = models.technology
+    spec = DriverBankSpec(
+        technology=tech,
+        n_drivers=n_drivers,
+        inductance=inductance,
+        rise_time=rise_time,
+        load_capacitance=NOMINAL_LOAD,
+    )
+    simulation = simulate_ssn(spec)
+    model = InductiveSsnModel(models.asdm, n_drivers, inductance, tech.vdd, rise_time)
+
+    # Evaluate the model on the simulation grid, restricted to its window.
+    grid = simulation.ssn.t[simulation.ssn.t <= rise_time]
+    model_ssn = Waveform(grid, np.asarray(model.voltage(grid)))
+    model_current = Waveform(grid, np.asarray(model.total_current(grid)))
+
+    return Fig2Result(
+        simulation=simulation,
+        model=model,
+        model_ssn=model_ssn,
+        model_current=model_current,
+        ssn_match=compare_waveforms(model_ssn, simulation.ssn),
+        current_match=compare_waveforms(model_current, simulation.inductor_current),
+    )

@@ -1,0 +1,152 @@
+"""Experiment E3 — paper Fig. 3: peak SSN vs driver count, model shoot-out.
+
+Sweeps the number of simultaneously switching drivers on the
+inductance-only ground network and compares the golden-simulation peak SSN
+against this work (Eqn 7) and the prior-art estimators (Vemuru 1996 and
+Song 1999 as in the figure, plus Jou 1998 and Senthinathan 1991 as
+extras).  The paper's claim: the ASDM-based formula is the most accurate
+across the whole N range; we quantify that with per-estimator error
+summaries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..analysis.driver_bank import DriverBankSpec
+from ..analysis.metrics import ErrorSummary
+from ..analysis.sweeps import SweepResult, sweep_driver_count
+from ..baselines import JouSsnModel, SenthinathanSsnModel, SongSsnModel, VemuruSsnModel
+from ..core.ssn_inductive import InductiveSsnModel
+from .plotting import ascii_chart
+from .common import (
+    NOMINAL_DRIVER_COUNTS,
+    NOMINAL_GROUND,
+    NOMINAL_LOAD,
+    NOMINAL_RISE_TIME,
+    FittedModels,
+    fitted_models,
+    format_table,
+)
+
+#: Estimator labels, in the order the report prints them.
+THIS_WORK = "this-work"
+ESTIMATOR_ORDER = (THIS_WORK, "vemuru-1996", "song-1999", "jou-1998", "senthinathan-1991")
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig3Result:
+    """Sweep data and per-estimator accuracy for Fig. 3."""
+
+    technology_name: str
+    sweep: SweepResult
+    summaries: dict[str, ErrorSummary]
+
+    def best_estimator(self) -> str:
+        """The estimator with the lowest mean absolute error."""
+        return min(self.summaries, key=lambda n: self.summaries[n].mean_abs_percent)
+
+    def format_report(self) -> str:
+        rows = []
+        for point in self.sweep.points:
+            row = [f"{int(point.value)}", f"{point.simulated_peak:.4f}"]
+            for name in ESTIMATOR_ORDER:
+                row.append(f"{point.estimates[name]:.4f}")
+                row.append(f"{point.percent_error(name):+.1f}")
+            rows.append(row)
+        headers = ["N", "sim (V)"]
+        for name in ESTIMATOR_ORDER:
+            headers.extend([name, "%err"])
+        table = format_table(headers, rows)
+        summary_rows = [
+            [
+                name,
+                f"{self.summaries[name].mean_abs_percent:.2f}",
+                f"{self.summaries[name].max_abs_percent:.2f}",
+                f"{self.summaries[name].bias_percent:+.2f}",
+            ]
+            for name in ESTIMATOR_ORDER
+        ]
+        summary = format_table(["estimator", "mean|%|", "max|%|", "bias%"], summary_rows)
+        chart = ascii_chart(
+            self.sweep.values(),
+            {
+                "vemuru": self.sweep.estimate_series("vemuru-1996"),
+                "song": self.sweep.estimate_series("song-1999"),
+                "this-work": self.sweep.estimate_series(THIS_WORK),
+                "sim": self.sweep.simulated_peaks(),
+            },
+            x_label="simultaneously switching drivers N",
+            y_label="maximum SSN (V)",
+        )
+        return (
+            f"Fig. 3 — peak SSN vs driver count, {self.technology_name}\n"
+            + table
+            + "\n\n"
+            + chart
+            + "\n\nAccuracy summary (vs golden simulation):\n"
+            + summary
+            + f"\n\nMost accurate estimator: {self.best_estimator()}\n"
+        )
+
+
+def build_estimators(models: FittedModels, inductance: float):
+    """Estimator callbacks keyed by label, all fitted to the same device."""
+    vdd = models.technology.vdd
+
+    def this_work(spec: DriverBankSpec) -> float:
+        return InductiveSsnModel(
+            models.asdm, spec.n_drivers, inductance, vdd, spec.rise_time
+        ).peak_voltage()
+
+    def vemuru(spec: DriverBankSpec) -> float:
+        return VemuruSsnModel(
+            models.alpha_power, spec.n_drivers, inductance, vdd, spec.rise_time
+        ).peak_voltage()
+
+    def song(spec: DriverBankSpec) -> float:
+        return SongSsnModel(
+            models.alpha_power, spec.n_drivers, inductance, vdd, spec.rise_time
+        ).peak_voltage()
+
+    def jou(spec: DriverBankSpec) -> float:
+        return JouSsnModel(
+            models.alpha_power, spec.n_drivers, inductance, vdd, spec.rise_time
+        ).peak_voltage()
+
+    def senthinathan(spec: DriverBankSpec) -> float:
+        return SenthinathanSsnModel(
+            models.square_law, spec.n_drivers, inductance, vdd, spec.rise_time
+        ).peak_voltage()
+
+    return {
+        THIS_WORK: this_work,
+        "vemuru-1996": vemuru,
+        "song-1999": song,
+        "jou-1998": jou,
+        "senthinathan-1991": senthinathan,
+    }
+
+
+def run(
+    technology_name: str = "tsmc018",
+    driver_counts: Sequence[int] = NOMINAL_DRIVER_COUNTS,
+    inductance: float = NOMINAL_GROUND.inductance,
+    rise_time: float = NOMINAL_RISE_TIME,
+) -> Fig3Result:
+    """Regenerate Fig. 3 for one technology card."""
+    models = fitted_models(technology_name)
+    base = DriverBankSpec(
+        technology=models.technology,
+        n_drivers=driver_counts[0],
+        inductance=inductance,
+        rise_time=rise_time,
+        load_capacitance=NOMINAL_LOAD,
+    )
+    result = sweep_driver_count(base, driver_counts, build_estimators(models, inductance))
+    summaries = {
+        name: ErrorSummary.from_pairs(result.estimate_series(name), result.simulated_peaks())
+        for name in result.estimator_names
+    }
+    return Fig3Result(technology_name=technology_name, sweep=result, summaries=summaries)

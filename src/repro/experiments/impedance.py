@@ -1,0 +1,171 @@
+"""Experiment E14 — the ground network in the frequency domain (extension).
+
+A modern power-delivery-network reading of the paper's Section 4.  Seen
+from the internal ground node, the network is a parallel RLC: the package
+L and C, damped by the conducting drivers, which present a small-signal
+conductance
+
+    dId/dVn = -(gm + gds + gmbs) ~ -N*K*lambda
+
+(the very combination ASDM's lambda packages).  The parallel-RLC damping
+ratio is then
+
+    zeta = (1/(2R)) * sqrt(L/C) = (N*K*lambda/2) * sqrt(L/C)
+
+— *identical* to the paper's Eqn (15)/(27) damping ratio.  So the time-
+domain region classification must show up as impedance peaking:
+under-damped configurations (small N) have a resonant bump near
+``f0 = 1/(2*pi*sqrt(LC))``; over-damped ones (large N) are flat.  This
+experiment measures |Z(f)| with the AC engine on a bias circuit that holds
+the devices in their ASDM region (drain at VDD, gate mid-ramp) and checks
+the correspondence quantitatively.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..core.damping import DampingRegion, classify
+from ..packaging.parasitics import GroundPathParasitics
+from ..spice.ac import driving_point_impedance
+from ..spice.circuit import Circuit
+from ..spice.sources import Dc
+from .common import NOMINAL_GROUND, fitted_models, format_table
+from .plotting import ascii_chart
+
+#: Gate bias as a fraction of VDD (mid-ramp, devices strongly on).
+GATE_BIAS_FRACTION = 0.75
+
+
+def build_bias_circuit(tech, n_drivers: int, ground: GroundPathParasitics) -> Circuit:
+    """Driver bank held at its SSN bias: drain at VDD, gate mid-ramp.
+
+    Voltage sources pin the gate and drain so the small-signal model sees
+    exactly the ASDM operating region; the ground path carries the L and C
+    under test.
+    """
+    circuit = Circuit(f"ssn bias network, N={n_drivers}")
+    circuit.vsource("Vg", "g", "0", Dc(GATE_BIAS_FRACTION * tech.vdd))
+    circuit.vsource("Vd", "d", "0", Dc(tech.vdd))
+    circuit.inductor("Lgnd", "ssn", "0", ground.inductance, ic=0.0)
+    circuit.capacitor("Cgnd", "ssn", "0", ground.capacitance, ic=0.0)
+    circuit.mosfet("M1", "d", "g", "ssn", "ssn", tech.driver_device(n_drivers))
+    return circuit
+
+
+@dataclasses.dataclass(frozen=True)
+class ImpedancePoint:
+    """Impedance profile summary for one driver count.
+
+    Attributes:
+        n_drivers: simultaneously conducting drivers.
+        region: Eqn 27 classification from the fitted ASDM parameters.
+        zeta: predicted damping ratio (Eqn 15).
+        peak_impedance: max |Z| over the sweep, ohms.
+        peak_frequency: frequency of that maximum, hertz.
+        low_frequency_impedance: |Z| at the lowest swept frequency.
+        peaking_ratio: peak_impedance / inductive baseline |Z(f_peak)| of
+            the bare L — how strongly the network resonates.
+    """
+
+    n_drivers: int
+    region: DampingRegion
+    zeta: float
+    peak_impedance: float
+    peak_frequency: float
+    low_frequency_impedance: float
+    peaking_ratio: float
+
+
+@dataclasses.dataclass(frozen=True)
+class ImpedanceResult:
+    """The frequency-domain view of the damping regions."""
+
+    technology_name: str
+    ground: GroundPathParasitics
+    resonant_frequency: float
+    points: tuple[ImpedancePoint, ...]
+    frequencies: np.ndarray
+    curves: dict[int, np.ndarray]
+
+    def format_report(self) -> str:
+        rows = [
+            [f"{p.n_drivers}", p.region.value, f"{p.zeta:.2f}",
+             f"{p.peak_impedance:.1f}", f"{p.peak_frequency / 1e9:.2f}",
+             f"{p.peaking_ratio:.2f}"]
+            for p in self.points
+        ]
+        n_lo = self.points[0].n_drivers
+        n_hi = self.points[-1].n_drivers
+        chart = ascii_chart(
+            np.log10(self.frequencies),
+            {
+                f"N={n_lo}": self.curves[n_lo],
+                f"N={n_hi}": self.curves[n_hi],
+            },
+            x_label="log10 frequency (Hz)",
+            y_label="|Z| (ohm)",
+        )
+        return (
+            f"Ground-path impedance vs driver count, {self.technology_name} "
+            f"(L = {self.ground.inductance * 1e9:.1f} nH, "
+            f"C = {self.ground.capacitance * 1e12:.1f} pF, "
+            f"f0 = {self.resonant_frequency / 1e9:.2f} GHz)\n"
+            + format_table(
+                ["N", "Eqn 27 region", "zeta", "|Z|max (ohm)", "f_peak (GHz)",
+                 "peaking"],
+                rows,
+            )
+            + "\n\n"
+            + chart
+            + "\n\nUnder-damped rows resonate near f0; over-damped rows are flat —\n"
+            "the paper's time-domain regions are the PDN impedance profile.\n"
+        )
+
+
+def run(
+    technology_name: str = "tsmc018",
+    driver_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    ground: GroundPathParasitics = NOMINAL_GROUND,
+    points_per_decade: int = 100,
+) -> ImpedanceResult:
+    """Measure |Z(f)| at the internal ground node across driver counts."""
+    models = fitted_models(technology_name)
+    tech = models.technology
+    f0 = 1.0 / (2.0 * math.pi * math.sqrt(ground.inductance * ground.capacitance))
+    freqs = np.logspace(math.log10(f0) - 1.5, math.log10(f0) + 1.0,
+                        int(2.5 * points_per_decade))
+
+    points = []
+    curves = {}
+    for n in driver_counts:
+        circuit = build_bias_circuit(tech, n, ground)
+        z = driving_point_impedance(circuit, freqs, "ssn")
+        mag = np.abs(z)
+        curves[int(n)] = mag
+        i_peak = int(np.argmax(mag))
+        inductive_baseline = 2.0 * math.pi * freqs[i_peak] * ground.inductance
+        points.append(
+            ImpedancePoint(
+                n_drivers=n,
+                region=classify(models.asdm, n, ground.inductance, ground.capacitance),
+                zeta=0.5 * n * models.asdm.k * models.asdm.lam
+                * math.sqrt(ground.inductance / ground.capacitance),
+                peak_impedance=float(mag[i_peak]),
+                peak_frequency=float(freqs[i_peak]),
+                low_frequency_impedance=float(mag[0]),
+                peaking_ratio=float(mag[i_peak] / inductive_baseline),
+            )
+        )
+    return ImpedanceResult(
+        technology_name=technology_name,
+        ground=ground,
+        resonant_frequency=f0,
+        points=tuple(points),
+        frequencies=freqs,
+        curves=curves,
+    )

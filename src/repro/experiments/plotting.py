@@ -1,0 +1,119 @@
+"""Terminal (ASCII) line charts for the experiment reports.
+
+The paper's artifacts are figures; the benchmark harness regenerates
+their *data* as tables, and this module renders the same series as plain-
+text charts so a report file shows the curve shapes directly —
+crossovers, saturation, resonance peaks — without a plotting stack.
+
+Deterministic by construction (pure function of the data and canvas
+size), so chart output is testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Marker characters assigned to series in insertion order.
+MARKERS = "*o+x#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if 1e-2 <= magnitude < 1e4:
+        return f"{value:.3g}"
+    return f"{value:.1e}"
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y(x) series as an ASCII chart.
+
+    Args:
+        x: shared x values (need not be uniform).
+        series: name -> y values, each the same length as ``x``.  NaNs are
+            skipped (model validity windows).
+        width: plot-area width in characters.
+        height: plot-area height in rows.
+        x_label: caption under the x axis.
+        y_label: caption above the y axis.
+
+    Returns:
+        The chart plus a marker legend, as a newline-joined string.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+    if width < 16 or height < 4:
+        raise ValueError("canvas too small to be readable")
+    xs = [float(v) for v in x]
+    if len(xs) < 2:
+        raise ValueError("need at least two x samples")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} has {len(ys)} points for {len(xs)} x values")
+
+    finite = [
+        float(v)
+        for ys in series.values()
+        for v in ys
+        if v is not None and not math.isnan(float(v))
+    ]
+    if not finite:
+        raise ValueError("all series values are NaN")
+    y_min = min(finite + [0.0])  # anchor at zero for voltage-like data
+    y_max = max(finite)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        raise ValueError("x values are all identical")
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(xv: float) -> int:
+        return round((xv - x_min) / (x_max - x_min) * (width - 1))
+
+    def row(yv: float) -> int:
+        return (height - 1) - round((yv - y_min) / (y_max - y_min) * (height - 1))
+
+    for marker, (name, ys) in zip(MARKERS, series.items()):
+        for xv, yv in zip(xs, ys):
+            yv = float(yv)
+            if math.isnan(yv):
+                continue
+            grid[row(yv)][col(float(xv))] = marker
+
+    tick_width = max(len(_format_tick(v)) for v in (y_min, y_max)) + 1
+    lines = []
+    if y_label:
+        lines.append(" " * tick_width + y_label)
+    for r, cells in enumerate(grid):
+        if r == 0:
+            tick = _format_tick(y_max)
+        elif r == height - 1:
+            tick = _format_tick(y_min)
+        else:
+            tick = ""
+        lines.append(tick.rjust(tick_width) + "|" + "".join(cells))
+    lines.append(" " * tick_width + "+" + "-" * width)
+    left = _format_tick(x_min)
+    right = _format_tick(x_max)
+    pad = width - len(left) - len(right)
+    lines.append(" " * (tick_width + 1) + left + " " * max(pad, 1) + right)
+    if x_label:
+        lines.append(" " * (tick_width + 1) + x_label)
+    legend = "  ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series.keys())
+    )
+    lines.append(" " * (tick_width + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Experiment E10 — the power-supply dual (extension of the paper's aside).
+
+Section 2 of the paper: "For simplicity of presentation, only the noise at
+the ground node is discussed.  The SSN at the power-supply node can be
+analyzed similarly."  This experiment makes that sentence quantitative:
+
+* fit ASDM to the pull-up PFET (mirrored coordinates),
+* sweep N on the full two-rail CMOS bank with a *falling* input,
+* compare the simulated VDD droop against the duality model
+  (:class:`repro.core.ssn_power.PowerRailSsnModel`).
+
+It also quantifies the paper's implicit rising-edge idealization — drivers
+modeled as pull-downs only — by simulating the ground bounce with and
+without the PMOS pull-ups present (the crowbar ablation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..analysis.cmos_driver import CmosDriverBankSpec, simulate_cmos
+from ..core.asdm import AsdmParameters
+from ..core.ssn_power import PowerRailSsnModel, fit_pmos_asdm
+from ..packaging.parasitics import GroundPathParasitics
+from ..process.library import get_technology
+from .common import NOMINAL_GROUND, NOMINAL_RISE_TIME, format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerRailPoint:
+    """One driver count: simulated droop vs the duality model."""
+
+    n_drivers: int
+    simulated_droop: float
+    modeled_droop: float
+    case_name: str
+
+    @property
+    def percent_error(self) -> float:
+        return 100.0 * (self.modeled_droop - self.simulated_droop) / self.simulated_droop
+
+
+@dataclasses.dataclass(frozen=True)
+class CrowbarPoint:
+    """Rising-edge ground bounce with and without the PMOS pull-ups."""
+
+    n_drivers: int
+    bounce_with_pullup: float
+    bounce_without_pullup: float
+
+    @property
+    def percent_effect(self) -> float:
+        """How much including the pull-up changes the ground bounce."""
+        return 100.0 * (
+            self.bounce_with_pullup - self.bounce_without_pullup
+        ) / self.bounce_without_pullup
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerRailResult:
+    """Duality validation plus the crowbar ablation."""
+
+    technology_name: str
+    pmos_params: AsdmParameters
+    droop_points: tuple[PowerRailPoint, ...]
+    crowbar_points: tuple[CrowbarPoint, ...]
+
+    def max_droop_error(self) -> float:
+        return max(abs(p.percent_error) for p in self.droop_points)
+
+    def max_crowbar_effect(self) -> float:
+        return max(abs(p.percent_effect) for p in self.crowbar_points)
+
+    def format_report(self) -> str:
+        droop_rows = [
+            [f"{p.n_drivers}", p.case_name, f"{p.simulated_droop:.4f}",
+             f"{p.modeled_droop:.4f}", f"{p.percent_error:+.1f}"]
+            for p in self.droop_points
+        ]
+        crowbar_rows = [
+            [f"{p.n_drivers}", f"{p.bounce_without_pullup:.4f}",
+             f"{p.bounce_with_pullup:.4f}", f"{p.percent_effect:+.3f}"]
+            for p in self.crowbar_points
+        ]
+        p = self.pmos_params
+        return (
+            f"Power-rail dual, {self.technology_name} "
+            f"(PMOS ASDM: K={p.k * 1e3:.2f} mA/V, V0={p.v0:.3f} V, "
+            f"lambda={p.lam:.3f})\n\n"
+            "VDD droop, falling input — duality model vs two-rail simulation:\n"
+            + format_table(
+                ["N", "Table1 case", "sim droop (V)", "model (V)", "%err"], droop_rows
+            )
+            + "\n\nCrowbar ablation, rising input — ground bounce with/without pull-ups:\n"
+            + format_table(
+                ["N", "NMOS only (V)", "full CMOS (V)", "pull-up effect %"], crowbar_rows
+            )
+            + "\n"
+        )
+
+
+def run(
+    technology_name: str = "tsmc018",
+    driver_counts: Sequence[int] = (2, 4, 8, 12),
+    ground: GroundPathParasitics = NOMINAL_GROUND,
+    power: GroundPathParasitics = NOMINAL_GROUND,
+    edge_time: float = NOMINAL_RISE_TIME,
+) -> PowerRailResult:
+    """Validate the power-rail duality and the pull-down-only idealization."""
+    tech = get_technology(technology_name)
+    pmos_params, _ = fit_pmos_asdm(tech.pullup_device(), tech.vdd)
+
+    droop_points = []
+    crowbar_points = []
+    for n in driver_counts:
+        fall = simulate_cmos(
+            CmosDriverBankSpec(
+                technology=tech, n_drivers=n, ground=ground, power=power,
+                edge="fall", edge_time=edge_time,
+            )
+        )
+        model = PowerRailSsnModel(
+            pmos_params, n, power.inductance, tech.vdd, edge_time,
+            capacitance=power.capacitance,
+        )
+        droop_points.append(
+            PowerRailPoint(
+                n_drivers=n,
+                simulated_droop=fall.peak_vdd_droop,
+                modeled_droop=model.peak_droop(),
+                case_name=model.mirror.case.name,
+            )
+        )
+
+        with_pullup = simulate_cmos(
+            CmosDriverBankSpec(
+                technology=tech, n_drivers=n, ground=ground, power=power,
+                edge="rise", edge_time=edge_time,
+            )
+        )
+        without_pullup = simulate_cmos(
+            CmosDriverBankSpec(
+                technology=tech, n_drivers=n, ground=ground, power=power,
+                edge="rise", edge_time=edge_time, include_pullup=False,
+            )
+        )
+        crowbar_points.append(
+            CrowbarPoint(
+                n_drivers=n,
+                bounce_with_pullup=with_pullup.peak_ground_bounce,
+                bounce_without_pullup=without_pullup.peak_ground_bounce,
+            )
+        )
+    return PowerRailResult(
+        technology_name=technology_name,
+        pmos_params=pmos_params,
+        droop_points=tuple(droop_points),
+        crowbar_points=tuple(crowbar_points),
+    )

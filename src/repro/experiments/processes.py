@@ -1,0 +1,62 @@
+"""Experiment E6 — the paper's cross-process claim.
+
+"Similar results are also observed using 0.25 um and 0.35 um processes"
+(end of Section 3).  This experiment reruns the Fig. 3 model shoot-out on
+every built-in technology card and summarizes each estimator's accuracy,
+checking that the ASDM-based formula remains the most accurate on each.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..process.library import list_technologies
+from . import fig3_model_comparison
+from .common import format_table
+from .fig3_model_comparison import ESTIMATOR_ORDER, Fig3Result
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessesResult:
+    """Fig. 3 accuracy summaries across all technology cards."""
+
+    results: dict[str, Fig3Result]
+
+    def best_estimators(self) -> dict[str, str]:
+        """Most accurate estimator per technology."""
+        return {name: res.best_estimator() for name, res in self.results.items()}
+
+    def format_report(self) -> str:
+        rows = []
+        for tech_name, res in sorted(self.results.items()):
+            for estimator in ESTIMATOR_ORDER:
+                summary = res.summaries[estimator]
+                rows.append(
+                    [
+                        tech_name,
+                        estimator,
+                        f"{summary.mean_abs_percent:.2f}",
+                        f"{summary.max_abs_percent:.2f}",
+                        f"{summary.bias_percent:+.2f}",
+                    ]
+                )
+        table = format_table(["process", "estimator", "mean|%|", "max|%|", "bias%"], rows)
+        winners = ", ".join(f"{t}: {w}" for t, w in sorted(self.best_estimators().items()))
+        return (
+            "Cross-process model accuracy (Fig. 3 repeated per technology)\n"
+            + table
+            + f"\n\nMost accurate per process: {winners}\n"
+        )
+
+
+def run(
+    technology_names: Sequence[str] | None = None,
+    driver_counts: Sequence[int] = (2, 4, 8, 12, 16),
+) -> ProcessesResult:
+    """Rerun Fig. 3 on each technology card (a reduced N sweep by default)."""
+    names = list(technology_names) if technology_names else list_technologies()
+    results = {
+        name: fig3_model_comparison.run(name, driver_counts=driver_counts) for name in names
+    }
+    return ProcessesResult(results=results)

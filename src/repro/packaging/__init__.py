@@ -1,0 +1,23 @@
+"""Package parasitic library (PGA, QFP, BGA, wirebond ground paths)."""
+
+from .parasitics import (
+    BGA,
+    PGA,
+    QFP,
+    WIREBOND,
+    GroundPathParasitics,
+    PackageModel,
+    get_package,
+    list_packages,
+)
+
+__all__ = [
+    "BGA",
+    "PGA",
+    "QFP",
+    "WIREBOND",
+    "GroundPathParasitics",
+    "PackageModel",
+    "get_package",
+    "list_packages",
+]

@@ -1,0 +1,108 @@
+"""Package parasitic models for the ground return path.
+
+The paper quotes a typical pin-grid-array (PGA) package: 5 nH inductance,
+1 pF capacitance, 10 mOhm resistance per ground path, and argues that the
+resistance is negligible while the capacitance is not.  This module captures
+those numbers — and other common package styles — as data, plus the
+pad-parallelism rule the paper uses in Fig. 4: ``k`` ground pads in
+parallel divide the inductance (and resistance) by ``k`` and multiply the
+capacitance by ``k``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class GroundPathParasitics:
+    """Lumped parasitics of the chip-to-board ground return.
+
+    Attributes:
+        inductance: series inductance in henries.
+        capacitance: shunt capacitance at the internal ground node in farads.
+        resistance: series resistance in ohms.
+    """
+
+    inductance: float
+    capacitance: float
+    resistance: float
+
+    def __post_init__(self):
+        if self.inductance <= 0 or self.capacitance <= 0:
+            raise ValueError("inductance and capacitance must be positive")
+        if self.resistance < 0:
+            raise ValueError("resistance must be non-negative")
+
+    def with_pads(self, pads: int) -> "GroundPathParasitics":
+        """Parasitics of ``pads`` identical paths in parallel.
+
+        Inductance and resistance divide; capacitance adds.  This is the
+        transformation behind the paper's Fig. 4(b)/(d) "ground pads
+        doubled" configuration.
+        """
+        if pads < 1:
+            raise ValueError("pad count must be at least 1")
+        return GroundPathParasitics(
+            inductance=self.inductance / pads,
+            capacitance=self.capacitance * pads,
+            resistance=self.resistance / pads,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PackageModel:
+    """A named package style with per-ground-pin parasitics."""
+
+    name: str
+    pin: GroundPathParasitics
+    description: str = ""
+
+    def ground_path(self, pads: int = 1) -> GroundPathParasitics:
+        """Effective ground-path parasitics with ``pads`` ground pins."""
+        return self.pin.with_pads(pads)
+
+
+#: The paper's reference package: PGA with 5 nH / 1 pF / 10 mOhm per path.
+PGA = PackageModel(
+    name="pga",
+    pin=GroundPathParasitics(inductance=5e-9, capacitance=1e-12, resistance=10e-3),
+    description="Pin grid array; the paper's quoted typical values.",
+)
+
+#: Quad flat pack: longer leads, higher inductance.
+QFP = PackageModel(
+    name="qfp",
+    pin=GroundPathParasitics(inductance=8e-9, capacitance=1.5e-12, resistance=40e-3),
+    description="Quad flat package with gull-wing leads.",
+)
+
+#: Ball grid array: short paths, low inductance, more shunt capacitance.
+BGA = PackageModel(
+    name="bga",
+    pin=GroundPathParasitics(inductance=1.5e-9, capacitance=1.2e-12, resistance=15e-3),
+    description="Ball grid array with short vertical paths.",
+)
+
+#: Bare bond wire (chip-on-board): inductance dominated by wire length.
+WIREBOND = PackageModel(
+    name="wirebond",
+    pin=GroundPathParasitics(inductance=3e-9, capacitance=0.4e-12, resistance=60e-3),
+    description="Single 3 mm bond wire, roughly 1 nH/mm.",
+)
+
+_REGISTRY = {p.name: p for p in (PGA, QFP, BGA, WIREBOND)}
+
+
+def get_package(name: str) -> PackageModel:
+    """Look up a built-in package model by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown package {name!r}; known packages: {known}") from None
+
+
+def list_packages() -> list[str]:
+    """Names of all built-in package models."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,16 @@
+"""Process technology cards (synthetic TSMC 0.18/0.25/0.35 um equivalents)."""
+
+from .io import load_technology, save_technology
+from .library import TSMC018, TSMC025, TSMC035, get_technology, list_technologies
+from .technology import Technology
+
+__all__ = [
+    "TSMC018",
+    "TSMC025",
+    "TSMC035",
+    "Technology",
+    "get_technology",
+    "list_technologies",
+    "load_technology",
+    "save_technology",
+]

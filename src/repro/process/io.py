@@ -1,0 +1,87 @@
+"""Technology-card serialization.
+
+Lets users carry their own process cards as JSON files instead of editing
+the built-in library — the usual workflow when characterizing a new node:
+
+    tech = load_technology("my_node.json")
+    params, report = fit_asdm(sweep_id_vg(tech.driver_device(), tech.vdd))
+
+The format mirrors the dataclasses one-to-one; unknown keys are rejected
+so typos fail loudly rather than silently falling back to defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from ..devices.bsim_like import BsimLikeParameters
+from .technology import Technology
+
+#: Schema version written into every file.
+FORMAT_VERSION = 1
+
+
+def technology_to_dict(tech: Technology) -> dict:
+    """The JSON-ready representation of a technology card."""
+    out = {
+        "format_version": FORMAT_VERSION,
+        "name": tech.name,
+        "node": tech.node,
+        "vdd": tech.vdd,
+        "reference_width": tech.reference_width,
+        "pmos_width_ratio": tech.pmos_width_ratio,
+        "nmos": dataclasses.asdict(tech.nmos),
+    }
+    if tech.pmos is not None:
+        out["pmos"] = dataclasses.asdict(tech.pmos)
+    return out
+
+
+def _device_params(data: dict, field: str) -> BsimLikeParameters:
+    known = {f.name for f in dataclasses.fields(BsimLikeParameters)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown {field} parameter(s): {sorted(unknown)}")
+    return BsimLikeParameters(**data)
+
+
+def technology_from_dict(data: dict) -> Technology:
+    """Rebuild a technology card from its dict form.
+
+    Raises:
+        ValueError: on schema-version mismatch or unknown keys.
+    """
+    version = data.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported technology format version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    known = {"format_version", "name", "node", "vdd", "reference_width",
+             "pmos_width_ratio", "nmos", "pmos"}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown technology field(s): {sorted(unknown)}")
+    return Technology(
+        name=data["name"],
+        node=float(data["node"]),
+        vdd=float(data["vdd"]),
+        nmos=_device_params(data["nmos"], "nmos"),
+        reference_width=float(data["reference_width"]),
+        pmos=_device_params(data["pmos"], "pmos") if "pmos" in data else None,
+        pmos_width_ratio=float(data.get("pmos_width_ratio", 2.2)),
+    )
+
+
+def save_technology(tech: Technology, path) -> None:
+    """Write a technology card as JSON."""
+    pathlib.Path(path).write_text(
+        json.dumps(technology_to_dict(tech), indent=2) + "\n"
+    )
+
+
+def load_technology(path) -> Technology:
+    """Read a technology card written by :func:`save_technology`."""
+    return technology_from_dict(json.loads(pathlib.Path(path).read_text()))

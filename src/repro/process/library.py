@@ -1,0 +1,140 @@
+"""Built-in technology cards for the three nodes the paper evaluates.
+
+Values are synthetic but representative of published foundry data for each
+node (oxide thickness, threshold, mobility, velocity-saturation field).
+Every experiment resolves its process through :func:`get_technology` so that
+swapping in a different card reruns the whole study on new silicon.
+"""
+
+from __future__ import annotations
+
+from ..devices.bsim_like import BsimLikeParameters
+from .technology import Technology
+
+#: 0.18 um / 1.8 V node — the paper's primary process (TSMC 0.18 um).
+TSMC018 = Technology(
+    name="tsmc018",
+    node=0.18e-6,
+    vdd=1.8,
+    nmos=BsimLikeParameters(
+        vth0=0.48,
+        gamma=0.45,
+        phi=0.85,
+        sigma=0.02,
+        n=1.4,
+        mu0=0.032,
+        theta=0.25,
+        ec=5.0e6,
+        cox=8.4e-3,
+        w=10e-6,
+        l=0.18e-6,
+        lam=0.04,
+    ),
+    reference_width=15e-6,
+    pmos=BsimLikeParameters(
+        vth0=0.45,
+        gamma=0.42,
+        phi=0.85,
+        sigma=0.02,
+        n=1.4,
+        mu0=0.011,
+        theta=0.22,
+        ec=1.3e7,
+        cox=8.4e-3,
+        w=10e-6,
+        l=0.18e-6,
+        lam=0.05,
+    ),
+)
+
+#: 0.25 um / 2.5 V node.
+TSMC025 = Technology(
+    name="tsmc025",
+    node=0.25e-6,
+    vdd=2.5,
+    nmos=BsimLikeParameters(
+        vth0=0.55,
+        gamma=0.50,
+        phi=0.87,
+        sigma=0.015,
+        n=1.45,
+        mu0=0.036,
+        theta=0.22,
+        ec=4.5e6,
+        cox=6.1e-3,
+        w=10e-6,
+        l=0.25e-6,
+        lam=0.05,
+    ),
+    reference_width=20e-6,
+    pmos=BsimLikeParameters(
+        vth0=0.55,
+        gamma=0.47,
+        phi=0.87,
+        sigma=0.015,
+        n=1.45,
+        mu0=0.013,
+        theta=0.20,
+        ec=1.2e7,
+        cox=6.1e-3,
+        w=10e-6,
+        l=0.25e-6,
+        lam=0.06,
+    ),
+)
+
+#: 0.35 um / 3.3 V node.
+TSMC035 = Technology(
+    name="tsmc035",
+    node=0.35e-6,
+    vdd=3.3,
+    nmos=BsimLikeParameters(
+        vth0=0.60,
+        gamma=0.55,
+        phi=0.90,
+        sigma=0.010,
+        n=1.5,
+        mu0=0.040,
+        theta=0.20,
+        ec=4.0e6,
+        cox=4.5e-3,
+        w=10e-6,
+        l=0.35e-6,
+        lam=0.06,
+    ),
+    reference_width=25e-6,
+    pmos=BsimLikeParameters(
+        vth0=0.62,
+        gamma=0.52,
+        phi=0.90,
+        sigma=0.010,
+        n=1.5,
+        mu0=0.015,
+        theta=0.18,
+        ec=1.1e7,
+        cox=4.5e-3,
+        w=10e-6,
+        l=0.35e-6,
+        lam=0.07,
+    ),
+)
+
+_REGISTRY = {tech.name: tech for tech in (TSMC018, TSMC025, TSMC035)}
+
+
+def get_technology(name: str) -> Technology:
+    """Look up a built-in technology card by name.
+
+    Raises:
+        KeyError: with the list of known cards, if the name is unknown.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown technology {name!r}; known cards: {known}") from None
+
+
+def list_technologies() -> list[str]:
+    """Names of all built-in technology cards."""
+    return sorted(_REGISTRY)

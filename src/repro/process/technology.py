@@ -1,0 +1,90 @@
+"""Technology cards: everything process-dependent in one dataclass.
+
+The paper reports results on TSMC 0.18, 0.25 and 0.35 um processes.  The
+real SPICE decks are proprietary, so a :class:`Technology` bundles synthetic
+but realistic parameters for each node (threshold, oxide, mobility, velocity
+saturation, rails) and acts as the single factory for device-model instances
+so that simulator, ASDM fit and baselines all see the *same* silicon.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..devices.bsim_like import BsimLikeMosfet, BsimLikeParameters
+from ..devices.pmos import ComplementaryMosfet, pmos_from_parameters
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """A CMOS process node as used by the SSN experiments.
+
+    Attributes:
+        name: card name, e.g. ``"tsmc018"``.
+        node: drawn channel length in meters.
+        vdd: nominal supply voltage in volts.
+        nmos: golden NMOS parameters at a reference width
+            (use :meth:`nmos_device` to instantiate at any width).
+        reference_width: width (meters) the experiments treat as a "1x"
+            output-driver pull-down.
+        pmos: golden PMOS parameters in magnitude space (|Vth|, hole
+            mobility, ...), or None for NMOS-only cards.
+        pmos_width_ratio: pull-up width relative to the pull-down at the
+            same drive strength (holes are slower; 2-2.5x is typical).
+    """
+
+    name: str
+    node: float
+    vdd: float
+    nmos: BsimLikeParameters
+    reference_width: float
+    pmos: BsimLikeParameters | None = None
+    pmos_width_ratio: float = 2.2
+
+    def __post_init__(self):
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.node <= 0:
+            raise ValueError("node length must be positive")
+        if abs(self.nmos.l - self.node) > 1e-12:
+            raise ValueError(
+                f"nmos channel length {self.nmos.l} disagrees with node {self.node}"
+            )
+        if self.pmos is not None and abs(self.pmos.l - self.node) > 1e-12:
+            raise ValueError(
+                f"pmos channel length {self.pmos.l} disagrees with node {self.node}"
+            )
+        if self.pmos_width_ratio <= 0:
+            raise ValueError("pmos_width_ratio must be positive")
+
+    def nmos_device(self, width: float | None = None) -> BsimLikeMosfet:
+        """A golden NMOS instance at the given width (default: reference)."""
+        width = self.reference_width if width is None else width
+        if width <= 0:
+            raise ValueError("device width must be positive")
+        return BsimLikeMosfet(self.nmos.scaled(w=width))
+
+    def driver_device(self, strength: float = 1.0) -> BsimLikeMosfet:
+        """Pull-down NFET of an output driver, ``strength`` x the reference."""
+        if strength <= 0:
+            raise ValueError("driver strength must be positive")
+        return self.nmos_device(self.reference_width * strength)
+
+    def pmos_device(self, width: float | None = None) -> ComplementaryMosfet:
+        """A golden PMOS instance at the given width.
+
+        Default width: the reference pull-down width times
+        ``pmos_width_ratio`` (a matched-strength pull-up).
+        """
+        if self.pmos is None:
+            raise ValueError(f"technology {self.name!r} has no PMOS card")
+        width = self.reference_width * self.pmos_width_ratio if width is None else width
+        if width <= 0:
+            raise ValueError("device width must be positive")
+        return pmos_from_parameters(self.pmos.scaled(w=width))
+
+    def pullup_device(self, strength: float = 1.0) -> ComplementaryMosfet:
+        """Pull-up PFET of an output driver, ``strength`` x the reference."""
+        if strength <= 0:
+            raise ValueError("driver strength must be positive")
+        return self.pmos_device(self.reference_width * self.pmos_width_ratio * strength)

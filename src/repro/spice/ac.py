@@ -1,0 +1,214 @@
+"""AC small-signal analysis.
+
+Linearizes the circuit at a bias point (MOSFETs contribute their gm/gds/
+gmbs at that bias) and solves the complex MNA system over a frequency
+grid.  The SSN-relevant use is the *ground-path impedance*: inject a unit
+AC current into the internal ground node and read the voltage — the
+classic power-delivery-network view.  The LC network of the paper's
+Section 4 shows up as a resonance at ``f0 = 1/(2*pi*sqrt(LC))`` whose
+peaking tracks the damping regions of Eqn (27).
+
+Element support mirrors the transient engine: R, L, C, V/I sources
+(shorted/opened respectively unless designated as the stimulus), mutual
+inductance, and MOSFETs (linearized).  AC stamping lives here, dispatched
+on element type, so the element classes stay transient-focused.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .circuit import Circuit
+from .dc import dc_operating_point
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from .mna import MnaSystem
+from .mosfet import MosfetElement
+
+
+@dataclasses.dataclass(frozen=True)
+class AcResult:
+    """Complex node responses over the analyzed frequency grid.
+
+    Attributes:
+        frequencies: analysis frequencies in hertz.
+        responses: node name -> complex response array (phasor per
+            frequency) for every non-ground node.
+    """
+
+    frequencies: np.ndarray
+    responses: dict[str, np.ndarray]
+
+    def voltage(self, node_name: str) -> np.ndarray:
+        """Complex phasor of one node across the grid."""
+        if node_name not in self.responses:
+            known = ", ".join(sorted(self.responses))
+            raise KeyError(f"unknown node {node_name!r}; known nodes: {known}")
+        return self.responses[node_name]
+
+    def magnitude(self, node_name: str) -> np.ndarray:
+        return np.abs(self.voltage(node_name))
+
+    def phase(self, node_name: str) -> np.ndarray:
+        """Phase in radians."""
+        return np.angle(self.voltage(node_name))
+
+
+class _AcStamper:
+    """Builds the complex MNA system at one angular frequency."""
+
+    def __init__(self, circuit: Circuit, bias):
+        self.circuit = circuit
+        self.system = MnaSystem(circuit)
+        self.bias = bias  # DcSolution or None (cold linearization)
+
+    def _bias_voltage(self, node: int) -> float:
+        if self.bias is None or node == 0:
+            return 0.0
+        return self.bias.voltage(self.circuit.node_name(node))
+
+    def assemble(self, omega: float, stimulus: str, stimulus_value: complex):
+        n = self.system.size
+        nn = self.system.num_node_unknowns
+        a = np.zeros((n, n), dtype=complex)
+        z = np.zeros(n, dtype=complex)
+
+        def node_idx(node):
+            return node - 1 if node else None
+
+        def add(i, j, val):
+            if i is not None and j is not None:
+                a[i, j] += val
+
+        def stamp_admittance(na, nb, y):
+            ia, ib = node_idx(na), node_idx(nb)
+            add(ia, ia, y)
+            add(ib, ib, y)
+            add(ia, ib, -y)
+            add(ib, ia, -y)
+
+        for el in self.circuit.elements:
+            if isinstance(el, Resistor):
+                stamp_admittance(el.nodes[0], el.nodes[1], 1.0 / el.ohms)
+            elif isinstance(el, Capacitor):
+                stamp_admittance(el.nodes[0], el.nodes[1], 1j * omega * el.farads)
+            elif isinstance(el, Inductor):
+                row = nn + el.branch_start
+                ia, ib = node_idx(el.nodes[0]), node_idx(el.nodes[1])
+                add(ia, row, 1.0)
+                add(ib, row, -1.0)
+                add(row, ia, 1.0)
+                add(row, ib, -1.0)
+                a[row, row] += -1j * omega * el.henries
+            elif isinstance(el, MutualInductance):
+                row_a = nn + el.la.branch_start
+                row_b = nn + el.lb.branch_start
+                m = el.mutual
+                a[row_a, row_b] += -1j * omega * m
+                a[row_b, row_a] += -1j * omega * m
+            elif isinstance(el, VoltageSource):
+                row = nn + el.branch_start
+                ia, ib = node_idx(el.nodes[0]), node_idx(el.nodes[1])
+                add(ia, row, 1.0)
+                add(ib, row, -1.0)
+                add(row, ia, 1.0)
+                add(row, ib, -1.0)
+                if el.name == stimulus:
+                    z[row] += stimulus_value
+            elif isinstance(el, CurrentSource):
+                if el.name == stimulus:
+                    ia, ib = node_idx(el.nodes[0]), node_idx(el.nodes[1])
+                    if ia is not None:
+                        z[ia] -= stimulus_value
+                    if ib is not None:
+                        z[ib] += stimulus_value
+            elif isinstance(el, MosfetElement):
+                d, g, s, b = el.nodes
+                vs = self._bias_voltage(s)
+                op = el.model.partials(
+                    self._bias_voltage(g) - vs,
+                    self._bias_voltage(d) - vs,
+                    self._bias_voltage(b) - vs,
+                )
+                gsum = op.gm + op.gds + op.gmbs
+                di, gi, si, bi = (node_idx(x) for x in (d, g, s, b))
+                add(di, gi, op.gm)
+                add(di, di, op.gds)
+                add(di, bi, op.gmbs)
+                add(di, si, -gsum)
+                add(si, gi, -op.gm)
+                add(si, di, -op.gds)
+                add(si, bi, -op.gmbs)
+                add(si, si, gsum)
+            else:
+                raise TypeError(f"element {el.name!r} has no AC stamp")
+        return a, z
+
+
+def ac_analysis(
+    circuit: Circuit,
+    frequencies,
+    stimulus: str,
+    stimulus_value: complex = 1.0,
+    bias_time: float | None = 0.0,
+) -> AcResult:
+    """Small-signal frequency sweep.
+
+    Args:
+        circuit: the netlist.  Non-stimulus V-sources are AC-shorted and
+            I-sources AC-opened, per standard practice.
+        frequencies: analysis frequencies in hertz (array-like, > 0).
+        stimulus: name of the V- or I-source carrying the AC excitation.
+        stimulus_value: complex amplitude of the excitation (1.0 default).
+        bias_time: evaluate the DC operating point at this source time to
+            linearize nonlinear devices; None linearizes at 0 V everywhere
+            (useful for purely passive networks).
+
+    Returns:
+        Complex node responses per frequency.
+    """
+    freqs = np.atleast_1d(np.asarray(frequencies, dtype=float))
+    if np.any(freqs <= 0):
+        raise ValueError("AC frequencies must be positive")
+    circuit.element(stimulus)  # raises KeyError for unknown stimulus
+
+    bias = dc_operating_point(circuit, t=bias_time) if bias_time is not None else None
+    stamper = _AcStamper(circuit, bias)
+
+    names = [name for name in circuit.node_names if name != "0"]
+    out = {name: np.empty(len(freqs), dtype=complex) for name in names}
+    for i, f in enumerate(freqs):
+        a, z = stamper.assemble(2.0 * np.pi * f, stimulus, stimulus_value)
+        x = np.linalg.solve(a, z)
+        for name in names:
+            out[name][i] = x[circuit.node_id(name) - 1]
+    return AcResult(frequencies=freqs, responses=out)
+
+
+def driving_point_impedance(
+    circuit: Circuit,
+    frequencies,
+    node: str,
+    probe_name: str = "_Zprobe",
+    bias_time: float | None = 0.0,
+) -> np.ndarray:
+    """Complex driving-point impedance seen into ``node`` vs frequency.
+
+    Temporarily injects a 1 A AC current source from ground into the node;
+    the node phasor then *is* the impedance.  The probe is appended to the
+    circuit's element list for the call and removed afterwards.
+    """
+    circuit.isource(probe_name, "0", node, 0.0)
+    try:
+        result = ac_analysis(circuit, frequencies, probe_name, 1.0, bias_time)
+        return result.voltage(node)
+    finally:
+        circuit.remove(probe_name)

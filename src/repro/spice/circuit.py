@@ -1,0 +1,151 @@
+"""Circuit netlist container.
+
+A :class:`Circuit` interns node names (ground is ``"0"`` or ``"gnd"``),
+owns the element list, and offers convenience constructors mirroring SPICE
+cards (``resistor``, ``capacitor``, ``inductor``, ``vsource``, ``isource``,
+``mosfet``).  Analyses (:mod:`repro.spice.dc`, :mod:`repro.spice.transient`)
+consume it read-only; simulation state lives in the engines, so one circuit
+can be analyzed many times.
+"""
+
+from __future__ import annotations
+
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from .mosfet import MosfetElement
+from .sources import Dc, SourceShape
+
+#: Node names treated as the reference (ground) node.
+GROUND_NAMES = ("0", "gnd", "GND")
+
+
+class Circuit:
+    """A flat netlist of elements over named nodes."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self._elements: list[Element] = []
+        self._names: set[str] = set()
+        self._node_ids: dict[str, int] = {g: 0 for g in GROUND_NAMES}
+        self._node_names: list[str] = ["0"]
+
+    # -- nodes -------------------------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Intern a node name, returning its integer id (ground is 0)."""
+        if name not in self._node_ids:
+            self._node_ids[name] = len(self._node_names)
+            self._node_names.append(name)
+        return self._node_ids[name]
+
+    def node_name(self, node_id: int) -> str:
+        return self._node_names[node_id]
+
+    def node_id(self, name: str) -> int:
+        """Id of an existing node; raises KeyError for unknown names."""
+        if name not in self._node_ids:
+            known = ", ".join(self._node_names)
+            raise KeyError(f"unknown node {name!r}; known nodes: {known}")
+        return self._node_ids[name]
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of distinct nodes, including ground."""
+        return len(self._node_names)
+
+    @property
+    def node_names(self) -> list[str]:
+        return list(self._node_names)
+
+    # -- elements ----------------------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        """Add a pre-built element (nodes must already be interned ids)."""
+        if element.name in self._names:
+            raise ValueError(f"duplicate element name {element.name!r}")
+        self._names.add(element.name)
+        self._elements.append(element)
+        return element
+
+    @property
+    def elements(self) -> list[Element]:
+        return list(self._elements)
+
+    def element(self, name: str) -> Element:
+        for el in self._elements:
+            if el.name == name:
+                return el
+        raise KeyError(f"no element named {name!r}")
+
+    def remove(self, name: str) -> Element:
+        """Remove an element by name (e.g. a temporary measurement probe).
+
+        Nodes stay interned; only the element list changes.
+        """
+        el = self.element(name)
+        self._elements.remove(el)
+        self._names.discard(name)
+        return el
+
+    # -- SPICE-card-style constructors --------------------------------------------
+
+    def resistor(self, name: str, a: str, b: str, ohms: float) -> Resistor:
+        return self.add(Resistor(name, self.node(a), self.node(b), ohms))
+
+    def capacitor(self, name: str, a: str, b: str, farads: float, ic: float | None = None) -> Capacitor:
+        return self.add(Capacitor(name, self.node(a), self.node(b), farads, ic))
+
+    def inductor(self, name: str, a: str, b: str, henries: float, ic: float = 0.0) -> Inductor:
+        return self.add(Inductor(name, self.node(a), self.node(b), henries, ic))
+
+    def vsource(self, name: str, plus: str, minus: str, shape) -> VoltageSource:
+        if not isinstance(shape, SourceShape):
+            shape = Dc(float(shape))
+        return self.add(VoltageSource(name, self.node(plus), self.node(minus), shape))
+
+    def isource(self, name: str, frm: str, to: str, shape) -> CurrentSource:
+        if not isinstance(shape, SourceShape):
+            shape = Dc(float(shape))
+        return self.add(CurrentSource(name, self.node(frm), self.node(to), shape))
+
+    def mutual(self, name: str, inductor_a: str, inductor_b: str, coupling: float) -> MutualInductance:
+        """Magnetically couple two previously added inductors by name."""
+        la = self.element(inductor_a)
+        lb = self.element(inductor_b)
+        if not isinstance(la, Inductor) or not isinstance(lb, Inductor):
+            raise TypeError(
+                f"mutual coupling {name!r} requires two inductors, got "
+                f"{type(la).__name__} and {type(lb).__name__}"
+            )
+        return self.add(MutualInductance(name, la, lb, coupling))
+
+    def mosfet(self, name: str, drain: str, gate: str, source: str, bulk: str, model) -> MosfetElement:
+        return self.add(
+            MosfetElement(
+                name, self.node(drain), self.node(gate), self.node(source), self.node(bulk), model
+            )
+        )
+
+    # -- introspection -------------------------------------------------------------
+
+    def breakpoints(self) -> list[float]:
+        """Sorted union of all source breakpoint times."""
+        times: set[float] = set()
+        for el in self._elements:
+            shape = getattr(el, "shape", None)
+            if shape is not None:
+                times.update(shape.breakpoints())
+        return sorted(times)
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit({self.title!r}, nodes={self.num_nodes}, "
+            f"elements={len(self._elements)})"
+        )

@@ -1,0 +1,63 @@
+"""DC operating-point analysis.
+
+Capacitors open, inductors short.  A plain Newton solve handles the gentle
+circuits in this repository; if it fails, gmin stepping (progressively
+relaxing a shunt conductance across the nonlinear devices) provides the
+usual continuation fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .circuit import Circuit
+from .mna import MnaSystem, StampContext
+from .solver import ConvergenceError, newton_solve
+
+
+class DcSolution:
+    """Converged DC operating point with name-based accessors."""
+
+    def __init__(self, circuit: Circuit, x: np.ndarray, ctx: StampContext):
+        self._circuit = circuit
+        self._x = x
+        self._ctx = ctx
+
+    def voltage(self, node_name: str) -> float:
+        """Node voltage in volts."""
+        return self._ctx.v(self._circuit.node_id(node_name))
+
+    def current(self, element_name: str) -> float:
+        """Element current (first node -> second node) in amperes."""
+        el = self._circuit.element(element_name)
+        if not hasattr(el, "current"):
+            raise TypeError(f"element {element_name!r} has no defined branch current")
+        return float(el.current(self._ctx))
+
+    @property
+    def unknowns(self) -> np.ndarray:
+        return np.array(self._x)
+
+
+def dc_operating_point(circuit: Circuit, t: float = 0.0, gmin: float = 1e-12) -> DcSolution:
+    """Solve the DC operating point at source time ``t``.
+
+    Tries a direct Newton solve first, then gmin stepping from 1e-3 S down
+    to the target gmin, reusing each stage's solution as the next guess.
+    """
+    system = MnaSystem(circuit)
+    x0 = np.zeros(system.size)
+    try:
+        x, ctx = newton_solve(system, "dc", t, dt=1.0, method="be", states={}, x0=x0, gmin=gmin)
+        return DcSolution(circuit, x, ctx)
+    except ConvergenceError:
+        pass
+
+    x = x0
+    schedule = [10.0 ** (-k) for k in range(3, 13)]
+    schedule = [g for g in schedule if g > gmin] + [gmin]
+    for stage_gmin in schedule:
+        x, ctx = newton_solve(
+            system, "dc", t, dt=1.0, method="be", states={}, x0=x, gmin=stage_gmin
+        )
+    return DcSolution(circuit, x, ctx)

@@ -1,0 +1,127 @@
+"""Modified-nodal-analysis system assembly.
+
+:class:`MnaSystem` owns the unknown ordering — node voltages for every
+non-ground node, followed by one branch current per voltage source and
+inductor — and rebuilds the dense ``A x = z`` system from the element
+stamps at each Newton iterate.  Circuits in this repository are small
+(tens of nodes), so dense LAPACK solves beat any sparse machinery.
+
+:class:`StampContext` is the façade elements stamp through; it hides the
+ground-row elimination and the node-vs-branch index arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .circuit import Circuit
+
+
+class StampContext:
+    """Mutable assembly state handed to each element's ``stamp``."""
+
+    def __init__(self, system: "MnaSystem", mode: str, t: float, dt: float,
+                 method: str, states: dict, x: np.ndarray, gmin: float):
+        self.system = system
+        self.mode = mode
+        self.t = t
+        self.dt = dt
+        self.method = method
+        self.x = x
+        self.gmin = gmin
+        self._states = states
+        n = system.size
+        self.A = np.zeros((n, n))
+        self.z = np.zeros(n)
+
+    # -- state & values -----------------------------------------------------------
+
+    def state(self, element) -> dict:
+        """The engine-owned mutable state dict for this element."""
+        return self._states.setdefault(element, {})
+
+    def v(self, node: int) -> float:
+        """Voltage of a node at the present iterate (ground is 0 V)."""
+        if node == 0:
+            return 0.0
+        return float(self.x[node - 1])
+
+    def branch_value(self, element, k: int = 0) -> float:
+        """Branch current unknown k of the element at the present iterate."""
+        return float(self.x[self.branch_row(element, k)])
+
+    def branch_row(self, element, k: int = 0) -> int:
+        """Global row/column index of the element's k-th branch unknown."""
+        if element.branch_start is None:
+            raise RuntimeError(f"element {element.name} has no assigned branches")
+        return self.system.num_node_unknowns + element.branch_start + k
+
+    # -- stamping primitives --------------------------------------------------------
+
+    def add_node_entry(self, row_node: int, col_node: int, value: float) -> None:
+        """A[row, col] += value for two node ids, skipping ground."""
+        if row_node == 0 or col_node == 0:
+            return
+        self.A[row_node - 1, col_node - 1] += value
+
+    def add_conductance(self, a: int, b: int, g: float) -> None:
+        """Standard two-terminal conductance stamp between nodes a and b."""
+        self.add_node_entry(a, a, g)
+        self.add_node_entry(b, b, g)
+        self.add_node_entry(a, b, -g)
+        self.add_node_entry(b, a, -g)
+
+    def add_rhs_current(self, frm: int, to: int, i: float) -> None:
+        """A current ``i`` forced from node ``frm`` to node ``to``."""
+        if frm != 0:
+            self.z[frm - 1] -= i
+        if to != 0:
+            self.z[to - 1] += i
+
+    def add_branch_kcl(self, a: int, b: int, row: int) -> None:
+        """KCL coupling of a branch current flowing a -> b."""
+        if a != 0:
+            self.A[a - 1, row] += 1.0
+        if b != 0:
+            self.A[b - 1, row] -= 1.0
+
+    def add_branch_voltage(self, row: int, plus: int, minus: int) -> None:
+        """Branch-equation terms ``+v(plus) - v(minus)`` on the given row."""
+        if plus != 0:
+            self.A[row, plus - 1] += 1.0
+        if minus != 0:
+            self.A[row, minus - 1] -= 1.0
+
+    def clear_branch_equation(self, row: int) -> None:
+        self.A[row, :] = 0.0
+        self.z[row] = 0.0
+
+    def set_branch_entry(self, row: int, col: int, value: float) -> None:
+        self.A[row, col] += value
+
+    def set_branch_rhs(self, row: int, value: float) -> None:
+        self.z[row] += value
+
+
+class MnaSystem:
+    """Unknown ordering and assembly for one circuit."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        self.num_node_unknowns = circuit.num_nodes - 1
+        nb = 0
+        for el in circuit.elements:
+            el.branch_start = nb if el.nbranches else None
+            nb += el.nbranches
+        self.num_branch_unknowns = nb
+        self.size = self.num_node_unknowns + nb
+        self._elements = circuit.elements
+
+    def context(self, mode: str, t: float, dt: float, method: str,
+                states: dict, x: np.ndarray, gmin: float) -> StampContext:
+        return StampContext(self, mode, t, dt, method, states, x, gmin)
+
+    def assemble(self, ctx: StampContext) -> None:
+        """Fill ``ctx.A`` and ``ctx.z`` from every element's stamp."""
+        for el in self._elements:
+            el.stamp(ctx)

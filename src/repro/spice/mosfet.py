@@ -1,0 +1,60 @@
+"""Nonlinear MOSFET element wrapping any :class:`~repro.devices.base.MosfetModel`.
+
+The element contributes the drain-source channel current linearized at the
+present Newton iterate:
+
+    Id  ~=  Id0 + gm*(vgs - vgs0) + gds*(vds - vds0) + gmbs*(vbs - vbs0)
+
+which stamps the three conductances plus an equivalent current source.  A
+small ``gmin`` between drain and source keeps the Jacobian nonsingular when
+the device is cut off.  Per-iteration gate/drain voltage limiting (a light
+version of SPICE's ``pnjlim``/``fetlim``) is handled globally by the Newton
+damping in :mod:`repro.spice.solver`.
+
+Device parasitic capacitances are intentionally not modeled: the SSN
+networks of the paper are dominated by multi-picofarad pad loads and the
+nanohenry ground inductance, three orders of magnitude above the
+femtofarad-scale channel capacitances of the drivers (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from .elements import Element
+
+
+class MosfetElement(Element):
+    """Four-terminal NMOS: (drain, gate, source, bulk)."""
+
+    def __init__(self, name: str, drain: int, gate: int, source: int, bulk: int, model):
+        super().__init__(name, (drain, gate, source, bulk))
+        self.model = model
+
+    def _bias(self, ctx) -> tuple[float, float, float]:
+        d, g, s, b = self.nodes
+        vs = ctx.v(s)
+        return ctx.v(g) - vs, ctx.v(d) - vs, ctx.v(b) - vs
+
+    def stamp(self, ctx) -> None:
+        d, g, s, b = self.nodes
+        vgs, vds, vbs = self._bias(ctx)
+        op = self.model.partials(vgs, vds, vbs)
+        ieq = op.ids - op.gm * vgs - op.gds * vds - op.gmbs * vbs
+
+        gsum = op.gm + op.gds + op.gmbs
+        # KCL at drain: +Id; at source: -Id.
+        ctx.add_node_entry(d, g, op.gm)
+        ctx.add_node_entry(d, d, op.gds)
+        ctx.add_node_entry(d, b, op.gmbs)
+        ctx.add_node_entry(d, s, -gsum)
+        ctx.add_node_entry(s, g, -op.gm)
+        ctx.add_node_entry(s, d, -op.gds)
+        ctx.add_node_entry(s, b, -op.gmbs)
+        ctx.add_node_entry(s, s, gsum)
+        ctx.add_rhs_current(d, s, ieq)
+
+        ctx.add_conductance(d, s, ctx.gmin)
+
+    def current(self, ctx) -> float:
+        """Channel current drain -> source at the present iterate."""
+        vgs, vds, vbs = self._bias(ctx)
+        return float(self.model.ids(vgs, vds, vbs))

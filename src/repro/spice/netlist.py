@@ -1,0 +1,230 @@
+"""SPICE-format netlist export and import.
+
+Interoperability layer for the simulator substrate: write a
+:class:`~repro.spice.circuit.Circuit` as SPICE cards so it can be checked
+against an external simulator, and parse the supported subset back in.
+
+Supported cards (case-insensitive, SPICE engineering suffixes accepted):
+
+* ``R<name> a b value``
+* ``C<name> a b value [IC=v]``
+* ``L<name> a b value [IC=i]``
+* ``K<name> Lxxx Lyyy k``
+* ``V<name> p n DC v`` / ``... PWL(t1 v1 t2 v2 ...)`` /
+  ``... PULSE(v0 v1 delay rise fall width)``
+* ``I<name> a b DC v``
+* ``M<name> d g s b model_ref`` — devices cannot live in text, so the
+  parser resolves ``model_ref`` through a caller-supplied registry.
+
+Comments (``*``), continuation of blank lines and the leading title /
+trailing ``.END`` follow SPICE conventions.  Export/import round-trips
+exactly for the supported elements (verified by property tests).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .circuit import Circuit
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from .mosfet import MosfetElement
+from .sources import Dc, Pulse, Pwl, Ramp, SourceShape
+
+#: SPICE engineering suffixes (femto..tera; MEG before M).
+_SUFFIXES = [
+    ("MEG", 1e6), ("T", 1e12), ("G", 1e9), ("K", 1e3),
+    ("M", 1e-3), ("U", 1e-6), ("N", 1e-9), ("P", 1e-12), ("F", 1e-15),
+]
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with optional engineering suffix."""
+    token = token.strip().upper()
+    for suffix, scale in _SUFFIXES:
+        if token.endswith(suffix):
+            return float(token[: -len(suffix)]) * scale
+    return float(token)
+
+
+def format_value(value: float) -> str:
+    """Render a float compactly (plain scientific; always re-parseable)."""
+    return f"{value:.12g}"
+
+
+def _shape_card(shape: SourceShape) -> str:
+    if isinstance(shape, Dc):
+        return f"DC {format_value(shape.value)}"
+    if isinstance(shape, Ramp):
+        # A ramp is a 2-point PWL held flat outside.
+        t0, t1 = shape.t_start, shape.t_start + shape.t_rise
+        return (
+            f"PWL({format_value(t0)} {format_value(shape.v0)} "
+            f"{format_value(t1)} {format_value(shape.v1)})"
+        )
+    if isinstance(shape, Pwl):
+        pairs = " ".join(
+            f"{format_value(t)} {format_value(v)}" for t, v in zip(shape._t, shape._v)
+        )
+        return f"PWL({pairs})"
+    if isinstance(shape, Pulse):
+        return (
+            f"PULSE({format_value(shape.v0)} {format_value(shape.v1)} "
+            f"{format_value(shape.delay)} {format_value(shape.rise)} "
+            f"{format_value(shape.fall)} {format_value(shape.width)})"
+        )
+    raise TypeError(f"source shape {type(shape).__name__} has no SPICE card")
+
+
+def card_name(element, letter: str) -> str:
+    """The element's SPICE card name: its own name, type-letter-prefixed
+    only when the name does not already start with that letter."""
+    if element.name[:1].upper() == letter:
+        return element.name
+    return f"{letter}{element.name}"
+
+
+def to_spice(circuit: Circuit) -> str:
+    """Render the circuit as a SPICE netlist string.
+
+    Card names follow :func:`card_name`; parsing the output back yields
+    elements named by their full card names.
+    """
+    lines = [f"* {circuit.title or 'repro netlist'}"]
+    name = circuit.node_name
+    for el in circuit.elements:
+        if isinstance(el, Resistor):
+            lines.append(f"{card_name(el, 'R')} {name(el.nodes[0])} {name(el.nodes[1])} "
+                         f"{format_value(el.ohms)}")
+        elif isinstance(el, Capacitor):
+            card = (f"{card_name(el, 'C')} {name(el.nodes[0])} {name(el.nodes[1])} "
+                    f"{format_value(el.farads)}")
+            if el.ic is not None:
+                card += f" IC={format_value(el.ic)}"
+            lines.append(card)
+        elif isinstance(el, Inductor):
+            card = (f"{card_name(el, 'L')} {name(el.nodes[0])} {name(el.nodes[1])} "
+                    f"{format_value(el.henries)}")
+            if el.ic:
+                card += f" IC={format_value(el.ic)}"
+            lines.append(card)
+        elif isinstance(el, MutualInductance):
+            lines.append(f"{card_name(el, 'K')} {card_name(el.la, 'L')} "
+                         f"{card_name(el.lb, 'L')} {format_value(el.coupling)}")
+        elif isinstance(el, VoltageSource):
+            lines.append(f"{card_name(el, 'V')} {name(el.nodes[0])} {name(el.nodes[1])} "
+                         f"{_shape_card(el.shape)}")
+        elif isinstance(el, CurrentSource):
+            lines.append(f"{card_name(el, 'I')} {name(el.nodes[0])} {name(el.nodes[1])} "
+                         f"{_shape_card(el.shape)}")
+        elif isinstance(el, MosfetElement):
+            d, g, s, b = (name(n) for n in el.nodes)
+            lines.append(f"{card_name(el, 'M')} {d} {g} {s} {b} {el.model.name}")
+        else:
+            raise TypeError(f"element {el.name!r} has no SPICE card")
+    lines.append(".END")
+    return "\n".join(lines) + "\n"
+
+
+_PAREN = re.compile(r"(PWL|PULSE)\s*\(([^)]*)\)", re.IGNORECASE)
+
+
+def _parse_shape(rest: str) -> SourceShape:
+    match = _PAREN.search(rest)
+    if match:
+        kind = match.group(1).upper()
+        values = [parse_value(tok) for tok in match.group(2).split()]
+        if kind == "PWL":
+            if len(values) < 4 or len(values) % 2:
+                raise ValueError(f"malformed PWL card: {rest!r}")
+            return Pwl(list(zip(values[::2], values[1::2])))
+        if len(values) != 6:
+            raise ValueError(f"malformed PULSE card: {rest!r}")
+        v0, v1, delay, rise, fall, width = values
+        return Pulse(v0=v0, v1=v1, delay=delay, rise=rise, width=width, fall=fall)
+    tokens = rest.split()
+    if tokens and tokens[0].upper() == "DC":
+        tokens = tokens[1:]
+    if len(tokens) != 1:
+        raise ValueError(f"malformed source card tail: {rest!r}")
+    return Dc(parse_value(tokens[0]))
+
+
+def from_spice(text: str, models: dict | None = None) -> Circuit:
+    """Parse a netlist of the supported subset back into a Circuit.
+
+    Args:
+        text: the netlist (first line is treated as the title iff it is
+            not itself a card).
+        models: registry resolving MOSFET card model references to
+            :class:`~repro.devices.base.MosfetModel` instances.
+
+    Returns:
+        The reconstructed circuit.
+
+    Raises:
+        ValueError: on malformed or unsupported cards.
+        KeyError: for an M card whose model is not in the registry.
+    """
+    models = models or {}
+    circuit = None
+    deferred_mutuals = []
+
+    lines = [ln.strip() for ln in text.splitlines()]
+    lines = [ln for ln in lines if ln and not ln.startswith("*")]
+    if lines and lines[0][0].upper() not in "RCLKVIM.":
+        circuit = Circuit(lines[0])
+        lines = lines[1:]
+    if circuit is None:
+        circuit = Circuit("parsed netlist")
+
+    for line in lines:
+        upper = line.upper()
+        if upper.startswith(".END"):
+            break
+        kind = upper[0]
+        tokens = line.split()
+        name = tokens[0]  # elements are named by their full card name
+        if kind == "R":
+            circuit.resistor(name, tokens[1], tokens[2], parse_value(tokens[3]))
+        elif kind == "C":
+            ic = None
+            if len(tokens) > 4 and tokens[4].upper().startswith("IC="):
+                ic = parse_value(tokens[4][3:])
+            circuit.capacitor(name, tokens[1], tokens[2], parse_value(tokens[3]), ic=ic)
+        elif kind == "L":
+            ic = 0.0
+            if len(tokens) > 4 and tokens[4].upper().startswith("IC="):
+                ic = parse_value(tokens[4][3:])
+            circuit.inductor(name, tokens[1], tokens[2], parse_value(tokens[3]), ic=ic)
+        elif kind == "K":
+            # Inductors may appear later in the deck; resolve at the end.
+            deferred_mutuals.append((name, tokens[1], tokens[2],
+                                     parse_value(tokens[3])))
+        elif kind == "V":
+            circuit.vsource(name, tokens[1], tokens[2],
+                            _parse_shape(line.split(None, 3)[3]))
+        elif kind == "I":
+            circuit.isource(name, tokens[1], tokens[2],
+                            _parse_shape(line.split(None, 3)[3]))
+        elif kind == "M":
+            model_ref = tokens[5]
+            if model_ref not in models:
+                raise KeyError(
+                    f"M card {tokens[0]} references model {model_ref!r}; "
+                    "pass it via the models registry"
+                )
+            circuit.mosfet(name, tokens[1], tokens[2], tokens[3], tokens[4],
+                           models[model_ref])
+        else:
+            raise ValueError(f"unsupported card: {line!r}")
+
+    for name, la, lb, k in deferred_mutuals:
+        circuit.mutual(name, la, lb, k)
+    return circuit

@@ -1,0 +1,80 @@
+"""Damped Newton-Raphson solve of one assembled MNA system.
+
+Used by both the DC/IC analyses and every transient time step.  The solver
+re-stamps the (possibly nonlinear) system at each iterate, solves the dense
+linearized system, damps oversized updates (the MOSFET subthreshold
+exponential punishes full steps from a bad guess), and declares convergence
+when the update is small in the usual mixed absolute/relative sense.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .mna import MnaSystem, StampContext
+
+
+class ConvergenceError(RuntimeError):
+    """Newton iteration failed to converge."""
+
+
+def newton_solve(
+    system: MnaSystem,
+    mode: str,
+    t: float,
+    dt: float,
+    method: str,
+    states: dict,
+    x0: np.ndarray,
+    gmin: float = 1e-12,
+    max_iter: int = 100,
+    abstol: float = 1e-9,
+    reltol: float = 1e-6,
+    max_update: float = 0.5,
+) -> tuple[np.ndarray, StampContext]:
+    """Solve the circuit equations for one (mode, t) point.
+
+    Args:
+        system: assembled MNA bookkeeping for the circuit.
+        mode: "dc", "ic" or "tran" (see :mod:`repro.spice.elements`).
+        t: evaluation time for the independent sources.
+        dt: time-step length (ignored outside "tran").
+        method: "be" or "trap" companion models (ignored outside "tran").
+        states: engine-owned per-element state dicts.
+        x0: initial guess for the unknown vector.
+        gmin: minimum conductance added across nonlinear devices.
+        max_iter: Newton iteration budget.
+        abstol: absolute convergence tolerance on every unknown.
+        reltol: relative convergence tolerance on every unknown.
+        max_update: per-iteration cap on the infinity norm of the update.
+
+    Returns:
+        (x, ctx): the converged unknowns and a context assembled *at* the
+        converged point, ready for state commits and current extraction.
+
+    Raises:
+        ConvergenceError: if the iteration budget is exhausted or the
+            linearized system is singular beyond recovery.
+    """
+    x = np.array(x0, dtype=float)
+    for _ in range(max_iter):
+        ctx = system.context(mode, t, dt, method, states, x, gmin)
+        system.assemble(ctx)
+        try:
+            x_new = np.linalg.solve(ctx.A, ctx.z)
+        except np.linalg.LinAlgError:
+            x_new, *_ = np.linalg.lstsq(ctx.A, ctx.z, rcond=None)
+        if not np.all(np.isfinite(x_new)):
+            raise ConvergenceError(f"non-finite solution while solving at t={t}")
+
+        dx = x_new - x
+        step = float(np.max(np.abs(dx))) if dx.size else 0.0
+        if step > max_update:
+            x = x + dx * (max_update / step)
+            continue
+        x = x_new
+        if np.all(np.abs(dx) <= abstol + reltol * np.abs(x)):
+            final = system.context(mode, t, dt, method, states, x, gmin)
+            system.assemble(final)
+            return x, final
+    raise ConvergenceError(f"Newton failed to converge in {max_iter} iterations at t={t}")

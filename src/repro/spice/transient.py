@@ -1,0 +1,253 @@
+"""Transient analysis engine.
+
+Fixed user-chosen base step with automatic halving on Newton failure and
+re-growth afterwards; steps always land exactly on source breakpoints (ramp
+corners) and on ``tstop``.  Integration is trapezoidal by default with a
+backward-Euler first step after t=0 (no consistent history exists yet),
+which is the standard SPICE ``UIC`` start-up.
+
+Every accepted step records all node voltages and all element currents, so
+results expose full waveforms by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .circuit import Circuit
+from .mna import MnaSystem
+from .solver import ConvergenceError, newton_solve
+from .waveform import Waveform
+
+#: Refuse to shrink the step below base_dt / _MIN_STEP_DIVISOR.
+_MIN_STEP_DIVISOR = 4096.0
+
+
+@dataclasses.dataclass(frozen=True)
+class TransientOptions:
+    """Engine knobs.
+
+    Attributes:
+        method: "trap" (default) or "be" companion integration.
+        gmin: shunt conductance across nonlinear devices.
+        max_newton: Newton iteration budget per step.
+        abstol: Newton absolute tolerance.
+        reltol: Newton relative tolerance.
+        adaptive: enable local-truncation-error step control via step
+            doubling (one full step vs two half steps).  The ``dt``
+            argument of :func:`transient` then acts as the *maximum* step;
+            the engine shrinks and regrows within it.
+        lte_rtol: relative LTE tolerance per accepted step (adaptive only).
+        lte_atol: absolute LTE tolerance in volts/amperes (adaptive only).
+        max_growth: largest per-step enlargement factor (adaptive only).
+    """
+
+    method: str = "trap"
+    gmin: float = 1e-12
+    max_newton: int = 100
+    abstol: float = 1e-9
+    reltol: float = 1e-6
+    adaptive: bool = False
+    lte_rtol: float = 1e-3
+    lte_atol: float = 1e-6
+    max_growth: float = 2.0
+
+    def __post_init__(self):
+        if self.method not in ("trap", "be"):
+            raise ValueError(f"unknown integration method {self.method!r}")
+        if self.lte_rtol <= 0 or self.lte_atol <= 0:
+            raise ValueError("LTE tolerances must be positive")
+        if self.max_growth <= 1.0:
+            raise ValueError("max_growth must exceed 1")
+
+
+class TransientResult:
+    """Waveforms of one transient run, addressable by node/element name."""
+
+    def __init__(self, circuit: Circuit, times: np.ndarray,
+                 node_samples: np.ndarray, current_samples: dict[str, np.ndarray]):
+        self._circuit = circuit
+        self.times = times
+        self._nodes = node_samples  # shape (n_steps, n_nodes-1)
+        self._currents = current_samples
+
+    def voltage(self, node_name: str) -> Waveform:
+        """Waveform of a node voltage."""
+        node = self._circuit.node_id(node_name)
+        if node == 0:
+            return Waveform(self.times, np.zeros_like(self.times))
+        return Waveform(self.times, self._nodes[:, node - 1])
+
+    def current(self, element_name: str) -> Waveform:
+        """Waveform of an element current (first node -> second node)."""
+        if element_name not in self._currents:
+            known = ", ".join(sorted(self._currents))
+            raise KeyError(f"no recorded current for {element_name!r}; have: {known}")
+        return Waveform(self.times, self._currents[element_name])
+
+    @property
+    def node_names(self) -> list[str]:
+        return [n for n in self._circuit.node_names if n != "0"]
+
+
+def transient(
+    circuit: Circuit,
+    tstop: float,
+    dt: float,
+    tstart: float = 0.0,
+    options: TransientOptions | None = None,
+) -> TransientResult:
+    """Run a transient analysis.
+
+    Args:
+        circuit: the netlist to simulate (not mutated).
+        tstop: end time in seconds.
+        dt: base time step in seconds; the engine may locally shrink it to
+            land on breakpoints or to recover Newton convergence.
+        tstart: start time (sources are evaluated from here).
+        options: engine knobs; defaults are fine for the SSN circuits.
+
+    Returns:
+        A :class:`TransientResult` with node-voltage and element-current
+        waveforms sampled at every accepted step (including t = tstart).
+    """
+    if tstop <= tstart:
+        raise ValueError("tstop must be greater than tstart")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    opts = options or TransientOptions()
+
+    system = MnaSystem(circuit)
+    states: dict = {}
+
+    # t=0 consistency solve: capacitors forced to their ICs, inductors to theirs.
+    x, ctx = newton_solve(
+        system, "ic", tstart, dt=dt, method=opts.method, states=states,
+        x0=np.zeros(system.size), gmin=max(opts.gmin, 1e-9),
+        max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
+    )
+    for el in circuit.elements:
+        el.init_state(ctx)
+
+    breakpoints = [b for b in circuit.breakpoints() if tstart < b < tstop]
+    breakpoints.append(tstop)
+
+    times = [tstart]
+    node_rows = [np.array(x[: system.num_node_unknowns])]
+    current_rows: dict[str, list[float]] = {
+        el.name: [] for el in circuit.elements if hasattr(el, "current")
+    }
+    # Element currents at t=0 come from the IC context (capacitor companion
+    # models are undefined before the first step, so record zeros there).
+    for el in circuit.elements:
+        if el.name in current_rows:
+            current_rows[el.name].append(_safe_current(el, ctx))
+
+    t = tstart
+    h = dt
+    bp_iter = iter(breakpoints)
+    next_bp = next(bp_iter)
+    min_h = dt / _MIN_STEP_DIVISOR
+
+    def solve_step(step_states, x0, t_target, h_target):
+        return newton_solve(
+            system, "tran", t_target, dt=h_target, method=opts.method,
+            states=step_states, x0=x0, gmin=opts.gmin,
+            max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
+        )
+
+    def commit_all(ctx):
+        for el in circuit.elements:
+            el.commit(ctx)
+
+    def snapshot():
+        return {el: dict(state) for el, state in states.items()}
+
+    while t < tstop - 1e-21:
+        h_step = min(h, next_bp - t)
+
+        if not opts.adaptive:
+            while True:
+                try:
+                    x_new, step_ctx = solve_step(states, x, t + h_step, h_step)
+                    break
+                except ConvergenceError:
+                    h_step /= 2.0
+                    if h_step < min_h:
+                        raise
+            # Record, then commit state (commit consumes the pre-step state).
+            for el in circuit.elements:
+                if el.name in current_rows:
+                    current_rows[el.name].append(_safe_current(el, step_ctx))
+            commit_all(step_ctx)
+            grown = min(dt, h_step * 2.0)
+        else:
+            # Step doubling: one h step vs two h/2 steps; their gap
+            # estimates the local truncation error of the coarse step.
+            while True:
+                try:
+                    big_states = snapshot()
+                    x_big, _ = solve_step(big_states, x, t + h_step, h_step)
+
+                    half_states = snapshot()
+                    x_mid, ctx_mid = solve_step(half_states, x, t + h_step / 2, h_step / 2)
+                    commit_all(ctx_mid)
+                    x_new, step_ctx = solve_step(
+                        half_states, x_mid, t + h_step, h_step / 2
+                    )
+                except ConvergenceError:
+                    h_step /= 2.0
+                    if h_step < min_h:
+                        raise
+                    continue
+                nn = system.num_node_unknowns
+                scale = opts.lte_atol + opts.lte_rtol * np.abs(x_new[:nn])
+                err = float(np.max(np.abs(x_big[:nn] - x_new[:nn]) / scale)) if nn else 0.0
+                if err <= 1.0:
+                    break
+                h_step = max(h_step * max(0.9 * err ** (-1.0 / 3.0), 0.25), min_h)
+                if h_step <= min_h:
+                    break  # accept at the floor rather than stall
+            for el in circuit.elements:
+                if el.name in current_rows:
+                    current_rows[el.name].append(_safe_current(el, step_ctx))
+            commit_all(step_ctx)
+            states.clear()
+            states.update(half_states)
+            factor = 0.9 * err ** (-1.0 / 3.0) if err > 0 else opts.max_growth
+            grown = min(dt, h_step * min(max(factor, 0.25), opts.max_growth))
+
+        t += h_step
+        x = x_new
+        times.append(t)
+        node_rows.append(np.array(x[: system.num_node_unknowns]))
+
+        if abs(t - next_bp) < 1e-21 or t >= next_bp:
+            # Source slope discontinuity: restart the integrator with a
+            # backward-Euler step, or the trapezoidal companion rings
+            # (i_new = -i_prev) on any element sitting across the corner.
+            for state in states.values():
+                if "first_step" in state:
+                    state["first_step"] = True
+            try:
+                next_bp = next(bp_iter)
+            except StopIteration:
+                next_bp = tstop
+        h = grown
+
+    return TransientResult(
+        circuit,
+        np.array(times),
+        np.vstack(node_rows) if node_rows else np.zeros((0, 0)),
+        {name: np.array(vals) for name, vals in current_rows.items()},
+    )
+
+
+def _safe_current(element, ctx) -> float:
+    """Element current, tolerating elements without tran-mode current."""
+    try:
+        return float(element.current(ctx))
+    except Exception:
+        return 0.0

@@ -1,0 +1,113 @@
+"""Time-series container returned by the transient engine.
+
+A :class:`Waveform` is an immutable (time, value) pair with the operations
+the SSN experiments need: interpolation, global and windowed peaks, local
+maxima (for counting under-damped ringing peaks), and comparison metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Waveform:
+    """A sampled signal ``y(t)`` on a strictly increasing time grid."""
+
+    t: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self):
+        t = np.asarray(self.t, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        object.__setattr__(self, "t", t)
+        object.__setattr__(self, "y", y)
+        if t.ndim != 1 or y.ndim != 1 or len(t) != len(y):
+            raise ValueError("t and y must be 1-D arrays of equal length")
+        if len(t) < 2:
+            raise ValueError("a waveform needs at least two samples")
+        if np.any(np.diff(t) <= 0):
+            raise ValueError("time grid must be strictly increasing")
+
+    # -- basic queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def tstart(self) -> float:
+        return float(self.t[0])
+
+    @property
+    def tstop(self) -> float:
+        return float(self.t[-1])
+
+    def value_at(self, time):
+        """Linear interpolation; clamps outside the sampled span."""
+        return np.interp(time, self.t, self.y)
+
+    def window(self, t0: float, t1: float) -> "Waveform":
+        """The sub-waveform on [t0, t1], with interpolated end samples."""
+        if t1 <= t0:
+            raise ValueError("window requires t1 > t0")
+        inside = (self.t > t0) & (self.t < t1)
+        t = np.concatenate(([t0], self.t[inside], [t1]))
+        y = np.concatenate(([self.value_at(t0)], self.y[inside], [self.value_at(t1)]))
+        return Waveform(t, y)
+
+    # -- extrema ---------------------------------------------------------------
+
+    def peak(self) -> tuple[float, float]:
+        """(time, value) of the global maximum sample."""
+        i = int(np.argmax(self.y))
+        return float(self.t[i]), float(self.y[i])
+
+    def trough(self) -> tuple[float, float]:
+        """(time, value) of the global minimum sample."""
+        i = int(np.argmin(self.y))
+        return float(self.t[i]), float(self.y[i])
+
+    def local_maxima(self) -> list[tuple[float, float]]:
+        """Interior local maxima as (time, value) pairs, in time order."""
+        y = self.y
+        rising = y[1:-1] > y[:-2]
+        falling = y[1:-1] >= y[2:]
+        idx = np.flatnonzero(rising & falling) + 1
+        return [(float(self.t[i]), float(y[i])) for i in idx]
+
+    # -- calculus / metrics ------------------------------------------------------
+
+    def derivative(self) -> "Waveform":
+        """Numerical dy/dt on the same grid (second-order interior stencil)."""
+        return Waveform(self.t, np.gradient(self.y, self.t))
+
+    def integral(self) -> float:
+        """Trapezoidal integral of y over the full time span."""
+        return float(np.trapezoid(self.y, self.t))
+
+    def resample(self, times) -> "Waveform":
+        """The waveform linearly interpolated onto a new grid."""
+        times = np.asarray(times, dtype=float)
+        return Waveform(times, self.value_at(times))
+
+    def to_csv(self, path, header: str = "t,y") -> None:
+        """Write the samples as two-column CSV (for external plotting)."""
+        data = np.column_stack([self.t, self.y])
+        np.savetxt(path, data, delimiter=",", header=header, comments="")
+
+    @classmethod
+    def from_csv(cls, path) -> "Waveform":
+        """Read a waveform written by :meth:`to_csv`."""
+        data = np.loadtxt(path, delimiter=",", skiprows=1)
+        return cls(data[:, 0], data[:, 1])
+
+    def rms_difference(self, other: "Waveform") -> float:
+        """RMS of (self - other), compared on self's time grid."""
+        diff = self.y - other.value_at(self.t)
+        return float(np.sqrt(np.mean(np.square(diff))))
+
+    def max_abs_difference(self, other: "Waveform") -> float:
+        """Max |self - other| on self's time grid."""
+        return float(np.max(np.abs(self.y - other.value_at(self.t))))

@@ -1,0 +1,33 @@
+"""Shared fixtures: technology cards and cached model fits.
+
+Model extraction sweeps the golden device over a few hundred bias points;
+doing it once per session (it is also lru-cached inside
+``repro.experiments.common``) keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import FittedModels, fitted_models
+from repro.process import TSMC018, get_technology
+
+
+@pytest.fixture(scope="session")
+def tech018():
+    return TSMC018
+
+
+@pytest.fixture(scope="session")
+def models018() -> FittedModels:
+    return fitted_models("tsmc018")
+
+
+@pytest.fixture(scope="session")
+def asdm018(models018):
+    return models018.asdm
+
+
+@pytest.fixture(scope="session", params=["tsmc018", "tsmc025", "tsmc035"])
+def any_tech(request):
+    return get_technology(request.param)

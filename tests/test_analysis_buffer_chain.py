@@ -1,0 +1,70 @@
+"""Tests for the tapered pre-driver chain substrate."""
+
+import pytest
+
+from repro.analysis import BufferChainSpec, build_buffer_chain, simulate_buffer_chain
+from repro.analysis.buffer_chain import gate_capacitance
+from repro.process import TSMC018
+
+
+@pytest.fixture
+def spec():
+    return BufferChainSpec(technology=TSMC018, n_drivers=4)
+
+
+class TestSpec:
+    def test_stage_strengths_taper(self, spec):
+        assert spec.stage_strength(1) == pytest.approx(
+            spec.first_stage_strength * spec.taper
+        )
+
+    def test_odd_stage_count_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            BufferChainSpec(technology=TSMC018, n_drivers=4, stages=3)
+
+    def test_taper_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            BufferChainSpec(technology=TSMC018, n_drivers=4, taper=1.0)
+
+    def test_gate_capacitance_positive_and_tiny(self):
+        c = gate_capacitance(TSMC018, 15e-6, 33e-6)
+        assert 1e-16 < c < 1e-12
+
+
+class TestBuild:
+    def test_netlist_structure(self, spec):
+        circuit = build_buffer_chain(spec)
+        names = {el.name for el in circuit.elements}
+        assert {"Xn1", "Xp1", "Xn2", "Xp2", "Cg1", "Cg2", "M1", "Lgnd", "CL1"} <= names
+
+    def test_final_gate_node_feeds_bank(self, spec):
+        circuit = build_buffer_chain(spec)
+        bank = circuit.element("M1")
+        assert circuit.node_name(bank.nodes[1]) == f"a{spec.stages}"
+
+    def test_internal_nodes_alternate_rails(self, spec):
+        circuit = build_buffer_chain(spec)
+        assert circuit.element("Cg1").ic == pytest.approx(TSMC018.vdd)
+        assert circuit.element("Cg2").ic == 0.0
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return simulate_buffer_chain(
+            BufferChainSpec(technology=TSMC018, n_drivers=4, input_rise_time=0.3e-9)
+        )
+
+    def test_final_gate_swings_full_rail(self, sim):
+        assert sim.final_gate.value_at(0.0) == pytest.approx(0.0, abs=0.05)
+        assert sim.final_gate.y[-1] == pytest.approx(TSMC018.vdd, abs=0.05)
+
+    def test_ssn_produced(self, sim):
+        assert 0.05 < sim.peak_voltage < TSMC018.vdd
+
+    def test_gate_monotone_rising(self, sim):
+        import numpy as np
+
+        # Allow tiny numerical ripple but no real non-monotonicity.
+        y = sim.final_gate.y
+        assert np.min(np.diff(y)) > -0.02

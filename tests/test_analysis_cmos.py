@@ -1,0 +1,100 @@
+"""Tests for the two-rail CMOS driver-bank harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import CmosDriverBankSpec, build_cmos_driver_bank, simulate_cmos
+from repro.packaging import PGA
+from repro.process import TSMC018
+
+
+@pytest.fixture
+def spec():
+    return CmosDriverBankSpec(
+        technology=TSMC018, n_drivers=2, ground=PGA.pin, power=PGA.pin, edge="rise"
+    )
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="edge"):
+            CmosDriverBankSpec(
+                technology=TSMC018, n_drivers=2, ground=PGA.pin, power=PGA.pin,
+                edge="sideways",
+            )
+        with pytest.raises(ValueError):
+            CmosDriverBankSpec(
+                technology=TSMC018, n_drivers=0, ground=PGA.pin, power=PGA.pin
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            CmosDriverBankSpec(
+                technology=TSMC018, n_drivers=2, ground=PGA.pin, power=PGA.pin,
+                include_pullup=False, include_pulldown=False,
+            )
+
+
+class TestBuild:
+    def test_both_devices_present(self, spec):
+        circuit = build_cmos_driver_bank(spec)
+        names = {el.name for el in circuit.elements}
+        assert {"Mn1", "Mp1", "Lvdd", "Lgnd", "Cvdd", "Cgnd", "Vin", "Vdd"} <= names
+
+    def test_pullup_omitted_on_request(self, spec):
+        circuit = build_cmos_driver_bank(dataclasses.replace(spec, include_pullup=False))
+        names = {el.name for el in circuit.elements}
+        assert "Mp1" not in names
+        assert "Mn1" in names
+
+    def test_falling_edge_load_starts_low(self, spec):
+        circuit = build_cmos_driver_bank(dataclasses.replace(spec, edge="fall"))
+        assert circuit.element("CL1").ic == 0.0
+
+    def test_rising_edge_load_starts_high(self, spec):
+        circuit = build_cmos_driver_bank(spec)
+        assert circuit.element("CL1").ic == pytest.approx(TSMC018.vdd)
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def rise_sim(self):
+        spec = CmosDriverBankSpec(
+            technology=TSMC018, n_drivers=2, ground=PGA.pin, power=PGA.pin, edge="rise"
+        )
+        return simulate_cmos(spec)
+
+    @pytest.fixture(scope="class")
+    def fall_sim(self):
+        spec = CmosDriverBankSpec(
+            technology=TSMC018, n_drivers=2, ground=PGA.pin, power=PGA.pin, edge="fall"
+        )
+        return simulate_cmos(spec)
+
+    def test_rising_edge_bounces_ground(self, rise_sim):
+        assert rise_sim.peak_ground_bounce > 0.1
+        assert rise_sim.peak_vdd_droop < 0.3 * rise_sim.peak_ground_bounce
+
+    def test_falling_edge_droops_rail(self, fall_sim):
+        assert fall_sim.peak_vdd_droop > 0.1
+        assert fall_sim.peak_ground_bounce < 0.3 * fall_sim.peak_vdd_droop
+
+    def test_output_transitions(self, rise_sim, fall_sim):
+        # The pads move toward the opposite rail; with 10 pF loads and 1x
+        # drivers only part of the swing completes within the short run.
+        vdd = TSMC018.vdd
+        assert rise_sim.output_voltage.value_at(0.0) == pytest.approx(vdd, abs=0.05)
+        assert rise_sim.output_voltage.y[-1] < vdd - 0.3
+        assert fall_sim.output_voltage.value_at(0.0) == pytest.approx(0.0, abs=0.05)
+        assert fall_sim.output_voltage.y[-1] > 0.3
+
+    def test_matches_nmos_only_bank(self, rise_sim):
+        """Rising-edge ground bounce ~ the single-rail harness result."""
+        from repro.analysis import DriverBankSpec, simulate_ssn
+
+        single = simulate_ssn(
+            DriverBankSpec(
+                technology=TSMC018, n_drivers=2, inductance=PGA.pin.inductance,
+                capacitance=PGA.pin.capacitance, rise_time=0.5e-9,
+            )
+        )
+        assert rise_sim.peak_ground_bounce == pytest.approx(single.peak_voltage, rel=0.02)

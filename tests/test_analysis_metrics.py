@@ -1,0 +1,80 @@
+"""Unit tests for error metrics and waveform comparison."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ErrorSummary, compare_waveforms, percent_error, relative_error
+from repro.spice import Waveform
+
+
+class TestScalarErrors:
+    def test_relative_error_signed(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.9, 1.0) == pytest.approx(-0.1)
+
+    def test_percent_error(self):
+        assert percent_error(1.05, 1.0) == pytest.approx(5.0)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestErrorSummary:
+    def test_from_pairs(self):
+        s = ErrorSummary.from_pairs([1.1, 0.9, 1.0], [1.0, 1.0, 1.0])
+        assert s.mean_abs_percent == pytest.approx(20.0 / 3)
+        assert s.max_abs_percent == pytest.approx(10.0)
+        assert s.bias_percent == pytest.approx(0.0, abs=1e-9)
+        assert s.rms_percent == pytest.approx(np.sqrt(200.0 / 3))
+
+    def test_bias_sign(self):
+        s = ErrorSummary.from_pairs([1.1, 1.2], [1.0, 1.0])
+        assert s.bias_percent > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.from_pairs([], [])
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.from_pairs([1.0], [1.0, 2.0])
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.from_pairs([1.0], [0.0])
+
+
+class TestWaveformComparison:
+    def test_identical_waveforms(self):
+        t = np.linspace(0, 1, 50)
+        w = Waveform(t, np.sin(t))
+        cmp = compare_waveforms(w, w)
+        assert cmp.max_abs_error == 0.0
+        assert cmp.rms_error == 0.0
+
+    def test_constant_offset(self):
+        t = np.linspace(0, 1, 50)
+        golden = Waveform(t, np.ones(50))
+        model = Waveform(t, np.ones(50) * 1.1)
+        cmp = compare_waveforms(model, golden)
+        assert cmp.max_abs_error == pytest.approx(0.1)
+        assert cmp.normalized_max_error == pytest.approx(0.1)
+
+    def test_nan_samples_ignored(self):
+        t = np.linspace(0, 1, 50)
+        y = np.ones(50)
+        y[30:] = np.nan  # model validity window ends
+        golden = Waveform(t, np.ones(50))
+        cmp = compare_waveforms(Waveform(t, y), golden)
+        assert cmp.max_abs_error == 0.0
+
+    def test_all_nan_rejected(self):
+        t = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError):
+            compare_waveforms(Waveform(t, np.full(10, np.nan)), Waveform(t, np.ones(10)))
+
+    def test_zero_golden_rejected(self):
+        t = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError):
+            compare_waveforms(Waveform(t, np.ones(10)), Waveform(t, np.zeros(10)))

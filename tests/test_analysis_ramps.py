@@ -1,0 +1,77 @@
+"""Unit tests for effective-ramp extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import crossing_time, extract_effective_ramp
+from repro.spice import Waveform
+
+
+def exponential_edge(vdd=1.8, tau=0.2e-9, n=2000):
+    t = np.linspace(0, 2e-9, n)
+    return Waveform(t, vdd * (1 - np.exp(-t / tau)))
+
+
+def linear_edge(vdd=1.8, tr=0.5e-9, start=0.1e-9, n=2000):
+    t = np.linspace(0, 2e-9, n)
+    return Waveform(t, np.clip((t - start) * vdd / tr, 0, vdd))
+
+
+class TestCrossingTime:
+    def test_linear_crossing(self):
+        w = linear_edge()
+        assert crossing_time(w, 0.9) == pytest.approx(0.1e-9 + 0.25e-9, rel=1e-3)
+
+    def test_never_reached(self):
+        w = linear_edge()
+        with pytest.raises(ValueError, match="never reaches"):
+            crossing_time(w, 5.0)
+
+    def test_starts_above_level(self):
+        t = np.linspace(0, 1, 10)
+        w = Waveform(t, np.ones(10))
+        assert crossing_time(w, 0.5) == 0.0
+
+
+class TestEffectiveRamp:
+    def test_recovers_exact_linear_ramp(self):
+        w = linear_edge(tr=0.5e-9, start=0.1e-9)
+        ramp = extract_effective_ramp(w, 1.8)
+        assert ramp.slope == pytest.approx(1.8 / 0.5e-9, rel=1e-3)
+        assert ramp.rise_time == pytest.approx(0.5e-9, rel=1e-3)
+        assert ramp.start_time == pytest.approx(0.1e-9, rel=1e-2)
+
+    def test_exponential_edge_slope(self):
+        """20-80% slope of vdd(1-e^{-t/tau})."""
+        tau = 0.2e-9
+        w = exponential_edge(tau=tau)
+        ramp = extract_effective_ramp(w, 1.8)
+        t20 = -tau * np.log(0.8)
+        t80 = -tau * np.log(0.2)
+        expected = 0.6 * 1.8 / (t80 - t20)
+        assert ramp.slope == pytest.approx(expected, rel=1e-2)
+
+    def test_crossings_ordered(self):
+        ramp = extract_effective_ramp(exponential_edge(), 1.8)
+        assert ramp.low_crossing < ramp.high_crossing
+
+    def test_voltage_evaluation_clamped(self):
+        ramp = extract_effective_ramp(linear_edge(), 1.8)
+        assert ramp.voltage(0.0, 1.8) == 0.0
+        assert ramp.voltage(5e-9, 1.8) == 1.8
+        mid = ramp.start_time + 0.5 * ramp.rise_time
+        assert ramp.voltage(mid, 1.8) == pytest.approx(0.9, rel=1e-2)
+
+    def test_custom_fractions(self):
+        w = exponential_edge()
+        wide = extract_effective_ramp(w, 1.8, 0.1, 0.9)
+        narrow = extract_effective_ramp(w, 1.8, 0.4, 0.6)
+        # The exponential decelerates: a wider window sees a slower slope.
+        assert wide.slope < narrow.slope
+
+    def test_invalid_fractions(self):
+        w = linear_edge()
+        with pytest.raises(ValueError):
+            extract_effective_ramp(w, 1.8, 0.8, 0.2)
+        with pytest.raises(ValueError):
+            extract_effective_ramp(w, 1.8, 0.0, 0.8)

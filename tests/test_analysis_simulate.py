@@ -1,0 +1,77 @@
+"""Unit tests for simulation defaults and result packaging."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.analysis import DriverBankSpec, default_stop_time, default_time_step, simulate_ssn
+from repro.process import TSMC018
+
+
+@pytest.fixture
+def l_only_spec():
+    return DriverBankSpec(
+        technology=TSMC018, n_drivers=2, inductance=5e-9, rise_time=0.5e-9
+    )
+
+
+@pytest.fixture
+def lc_spec(l_only_spec):
+    return dataclasses.replace(l_only_spec, capacitance=1e-12)
+
+
+class TestDefaults:
+    def test_l_only_step_from_ramp(self, l_only_spec):
+        assert default_time_step(l_only_spec) == pytest.approx(0.5e-9 / 400)
+
+    def test_lc_step_resolves_ringing(self, lc_spec):
+        ring = 2 * math.pi * math.sqrt(5e-9 * 1e-12)
+        expected = min(0.5e-9 / 400, ring / 80)
+        assert default_time_step(lc_spec) == pytest.approx(expected)
+
+    def test_big_capacitance_slows_nothing(self, l_only_spec):
+        """A huge C means a long ring period: the ramp sets the step."""
+        slow = dataclasses.replace(l_only_spec, capacitance=1e-6)
+        assert default_time_step(slow) == pytest.approx(0.5e-9 / 400)
+
+    def test_stop_time_covers_ramp_twice(self, l_only_spec):
+        assert default_stop_time(l_only_spec) == pytest.approx(1.0e-9)
+
+    def test_stop_time_covers_ringing_tail(self, lc_spec):
+        ring = 2 * math.pi * math.sqrt(5e-9 * 1e-12)
+        assert default_stop_time(lc_spec) >= 0.5e-9 + 1.5 * ring
+
+    def test_stop_time_extends_for_skew(self, l_only_spec):
+        skewed = dataclasses.replace(
+            l_only_spec, input_offsets=(0.0, 2e-9)
+        )
+        assert default_stop_time(skewed) >= default_stop_time(l_only_spec) + 2e-9
+
+
+class TestResultPackaging:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        spec = DriverBankSpec(
+            technology=TSMC018, n_drivers=3, inductance=5e-9, rise_time=0.5e-9
+        )
+        return simulate_ssn(spec)
+
+    def test_waveforms_share_time_grid(self, sim):
+        assert len(sim.ssn) == len(sim.inductor_current)
+        assert len(sim.ssn) == len(sim.output_voltage)
+
+    def test_driver_current_is_per_driver(self, sim):
+        """Collapsed banks report one driver's share of the current."""
+        t = 0.45e-9
+        total = sim.inductor_current.value_at(t)
+        per_driver = sim.driver_current.value_at(t)
+        assert per_driver == pytest.approx(total / 3, rel=0.05)
+
+    def test_input_is_the_ramp(self, sim):
+        assert sim.input_voltage.value_at(0.25e-9) == pytest.approx(0.9, rel=1e-6)
+
+    def test_peak_fields_consistent(self, sim):
+        t, v = sim.ssn.peak()
+        assert sim.peak_voltage == v
+        assert sim.peak_time == t

@@ -1,0 +1,68 @@
+"""Unit tests for the sweep engine (using fast, tiny simulations)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import DriverBankSpec, sweep_driver_count, sweep_ground_capacitance
+from repro.analysis.sweeps import sweep
+
+
+@pytest.fixture
+def base(tech018):
+    # Coarse rise time keeps each golden simulation fast for unit testing.
+    return DriverBankSpec(
+        technology=tech018, n_drivers=2, inductance=5e-9, rise_time=0.5e-9
+    )
+
+
+@pytest.fixture
+def constant_estimator():
+    return {"const": lambda spec: 0.123}
+
+
+class TestSweepEngine:
+    def test_points_in_order(self, base, constant_estimator):
+        result = sweep_driver_count(base, [1, 2, 4], constant_estimator)
+        assert result.values() == [1.0, 2.0, 4.0]
+
+    def test_specs_carry_swept_value(self, base, constant_estimator):
+        result = sweep_driver_count(base, [1, 4], constant_estimator)
+        assert result.points[1].spec.n_drivers == 4
+
+    def test_estimates_recorded(self, base, constant_estimator):
+        result = sweep_driver_count(base, [2], constant_estimator)
+        assert result.points[0].estimates == {"const": 0.123}
+
+    def test_percent_error(self, base):
+        result = sweep_driver_count(base, [2], {"exact": lambda spec: 1.0})
+        point = result.points[0]
+        expected = 100.0 * (1.0 - point.simulated_peak) / point.simulated_peak
+        assert point.percent_error("exact") == pytest.approx(expected)
+
+    def test_simulated_peaks_increase_with_n(self, base, constant_estimator):
+        result = sweep_driver_count(base, [1, 4], constant_estimator)
+        peaks = result.simulated_peaks()
+        assert peaks[1] > peaks[0]
+
+    def test_estimator_names(self, base):
+        result = sweep_driver_count(
+            base, [1], {"b": lambda s: 1.0, "a": lambda s: 2.0}
+        )
+        assert result.estimator_names == ["a", "b"]
+
+    def test_capacitance_sweep_replaces_field(self, base, constant_estimator):
+        result = sweep_ground_capacitance(base, [1e-12, 2e-12], constant_estimator)
+        assert result.points[0].spec.capacitance == pytest.approx(1e-12)
+        assert result.points[1].spec.capacitance == pytest.approx(2e-12)
+
+    def test_generic_sweep_custom_apply(self, base, constant_estimator):
+        result = sweep(
+            "load",
+            base,
+            [5e-12, 20e-12],
+            lambda spec, v: dataclasses.replace(spec, load_capacitance=float(v)),
+            constant_estimator,
+        )
+        assert result.knob == "load"
+        assert result.points[1].spec.load_capacitance == pytest.approx(20e-12)

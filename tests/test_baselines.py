@@ -1,0 +1,144 @@
+"""Unit tests for the prior-art SSN estimators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import JouSsnModel, SenthinathanSsnModel, SongSsnModel, VemuruSsnModel
+from repro.core import AlphaPowerSsnParameters, SquareLawSsnParameters
+
+
+@pytest.fixture
+def alpha():
+    return AlphaPowerSsnParameters(b=5e-3, vth=0.53, alpha=1.2)
+
+
+@pytest.fixture
+def square():
+    return SquareLawSsnParameters(beta=8e-3, vth=0.55)
+
+
+VDD = 1.8
+L = 5e-9
+TR = 0.5e-9
+
+
+class TestVemuru:
+    def test_frozen_transconductance(self, alpha):
+        m = VemuruSsnModel(alpha, 8, L, VDD, TR)
+        assert m.frozen_transconductance == pytest.approx(
+            alpha.alpha * alpha.b * (VDD - alpha.vth) ** (alpha.alpha - 1)
+        )
+
+    def test_peak_formula(self, alpha):
+        m = VemuruSsnModel(alpha, 8, L, VDD, TR)
+        g = m.frozen_transconductance
+        tau = 8 * L * g
+        sr = VDD / TR
+        expected = tau * sr * (1 - np.exp(-(VDD - alpha.vth) / (sr * tau)))
+        assert m.peak_voltage() == pytest.approx(expected, rel=1e-12)
+
+    def test_waveform_zero_before_threshold_crossing(self, alpha):
+        m = VemuruSsnModel(alpha, 8, L, VDD, TR)
+        t0 = alpha.vth / m.slope
+        assert m.voltage(t0 * 0.9) == 0.0
+        assert m.voltage(t0 * 1.5) > 0.0
+
+    def test_waveform_nan_after_ramp(self, alpha):
+        m = VemuruSsnModel(alpha, 8, L, VDD, TR)
+        assert np.isnan(m.voltage(TR * 1.01))
+
+    def test_peak_monotone_in_n(self, alpha):
+        peaks = [VemuruSsnModel(alpha, n, L, VDD, TR).peak_voltage() for n in (1, 4, 16)]
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_validation(self, alpha):
+        with pytest.raises(ValueError):
+            VemuruSsnModel(alpha, 0, L, VDD, TR)
+        with pytest.raises(ValueError):
+            VemuruSsnModel(alpha, 8, L, 0.4, TR)
+
+
+class TestSong:
+    def test_peak_solves_implicit_equation(self, alpha):
+        m = SongSsnModel(alpha, 8, L, VDD, TR)
+        vmax = m.peak_voltage()
+        assert abs(m._residual(vmax)) < 1e-9
+
+    def test_peak_within_physical_range(self, alpha):
+        vmax = SongSsnModel(alpha, 8, L, VDD, TR).peak_voltage()
+        assert 0.0 < vmax < VDD - alpha.vth
+
+    def test_peak_monotone_in_n(self, alpha):
+        peaks = [SongSsnModel(alpha, n, L, VDD, TR).peak_voltage() for n in (1, 4, 16)]
+        assert peaks[0] < peaks[1] < peaks[2]
+
+    def test_linear_vn_underestimates_vs_vemuru(self, alpha):
+        """Song's linear-Vn assumption gives lower peaks than Vemuru's."""
+        song = SongSsnModel(alpha, 8, L, VDD, TR).peak_voltage()
+        vemuru = VemuruSsnModel(alpha, 8, L, VDD, TR).peak_voltage()
+        assert song < vemuru
+
+
+class TestJou:
+    def test_expansion_point_default_midwindow(self, alpha):
+        m = JouSsnModel(alpha, 8, L, VDD, TR)
+        assert m.expansion_point == pytest.approx((alpha.vth + VDD) / 2)
+
+    def test_effective_turn_on_above_vth(self, alpha):
+        m = JouSsnModel(alpha, 8, L, VDD, TR)
+        assert m.effective_turn_on > alpha.vth
+
+    def test_tangent_line_consistency(self, alpha):
+        """The linearization is tangent to the alpha-power law at M."""
+        m = JouSsnModel(alpha, 8, L, VDD, TR)
+        point = m.expansion_point
+        linear_at_point = m.linear_slope * (point - m.effective_turn_on)
+        assert linear_at_point == pytest.approx(
+            float(alpha.saturation_current(point)), rel=1e-12
+        )
+
+    def test_expansion_fraction_knob(self, alpha):
+        low = JouSsnModel(alpha, 8, L, VDD, TR, expansion_fraction=0.25)
+        high = JouSsnModel(alpha, 8, L, VDD, TR, expansion_fraction=0.9)
+        assert low.expansion_point < high.expansion_point
+        with pytest.raises(ValueError):
+            JouSsnModel(alpha, 8, L, VDD, TR, expansion_fraction=0.0)
+
+
+class TestSenthinathan:
+    def test_closed_form(self, square):
+        m = SenthinathanSsnModel(square, 8, L, VDD, TR)
+        sr = VDD / TR
+        nlbs = 8 * L * square.beta * sr
+        expected = nlbs * (VDD - square.vth) / (1 + nlbs)
+        assert m.peak_voltage() == pytest.approx(expected, rel=1e-12)
+
+    def test_peak_bounded_by_overdrive(self, square):
+        vmax = SenthinathanSsnModel(square, 64, L, VDD, TR).peak_voltage()
+        assert vmax < VDD - square.vth
+
+    def test_peak_monotone_in_n(self, square):
+        peaks = [
+            SenthinathanSsnModel(square, n, L, VDD, TR).peak_voltage() for n in (1, 4, 16)
+        ]
+        assert peaks[0] < peaks[1] < peaks[2]
+
+
+class TestCrossModel:
+    def test_all_positive_at_nominal(self, alpha, square):
+        for m in (
+            VemuruSsnModel(alpha, 8, L, VDD, TR),
+            SongSsnModel(alpha, 8, L, VDD, TR),
+            JouSsnModel(alpha, 8, L, VDD, TR),
+            SenthinathanSsnModel(square, 8, L, VDD, TR),
+        ):
+            assert m.peak_voltage() > 0.0
+
+    def test_names_distinct(self, alpha, square):
+        names = {
+            VemuruSsnModel.name,
+            SongSsnModel.name,
+            JouSsnModel.name,
+            SenthinathanSsnModel.name,
+        }
+        assert len(names) == 4

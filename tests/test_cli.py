@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fit_defaults(self):
+        args = build_parser().parse_args(["fit"])
+        assert args.tech == "tsmc018"
+        assert args.strength == 1.0
+
+    def test_estimate_requires_drivers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate"])
+
+    def test_unknown_tech_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fit", "--tech", "tsmc007"])
+
+    def test_report_choices(self):
+        args = build_parser().parse_args(["report", "fig1"])
+        assert args.experiment == "fig1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "fig9"])
+
+
+class TestCommands:
+    def test_fit_prints_parameters(self, capsys):
+        assert main(["fit"]) == 0
+        out = capsys.readouterr().out
+        assert "ASDM" in out
+        assert "lambda" in out
+        assert "alpha-power" in out
+
+    def test_estimate_l_only(self, capsys):
+        assert main(["estimate", "-n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "Eqn 7" in out
+        assert "Table 1" not in out
+
+    def test_estimate_with_capacitance(self, capsys):
+        assert main(["estimate", "-n", "8", "-c", "1e-12"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "post-ramp extension" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "-b", "0.4", "-w", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "max simultaneous drivers" in out
+        assert "skewed launch" in out
+
+    def test_report_fig1(self, capsys):
+        assert main(["report", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+
+    def test_report_damping(self, capsys):
+        assert main(["report", "damping"]) == 0
+        out = capsys.readouterr().out
+        assert "Eqn (27)" in out

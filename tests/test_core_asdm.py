@@ -1,0 +1,93 @@
+"""Unit tests for the ASDM device model (paper Eqn 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsdmMosfet, AsdmParameters
+
+
+@pytest.fixture
+def params():
+    return AsdmParameters(k=5e-3, v0=0.61, lam=1.04)
+
+
+class TestDrainCurrent:
+    def test_linear_above_turn_on(self, params):
+        i1 = params.drain_current(1.0)
+        i2 = params.drain_current(1.4)
+        assert i2 - i1 == pytest.approx(params.k * 0.4, rel=1e-12)
+
+    def test_clamped_below_turn_on(self, params):
+        assert params.drain_current(0.5) == 0.0
+        assert params.drain_current(params.v0) == 0.0
+
+    def test_source_voltage_penalty(self, params):
+        """Raising the source by dv costs lam*dv of gate overdrive."""
+        base = params.drain_current(1.5, 0.0)
+        lifted = params.drain_current(1.5, 0.1)
+        assert base - lifted == pytest.approx(params.k * params.lam * 0.1, rel=1e-12)
+
+    def test_turn_on_gate_voltage(self, params):
+        vs = 0.2
+        von = float(params.turn_on_gate_voltage(vs))
+        assert von == pytest.approx(params.v0 + params.lam * vs)
+        assert params.drain_current(von - 1e-9, vs) == 0.0
+        assert params.drain_current(von + 0.1, vs) > 0.0
+
+    def test_array_evaluation(self, params):
+        vg = np.linspace(0, 1.8, 50)
+        out = params.drain_current(vg, 0.1)
+        assert out.shape == (50,)
+        assert np.all(out >= 0)
+
+
+class TestScaling:
+    def test_scaled_multiplies_k_only(self, params):
+        wide = params.scaled(3.0)
+        assert wide.k == pytest.approx(3 * params.k)
+        assert wide.v0 == params.v0
+        assert wide.lam == params.lam
+
+    def test_scaled_invalid(self, params):
+        with pytest.raises(ValueError):
+            params.scaled(0.0)
+
+    def test_parallel_devices_equivalence(self, params):
+        """N devices at (vg, vs) carry the same current as one scaled(N)."""
+        n = 7
+        assert params.scaled(n).drain_current(1.3, 0.05) == pytest.approx(
+            n * params.drain_current(1.3, 0.05), rel=1e-12
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AsdmParameters(k=0.0, v0=0.6, lam=1.0)
+        with pytest.raises(ValueError):
+            AsdmParameters(k=1e-3, v0=-0.1, lam=1.0)
+        with pytest.raises(ValueError):
+            AsdmParameters(k=1e-3, v0=0.6, lam=0.0)
+
+
+class TestAsdmMosfet:
+    def test_matches_eqn3_with_drain_at_rail(self, params):
+        """With vds = vdd - vs the wrapper reproduces Eqn (3) exactly."""
+        dev = AsdmMosfet(params, vdd=1.8)
+        vg, vs = 1.5, 0.25
+        assert dev.ids(vg - vs, 1.8 - vs) == pytest.approx(
+            params.drain_current(vg, vs), rel=1e-12
+        )
+
+    def test_cutoff_when_off(self, params):
+        dev = AsdmMosfet(params, vdd=1.8)
+        assert dev.ids(0.3, 1.8) == 0.0
+
+    def test_zero_for_nonpositive_vds(self, params):
+        dev = AsdmMosfet(params, vdd=1.8)
+        assert dev.ids(1.5, 0.0) == 0.0
+        assert dev.ids(1.5, -0.5) == 0.0
+
+    def test_vdd_validation(self, params):
+        with pytest.raises(ValueError):
+            AsdmMosfet(params, vdd=0.0)

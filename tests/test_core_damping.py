@@ -1,0 +1,89 @@
+"""Unit tests for damping-region arithmetic (paper Eqn 27)."""
+
+import pytest
+
+from repro.core import (
+    AsdmParameters,
+    DampingRegion,
+    classify,
+    critical_capacitance,
+    critical_driver_count,
+    damping_ratio,
+    decay_rate,
+    natural_frequency,
+)
+
+
+@pytest.fixture
+def params():
+    return AsdmParameters(k=5.4e-3, v0=0.60, lam=1.04)
+
+
+class TestBasicQuantities:
+    def test_decay_rate_formula(self, params):
+        assert decay_rate(params, 8, 2e-12) == pytest.approx(
+            8 * params.k * params.lam / (2 * 2e-12)
+        )
+
+    def test_natural_frequency(self):
+        assert natural_frequency(5e-9, 2e-12) == pytest.approx(1e10, rel=1e-9)
+
+    def test_damping_ratio_is_a_over_w0(self, params):
+        zeta = damping_ratio(params, 8, 5e-9, 1e-12)
+        assert zeta == pytest.approx(
+            decay_rate(params, 8, 1e-12) / natural_frequency(5e-9, 1e-12)
+        )
+
+
+class TestCriticalCapacitance:
+    def test_eqn27(self, params):
+        n, l = 8, 5e-9
+        expected = (n * params.k * params.lam) ** 2 * l / 4
+        assert critical_capacitance(params, n, l) == pytest.approx(expected)
+
+    def test_zeta_is_one_at_critical(self, params):
+        c = critical_capacitance(params, 8, 5e-9)
+        assert damping_ratio(params, 8, 5e-9, c) == pytest.approx(1.0, rel=1e-12)
+
+    def test_quadratic_in_n(self, params):
+        c1 = critical_capacitance(params, 3, 5e-9)
+        c2 = critical_capacitance(params, 6, 5e-9)
+        assert c2 == pytest.approx(4 * c1, rel=1e-12)
+
+    def test_inverse_critical_driver_count(self, params):
+        c = 1e-12
+        n_star = critical_driver_count(params, 5e-9, c)
+        assert critical_capacitance(params, 1, 5e-9) * n_star**2 == pytest.approx(c, rel=1e-9)
+
+
+class TestClassification:
+    def test_under_damped_above_critical_c(self, params):
+        c = critical_capacitance(params, 8, 5e-9)
+        assert classify(params, 8, 5e-9, 1.5 * c) is DampingRegion.UNDERDAMPED
+
+    def test_over_damped_below_critical_c(self, params):
+        c = critical_capacitance(params, 8, 5e-9)
+        assert classify(params, 8, 5e-9, 0.5 * c) is DampingRegion.OVERDAMPED
+
+    def test_critical_at_exact_c(self, params):
+        c = critical_capacitance(params, 8, 5e-9)
+        assert classify(params, 8, 5e-9, c) is DampingRegion.CRITICALLY_DAMPED
+
+    def test_small_n_under_damped_at_fixed_c(self, params):
+        """The paper's observation: small N -> under-damped, large N -> over."""
+        assert classify(params, 1, 5e-9, 1e-12) is DampingRegion.UNDERDAMPED
+        assert classify(params, 16, 5e-9, 1e-12) is DampingRegion.OVERDAMPED
+
+
+class TestValidation:
+    def test_bad_arguments_rejected(self, params):
+        with pytest.raises(ValueError):
+            decay_rate(params, 0, 1e-12)
+        with pytest.raises(ValueError):
+            natural_frequency(-1e-9, 1e-12)
+        with pytest.raises(ValueError):
+            damping_ratio(params, 8, 5e-9, 0.0)
+        with pytest.raises(ValueError):
+            critical_capacitance(params, -1, 5e-9)
+        with pytest.raises(ValueError):
+            critical_driver_count(params, 5e-9, -1e-12)

@@ -1,0 +1,118 @@
+"""Unit tests for the SSN-aware design helpers."""
+
+import pytest
+
+from repro.core import (
+    AsdmParameters,
+    InductiveSsnModel,
+    LcSsnModel,
+    max_simultaneous_drivers,
+    required_ground_pads,
+    required_rise_time,
+    skew_schedule,
+)
+
+
+@pytest.fixture
+def params():
+    return AsdmParameters(k=5.4e-3, v0=0.60, lam=1.04)
+
+
+VDD = 1.8
+L = 5e-9
+TR = 0.5e-9
+
+
+class TestMaxDrivers:
+    def test_result_meets_budget(self, params):
+        budget = 0.5
+        n = max_simultaneous_drivers(budget, params, L, VDD, TR)
+        assert n >= 1
+        assert InductiveSsnModel(params, n, L, VDD, TR).peak_voltage() <= budget
+
+    def test_one_more_driver_violates(self, params):
+        budget = 0.5
+        n = max_simultaneous_drivers(budget, params, L, VDD, TR)
+        assert InductiveSsnModel(params, n + 1, L, VDD, TR).peak_voltage() > budget
+
+    def test_zero_when_single_driver_too_noisy(self, params):
+        n = max_simultaneous_drivers(0.01, params, 200e-9, VDD, 0.05e-9)
+        assert n == 0
+
+    def test_monotone_in_budget(self, params):
+        n_tight = max_simultaneous_drivers(0.2, params, L, VDD, TR)
+        n_loose = max_simultaneous_drivers(0.6, params, L, VDD, TR)
+        assert n_loose >= n_tight
+
+
+class TestRequiredRiseTime:
+    def test_result_meets_budget(self, params):
+        tr = required_rise_time(0.4, params, 8, L, VDD)
+        peak = InductiveSsnModel(params, 8, L, VDD, tr).peak_voltage()
+        assert peak == pytest.approx(0.4, rel=1e-6)
+
+    def test_slower_for_more_drivers(self, params):
+        tr8 = required_rise_time(0.4, params, 8, L, VDD)
+        tr16 = required_rise_time(0.4, params, 16, L, VDD)
+        assert tr16 == pytest.approx(2 * tr8, rel=1e-9)  # same Z needed
+
+    def test_invalid_n(self, params):
+        with pytest.raises(ValueError):
+            required_rise_time(0.4, params, 0, L, VDD)
+
+
+class TestRequiredGroundPads:
+    def test_meets_budget_with_lc_model(self, params):
+        rec = required_ground_pads(0.3, params, 8, 5e-9, 1e-12, VDD, TR)
+        model = LcSsnModel(
+            params, 8, rec.inductance, rec.capacitance, VDD, TR
+        )
+        assert model.peak_voltage() <= 0.3
+        assert rec.peak_noise == pytest.approx(model.peak_voltage())
+
+    def test_minimality(self, params):
+        rec = required_ground_pads(0.3, params, 8, 5e-9, 1e-12, VDD, TR)
+        if rec.pads > 1:
+            fewer = LcSsnModel(
+                params, 8, 5e-9 / (rec.pads - 1), 1e-12 * (rec.pads - 1), VDD, TR
+            )
+            assert fewer.peak_voltage() > 0.3
+
+    def test_unreachable_budget_raises(self, params):
+        with pytest.raises(ValueError, match="unreachable"):
+            required_ground_pads(1e-4, params, 64, 5e-9, 1e-12, VDD, TR, max_pads=4)
+
+    def test_pad_parasitics_scaling(self, params):
+        rec = required_ground_pads(0.3, params, 8, 5e-9, 1e-12, VDD, TR)
+        assert rec.inductance == pytest.approx(5e-9 / rec.pads)
+        assert rec.capacitance == pytest.approx(1e-12 * rec.pads)
+
+
+class TestSkewSchedule:
+    def test_groups_cover_all_drivers(self, params):
+        plan = skew_schedule(0.4, params, 32, L, VDD, TR)
+        assert plan.group_size * plan.groups >= 32
+
+    def test_per_group_noise_within_budget(self, params):
+        plan = skew_schedule(0.4, params, 32, L, VDD, TR)
+        assert plan.peak_noise <= 0.4
+
+    def test_offsets_separated_by_rise_time(self, params):
+        plan = skew_schedule(0.4, params, 32, L, VDD, TR)
+        diffs = [
+            b - a for a, b in zip(plan.group_offsets, plan.group_offsets[1:])
+        ]
+        assert all(d == pytest.approx(TR) for d in diffs)
+
+    def test_single_group_when_budget_loose(self, params):
+        plan = skew_schedule(1.0, params, 4, L, VDD, TR)
+        assert plan.groups == 1
+        assert plan.added_latency == 0.0
+
+    def test_impossible_budget_raises(self, params):
+        with pytest.raises(ValueError, match="single driver"):
+            skew_schedule(0.001, params, 8, 500e-9, VDD, 0.01e-9)
+
+    def test_invalid_total(self, params):
+        with pytest.raises(ValueError):
+            skew_schedule(0.4, params, 0, L, VDD, TR)

@@ -1,0 +1,93 @@
+"""Unit tests for the circuit-oriented figure Z (paper Eqns 9-10)."""
+
+import pytest
+
+from repro.core import (
+    AsdmParameters,
+    InductiveSsnModel,
+    circuit_figure,
+    equivalent_driver_count,
+    equivalent_inductance,
+    equivalent_slope,
+    figure_for_noise_budget,
+    peak_noise_from_figure,
+)
+
+
+@pytest.fixture
+def params():
+    return AsdmParameters(k=5.4e-3, v0=0.60, lam=1.04)
+
+
+class TestFigure:
+    def test_product(self):
+        assert circuit_figure(8, 5e-9, 3.6e9) == pytest.approx(8 * 5e-9 * 3.6e9)
+
+    def test_eqn10_matches_eqn7(self, params):
+        """Vmax via Z must equal the InductiveSsnModel peak exactly."""
+        model = InductiveSsnModel(params, 8, 5e-9, 1.8, 0.5e-9)
+        z = circuit_figure(8, 5e-9, model.slope)
+        assert peak_noise_from_figure(z, params, 1.8) == pytest.approx(
+            model.peak_voltage(), rel=1e-12
+        )
+
+    def test_monotone_in_z(self, params):
+        v = [peak_noise_from_figure(z, params, 1.8) for z in (1e-2, 1e-1, 1.0, 10.0)]
+        assert all(b > a for a, b in zip(v, v[1:]))
+
+    def test_small_z_linear_limit(self, params):
+        """As Z -> 0 the exponential vanishes and Vmax -> K*Z."""
+        z = 1e-6
+        assert peak_noise_from_figure(z, params, 1.8) == pytest.approx(params.k * z, rel=1e-9)
+
+    def test_invalid_inputs(self, params):
+        with pytest.raises(ValueError):
+            peak_noise_from_figure(0.0, params, 1.8)
+        with pytest.raises(ValueError):
+            peak_noise_from_figure(1.0, params, params.v0)
+        with pytest.raises(ValueError):
+            circuit_figure(0, 5e-9, 1e9)
+
+
+class TestInversion:
+    def test_budget_roundtrip(self, params):
+        z = figure_for_noise_budget(0.3, params, 1.8)
+        assert peak_noise_from_figure(z, params, 1.8) == pytest.approx(0.3, rel=1e-9)
+
+    def test_budget_above_supremum_rejected(self, params):
+        supremum = (1.8 - params.v0) / params.lam
+        with pytest.raises(ValueError, match="saturates"):
+            figure_for_noise_budget(supremum, params, 1.8)
+
+    def test_budget_nonpositive_rejected(self, params):
+        with pytest.raises(ValueError):
+            figure_for_noise_budget(0.0, params, 1.8)
+
+    def test_tight_budget_small_figure(self, params):
+        z_tight = figure_for_noise_budget(0.05, params, 1.8)
+        z_loose = figure_for_noise_budget(0.5, params, 1.8)
+        assert z_tight < z_loose
+
+
+class TestEquivalences:
+    def test_three_way_consistency(self):
+        z = circuit_figure(8, 5e-9, 3.6e9)
+        assert equivalent_driver_count(z, 5e-9, 3.6e9) == pytest.approx(8.0)
+        assert equivalent_inductance(z, 8, 3.6e9) == pytest.approx(5e-9)
+        assert equivalent_slope(z, 8, 5e-9) == pytest.approx(3.6e9)
+
+    def test_equivalence_of_countermeasures(self, params):
+        """Halving N, L or sr are interchangeable (the design implication)."""
+        base = circuit_figure(8, 5e-9, 3.6e9)
+        half_n = circuit_figure(4, 5e-9, 3.6e9)
+        half_l = circuit_figure(8, 2.5e-9, 3.6e9)
+        half_sr = circuit_figure(8, 5e-9, 1.8e9)
+        assert half_n == pytest.approx(half_l) == pytest.approx(half_sr)
+        assert peak_noise_from_figure(half_n, params, 1.8) < peak_noise_from_figure(
+            base, params, 1.8
+        )
+
+    def test_invalid_equivalents(self):
+        for fn in (equivalent_driver_count, equivalent_inductance, equivalent_slope):
+            with pytest.raises(ValueError):
+                fn(0.0, 1.0, 1.0)

@@ -1,0 +1,100 @@
+"""Unit tests for model parameter extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AsdmParameters,
+    fit_alpha_power,
+    fit_asdm,
+    fit_square_law,
+)
+from repro.devices import (
+    AlphaPowerMosfet,
+    AlphaPowerParameters,
+    IvSurface,
+    Level1Mosfet,
+    Level1Parameters,
+    sweep_id_vg,
+)
+
+
+def surface_from_asdm(params: AsdmParameters, vdd=1.8) -> IvSurface:
+    """Synthesize an exactly-linear IV surface from known ASDM parameters."""
+    vg = np.arange(0.0, vdd + 1e-12, 0.02)
+    vs = np.arange(0.0, 0.81, 0.2)
+    vg_grid, vs_grid = np.meshgrid(vg, vs)
+    ids = params.drain_current(vg_grid, vs_grid)
+    return IvSurface(vg=vg, vs=vs, ids=ids, vdd=vdd)
+
+
+class TestFitAsdm:
+    def test_recovers_exact_parameters(self):
+        truth = AsdmParameters(k=4.2e-3, v0=0.63, lam=1.05)
+        fitted, report = fit_asdm(surface_from_asdm(truth))
+        assert fitted.k == pytest.approx(truth.k, rel=1e-6)
+        assert fitted.v0 == pytest.approx(truth.v0, rel=1e-4)
+        assert fitted.lam == pytest.approx(truth.lam, rel=1e-4)
+        assert report.max_relative_error < 1e-9
+
+    def test_golden_device_fit_quality(self, models018):
+        """Paper Fig. 1: a few percent max error in the strongly-on region."""
+        assert models018.asdm_report.max_relative_error < 0.06
+
+    def test_v0_exceeds_device_threshold(self, models018):
+        """The paper's headline observation: V0 (0.61 V) > Vth (~0.5 V)."""
+        assert models018.asdm.v0 > models018.technology.nmos.vth0 + 0.05
+
+    def test_lambda_exceeds_one(self, models018):
+        assert models018.asdm.lam > 1.0
+
+    def test_floor_validation(self, models018):
+        surface = sweep_id_vg(models018.technology.driver_device(), 1.8)
+        with pytest.raises(ValueError):
+            fit_asdm(surface, floor_fraction=0.0)
+        with pytest.raises(ValueError):
+            fit_asdm(surface, floor_fraction=1.0)
+
+    def test_report_counts_points(self):
+        truth = AsdmParameters(k=4e-3, v0=0.6, lam=1.0)
+        _, report = fit_asdm(surface_from_asdm(truth))
+        assert report.n_points > 100
+
+
+class TestFitAlphaPower:
+    def test_recovers_synthetic_law(self):
+        dev = AlphaPowerMosfet(AlphaPowerParameters(b=400.0, alpha=1.25, vth=0.5, w=10e-6))
+        surface = sweep_id_vg(dev, 1.8)
+        fitted, report = fit_alpha_power(surface)
+        assert fitted.alpha == pytest.approx(1.25, abs=0.02)
+        assert fitted.vth == pytest.approx(0.5, abs=0.02)
+        assert fitted.b == pytest.approx(400.0 * 10e-6, rel=0.05)
+        assert report.max_relative_error < 0.01
+
+    def test_golden_device_alpha_short_channel(self, models018):
+        """The golden device must look short-channel: alpha well below 2."""
+        assert 1.0 < models018.alpha_power.alpha < 1.5
+
+    def test_transconductance_derivative(self):
+        dev = AlphaPowerMosfet(AlphaPowerParameters(b=400.0, alpha=1.3, vth=0.5))
+        surface = sweep_id_vg(dev, 1.8)
+        fitted, _ = fit_alpha_power(surface)
+        h = 1e-5
+        numeric = (fitted.saturation_current(1.5 + h) - fitted.saturation_current(1.5 - h)) / (2 * h)
+        assert float(fitted.transconductance(1.5)) == pytest.approx(float(numeric), rel=1e-5)
+
+
+class TestFitSquareLaw:
+    def test_recovers_synthetic_square_law(self):
+        params = Level1Parameters(kp=150e-6, w=20e-6, l=1e-6, vth0=0.55, lam=0.0, gamma=0.0)
+        surface = sweep_id_vg(Level1Mosfet(params), 1.8)
+        fitted, report = fit_square_law(surface)
+        beta_true = params.kp * params.w / params.l
+        assert fitted.beta == pytest.approx(beta_true, rel=1e-6)
+        assert fitted.vth == pytest.approx(0.55, abs=1e-6)
+        assert report.max_relative_error < 1e-9
+
+    def test_saturation_current_shape(self, models018):
+        sq = models018.square_law
+        assert float(sq.saturation_current(sq.vth - 0.1)) == 0.0
+        assert float(sq.saturation_current(sq.vth + 1.0)) > 0.0

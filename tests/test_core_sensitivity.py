@@ -1,0 +1,133 @@
+"""Unit tests for the analytic peak-SSN sensitivities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AsdmParameters, circuit_figure, peak_noise_from_figure
+from repro.core.sensitivity import linear_noise_spread, peak_sensitivities
+
+
+@pytest.fixture
+def params():
+    return AsdmParameters(k=5.4e-3, v0=0.60, lam=1.04)
+
+
+ARGS = dict(n_drivers=8, inductance=5e-9, vdd=1.8, rise_time=0.5e-9)
+
+
+def numeric_partial(params, key, h_rel=1e-6, **kwargs):
+    """Central finite difference of Vmax w.r.t. one argument or parameter."""
+    import dataclasses
+
+    def vmax(p, kw):
+        z = circuit_figure(kw["n_drivers"], kw["inductance"], kw["vdd"] / kw["rise_time"])
+        return peak_noise_from_figure(z, p, kw["vdd"])
+
+    base = dict(ARGS, **kwargs)
+    if key in base:
+        x = base[key]
+        h = abs(x) * h_rel
+        hi = dict(base, **{key: x + h})
+        lo = dict(base, **{key: x - h})
+        return (vmax(params, hi) - vmax(params, lo)) / (2 * h)
+    x = getattr(params, key)
+    h = abs(x) * h_rel
+    hi = dataclasses.replace(params, **{key: x + h})
+    lo = dataclasses.replace(params, **{key: x - h})
+    return (vmax(hi, base) - vmax(lo, base)) / (2 * h)
+
+
+class TestPartials:
+    def test_vmax_matches_eqn10(self, params):
+        s = peak_sensitivities(params, **ARGS)
+        z = circuit_figure(ARGS["n_drivers"], ARGS["inductance"],
+                           ARGS["vdd"] / ARGS["rise_time"])
+        assert s.vmax == pytest.approx(peak_noise_from_figure(z, params, 1.8), rel=1e-12)
+
+    @pytest.mark.parametrize("key,attr", [
+        ("n_drivers", "d_n"),
+        ("inductance", "d_l"),
+    ])
+    def test_circuit_partials_match_finite_difference(self, params, key, attr):
+        s = peak_sensitivities(params, **ARGS)
+        assert getattr(s, attr) == pytest.approx(
+            numeric_partial(params, key), rel=1e-5
+        )
+
+    @pytest.mark.parametrize("key,attr", [
+        ("k", "d_k"),
+        ("lam", "d_lam"),
+        ("v0", "d_v0"),
+    ])
+    def test_parameter_partials_match_finite_difference(self, params, key, attr):
+        s = peak_sensitivities(params, **ARGS)
+        assert getattr(s, attr) == pytest.approx(
+            numeric_partial(params, key), rel=1e-5
+        )
+
+    def test_slope_partial_consistent_with_rise_time(self, params):
+        """dV/dsr relates to dV/dtr by the chain rule sr = VDD/tr."""
+        s = peak_sensitivities(params, **ARGS)
+        tr = ARGS["rise_time"]
+        h = tr * 1e-6
+        hi = peak_sensitivities(params, 8, 5e-9, 1.8, tr + h).vmax
+        lo = peak_sensitivities(params, 8, 5e-9, 1.8, tr - h).vmax
+        dv_dtr = (hi - lo) / (2 * h)
+        assert dv_dtr == pytest.approx(s.d_slope * (-1.8 / tr**2), rel=1e-4)
+
+    def test_signs(self, params):
+        s = peak_sensitivities(params, **ARGS)
+        assert s.d_n > 0 and s.d_l > 0 and s.d_slope > 0 and s.d_k > 0
+        assert s.d_lam < 0  # stronger feedback -> less noise
+        assert s.d_v0 < 0  # later turn-on -> shorter window -> less noise
+        assert s.d_vdd > 0
+
+
+class TestElasticities:
+    def test_n_l_slope_elasticities_identical(self, params):
+        """The interchangeability claim: same elasticity for N, L, sr."""
+        s = peak_sensitivities(params, **ARGS)
+        assert s.elasticity("n") == pytest.approx(s.elasticity("l"), rel=1e-12)
+        assert s.elasticity("n") == pytest.approx(s.elasticity("slope"), rel=1e-12)
+        assert s.elasticity("n") == pytest.approx(s.elasticity("z"), rel=1e-12)
+
+    def test_elasticity_between_zero_and_one(self, params):
+        """Vmax grows sub-linearly in Z (saturating exponential)."""
+        s = peak_sensitivities(params, **ARGS)
+        assert 0.0 < s.elasticity("z") < 1.0
+
+    def test_unknown_knob(self, params):
+        with pytest.raises(KeyError):
+            peak_sensitivities(params, **ARGS).elasticity("vdd")
+
+    @settings(max_examples=40)
+    @given(
+        k=st.floats(1e-3, 0.05),
+        lam=st.floats(1.0, 1.3),
+        n=st.integers(1, 64),
+        tr=st.floats(0.1e-9, 2e-9),
+    )
+    def test_elasticity_property(self, k, lam, n, tr):
+        params = AsdmParameters(k=k, v0=0.6, lam=lam)
+        s = peak_sensitivities(params, n, 5e-9, 1.8, tr)
+        assert 0.0 <= s.elasticity("z") <= 1.0 + 1e-9
+
+
+class TestLinearSpread:
+    def test_matches_monte_carlo_small_spread(self, params):
+        from repro.analysis import ParameterSpread, peak_noise_distribution
+
+        s = peak_sensitivities(params, **ARGS)
+        linear = linear_noise_spread(s, k_sigma_rel=0.03, v0_sigma=0.01, lam_sigma=0.005)
+        mc = peak_noise_distribution(
+            params, 8, 5e-9, 1.8, 0.5e-9,
+            spread=ParameterSpread(k_sigma=0.03, v0_sigma=0.01, lam_sigma=0.005),
+            trials=4000,
+        )
+        assert linear == pytest.approx(mc.std, rel=0.10)
+
+    def test_zero_spread_zero_sigma(self, params):
+        s = peak_sensitivities(params, **ARGS)
+        assert linear_noise_spread(s, 0.0, 0.0, 0.0) == 0.0

@@ -1,0 +1,129 @@
+"""Unit tests for the inductance-only SSN model (paper Eqns 4-10)."""
+
+import numpy as np
+import pytest
+from scipy.integrate import solve_ivp
+
+from repro.core import AsdmParameters, InductiveSsnModel
+
+
+@pytest.fixture
+def params():
+    return AsdmParameters(k=5.4e-3, v0=0.60, lam=1.04)
+
+
+@pytest.fixture
+def model(params):
+    return InductiveSsnModel(params, n_drivers=8, inductance=5e-9, vdd=1.8, rise_time=0.5e-9)
+
+
+class TestDerivedQuantities:
+    def test_slope(self, model):
+        assert model.slope == pytest.approx(3.6e9)
+
+    def test_turn_on_time(self, model):
+        assert model.turn_on_time == pytest.approx(0.6 / 3.6e9)
+
+    def test_time_constant_eqn5(self, model, params):
+        assert model.time_constant == pytest.approx(8 * 5e-9 * params.k * params.lam)
+
+    def test_asymptotic_voltage(self, model, params):
+        assert model.asymptotic_voltage == pytest.approx(8 * 5e-9 * params.k * 3.6e9)
+
+
+class TestVoltageWaveform:
+    def test_zero_before_turn_on(self, model):
+        assert model.voltage(0.0) == 0.0
+        assert model.voltage(model.turn_on_time * 0.99) == 0.0
+
+    def test_nan_after_ramp(self, model):
+        assert np.isnan(model.voltage(model.rise_time * 1.01))
+
+    def test_matches_numeric_ode(self, model):
+        """Eqn (6) vs direct integration of Eqn (5) — must be exact."""
+        tau, vss = model.time_constant, model.asymptotic_voltage
+        sol = solve_ivp(
+            lambda t, y: [(vss - y[0]) / tau],
+            (model.turn_on_time, model.rise_time),
+            [0.0],
+            rtol=1e-11,
+            atol=1e-15,
+            dense_output=True,
+        )
+        ts = np.linspace(model.turn_on_time, model.rise_time, 300)
+        np.testing.assert_allclose(model.voltage(ts), sol.sol(ts)[0], atol=1e-9)
+
+    def test_monotone_increasing_on_window(self, model):
+        ts = np.linspace(model.turn_on_time, model.rise_time, 500)
+        assert np.all(np.diff(model.voltage(ts)) > 0)
+
+    def test_scalar_in_scalar_out(self, model):
+        assert isinstance(model.voltage(0.3e-9), float)
+
+
+class TestCurrent:
+    def test_current_satisfies_kcl(self, model):
+        """Vn = N*L*d(i_total)/dt, the defining Eqn (4)."""
+        ts = np.linspace(model.turn_on_time * 1.01, model.rise_time * 0.999, 400)
+        i_total = model.total_current(ts)
+        didt = np.gradient(i_total, ts)
+        vn = model.voltage(ts)
+        np.testing.assert_allclose(
+            vn[5:-5], model.inductance * didt[5:-5], rtol=1e-3
+        )
+
+    def test_current_zero_before_turn_on(self, model):
+        assert model.driver_current(0.0) == 0.0
+
+    def test_total_is_n_times_driver(self, model):
+        t = 0.4e-9
+        assert model.total_current(t) == pytest.approx(8 * model.driver_current(t))
+
+
+class TestPeak:
+    def test_peak_at_ramp_end(self, model):
+        assert model.peak_time() == model.rise_time
+
+    def test_peak_equals_waveform_at_end(self, model):
+        assert model.peak_voltage() == pytest.approx(
+            model.voltage(model.rise_time), rel=1e-12
+        )
+
+    def test_peak_below_asymptote(self, model):
+        assert model.peak_voltage() < model.asymptotic_voltage
+
+    def test_peak_saturates_for_huge_z(self, params):
+        """Eqn 10 saturates at (VDD - V0)/lambda as Z -> infinity."""
+        huge = InductiveSsnModel(params, 10000, 5e-9, 1.8, 0.5e-9)
+        bound = (1.8 - params.v0) / params.lam
+        assert huge.peak_voltage() == pytest.approx(bound, rel=1e-3)
+        assert huge.peak_voltage() < bound
+
+    def test_peak_increases_with_n(self, params):
+        peaks = [
+            InductiveSsnModel(params, n, 5e-9, 1.8, 0.5e-9).peak_voltage()
+            for n in (1, 2, 4, 8, 16)
+        ]
+        assert all(b > a for a, b in zip(peaks, peaks[1:]))
+
+    def test_z_equivalence(self, params):
+        """N, L and sr enter the peak only through Z = N*L*sr (Eqn 10)."""
+        a = InductiveSsnModel(params, 8, 5e-9, 1.8, 0.5e-9)
+        b = InductiveSsnModel(params, 4, 10e-9, 1.8, 0.5e-9)
+        c = InductiveSsnModel(params, 16, 5e-9, 1.8, 1.0e-9)
+        assert a.peak_voltage() == pytest.approx(b.peak_voltage(), rel=1e-12)
+        assert a.peak_voltage() == pytest.approx(c.peak_voltage(), rel=1e-12)
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self, params):
+        with pytest.raises(ValueError):
+            InductiveSsnModel(params, 0, 5e-9, 1.8, 0.5e-9)
+        with pytest.raises(ValueError):
+            InductiveSsnModel(params, 8, 0.0, 1.8, 0.5e-9)
+        with pytest.raises(ValueError):
+            InductiveSsnModel(params, 8, 5e-9, 1.8, 0.0)
+
+    def test_rejects_vdd_below_v0(self, params):
+        with pytest.raises(ValueError, match="never turn on"):
+            InductiveSsnModel(params, 8, 5e-9, 0.5, 0.5e-9)

@@ -1,0 +1,217 @@
+"""Unit tests for the LC SSN model (paper Section 4, Table 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.integrate import solve_ivp
+
+from repro.core import AsdmParameters, DampingRegion, LcSsnModel, Table1Case, critical_capacitance
+
+
+@pytest.fixture
+def params():
+    return AsdmParameters(k=5.4e-3, v0=0.60, lam=1.04)
+
+
+def make(params, n=8, c=1e-12, tr=0.5e-9, l=5e-9, vdd=1.8):
+    return LcSsnModel(params, n, l, c, vdd, tr)
+
+
+def integrate(model, samples=2000):
+    lc = model.inductance * model.capacitance
+    sol = solve_ivp(
+        lambda t, y: [y[1], (model.asymptotic_voltage - y[0]) / lc - 2 * model.decay_rate * y[1]],
+        (model.turn_on_time, model.ramp_end_time),
+        [0.0, 0.0],
+        rtol=1e-11,
+        atol=1e-15,
+        dense_output=True,
+    )
+    ts = np.linspace(model.turn_on_time, model.ramp_end_time, samples)
+    return ts, sol.sol(ts)[0]
+
+
+class TestRegions:
+    def test_overdamped_at_large_n(self, params):
+        assert make(params, n=12).region is DampingRegion.OVERDAMPED
+
+    def test_underdamped_at_small_n(self, params):
+        assert make(params, n=1).region is DampingRegion.UNDERDAMPED
+
+    def test_critical_at_exact_capacitance(self, params):
+        c_crit = critical_capacitance(params, 8, 5e-9)
+        assert make(params, n=8, c=c_crit).region is DampingRegion.CRITICALLY_DAMPED
+
+    def test_damping_ratio_consistency(self, params):
+        m = make(params, n=8)
+        assert m.damping_ratio == pytest.approx(m.decay_rate / m.natural_frequency)
+
+    def test_ringing_frequency_only_underdamped(self, params):
+        with pytest.raises(ValueError):
+            _ = make(params, n=12).ringing_frequency
+        m = make(params, n=1)
+        assert 0 < m.ringing_frequency < m.natural_frequency
+
+
+class TestCases:
+    def test_case_overdamped(self, params):
+        assert make(params, n=12).case is Table1Case.OVERDAMPED
+
+    def test_case_critical(self, params):
+        c_crit = critical_capacitance(params, 8, 5e-9)
+        assert make(params, n=8, c=c_crit).case is Table1Case.CRITICALLY_DAMPED
+
+    def test_case_underdamped_split_by_rise_time(self, params):
+        slow = make(params, n=2, tr=0.5e-9)
+        fast = make(params, n=2, tr=0.2e-9)
+        assert slow.case is Table1Case.UNDERDAMPED_FIRST_PEAK
+        assert fast.case is Table1Case.UNDERDAMPED_BOUNDARY
+
+    def test_inequality_26_boundary(self, params):
+        """Case 3a iff the first peak time fits inside the window."""
+        m = make(params, n=2, tr=0.5e-9)
+        assert m.first_peak_time() <= m.window
+        m2 = make(params, n=2, tr=0.2e-9)
+        assert math.pi / m2.ringing_frequency > m2.window
+
+
+class TestWaveforms:
+    @pytest.mark.parametrize("n,c,tr", [
+        (12, 1e-12, 0.5e-9),       # over-damped
+        (2, 1e-12, 0.5e-9),        # under-damped, peak inside
+        (2, 1e-12, 0.2e-9),        # under-damped, boundary
+        (4, 2e-12, 0.5e-9),        # near the boundary region
+    ])
+    def test_closed_form_matches_ode(self, params, n, c, tr):
+        m = make(params, n=n, c=c, tr=tr)
+        ts, vn = integrate(m)
+        np.testing.assert_allclose(np.asarray(m.voltage(ts)), vn, atol=5e-10)
+
+    def test_critical_closed_form_matches_ode(self, params):
+        c_crit = critical_capacitance(params, 8, 5e-9)
+        m = make(params, n=8, c=c_crit)
+        ts, vn = integrate(m)
+        np.testing.assert_allclose(np.asarray(m.voltage(ts)), vn, atol=5e-10)
+
+    def test_initial_conditions(self, params):
+        m = make(params, n=8)
+        assert m.voltage(m.turn_on_time) == pytest.approx(0.0, abs=1e-15)
+        assert m.voltage_derivative(m.turn_on_time) == pytest.approx(0.0, abs=1e-6)
+
+    def test_zero_before_turn_on_nan_after_ramp(self, params):
+        m = make(params, n=8)
+        assert m.voltage(0.0) == 0.0
+        assert np.isnan(m.voltage(m.ramp_end_time * 1.01))
+
+    def test_derivative_positive_definite_overdamped(self, params):
+        """The paper's claim for cases 1-2: dVn/dt > 0 on the window."""
+        m = make(params, n=12)
+        ts = np.linspace(m.turn_on_time * 1.001, m.ramp_end_time, 300)
+        assert np.all(np.asarray(m.voltage_derivative(ts)) >= 0)
+
+    def test_derivative_matches_numeric(self, params):
+        m = make(params, n=2)
+        ts = np.linspace(m.turn_on_time, m.ramp_end_time * 0.99, 200)
+        h = 1e-14
+        numeric = (np.asarray(m.voltage(ts + h)) - np.asarray(m.voltage(ts - h))) / (2 * h)
+        np.testing.assert_allclose(
+            np.asarray(m.voltage_derivative(ts)), numeric, rtol=1e-3, atol=1e5
+        )
+
+
+class TestPeak:
+    def test_eqn24_first_peak_value(self, params):
+        m = make(params, n=2, tr=0.5e-9)
+        a, w = m.decay_rate, m.ringing_frequency
+        expected = m.asymptotic_voltage * (1 + math.exp(-a * math.pi / w))
+        assert m.peak_voltage() == pytest.approx(expected, rel=1e-12)
+
+    def test_first_peak_is_waveform_max(self, params):
+        m = make(params, n=2, tr=0.5e-9)
+        ts, vn = integrate(m, samples=20000)
+        assert m.peak_voltage() == pytest.approx(float(np.max(vn)), rel=1e-6)
+
+    def test_boundary_cases_peak_at_window_end(self, params):
+        for m in (make(params, n=12), make(params, n=2, tr=0.2e-9)):
+            assert m.peak_time() == m.ramp_end_time
+            assert m.peak_voltage() == pytest.approx(
+                float(m.voltage(m.ramp_end_time)), rel=1e-9
+            )
+
+    def test_peak_time_of_first_peak(self, params):
+        m = make(params, n=2, tr=0.5e-9)
+        assert m.peak_time() == pytest.approx(
+            m.turn_on_time + math.pi / m.ringing_frequency
+        )
+
+    def test_underdamped_peak_exceeds_asymptote(self, params):
+        """Ringing overshoots Vss — the physics behind the paper's warning."""
+        m = make(params, n=2, tr=0.5e-9)
+        assert m.peak_voltage() > m.asymptotic_voltage
+
+    def test_lc_approaches_l_only_for_small_c(self, params):
+        """As C -> 0 the LC boundary value approaches the Eqn 7 result."""
+        from repro.core import InductiveSsnModel
+
+        l_only = InductiveSsnModel(params, 12, 5e-9, 1.8, 0.5e-9).peak_voltage()
+        lc = make(params, n=12, c=1e-16).peak_voltage()
+        assert lc == pytest.approx(l_only, rel=1e-3)
+
+
+class TestPostRampExtension:
+    def test_continuous_at_ramp_end(self, params):
+        m = make(params, n=2, tr=0.2e-9)
+        v_end = float(m.voltage(m.ramp_end_time))
+        assert float(m.post_ramp_voltage(m.ramp_end_time)) == pytest.approx(v_end, rel=1e-9)
+
+    def test_extended_peak_at_least_table1(self, params):
+        for m in (make(params, n=12), make(params, n=2), make(params, n=2, tr=0.2e-9)):
+            assert m.peak_voltage_extended() >= m.peak_voltage() - 1e-15
+
+    def test_case3b_extended_peak_exceeds_boundary(self, params):
+        """The physical maximum lands after the ramp in case 3b."""
+        m = make(params, n=2, tr=0.2e-9)
+        assert m.case is Table1Case.UNDERDAMPED_BOUNDARY
+        assert m.peak_voltage_extended() > 1.05 * m.peak_voltage()
+
+    def test_post_ramp_decays_to_zero(self, params):
+        # Over-damped: the slow mode decays at |s1| = a - sqrt(a^2 - w0^2),
+        # much slower than a itself, so size the horizon to that mode.
+        m = make(params, n=8)
+        a, w0 = m.decay_rate, m.natural_frequency
+        slow = a - np.sqrt(a**2 - w0**2)
+        far = m.ramp_end_time + 40.0 / slow
+        assert abs(float(m.post_ramp_voltage(far))) < 1e-9
+
+    def test_post_ramp_matches_ode_continuation(self, params):
+        m = make(params, n=2, tr=0.2e-9)
+        lc = m.inductance * m.capacitance
+        ve = float(m.voltage(m.ramp_end_time))
+        vpe = float(m.voltage_derivative(m.ramp_end_time))
+        sol = solve_ivp(
+            lambda t, y: [y[1], -y[0] / lc - 2 * m.decay_rate * y[1]],
+            (0.0, 1e-9),
+            [ve, vpe],
+            rtol=1e-11,
+            atol=1e-15,
+            dense_output=True,
+        )
+        taus = np.linspace(0, 1e-9, 500)
+        np.testing.assert_allclose(
+            np.asarray(m.post_ramp_voltage(m.ramp_end_time + taus)),
+            sol.sol(taus)[0],
+            atol=1e-9,
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self, params):
+        with pytest.raises(ValueError):
+            make(params, n=0)
+        with pytest.raises(ValueError):
+            make(params, c=0.0)
+        with pytest.raises(ValueError):
+            make(params, tr=-1e-9)
+        with pytest.raises(ValueError):
+            make(params, vdd=0.5)

@@ -1,0 +1,72 @@
+"""Unit tests for the power-rail duality model."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AsdmParameters,
+    InductiveSsnModel,
+    LcSsnModel,
+    PowerRailSsnModel,
+    fit_pmos_asdm,
+)
+from repro.process import TSMC018
+
+
+@pytest.fixture(scope="module")
+def pmos_params():
+    params, report = fit_pmos_asdm(TSMC018.pullup_device(), TSMC018.vdd)
+    assert report.max_relative_error < 0.10
+    return params
+
+
+class TestFit:
+    def test_parameters_physical(self, pmos_params):
+        assert pmos_params.k > 0
+        assert pmos_params.lam > 1.0
+        assert 0.3 < pmos_params.v0 < 1.0
+
+    def test_v0_exceeds_pmos_threshold(self, pmos_params):
+        assert pmos_params.v0 > TSMC018.pmos.vth0
+
+
+class TestDuality:
+    def test_l_only_mirrors_ground_model(self, pmos_params):
+        rail = PowerRailSsnModel(pmos_params, 8, 5e-9, 1.8, 0.5e-9)
+        ground = InductiveSsnModel(pmos_params, 8, 5e-9, 1.8, 0.5e-9)
+        assert rail.peak_droop() == pytest.approx(ground.peak_voltage(), rel=1e-12)
+
+    def test_lc_mirrors_ground_model(self, pmos_params):
+        rail = PowerRailSsnModel(pmos_params, 8, 5e-9, 1.8, 0.5e-9, capacitance=1e-12)
+        ground = LcSsnModel(pmos_params, 8, 5e-9, 1e-12, 1.8, 0.5e-9)
+        assert rail.peak_droop() == pytest.approx(ground.peak_voltage(), rel=1e-12)
+        assert rail.peak_time() == ground.peak_time()
+
+    def test_rail_voltage_is_vdd_minus_droop(self, pmos_params):
+        rail = PowerRailSsnModel(pmos_params, 8, 5e-9, 1.8, 0.5e-9)
+        ts = np.linspace(0.1e-9, 0.45e-9, 20)
+        np.testing.assert_allclose(
+            np.asarray(rail.rail_voltage(ts)),
+            1.8 - np.asarray(rail.droop(ts)),
+            rtol=1e-12,
+        )
+
+    def test_droop_positive_during_ramp(self, pmos_params):
+        rail = PowerRailSsnModel(pmos_params, 8, 5e-9, 1.8, 0.5e-9)
+        assert float(rail.droop(0.45e-9)) > 0.0
+
+    def test_mirror_exposed(self, pmos_params):
+        rail = PowerRailSsnModel(pmos_params, 8, 5e-9, 1.8, 0.5e-9, capacitance=1e-12)
+        assert isinstance(rail.mirror, LcSsnModel)
+
+
+class TestSyntheticDuality:
+    def test_same_parameters_same_answer_as_ground_problem(self):
+        """With identical ASDM parameters the two problems are identical."""
+        params = AsdmParameters(k=5e-3, v0=0.6, lam=1.05)
+        rail = PowerRailSsnModel(params, 4, 5e-9, 1.8, 0.5e-9)
+        ground = InductiveSsnModel(params, 4, 5e-9, 1.8, 0.5e-9)
+        ts = np.linspace(0.2e-9, 0.49e-9, 10)
+        np.testing.assert_allclose(
+            np.asarray(rail.droop(ts)), np.asarray(ground.voltage(ts)), rtol=1e-12
+        )

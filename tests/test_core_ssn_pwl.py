@@ -1,0 +1,108 @@
+"""Unit tests for the piecewise-linear-drive SSN model (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsdmParameters, InductiveSsnModel, PwlDriveSsnModel
+
+
+@pytest.fixture
+def params():
+    return AsdmParameters(k=5.4e-3, v0=0.60, lam=1.04)
+
+
+def ramp_knots(vdd=1.8, tr=0.5e-9, hold=1.0e-9, n=500):
+    """Knots of an ideal ramp followed by a flat hold."""
+    t = np.linspace(0.0, tr + hold, n)
+    v = np.clip(t * vdd / tr, 0.0, vdd)
+    return t, v
+
+
+class TestIdealRampConsistency:
+    def test_matches_eqn6_waveform(self, params):
+        t, v = ramp_knots()
+        pwl = PwlDriveSsnModel(params, 8, 5e-9, t, v)
+        ideal = InductiveSsnModel(params, 8, 5e-9, 1.8, 0.5e-9)
+        ts = np.linspace(0.25e-9, 0.499e-9, 20)
+        np.testing.assert_allclose(
+            np.asarray(pwl.voltage(ts)), np.asarray(ideal.voltage(ts)), rtol=2e-3
+        )
+
+    def test_matches_eqn7_peak(self, params):
+        t, v = ramp_knots(n=2000)
+        pwl = PwlDriveSsnModel(params, 8, 5e-9, t, v)
+        ideal = InductiveSsnModel(params, 8, 5e-9, 1.8, 0.5e-9)
+        assert pwl.peak_voltage() == pytest.approx(ideal.peak_voltage(), rel=1e-3)
+
+    def test_turn_on_time(self, params):
+        t, v = ramp_knots(n=2000)
+        pwl = PwlDriveSsnModel(params, 8, 5e-9, t, v)
+        sr = 1.8 / 0.5e-9
+        assert pwl.turn_on_time == pytest.approx(params.v0 / sr, rel=1e-3)
+
+
+class TestGeneralDrive:
+    def test_flat_tail_decays(self, params):
+        t, v = ramp_knots(tr=0.3e-9, hold=5e-9)
+        pwl = PwlDriveSsnModel(params, 8, 5e-9, t, v)
+        late = float(pwl.voltage(5e-9))
+        assert late < 0.05 * pwl.peak_voltage()
+
+    def test_peak_at_end_of_rise_for_monotone_ramp(self, params):
+        t, v = ramp_knots(tr=0.5e-9, n=1000)
+        pwl = PwlDriveSsnModel(params, 8, 5e-9, t, v)
+        assert pwl.peak_time() == pytest.approx(0.5e-9, abs=5e-12)
+
+    def test_two_slope_drive(self, params):
+        """A fast-then-slow ramp peaks at the slope change or the top."""
+        t = np.array([0.0, 0.2e-9, 1.2e-9, 2.0e-9])
+        v = np.array([0.0, 1.4, 1.8, 1.8])
+        pwl = PwlDriveSsnModel(params, 8, 5e-9, t, v)
+        # Compare against dense numeric integration of the same ODE.
+        from scipy.integrate import solve_ivp
+
+        tau = pwl.time_constant
+        nlk = 8 * 5e-9 * params.k
+
+        def slope(time):
+            return float(np.interp(time, t[:-1] + 1e-15, np.diff(v) / np.diff(t)))
+
+        def rhs(time, y):
+            s = np.interp(time, 0.5 * (t[:-1] + t[1:]), np.diff(v) / np.diff(t))
+            # piecewise-constant slope lookup consistent with the model
+            idx = np.searchsorted(t, time, side="right") - 1
+            idx = min(max(idx, 0), len(t) - 2)
+            s = (v[idx + 1] - v[idx]) / (t[idx + 1] - t[idx])
+            return [(nlk * s - y[0]) / tau]
+
+        sol = solve_ivp(rhs, (pwl.turn_on_time, 2.0e-9), [0.0],
+                        rtol=1e-10, atol=1e-14, dense_output=True, max_step=1e-11)
+        ts = np.linspace(pwl.turn_on_time, 2.0e-9, 300)
+        np.testing.assert_allclose(
+            np.asarray(pwl.voltage(ts)), sol.sol(ts)[0], atol=2e-4
+        )
+
+    def test_zero_before_turn_on(self, params):
+        t, v = ramp_knots()
+        pwl = PwlDriveSsnModel(params, 8, 5e-9, t, v)
+        assert pwl.voltage(pwl.turn_on_time * 0.5) == 0.0
+
+    def test_on_state_check(self, params):
+        t, v = ramp_knots()
+        pwl = PwlDriveSsnModel(params, 8, 5e-9, t, v)
+        assert not pwl.on_state_violated(1.8)
+
+
+class TestValidation:
+    def test_gate_never_turning_on(self, params):
+        t = np.linspace(0, 1e-9, 10)
+        with pytest.raises(ValueError, match="turn-on"):
+            PwlDriveSsnModel(params, 8, 5e-9, t, np.full(10, 0.2))
+
+    def test_bad_knots(self, params):
+        with pytest.raises(ValueError):
+            PwlDriveSsnModel(params, 8, 5e-9, [0.0, 0.0], [0.0, 1.8])
+        with pytest.raises(ValueError):
+            PwlDriveSsnModel(params, 8, 5e-9, [0.0], [1.8])
+        with pytest.raises(ValueError):
+            PwlDriveSsnModel(params, 0, 5e-9, [0.0, 1e-9], [0.0, 1.8])

@@ -1,0 +1,81 @@
+"""Unit tests for the Sakurai-Newton alpha-power-law model."""
+
+import numpy as np
+import pytest
+
+from repro.devices import AlphaPowerMosfet, AlphaPowerParameters
+
+
+@pytest.fixture
+def dev():
+    return AlphaPowerMosfet(AlphaPowerParameters())
+
+
+class TestSaturation:
+    def test_power_law_exponent(self):
+        dev = AlphaPowerMosfet(AlphaPowerParameters(alpha=1.3, vth=0.5))
+        i1 = dev.ids(0.5 + 0.4, 1.8)
+        i2 = dev.ids(0.5 + 0.8, 1.8)
+        assert i2 / i1 == pytest.approx(2**1.3, rel=1e-9)
+
+    def test_alpha_two_matches_square_law_shape(self):
+        dev = AlphaPowerMosfet(AlphaPowerParameters(alpha=2.0, vth=0.5))
+        i1 = dev.ids(0.5 + 0.3, 1.8)
+        i2 = dev.ids(0.5 + 0.6, 1.8)
+        assert i2 / i1 == pytest.approx(4.0, rel=1e-9)
+
+    def test_width_scaling(self):
+        lo = AlphaPowerMosfet(AlphaPowerParameters(w=10e-6))
+        hi = AlphaPowerMosfet(AlphaPowerParameters(w=30e-6))
+        assert hi.ids(1.5, 1.8) == pytest.approx(3 * lo.ids(1.5, 1.8), rel=1e-12)
+
+    def test_cutoff(self, dev):
+        assert dev.ids(dev.params.vth - 0.05, 1.8) == 0.0
+        assert dev.ids(0.0, 1.8) == 0.0
+
+
+class TestTriode:
+    def test_vdsat_power_law(self, dev):
+        p = dev.params
+        vov = 0.8
+        expected = p.kv * vov ** (p.alpha / 2)
+        assert dev.saturation_drain_voltage(p.vth + vov) == pytest.approx(expected, rel=1e-12)
+
+    def test_triode_parabola_peaks_at_vdsat(self, dev):
+        p = dev.params
+        vgs = p.vth + 0.8
+        vdsat = float(dev.saturation_drain_voltage(vgs))
+        isat = dev.ids(vgs, vdsat + 0.5)
+        # At vds = vdsat the triode expression equals Idsat (continuity).
+        assert dev.ids(vgs, vdsat) == pytest.approx(isat, rel=1e-9)
+
+    def test_triode_monotone_in_vds(self, dev):
+        p = dev.params
+        vgs = p.vth + 0.8
+        vdsat = float(dev.saturation_drain_voltage(vgs))
+        vds = np.linspace(0, vdsat, 30)
+        ids = dev.ids(vgs, vds)
+        assert np.all(np.diff(ids) > 0)
+
+    def test_zero_current_at_zero_vds(self, dev):
+        assert dev.ids(1.5, 0.0) == 0.0
+
+
+class TestValidation:
+    def test_alpha_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            AlphaPowerParameters(alpha=0.3)
+        with pytest.raises(ValueError):
+            AlphaPowerParameters(alpha=2.6)
+
+    def test_nonpositive_strength_rejected(self):
+        with pytest.raises(ValueError):
+            AlphaPowerParameters(b=0.0)
+        with pytest.raises(ValueError):
+            AlphaPowerParameters(kv=-1.0)
+
+    def test_body_effect_optional(self):
+        none = AlphaPowerMosfet(AlphaPowerParameters(gamma=0.0))
+        some = AlphaPowerMosfet(AlphaPowerParameters(gamma=0.4))
+        assert none.ids(1.2, 1.8, -0.5) == none.ids(1.2, 1.8, 0.0)
+        assert some.ids(1.2, 1.8, -0.5) < some.ids(1.2, 1.8, 0.0)

@@ -1,0 +1,56 @@
+"""Unit tests for the device-model base interface."""
+
+import numpy as np
+import pytest
+
+from repro.devices import Level1Mosfet, Level1Parameters, MosfetModel, OperatingPoint
+from repro.devices.base import ensure_arrays
+
+
+class QuadraticToy(MosfetModel):
+    """Analytically differentiable toy: Id = vgs^2 * vds + vbs."""
+
+    name = "toy"
+
+    def ids(self, vgs, vds, vbs=0.0):
+        vgs, vds, vbs = ensure_arrays(vgs, vds, vbs)
+        out = vgs**2 * vds + vbs
+        if out.ndim == 0:
+            return float(out)
+        return out
+
+
+class TestFiniteDifferencePartials:
+    def test_matches_analytic_derivatives(self):
+        dev = QuadraticToy()
+        op = dev.partials(1.5, 0.8, -0.2)
+        assert op.ids == pytest.approx(1.5**2 * 0.8 - 0.2)
+        assert op.gm == pytest.approx(2 * 1.5 * 0.8, rel=1e-6)
+        assert op.gds == pytest.approx(1.5**2, rel=1e-6)
+        assert op.gmbs == pytest.approx(1.0, rel=1e-6)
+
+    def test_returns_operating_point(self):
+        op = QuadraticToy().partials(1.0, 1.0)
+        assert isinstance(op, OperatingPoint)
+
+    def test_saturation_current_alias(self):
+        dev = Level1Mosfet(Level1Parameters())
+        assert dev.saturation_current(1.2, 1.8) == dev.ids(1.2, 1.8)
+
+
+class TestEnsureArrays:
+    def test_scalar_broadcast(self):
+        a, b = ensure_arrays(1.0, 2.0)
+        assert a.shape == () and b.shape == ()
+
+    def test_mixed_broadcast(self):
+        a, b = ensure_arrays(np.array([1.0, 2.0]), 3.0)
+        assert a.shape == (2,)
+        assert b.shape == (2,)
+        np.testing.assert_array_equal(b, [3.0, 3.0])
+
+    def test_outputs_are_writable_copies(self):
+        src = np.array([1.0, 2.0])
+        a, b = ensure_arrays(src, 0.5)
+        a[0] = 99.0
+        assert src[0] == 1.0

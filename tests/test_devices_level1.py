@@ -1,0 +1,109 @@
+"""Unit tests for the square-law (level-1) MOSFET model."""
+
+import numpy as np
+import pytest
+
+from repro.devices import Level1Mosfet, Level1Parameters
+
+
+@pytest.fixture
+def dev():
+    return Level1Mosfet(Level1Parameters(lam=0.0, gamma=0.0))
+
+
+class TestCutoff:
+    def test_zero_current_below_threshold(self, dev):
+        assert dev.ids(dev.params.vth0 - 0.01, 1.8) == 0.0
+
+    def test_zero_current_at_zero_gate(self, dev):
+        assert dev.ids(0.0, 1.8) == 0.0
+
+    def test_zero_current_exactly_at_threshold(self, dev):
+        assert dev.ids(dev.params.vth0, 1.8) == 0.0
+
+
+class TestSaturation:
+    def test_quadratic_overdrive(self, dev):
+        p = dev.params
+        beta = p.kp * p.w / p.l
+        vov = 0.7
+        expected = 0.5 * beta * vov**2
+        assert dev.ids(p.vth0 + vov, 1.8) == pytest.approx(expected, rel=1e-12)
+
+    def test_current_doubles_with_width(self):
+        lo = Level1Mosfet(Level1Parameters(w=10e-6, lam=0.0))
+        hi = Level1Mosfet(Level1Parameters(w=20e-6, lam=0.0))
+        assert hi.ids(1.2, 1.8) == pytest.approx(2 * lo.ids(1.2, 1.8), rel=1e-12)
+
+    def test_saturation_flat_in_vds_without_clm(self, dev):
+        assert dev.ids(1.2, 1.0) == pytest.approx(dev.ids(1.2, 1.8), rel=1e-12)
+
+    def test_clm_increases_current_with_vds(self):
+        dev = Level1Mosfet(Level1Parameters(lam=0.1))
+        assert dev.ids(1.2, 1.8) > dev.ids(1.2, 1.0)
+
+
+class TestTriode:
+    def test_triode_below_saturation_current(self, dev):
+        p = dev.params
+        vov = 0.7
+        assert dev.ids(p.vth0 + vov, 0.1) < dev.ids(p.vth0 + vov, vov)
+
+    def test_triode_linear_limit_small_vds(self, dev):
+        p = dev.params
+        beta = p.kp * p.w / p.l
+        vov = 0.7
+        vds = 1e-4
+        expected = beta * vov * vds
+        assert dev.ids(p.vth0 + vov, vds) == pytest.approx(expected, rel=1e-3)
+
+    def test_continuous_at_vdsat(self, dev):
+        p = dev.params
+        vov = 0.7
+        below = dev.ids(p.vth0 + vov, vov - 1e-9)
+        above = dev.ids(p.vth0 + vov, vov + 1e-9)
+        assert below == pytest.approx(above, rel=1e-6)
+
+
+class TestBodyEffect:
+    def test_threshold_rises_with_reverse_body_bias(self):
+        dev = Level1Mosfet(Level1Parameters())
+        assert dev.threshold(-1.0) > dev.threshold(0.0)
+
+    def test_threshold_at_zero_bias_is_vth0(self):
+        dev = Level1Mosfet(Level1Parameters())
+        assert dev.threshold(0.0) == pytest.approx(dev.params.vth0, abs=1e-12)
+
+    def test_forward_bias_clamped(self):
+        dev = Level1Mosfet(Level1Parameters())
+        # phi - vbs < 0 should clamp, not produce NaN.
+        assert np.isfinite(dev.threshold(2.0))
+
+    def test_reverse_body_bias_reduces_current(self):
+        dev = Level1Mosfet(Level1Parameters())
+        assert dev.ids(1.2, 1.8, -0.5) < dev.ids(1.2, 1.8, 0.0)
+
+
+class TestInterface:
+    def test_array_broadcast(self, dev):
+        vg = np.linspace(0, 1.8, 7)
+        out = dev.ids(vg, 1.8)
+        assert out.shape == (7,)
+
+    def test_scalar_in_scalar_out(self, dev):
+        assert isinstance(dev.ids(1.0, 1.8), float)
+
+    def test_partials_match_finite_difference_defaults(self, dev):
+        op = dev.partials(1.2, 1.8, 0.0)
+        p = dev.params
+        beta = p.kp * p.w / p.l
+        assert op.gm == pytest.approx(beta * (1.2 - p.vth0), rel=1e-4)
+        assert op.ids == pytest.approx(dev.ids(1.2, 1.8), rel=1e-12)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Level1Parameters(w=-1e-6)
+        with pytest.raises(ValueError):
+            Level1Parameters(kp=0.0)
+        with pytest.raises(ValueError):
+            Level1Parameters(phi=-0.1)

@@ -1,0 +1,63 @@
+"""Unit tests for IV sweep utilities."""
+
+import numpy as np
+import pytest
+
+from repro.devices import BsimLikeMosfet, IvSurface, sweep_id_vg
+
+
+@pytest.fixture
+def surface():
+    return sweep_id_vg(BsimLikeMosfet(), 1.8)
+
+
+class TestSweep:
+    def test_default_grids(self, surface):
+        assert surface.vdd == 1.8
+        assert surface.vg[0] == 0.0
+        assert surface.vg[-1] == pytest.approx(1.8)
+        assert list(surface.vs) == pytest.approx([0.0, 0.2, 0.4, 0.6, 0.8])
+
+    def test_shape_consistency(self, surface):
+        assert surface.ids.shape == (len(surface.vs), len(surface.vg))
+
+    def test_currents_nonnegative(self, surface):
+        assert np.all(surface.ids >= 0.0)
+
+    def test_higher_source_voltage_lowers_current(self, surface):
+        """At a fixed absolute gate voltage, curves order by Vs (Fig. 1)."""
+        top = surface.ids[:, -1]  # Vg = vdd column
+        assert np.all(np.diff(top) < 0)
+
+    def test_curve_lookup(self, surface):
+        np.testing.assert_array_equal(surface.curve(0.4), surface.ids[2])
+
+    def test_curve_lookup_unknown_vs(self, surface):
+        with pytest.raises(KeyError):
+            surface.curve(0.31)
+
+    def test_flattened_alignment(self, surface):
+        vg, vs, ids = surface.flattened()
+        assert len(vg) == len(vs) == len(ids) == surface.ids.size
+        # Spot-check one point.
+        i = 3 * len(surface.vg) + 17
+        assert vs[i] == surface.vs[3]
+        assert vg[i] == surface.vg[17]
+        assert ids[i] == surface.ids[3, 17]
+
+    def test_custom_grids(self):
+        vg = np.linspace(0, 1.8, 10)
+        vs = np.array([0.0, 0.3])
+        surface = sweep_id_vg(BsimLikeMosfet(), 1.8, vg=vg, vs=vs)
+        assert surface.ids.shape == (2, 10)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IvSurface(vg=np.zeros(5), vs=np.zeros(2), ids=np.zeros((3, 5)), vdd=1.8)
+
+    def test_bulk_tied_to_source(self):
+        """The sweep must evaluate vbs = 0 (bulk rides with the source)."""
+        dev = BsimLikeMosfet()
+        surface = sweep_id_vg(dev, 1.8, vg=np.array([1.8]), vs=np.array([0.4]))
+        expected = dev.ids(1.8 - 0.4, 1.8 - 0.4, 0.0)
+        assert surface.ids[0, 0] == pytest.approx(expected, rel=1e-12)

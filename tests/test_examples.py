@@ -1,0 +1,43 @@
+"""Smoke tests: every example script must run end to end.
+
+The slow chain-simulation example is exercised separately (it shares its
+code path with experiment E13, which the integration tests already cover),
+so this file runs the fast ones in-process via runpy.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "io_budget_planning.py",
+    "package_selection.py",
+    "process_migration.py",
+    "variation_guardband.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_quickstart_mentions_key_quantities(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "ASDM fit" in out
+    assert "peak SSN" in out
+    assert "golden simulation" in out
+
+
+def test_examples_directory_complete():
+    """At least the documented set of runnable examples exists."""
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= names
+    assert "realistic_edges.py" in names

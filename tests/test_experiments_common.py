@@ -1,0 +1,64 @@
+"""Unit tests for experiment plumbing (common helpers, caching, CLI glue)."""
+
+import pytest
+
+from repro.experiments.common import (
+    NOMINAL_GROUND,
+    NOMINAL_RISE_TIME,
+    FittedModels,
+    fitted_models,
+    format_table,
+)
+
+
+class TestFittedModelsCache:
+    def test_same_instance_returned(self):
+        a = fitted_models("tsmc018")
+        b = fitted_models("tsmc018")
+        assert a is b
+
+    def test_strength_is_part_of_key(self):
+        a = fitted_models("tsmc018", 1.0)
+        b = fitted_models("tsmc018", 2.0)
+        assert a is not b
+        assert b.asdm.k == pytest.approx(2 * a.asdm.k, rel=0.02)
+
+    def test_all_three_fits_present(self):
+        models = fitted_models("tsmc018")
+        assert isinstance(models, FittedModels)
+        assert models.asdm.k > 0
+        assert models.alpha_power.b > 0
+        assert models.square_law.beta > 0
+
+    def test_reports_attached(self):
+        models = fitted_models("tsmc018")
+        assert models.asdm_report.n_points > 0
+        assert models.alpha_power_report.max_relative_error < 0.05
+
+    def test_unknown_technology(self):
+        with pytest.raises(KeyError):
+            fitted_models("tsmc090")
+
+
+class TestNominals:
+    def test_paper_package_values(self):
+        assert NOMINAL_GROUND.inductance == pytest.approx(5e-9)
+        assert NOMINAL_GROUND.capacitance == pytest.approx(1e-12)
+        assert NOMINAL_RISE_TIME == pytest.approx(0.5e-9)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_header_separator(self):
+        text = format_table(["col"], [["x"]])
+        assert "---" in text
+
+    def test_wide_cells_stretch_columns(self):
+        text = format_table(["h"], [["wide-cell-value"]])
+        assert "wide-cell-value" in text

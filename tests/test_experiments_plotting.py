@@ -1,0 +1,80 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plotting import MARKERS, ascii_chart
+
+
+class TestRendering:
+    def test_basic_structure(self):
+        chart = ascii_chart([0, 1, 2], {"a": [0.0, 1.0, 2.0]}, width=20, height=5)
+        lines = chart.splitlines()
+        plot_rows = [ln for ln in lines if "|" in ln]
+        assert len(plot_rows) == 5
+        assert "*=a" in lines[-1]
+
+    def test_monotone_series_descends_visually(self):
+        """A rising series occupies higher rows at larger x."""
+        chart = ascii_chart([0, 1, 2, 3], {"a": [0, 1, 2, 3]}, width=24, height=8)
+        rows = [ln.split("|", 1)[1] for ln in chart.splitlines() if "|" in ln]
+        first_cols = [r.find("*") for r in rows if "*" in r]
+        # Top rows (printed first) carry the later (larger) x positions.
+        assert first_cols == sorted(first_cols, reverse=True)
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = ascii_chart(
+            [0, 1], {"a": [0, 1], "b": [1, 0], "c": [0.5, 0.5]}, width=20, height=5
+        )
+        for marker, name in zip(MARKERS, ("a", "b", "c")):
+            assert f"{marker}={name}" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart([0, 1], {"a": [0, 1]}, x_label="N", y_label="V")
+        assert "N" in chart.splitlines()[-2]
+        assert chart.splitlines()[0].strip() == "V"
+
+    def test_nan_values_skipped(self):
+        chart = ascii_chart(
+            [0, 1, 2], {"a": [0.0, float("nan"), 2.0]}, width=20, height=5
+        )
+        plot_area = "".join(
+            ln.split("|", 1)[1] for ln in chart.splitlines() if "|" in ln
+        )
+        assert plot_area.count("*") == 2
+
+    def test_y_axis_anchored_at_zero(self):
+        chart = ascii_chart([0, 1], {"a": [0.5, 1.0]}, width=20, height=5)
+        bottom_tick = [ln for ln in chart.splitlines() if "|" in ln][-1]
+        assert bottom_tick.strip().startswith("0|")
+
+    def test_deterministic(self):
+        args = ([0, 1, 2], {"a": [0.1, 0.4, 0.2]})
+        assert ascii_chart(*args) == ascii_chart(*args)
+
+
+class TestValidation:
+    def test_no_series(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {})
+
+    def test_too_many_series(self):
+        series = {f"s{i}": [0, 1] for i in range(len(MARKERS) + 1)}
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], series)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_chart([0, 1, 2], {"a": [0, 1]})
+
+    def test_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"a": [0, 1]}, width=4, height=2)
+
+    def test_all_nan(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ascii_chart([0, 1], {"a": [float("nan")] * 2})
+
+    def test_identical_x(self):
+        with pytest.raises(ValueError, match="identical"):
+            ascii_chart([1, 1], {"a": [0, 1]})

@@ -1,0 +1,125 @@
+"""Unit tests for experiment result-object logic (synthetic data, no sims)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.driver_bank import DriverBankSpec
+from repro.analysis.metrics import ErrorSummary
+from repro.analysis.sweeps import SweepPoint, SweepResult
+from repro.core import AsdmParameters, Table1Case
+from repro.experiments.fig3_model_comparison import ESTIMATOR_ORDER, Fig3Result, THIS_WORK
+from repro.experiments.fig4_capacitance import Fig4Panel, L_ONLY, WITH_C
+from repro.packaging import PGA
+from repro.process import TSMC018
+
+
+def make_point(value, sim, estimates):
+    spec = DriverBankSpec(
+        technology=TSMC018, n_drivers=max(int(value), 1), inductance=5e-9,
+        rise_time=0.5e-9,
+    )
+    return SweepPoint(value=value, spec=spec, simulated_peak=sim, estimates=estimates)
+
+
+def summary_for(values):
+    return ErrorSummary.from_pairs(values, [1.0] * len(values))
+
+
+class TestSweepResultHelpers:
+    def test_series_extraction(self):
+        points = (
+            make_point(1, 0.1, {"m": 0.11}),
+            make_point(2, 0.2, {"m": 0.18}),
+        )
+        result = SweepResult(knob="n", points=points)
+        assert result.values() == [1.0, 2.0]
+        assert result.simulated_peaks() == [0.1, 0.2]
+        assert result.estimate_series("m") == [0.11, 0.18]
+        assert result.percent_errors("m")[0] == pytest.approx(10.0)
+        assert result.estimator_names == ["m"]
+
+    def test_empty_result(self):
+        result = SweepResult(knob="n", points=())
+        assert result.estimator_names == []
+
+
+class TestFig3Result:
+    def _make(self, summaries):
+        points = tuple(
+            make_point(n, 0.5, {name: 0.5 for name in ESTIMATOR_ORDER})
+            for n in (1, 2)
+        )
+        return Fig3Result(
+            technology_name="tsmc018",
+            sweep=SweepResult(knob="n_drivers", points=points),
+            summaries=summaries,
+        )
+
+    def test_best_estimator_by_mean_abs(self):
+        summaries = {name: summary_for([1.2]) for name in ESTIMATOR_ORDER}
+        summaries[THIS_WORK] = summary_for([1.01])
+        assert self._make(summaries).best_estimator() == THIS_WORK
+
+    def test_report_contains_every_estimator(self):
+        summaries = {name: summary_for([1.05]) for name in ESTIMATOR_ORDER}
+        text = self._make(summaries).format_report()
+        for name in ESTIMATOR_ORDER:
+            assert name in text
+
+
+class TestFig4Panel:
+    def test_errors_split_by_region(self):
+        points = (
+            make_point(1, 1.0, {WITH_C: 1.02, L_ONLY: 0.70}),
+            make_point(8, 1.0, {WITH_C: 1.01, L_ONLY: 0.99}),
+        )
+        panel = Fig4Panel(
+            label="test",
+            ground=PGA.pin,
+            sweep=SweepResult(knob="n_drivers", points=points),
+            cases=(Table1Case.UNDERDAMPED_FIRST_PEAK, Table1Case.OVERDAMPED),
+        )
+        by_region = panel.errors_by_region(L_ONLY)
+        assert by_region["under-damped"] == pytest.approx(30.0)
+        assert by_region["not-under-damped"] == pytest.approx(1.0)
+        assert panel.max_abs_error(WITH_C) == pytest.approx(2.0)
+
+
+class TestTable1RowMath:
+    def test_percent_properties(self):
+        from repro.experiments.table1_formulas import CaseConfig, Table1Row
+        from repro.core import LcSsnModel
+
+        params = AsdmParameters(k=5e-3, v0=0.6, lam=1.04)
+        model = LcSsnModel(params, 8, 5e-9, 1e-12, 1.8, 0.5e-9)
+        row = Table1Row(
+            config=CaseConfig(Table1Case.OVERDAMPED, 8, 1e-12, 0.5e-9),
+            model=model,
+            formula_peak=1.05,
+            ode_peak=1.0,
+            sim_peak=1.0,
+            extended_peak=1.02,
+            waveform_max_diff=0.0,
+        )
+        assert row.formula_vs_ode_percent == pytest.approx(5.0)
+        assert row.formula_vs_sim_percent == pytest.approx(5.0)
+        assert row.extended_vs_sim_percent == pytest.approx(2.0)
+
+
+class TestPatternResultMath:
+    def test_statistical_margin(self):
+        from repro.experiments.pattern_statistics import PatternStatisticsResult
+
+        result = PatternStatisticsResult(
+            technology_name="tsmc018",
+            bus_width=2,
+            switch_counts=np.array([0, 1, 2]),
+            probabilities=np.array([0.5625, 0.375, 0.0625]),
+            peaks=np.array([0.0, 0.1, 0.18]),
+            mean_peak=0.05,
+            p99_peak=0.18,
+            worst_case=0.18,
+            sim_checks=((1, 0.1, 0.1),),
+        )
+        assert result.statistical_margin == pytest.approx(0.0)
+        assert "statistical margin" in result.format_report()

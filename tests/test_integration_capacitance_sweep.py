@@ -1,0 +1,42 @@
+"""Integration tests for E17: the ground-capacitance sweep."""
+
+import pytest
+
+from repro.experiments import capacitance_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    return capacitance_sweep.run(c_over_crit=(0.3, 1.0, 2.0, 8.0))
+
+
+class TestCapacitanceSweep:
+    def test_peak_rises_past_critical(self, result):
+        """Crossing C_crit under-damps and raises the simulated peak."""
+        below = result.points[0].simulated_peak
+        above = result.points[2].simulated_peak
+        assert above > 1.05 * below
+
+    def test_worst_case_capacitance_is_interior(self):
+        wide = capacitance_sweep.run(c_over_crit=(0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0))
+        assert wide.model_has_interior_maximum()
+
+    def test_extended_model_accurate_everywhere(self, result):
+        """The post-ramp extension holds across the whole damping arc."""
+        assert result.max_abs_extended_error() < 4.0
+
+    def test_table1_fails_only_in_deep_case_3b(self, result):
+        for point in result.points:
+            if point.case_name != "UNDERDAMPED_BOUNDARY":
+                assert abs(point.percent_error) < 4.0
+
+    def test_case_progression(self, result):
+        names = [p.case_name for p in result.points]
+        assert names[0] == "OVERDAMPED"
+        assert names[1] == "CRITICALLY_DAMPED"
+        assert "UNDERDAMPED" in names[-1]
+
+    def test_report_renders(self, result):
+        text = result.format_report()
+        assert "Worst capacitance" in text
+        assert "C_crit" in text

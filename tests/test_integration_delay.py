@@ -1,0 +1,58 @@
+"""Integration tests for E16: SSN-induced delay degradation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import delay_degradation
+from repro.experiments.delay_degradation import fall_delay
+from repro.spice import Waveform
+
+
+@pytest.fixture(scope="module")
+def result():
+    return delay_degradation.run(driver_counts=(1, 4, 8))
+
+
+class TestFallDelay:
+    def test_linear_fall_crossing(self):
+        t = np.linspace(0, 2e-9, 400)
+        vdd = 1.8
+        out = Waveform(t, np.clip(vdd * (1 - t / 1e-9), 0, vdd))
+        assert fall_delay(out, vdd) == pytest.approx(0.5e-9, rel=1e-3)
+
+    def test_custom_reference(self):
+        t = np.linspace(0, 2e-9, 400)
+        out = Waveform(t, np.clip(1.8 * (1 - t / 1e-9), 0, 1.8))
+        assert fall_delay(out, 1.8, reference=0.1) == pytest.approx(0.9e-9, rel=1e-2)
+
+
+class TestDelayDegradation:
+    def test_baseline_is_lone_driver(self, result):
+        assert result.points[0].n_drivers == 1
+        assert result.points[0].pushout == 0.0
+
+    def test_pushout_monotone_in_n(self, result):
+        pushouts = [p.pushout for p in result.points]
+        assert all(b > a for a, b in zip(pushouts, pushouts[1:]))
+
+    def test_pushout_significant_at_n8(self, result):
+        """The intro's claim is not cosmetic: tens of ps on a ~2 ns edge."""
+        n8 = next(p for p in result.points if p.n_drivers == 8)
+        assert n8.pushout > 50e-12
+
+    def test_estimate_right_order_of_magnitude(self, result):
+        for point in result.points[1:]:
+            assert 0.1 * point.pushout < point.predicted_pushout < 1.2 * point.pushout
+
+    def test_estimate_undershoots_with_documented_sign(self, result):
+        """The ASDM-window estimate is low (see the module docstring)."""
+        large_n = result.points[-1]
+        assert large_n.predicted_pushout < large_n.pushout
+
+    def test_requires_baseline_first(self):
+        with pytest.raises(ValueError, match="baseline"):
+            delay_degradation.run(driver_counts=(4, 8))
+
+    def test_report_renders(self, result):
+        text = result.format_report()
+        assert "push-out" in text.lower()

@@ -1,0 +1,76 @@
+"""Integration tests for the extension experiments (E10-E12), reduced size."""
+
+import pytest
+
+from repro.experiments import mutual_coupling, power_rail, skew
+
+
+@pytest.fixture(scope="module")
+def power_rail_result():
+    return power_rail.run(driver_counts=(2, 8))
+
+
+@pytest.fixture(scope="module")
+def coupling_result():
+    return mutual_coupling.run(couplings=(0.0, 0.5))
+
+
+@pytest.fixture(scope="module")
+def skew_result():
+    return skew.run(n_total=8, budget=0.45)
+
+
+class TestPowerRail:
+    def test_duality_model_accurate(self, power_rail_result):
+        """The paper's 'analyzed similarly' holds to a few percent."""
+        assert power_rail_result.max_droop_error() < 7.0
+
+    def test_crowbar_negligible(self, power_rail_result):
+        """The pull-down-only idealization costs well under 1%."""
+        assert power_rail_result.max_crowbar_effect() < 0.5
+
+    def test_pmos_parameters_physical(self, power_rail_result):
+        p = power_rail_result.pmos_params
+        assert p.lam > 1.0
+        assert p.v0 > 0.4
+
+    def test_report_renders(self, power_rail_result):
+        text = power_rail_result.format_report()
+        assert "duality" in text
+        assert "Crowbar" in text
+
+
+class TestMutualCoupling:
+    def test_coupling_raises_noise(self, coupling_result):
+        peaks = [p.simulated_peak for p in coupling_result.points]
+        assert peaks[1] > 1.1 * peaks[0]
+
+    def test_naive_model_fails_with_coupling(self, coupling_result):
+        coupled = coupling_result.points[1]
+        assert coupled.naive_percent_error < -10.0
+
+    def test_corrected_model_recovers(self, coupling_result):
+        for point in coupling_result.points:
+            assert abs(point.corrected_percent_error) < 5.0
+
+    def test_report_renders(self, coupling_result):
+        assert "Mutual coupling" in coupling_result.format_report()
+
+
+class TestSkewSchedule:
+    def test_simulated_peak_near_plan(self, skew_result):
+        assert skew_result.simulated_skewed_peak == pytest.approx(
+            skew_result.plan.peak_noise, rel=0.08
+        )
+
+    def test_budget_respected_in_simulation(self, skew_result):
+        assert skew_result.simulated_skewed_peak <= skew_result.budget * 1.05
+
+    def test_simultaneous_bus_violates(self, skew_result):
+        assert skew_result.simulated_simultaneous_peak > skew_result.budget
+
+    def test_noise_reduction_positive(self, skew_result):
+        assert skew_result.noise_reduction_percent > 10.0
+
+    def test_report_renders(self, skew_result):
+        assert "Skewed-bus" in skew_result.format_report()

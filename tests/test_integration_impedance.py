@@ -1,0 +1,49 @@
+"""Integration test for E14: impedance peaking vs damping regions."""
+
+import pytest
+
+from repro.core import DampingRegion
+from repro.experiments import impedance
+
+
+@pytest.fixture(scope="module")
+def result():
+    return impedance.run(driver_counts=(1, 4, 8, 16))
+
+
+class TestImpedanceExperiment:
+    def test_peak_tracks_resonant_frequency(self, result):
+        for point in result.points:
+            assert point.peak_frequency == pytest.approx(
+                result.resonant_frequency, rel=0.05
+            )
+
+    def test_peak_impedance_is_driver_conductance(self, result):
+        """At resonance L and C cancel: |Z|max ~ 1/(N*K*lambda)."""
+        from repro.experiments.common import fitted_models
+
+        params = fitted_models(result.technology_name).asdm
+        for point in result.points:
+            expected = 1.0 / (point.n_drivers * params.k * params.lam)
+            assert point.peak_impedance == pytest.approx(expected, rel=0.15)
+
+    def test_peaking_ratio_is_quality_factor(self, result):
+        """Q = 1/(2*zeta): Eqn 15's damping ratio measured in ohms."""
+        for point in result.points:
+            assert point.peaking_ratio == pytest.approx(
+                1.0 / (2.0 * point.zeta), rel=0.20
+            )
+
+    def test_underdamped_rows_peak_overdamped_rows_flat(self, result):
+        for point in result.points:
+            if point.region is DampingRegion.UNDERDAMPED and point.zeta < 0.5:
+                assert point.peaking_ratio > 1.0
+            if point.region is DampingRegion.OVERDAMPED:
+                assert point.peaking_ratio < 1.0
+
+    def test_impedance_decreases_with_n(self, result):
+        peaks = [p.peak_impedance for p in result.points]
+        assert all(b < a for a, b in zip(peaks, peaks[1:]))
+
+    def test_report_renders(self, result):
+        assert "PDN impedance" in result.format_report()

@@ -1,0 +1,128 @@
+"""Integration tests: the paper's headline claims, model vs golden simulation.
+
+These run real transient simulations (about a second each), so each claim
+is exercised at one or two configurations; the full sweeps live in the
+benchmark harness.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import DriverBankSpec, simulate_ssn
+from repro.baselines import SongSsnModel, VemuruSsnModel
+from repro.core import InductiveSsnModel, LcSsnModel, Table1Case
+
+L = 5e-9
+TR = 0.5e-9
+C = 1e-12
+
+
+@pytest.fixture(scope="module")
+def sim_l_only(models018):
+    spec = DriverBankSpec(
+        technology=models018.technology, n_drivers=8, inductance=L, rise_time=TR
+    )
+    return simulate_ssn(spec)
+
+
+@pytest.fixture(scope="module")
+def sim_underdamped(models018):
+    spec = DriverBankSpec(
+        technology=models018.technology, n_drivers=2, inductance=L,
+        capacitance=C, rise_time=TR,
+    )
+    return simulate_ssn(spec)
+
+
+class TestInductiveModelAccuracy:
+    def test_peak_within_five_percent(self, models018, sim_l_only):
+        model = InductiveSsnModel(models018.asdm, 8, L, models018.technology.vdd, TR)
+        err = abs(model.peak_voltage() - sim_l_only.peak_voltage) / sim_l_only.peak_voltage
+        assert err < 0.05
+
+    def test_peak_time_at_ramp_end(self, sim_l_only):
+        assert sim_l_only.peak_time == pytest.approx(TR, rel=0.05)
+
+    def test_waveform_match_in_late_window(self, models018, sim_l_only):
+        """Eqn (6) tracks the simulation closely once the drivers are on."""
+        model = InductiveSsnModel(models018.asdm, 8, L, models018.technology.vdd, TR)
+        ts = np.linspace(0.3e-9, TR * 0.999, 50)
+        sim_v = sim_l_only.ssn.value_at(ts)
+        model_v = np.asarray(model.voltage(ts))
+        assert np.max(np.abs(model_v - sim_v)) < 0.07 * sim_l_only.peak_voltage
+
+    def test_current_waveform_match(self, models018, sim_l_only):
+        """Eqn (8) current through the inductor, within a few percent of peak."""
+        model = InductiveSsnModel(models018.asdm, 8, L, models018.technology.vdd, TR)
+        ts = np.linspace(0.05e-9, TR * 0.999, 80)
+        sim_i = sim_l_only.inductor_current.value_at(ts)
+        model_i = np.asarray(model.total_current(ts))
+        peak_i = float(np.max(sim_i))
+        assert np.max(np.abs(model_i - sim_i)) < 0.06 * peak_i
+
+    def test_output_stays_high_during_ramp(self, sim_l_only):
+        """The modeling assumption: pads barely discharge during the rise."""
+        vdd = 1.8
+        vout_end = sim_l_only.output_voltage.value_at(TR)
+        assert vout_end > 0.95 * vdd
+
+
+class TestLcModelAccuracy:
+    def test_underdamped_lc_model_close(self, models018, sim_underdamped):
+        model = LcSsnModel(models018.asdm, 2, L, C, models018.technology.vdd, TR)
+        assert model.case is Table1Case.UNDERDAMPED_FIRST_PEAK
+        err = abs(model.peak_voltage() - sim_underdamped.peak_voltage)
+        assert err / sim_underdamped.peak_voltage < 0.08
+
+    def test_underdamped_l_only_model_fails(self, models018, sim_underdamped):
+        """The paper's motivation: neglecting C is badly wrong here."""
+        model = InductiveSsnModel(models018.asdm, 2, L, models018.technology.vdd, TR)
+        err = (model.peak_voltage() - sim_underdamped.peak_voltage) / sim_underdamped.peak_voltage
+        assert err < -0.10  # underestimates by more than 10%
+
+    def test_simulation_shows_ringing(self, sim_underdamped):
+        """Under-damped: the SSN waveform must actually oscillate."""
+        maxima = sim_underdamped.ssn.local_maxima()
+        assert len(maxima) >= 1
+        trough_t, trough_v = sim_underdamped.ssn.trough()
+        assert trough_v < 0.0  # undershoot below true ground
+
+    def test_lc_beats_l_only_underdamped(self, models018, sim_underdamped):
+        vdd = models018.technology.vdd
+        lc = LcSsnModel(models018.asdm, 2, L, C, vdd, TR).peak_voltage()
+        lo = InductiveSsnModel(models018.asdm, 2, L, vdd, TR).peak_voltage()
+        ref = sim_underdamped.peak_voltage
+        assert abs(lc - ref) < abs(lo - ref)
+
+
+class TestBaselinesLessAccurate:
+    def test_this_work_beats_vemuru_and_song(self, models018, sim_l_only):
+        """Fig. 3's claim at the nominal configuration."""
+        vdd = models018.technology.vdd
+        ref = sim_l_only.peak_voltage
+        ours = abs(InductiveSsnModel(models018.asdm, 8, L, vdd, TR).peak_voltage() - ref)
+        vemuru = abs(VemuruSsnModel(models018.alpha_power, 8, L, vdd, TR).peak_voltage() - ref)
+        song = abs(SongSsnModel(models018.alpha_power, 8, L, vdd, TR).peak_voltage() - ref)
+        assert ours < vemuru
+        assert ours < song
+
+
+class TestScalingClaims:
+    def test_peak_grows_sublinearly_with_n(self, models018, sim_l_only):
+        """Doubling N far less than doubles the noise (Eqn 10 saturation)."""
+        spec16 = DriverBankSpec(
+            technology=models018.technology, n_drivers=16, inductance=L, rise_time=TR
+        )
+        peak16 = simulate_ssn(spec16).peak_voltage
+        assert peak16 < 2 * sim_l_only.peak_voltage
+        assert peak16 > sim_l_only.peak_voltage
+
+    def test_z_equivalence_in_simulation(self, models018, sim_l_only):
+        """Halving L while doubling N leaves the simulated peak nearly fixed."""
+        spec = DriverBankSpec(
+            technology=models018.technology, n_drivers=16, inductance=L / 2, rise_time=TR
+        )
+        peak = simulate_ssn(spec).peak_voltage
+        assert peak == pytest.approx(sim_l_only.peak_voltage, rel=0.03)

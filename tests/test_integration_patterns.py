@@ -1,0 +1,50 @@
+"""Integration tests for E15: random-data SSN statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import pattern_statistics
+
+
+@pytest.fixture(scope="module")
+def result():
+    return pattern_statistics.run(bus_width=16, sim_check_counts=(4, 8))
+
+
+class TestDistribution:
+    def test_probabilities_normalized(self, result):
+        assert float(np.sum(result.probabilities)) == pytest.approx(1.0, abs=1e-12)
+
+    def test_peaks_monotone_in_n(self, result):
+        assert np.all(np.diff(result.peaks) > 0)
+
+    def test_zero_switch_zero_noise(self, result):
+        assert result.peaks[0] == 0.0
+
+    def test_order_statistics(self, result):
+        assert 0.0 < result.mean_peak < result.p99_peak < result.worst_case
+
+    def test_statistical_margin_positive(self, result):
+        assert result.statistical_margin > 0.0
+
+    def test_mean_matches_direct_expectation(self, result):
+        assert result.mean_peak == pytest.approx(
+            float(np.sum(result.probabilities * result.peaks)), rel=1e-12
+        )
+
+
+class TestValidation:
+    def test_spot_checks_within_model_accuracy(self, result):
+        for n, sim, model in result.sim_checks:
+            assert abs(model - sim) / sim < 0.06
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pattern_statistics.run(bus_width=0)
+        with pytest.raises(ValueError):
+            pattern_statistics.run(bus_width=8, sim_check_counts=(16,))
+
+    def test_report_renders(self, result):
+        text = result.format_report()
+        assert "statistical margin" in text
+        assert "Spot validation" in text

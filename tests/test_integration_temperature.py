@@ -1,0 +1,51 @@
+"""Integration tests for E18: SSN across temperature corners."""
+
+import pytest
+
+from repro.devices import BsimLikeMosfet, BsimLikeParameters
+from repro.experiments import temperature
+
+
+@pytest.fixture(scope="module")
+def result():
+    return temperature.run(n_drivers=4, temperatures=(233.0, 398.0))
+
+
+class TestDeviceTemperature:
+    def test_cold_device_stronger(self):
+        cold = BsimLikeMosfet(BsimLikeParameters(temperature=233.0))
+        hot = BsimLikeMosfet(BsimLikeParameters(temperature=398.0))
+        assert cold.ids(1.8, 1.8) > 1.3 * hot.ids(1.8, 1.8)
+
+    def test_threshold_drops_with_temperature(self):
+        cold = BsimLikeMosfet(BsimLikeParameters(temperature=233.0))
+        hot = BsimLikeMosfet(BsimLikeParameters(temperature=398.0))
+        assert float(cold.threshold()) > float(hot.threshold())
+
+    def test_reference_temperature_unchanged(self):
+        """Adding the knob must not move the nominal 300 K model."""
+        p = BsimLikeParameters()
+        assert p.vth0_t == p.vth0
+        assert p.mu0_t == p.mu0
+
+    def test_implausible_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            BsimLikeParameters(temperature=50.0)
+
+
+class TestTemperatureExperiment:
+    def test_cold_corner_is_worst(self, result):
+        assert result.coldest().simulated_peak > 1.2 * result.hottest().simulated_peak
+
+    def test_k_tracks_mobility(self, result):
+        assert result.coldest().params.k > result.hottest().params.k
+
+    def test_v0_tracks_threshold(self, result):
+        assert result.coldest().params.v0 > result.hottest().params.v0
+
+    def test_refit_model_accurate_at_each_corner(self, result):
+        assert result.max_abs_error() < 6.0
+
+    def test_report_renders(self, result):
+        text = result.format_report()
+        assert "Cold corner" in text

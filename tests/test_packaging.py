@@ -1,0 +1,51 @@
+"""Unit tests for package parasitic models."""
+
+import pytest
+
+from repro.packaging import PGA, GroundPathParasitics, get_package, list_packages
+
+
+class TestGroundPath:
+    def test_paper_pga_values(self):
+        """The paper's quoted PGA numbers: 5 nH, 1 pF, 10 mOhm."""
+        assert PGA.pin.inductance == pytest.approx(5e-9)
+        assert PGA.pin.capacitance == pytest.approx(1e-12)
+        assert PGA.pin.resistance == pytest.approx(10e-3)
+
+    def test_parallel_pads_transformation(self):
+        two = PGA.pin.with_pads(2)
+        assert two.inductance == pytest.approx(PGA.pin.inductance / 2)
+        assert two.capacitance == pytest.approx(PGA.pin.capacitance * 2)
+        assert two.resistance == pytest.approx(PGA.pin.resistance / 2)
+
+    def test_one_pad_identity(self):
+        assert PGA.pin.with_pads(1) == PGA.pin
+
+    def test_invalid_pad_count(self):
+        with pytest.raises(ValueError):
+            PGA.pin.with_pads(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroundPathParasitics(inductance=0.0, capacitance=1e-12, resistance=0.0)
+        with pytest.raises(ValueError):
+            GroundPathParasitics(inductance=1e-9, capacitance=1e-12, resistance=-1.0)
+
+
+class TestRegistry:
+    def test_known_packages(self):
+        assert list_packages() == ["bga", "pga", "qfp", "wirebond"]
+
+    def test_lookup(self):
+        assert get_package("pga") is PGA
+
+    def test_unknown_package(self):
+        with pytest.raises(KeyError, match="wirebond"):
+            get_package("dip")
+
+    def test_ground_path_delegates(self):
+        path = get_package("bga").ground_path(pads=4)
+        assert path.inductance == pytest.approx(get_package("bga").pin.inductance / 4)
+
+    def test_bga_lower_inductance_than_qfp(self):
+        assert get_package("bga").pin.inductance < get_package("qfp").pin.inductance

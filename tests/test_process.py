@@ -1,0 +1,75 @@
+"""Unit tests for technology cards."""
+
+import dataclasses
+
+import pytest
+
+from repro.devices import BsimLikeParameters
+from repro.process import TSMC018, Technology, get_technology, list_technologies
+
+
+class TestRegistry:
+    def test_three_nodes_registered(self):
+        assert list_technologies() == ["tsmc018", "tsmc025", "tsmc035"]
+
+    def test_lookup_roundtrip(self):
+        for name in list_technologies():
+            assert get_technology(name).name == name
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="tsmc018"):
+            get_technology("tsmc013")
+
+
+class TestCards:
+    def test_supply_scales_with_node(self):
+        vdds = [get_technology(n).vdd for n in ("tsmc018", "tsmc025", "tsmc035")]
+        assert vdds == [1.8, 2.5, 3.3]
+
+    def test_nmos_length_matches_node(self):
+        for name in list_technologies():
+            tech = get_technology(name)
+            assert tech.nmos.l == tech.node
+
+    def test_device_factory_width(self):
+        dev = TSMC018.nmos_device(42e-6)
+        assert dev.params.w == 42e-6
+
+    def test_default_width_is_reference(self):
+        assert TSMC018.nmos_device().params.w == TSMC018.reference_width
+
+    def test_driver_strength_scaling(self):
+        dev = TSMC018.driver_device(2.5)
+        assert dev.params.w == pytest.approx(2.5 * TSMC018.reference_width)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            TSMC018.nmos_device(0.0)
+        with pytest.raises(ValueError):
+            TSMC018.driver_device(-1.0)
+
+
+class TestValidation:
+    def test_mismatched_length_rejected(self):
+        with pytest.raises(ValueError, match="disagrees"):
+            Technology(
+                name="bad",
+                node=0.25e-6,
+                vdd=2.5,
+                nmos=BsimLikeParameters(l=0.18e-6),
+                reference_width=10e-6,
+            )
+
+    def test_nonpositive_vdd_rejected(self):
+        with pytest.raises(ValueError):
+            Technology(
+                name="bad",
+                node=0.18e-6,
+                vdd=0.0,
+                nmos=BsimLikeParameters(),
+                reference_width=10e-6,
+            )
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            TSMC018.vdd = 2.0

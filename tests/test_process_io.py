@@ -1,0 +1,80 @@
+"""Tests for technology-card JSON serialization."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.process import TSMC018, TSMC025
+from repro.process.io import (
+    FORMAT_VERSION,
+    load_technology,
+    save_technology,
+    technology_from_dict,
+    technology_to_dict,
+)
+
+
+class TestRoundTrip:
+    def test_full_card(self, tmp_path):
+        path = tmp_path / "tech.json"
+        save_technology(TSMC018, path)
+        back = load_technology(path)
+        assert back == TSMC018
+
+    def test_all_builtin_cards(self, tmp_path):
+        from repro.process import list_technologies, get_technology
+
+        for name in list_technologies():
+            tech = get_technology(name)
+            path = tmp_path / f"{name}.json"
+            save_technology(tech, path)
+            assert load_technology(path) == tech
+
+    def test_card_without_pmos(self, tmp_path):
+        nmos_only = dataclasses.replace(TSMC018, pmos=None)
+        path = tmp_path / "n.json"
+        save_technology(nmos_only, path)
+        back = load_technology(path)
+        assert back.pmos is None
+        assert back.nmos == TSMC018.nmos
+
+    def test_rebuilt_card_is_usable(self, tmp_path):
+        path = tmp_path / "tech.json"
+        save_technology(TSMC025, path)
+        back = load_technology(path)
+        dev = back.driver_device()
+        assert dev.ids(back.vdd, back.vdd) > 0
+
+
+class TestValidation:
+    def test_version_mismatch(self):
+        data = technology_to_dict(TSMC018)
+        data["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            technology_from_dict(data)
+
+    def test_unknown_top_level_field(self):
+        data = technology_to_dict(TSMC018)
+        data["oxide_thickness"] = 4e-9
+        with pytest.raises(ValueError, match="oxide_thickness"):
+            technology_from_dict(data)
+
+    def test_unknown_device_field(self):
+        data = technology_to_dict(TSMC018)
+        data["nmos"]["vth_typo"] = 0.5
+        with pytest.raises(ValueError, match="vth_typo"):
+            technology_from_dict(data)
+
+    def test_device_validation_still_applies(self):
+        data = technology_to_dict(TSMC018)
+        data["nmos"]["w"] = -1.0
+        with pytest.raises(ValueError):
+            technology_from_dict(data)
+
+    def test_file_is_readable_json(self, tmp_path):
+        path = tmp_path / "tech.json"
+        save_technology(TSMC018, path)
+        parsed = json.loads(path.read_text())
+        assert parsed["name"] == "tsmc018"
+        assert parsed["format_version"] == FORMAT_VERSION

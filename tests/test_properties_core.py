@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) for the closed-form SSN models."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AsdmParameters,
+    InductiveSsnModel,
+    LcSsnModel,
+    circuit_figure,
+    critical_capacitance,
+    damping_ratio,
+    peak_noise_from_figure,
+)
+
+#: Physically sensible parameter ranges for the strategies.
+ks = st.floats(min_value=1e-4, max_value=0.1)
+v0s = st.floats(min_value=0.2, max_value=1.0)
+lams = st.floats(min_value=1.0, max_value=1.5)
+ns = st.integers(min_value=1, max_value=64)
+inductances = st.floats(min_value=0.1e-9, max_value=50e-9)
+capacitances = st.floats(min_value=0.05e-12, max_value=100e-12)
+rise_times = st.floats(min_value=0.05e-9, max_value=5e-9)
+
+
+def make_params(k, v0, lam):
+    return AsdmParameters(k=k, v0=v0, lam=lam)
+
+
+class TestEqn10Properties:
+    @given(k=ks, v0=v0s, lam=lams, z1=st.floats(1e-3, 1e2), z2=st.floats(1e-3, 1e2))
+    def test_monotone_in_z(self, k, v0, lam, z1, z2):
+        params = make_params(k, v0, lam)
+        lo, hi = sorted((z1, z2))
+        if hi / lo < 1 + 1e-9:
+            return
+        assert peak_noise_from_figure(lo, params, 1.8) <= peak_noise_from_figure(
+            hi, params, 1.8
+        ) * (1 + 1e-12)
+
+    @given(k=ks, v0=v0s, lam=lams, z=st.floats(1e-3, 1e3))
+    def test_bounded_by_supremum(self, k, v0, lam, z):
+        params = make_params(k, v0, lam)
+        assert peak_noise_from_figure(z, params, 1.8) < (1.8 - v0) / lam
+
+    @given(k=ks, v0=v0s, lam=lams, n=ns, l=inductances, tr=rise_times)
+    def test_figure_reformulation_exact(self, k, v0, lam, n, l, tr):
+        """Eqn 10 == Eqn 7 for every configuration."""
+        params = make_params(k, v0, lam)
+        model = InductiveSsnModel(params, n, l, 1.8, tr)
+        z = circuit_figure(n, l, 1.8 / tr)
+        assert peak_noise_from_figure(z, params, 1.8) == pytest.approx(
+            model.peak_voltage(), rel=1e-9
+        )
+
+
+class TestInductiveModelProperties:
+    @given(k=ks, v0=v0s, lam=lams, n=ns, l=inductances, tr=rise_times)
+    def test_waveform_nonnegative_and_monotone(self, k, v0, lam, n, l, tr):
+        model = InductiveSsnModel(make_params(k, v0, lam), n, l, 1.8, tr)
+        ts = np.linspace(0.0, tr, 200)
+        v = np.asarray(model.voltage(ts))
+        assert np.all(v >= 0)
+        assert np.all(np.diff(v) >= -1e-12)
+
+    @given(k=ks, v0=v0s, lam=lams, n=ns, l=inductances, tr=rise_times)
+    def test_peak_is_supremum_of_waveform(self, k, v0, lam, n, l, tr):
+        model = InductiveSsnModel(make_params(k, v0, lam), n, l, 1.8, tr)
+        ts = np.linspace(0.0, tr, 500)
+        assert model.peak_voltage() >= np.nanmax(np.asarray(model.voltage(ts))) - 1e-12
+
+    @given(k=ks, v0=v0s, lam=lams, n=st.integers(1, 32), l=inductances, tr=rise_times)
+    def test_more_drivers_more_noise(self, k, v0, lam, n, l, tr):
+        params = make_params(k, v0, lam)
+        small = InductiveSsnModel(params, n, l, 1.8, tr).peak_voltage()
+        large = InductiveSsnModel(params, 2 * n, l, 1.8, tr).peak_voltage()
+        assert large > small
+
+    @given(k=ks, v0=v0s, lam=lams, n=ns, l=inductances, tr=rise_times)
+    def test_current_nonnegative(self, k, v0, lam, n, l, tr):
+        model = InductiveSsnModel(make_params(k, v0, lam), n, l, 1.8, tr)
+        ts = np.linspace(0.0, tr, 200)
+        assert np.all(np.asarray(model.driver_current(ts)) >= 0)
+
+
+class TestLcModelProperties:
+    @settings(max_examples=60)
+    @given(k=ks, v0=v0s, lam=lams, n=ns, l=inductances, c=capacitances, tr=rise_times)
+    def test_voltage_finite_on_window(self, k, v0, lam, n, l, c, tr):
+        model = LcSsnModel(make_params(k, v0, lam), n, l, c, 1.8, tr)
+        ts = np.linspace(0.0, tr, 200)
+        assert np.all(np.isfinite(np.asarray(model.voltage(ts))))
+
+    @settings(max_examples=60)
+    @given(k=ks, v0=v0s, lam=lams, n=ns, l=inductances, c=capacitances, tr=rise_times)
+    def test_peak_at_least_window_end(self, k, v0, lam, n, l, c, tr):
+        """Table 1 maxima can never be below the window-end value."""
+        model = LcSsnModel(make_params(k, v0, lam), n, l, c, 1.8, tr)
+        end_value = float(model.voltage(model.ramp_end_time))
+        assert model.peak_voltage() >= end_value - 1e-12
+
+    @settings(max_examples=60)
+    @given(k=ks, v0=v0s, lam=lams, n=ns, l=inductances, c=capacitances, tr=rise_times)
+    def test_peak_bounded_by_twice_asymptote(self, k, v0, lam, n, l, c, tr):
+        """Under-damped overshoot never exceeds 2*Vss (zero-damping limit)."""
+        model = LcSsnModel(make_params(k, v0, lam), n, l, c, 1.8, tr)
+        assert model.peak_voltage() <= 2.0 * model.asymptotic_voltage + 1e-12
+
+    @settings(max_examples=40)
+    @given(k=ks, v0=v0s, lam=lams, n=ns, l=inductances, tr=rise_times,
+           ratio=st.floats(0.3, 3.0))
+    def test_continuity_across_damping_boundary(self, k, v0, lam, n, l, tr, ratio):
+        """Peak voltage is continuous in C through the critical point."""
+        params = make_params(k, v0, lam)
+        c_crit = critical_capacitance(params, n, l)
+        eps = 1e-6
+        just_under = LcSsnModel(params, n, l, c_crit * (1 - eps), 1.8, tr)
+        critical = LcSsnModel(params, n, l, c_crit, 1.8, tr)
+        just_over = LcSsnModel(params, n, l, c_crit * (1 + eps), 1.8, tr)
+        assert just_under.peak_voltage() == pytest.approx(
+            critical.peak_voltage(), rel=1e-3
+        )
+        assert just_over.peak_voltage() == pytest.approx(
+            critical.peak_voltage(), rel=1e-3
+        )
+
+    @settings(max_examples=40)
+    @given(k=ks, v0=v0s, lam=lams, n=ns, l=inductances, c=capacitances, tr=rise_times)
+    def test_lc_ode_residual(self, k, v0, lam, n, l, c, tr):
+        """The closed form satisfies Eqn (13) pointwise (second differences)."""
+        model = LcSsnModel(make_params(k, v0, lam), n, l, c, 1.8, tr)
+        t0, te = model.turn_on_time, model.ramp_end_time
+        ts = np.linspace(t0 + (te - t0) * 0.1, te * 0.999, 64)
+        h = (te - t0) * 1e-5
+        v = np.asarray(model.voltage(ts))
+        vp = (np.asarray(model.voltage(ts + h)) - np.asarray(model.voltage(ts - h))) / (2 * h)
+        vpp = (
+            np.asarray(model.voltage(ts + h))
+            - 2 * v
+            + np.asarray(model.voltage(ts - h))
+        ) / h**2
+        residual = l * c * vpp + n * l * k * lam * vp + v - model.asymptotic_voltage
+        scale = max(model.asymptotic_voltage, 1e-6)
+        assert np.max(np.abs(residual)) / scale < 5e-2
+
+
+class TestDampingProperties:
+    @given(k=ks, lam=lams, n=ns, l=inductances)
+    def test_critical_capacitance_gives_unit_zeta(self, k, lam, n, l):
+        params = make_params(k, 0.6, lam)
+        c = critical_capacitance(params, n, l)
+        assert damping_ratio(params, n, l, c) == pytest.approx(1.0, rel=1e-9)
+
+    @given(k=ks, lam=lams, n=ns, l=inductances, factor=st.floats(1.1, 100.0))
+    def test_more_capacitance_less_damping(self, k, lam, n, l, factor):
+        params = make_params(k, 0.6, lam)
+        c = 1e-12
+        assert damping_ratio(params, n, l, c * factor) < damping_ratio(params, n, l, c)

@@ -1,0 +1,95 @@
+"""Property-based tests for the design helpers and baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SenthinathanSsnModel, SongSsnModel, VemuruSsnModel
+from repro.core import (
+    AlphaPowerSsnParameters,
+    AsdmParameters,
+    InductiveSsnModel,
+    SquareLawSsnParameters,
+    figure_for_noise_budget,
+    max_simultaneous_drivers,
+    peak_noise_from_figure,
+    required_rise_time,
+)
+
+params_st = st.builds(
+    AsdmParameters,
+    k=st.floats(1e-3, 0.05),
+    v0=st.floats(0.3, 0.9),
+    lam=st.floats(1.0, 1.3),
+)
+
+
+class TestDesignInverses:
+    @settings(max_examples=50)
+    @given(params=params_st, budget_frac=st.floats(0.05, 0.8))
+    def test_budget_inverse_roundtrip(self, params, budget_frac):
+        vdd = 1.8
+        supremum = (vdd - params.v0) / params.lam
+        budget = budget_frac * supremum
+        z = figure_for_noise_budget(budget, params, vdd)
+        assert peak_noise_from_figure(z, params, vdd) == pytest.approx(budget, rel=1e-6)
+
+    @settings(max_examples=40)
+    @given(params=params_st, budget_frac=st.floats(0.1, 0.8), tr=st.floats(0.1e-9, 2e-9))
+    def test_max_drivers_is_maximal(self, params, budget_frac, tr):
+        vdd, l = 1.8, 5e-9
+        budget = budget_frac * (vdd - params.v0) / params.lam
+        n = max_simultaneous_drivers(budget, params, l, vdd, tr)
+        if n >= 1:
+            assert InductiveSsnModel(params, n, l, vdd, tr).peak_voltage() <= budget * (1 + 1e-9)
+        assert InductiveSsnModel(params, n + 1, l, vdd, tr).peak_voltage() > budget * (1 - 1e-9)
+
+    @settings(max_examples=40)
+    @given(params=params_st, budget_frac=st.floats(0.1, 0.8), n=st.integers(1, 64))
+    def test_required_rise_time_is_exact(self, params, budget_frac, n):
+        vdd, l = 1.8, 5e-9
+        budget = budget_frac * (vdd - params.v0) / params.lam
+        tr = required_rise_time(budget, params, n, l, vdd)
+        peak = InductiveSsnModel(params, n, l, vdd, tr).peak_voltage()
+        assert peak == pytest.approx(budget, rel=1e-6)
+
+
+class TestBaselineProperties:
+    alpha_st = st.builds(
+        AlphaPowerSsnParameters,
+        b=st.floats(1e-3, 0.02),
+        vth=st.floats(0.3, 0.8),
+        alpha=st.floats(1.0, 2.0),
+    )
+
+    @settings(max_examples=40)
+    @given(ap=alpha_st, n=st.integers(1, 32), tr=st.floats(0.1e-9, 2e-9))
+    def test_vemuru_bounded_and_positive(self, ap, n, tr):
+        m = VemuruSsnModel(ap, n, 5e-9, 1.8, tr)
+        v = m.peak_voltage()
+        assert 0.0 < v < m.time_constant * m.slope + 1e-12
+
+    @settings(max_examples=40)
+    @given(ap=alpha_st, n=st.integers(1, 32), tr=st.floats(0.1e-9, 2e-9))
+    def test_song_root_within_overdrive(self, ap, n, tr):
+        v = SongSsnModel(ap, n, 5e-9, 1.8, tr).peak_voltage()
+        assert 0.0 <= v < 1.8 - ap.vth
+
+    @settings(max_examples=40)
+    @given(
+        beta=st.floats(1e-3, 0.05),
+        vth=st.floats(0.3, 0.8),
+        n=st.integers(1, 64),
+        tr=st.floats(0.1e-9, 2e-9),
+    )
+    def test_senthinathan_bounded(self, beta, vth, n, tr):
+        sq = SquareLawSsnParameters(beta=beta, vth=vth)
+        v = SenthinathanSsnModel(sq, n, 5e-9, 1.8, tr).peak_voltage()
+        assert 0.0 < v < 1.8 - vth
+
+    @settings(max_examples=30)
+    @given(ap=alpha_st, tr=st.floats(0.1e-9, 2e-9))
+    def test_baselines_monotone_in_n(self, ap, tr):
+        for cls in (VemuruSsnModel, SongSsnModel):
+            peaks = [cls(ap, n, 5e-9, 1.8, tr).peak_voltage() for n in (1, 4, 16)]
+            assert peaks[0] <= peaks[1] <= peaks[2]

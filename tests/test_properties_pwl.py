@@ -1,0 +1,84 @@
+"""Property-based tests for the piecewise-linear-drive model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.integrate import solve_ivp
+
+from repro.core import AsdmParameters, PwlDriveSsnModel
+
+params_st = st.builds(
+    AsdmParameters,
+    k=st.floats(1e-3, 0.02),
+    v0=st.floats(0.3, 0.8),
+    lam=st.floats(1.0, 1.3),
+)
+
+
+@st.composite
+def monotone_gate(draw, vdd=1.8):
+    """A random monotone-rising gate waveform reaching vdd and holding."""
+    n_knots = draw(st.integers(3, 8))
+    # Random positive increments in time and voltage.
+    dts = draw(
+        st.lists(st.floats(0.02e-9, 0.4e-9), min_size=n_knots, max_size=n_knots)
+    )
+    dvs = draw(
+        st.lists(st.floats(0.05, 1.0), min_size=n_knots, max_size=n_knots)
+    )
+    t = np.concatenate([[0.0], np.cumsum(dts)])
+    v = np.concatenate([[0.0], np.cumsum(dvs)])
+    v = np.minimum(v * (vdd / max(v[-1], vdd)), vdd)  # normalize into [0, vdd]
+    # Hold flat for a while at the end.
+    t = np.append(t, t[-1] + 1e-9)
+    v = np.append(v, v[-1])
+    return t, v
+
+
+class TestAgainstOde:
+    @settings(max_examples=40, deadline=None)
+    @given(params=params_st, gate=monotone_gate(), n=st.integers(1, 16))
+    def test_matches_numeric_integration(self, params, gate, n):
+        t_knots, v_knots = gate
+        if v_knots[-1] <= params.v0 + 0.05:
+            return  # gate never convincingly turns the device on
+        model = PwlDriveSsnModel(params, n, 5e-9, t_knots, v_knots)
+        tau = model.time_constant
+        nlk = n * 5e-9 * params.k
+
+        def rhs(time, y):
+            idx = int(np.clip(np.searchsorted(t_knots, time, side="right") - 1,
+                              0, len(t_knots) - 2))
+            s = (v_knots[idx + 1] - v_knots[idx]) / (t_knots[idx + 1] - t_knots[idx])
+            return [(nlk * s - y[0]) / tau]
+
+        t_end = float(t_knots[-1])
+        sol = solve_ivp(
+            rhs, (model.turn_on_time, t_end), [0.0],
+            rtol=1e-9, atol=1e-13, dense_output=True, max_step=(t_end) / 200,
+        )
+        ts = np.linspace(model.turn_on_time, t_end, 100)
+        np.testing.assert_allclose(
+            np.asarray(model.voltage(ts)), sol.sol(ts)[0], atol=2e-3
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=params_st, gate=monotone_gate(), n=st.integers(1, 16))
+    def test_peak_bounds_waveform(self, params, gate, n):
+        t_knots, v_knots = gate
+        if v_knots[-1] <= params.v0 + 0.05:
+            return
+        model = PwlDriveSsnModel(params, n, 5e-9, t_knots, v_knots)
+        ts = np.linspace(0.0, float(t_knots[-1]), 500)
+        assert model.peak_voltage() >= float(np.max(model.voltage(ts))) - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=params_st, gate=monotone_gate(), n=st.integers(1, 16))
+    def test_nonnegative_for_monotone_rising_gate(self, params, gate, n):
+        t_knots, v_knots = gate
+        if v_knots[-1] <= params.v0 + 0.05:
+            return
+        model = PwlDriveSsnModel(params, n, 5e-9, t_knots, v_knots)
+        ts = np.linspace(0.0, float(t_knots[-1]), 300)
+        assert np.min(model.voltage(ts)) >= -1e-12

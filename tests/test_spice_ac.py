@@ -1,0 +1,109 @@
+"""Unit tests for the AC small-signal analysis."""
+
+import numpy as np
+import pytest
+
+from repro.devices import BsimLikeMosfet
+from repro.spice import Circuit, Dc, ac_analysis, driving_point_impedance
+
+
+class TestPassiveNetworks:
+    def test_rc_lowpass_magnitude_and_phase(self):
+        c = Circuit()
+        c.vsource("Vin", "in", "0", Dc(0.0))
+        c.resistor("R1", "in", "out", 1e3)
+        c.capacitor("C1", "out", "0", 1e-12)
+        fc = 1 / (2 * np.pi * 1e3 * 1e-12)
+        res = ac_analysis(c, [fc], "Vin", bias_time=None)
+        assert res.magnitude("out")[0] == pytest.approx(1 / np.sqrt(2), rel=1e-9)
+        assert res.phase("out")[0] == pytest.approx(-np.pi / 4, rel=1e-9)
+
+    def test_rl_highpass(self):
+        c = Circuit()
+        c.vsource("Vin", "in", "0", Dc(0.0))
+        c.resistor("R1", "in", "out", 100.0)
+        c.inductor("L1", "out", "0", 10e-9)
+        fc = 100.0 / (2 * np.pi * 10e-9)
+        res = ac_analysis(c, [fc / 100, fc, fc * 100], "Vin", bias_time=None)
+        mag = res.magnitude("out")
+        assert mag[0] < 0.05
+        assert mag[1] == pytest.approx(1 / np.sqrt(2), rel=1e-6)
+        assert mag[2] > 0.99
+
+    def test_voltage_divider_flat(self):
+        c = Circuit()
+        c.vsource("Vin", "in", "0", Dc(0.0))
+        c.resistor("R1", "in", "mid", 3e3)
+        c.resistor("R2", "mid", "0", 1e3)
+        res = ac_analysis(c, np.logspace(6, 10, 5), "Vin", bias_time=None)
+        np.testing.assert_allclose(res.magnitude("mid"), 0.25, rtol=1e-12)
+
+    def test_lc_parallel_resonance(self):
+        c = Circuit()
+        c.inductor("L1", "a", "0", 5e-9)
+        c.capacitor("C1", "a", "0", 1e-12)
+        c.resistor("R1", "a", "0", 200.0)
+        f0 = 1 / (2 * np.pi * np.sqrt(5e-9 * 1e-12))
+        freqs = np.logspace(np.log10(f0) - 1, np.log10(f0) + 1, 401)
+        z = driving_point_impedance(c, freqs, "a", bias_time=None)
+        f_peak = freqs[np.argmax(np.abs(z))]
+        assert f_peak == pytest.approx(f0, rel=0.02)
+        # At resonance L and C cancel: |Z| = R.
+        assert np.max(np.abs(z)) == pytest.approx(200.0, rel=0.01)
+
+    def test_impedance_of_bare_inductor(self):
+        c = Circuit()
+        c.inductor("L1", "a", "0", 5e-9)
+        freqs = np.array([1e9, 2e9])
+        z = driving_point_impedance(c, freqs, "a", bias_time=None)
+        np.testing.assert_allclose(np.abs(z), 2 * np.pi * freqs * 5e-9, rtol=1e-9)
+
+    def test_mutual_inductance_ac(self):
+        """Coupled parallel pair: Z = jw L(1+k)/2."""
+        c = Circuit()
+        c.inductor("L1", "a", "0", 10e-9)
+        c.inductor("L2", "a", "0", 10e-9)
+        c.mutual("K1", "L1", "L2", 0.5)
+        z = driving_point_impedance(c, [1e9], "a", bias_time=None)
+        expected = 2 * np.pi * 1e9 * 10e-9 * 1.5 / 2
+        assert abs(z[0]) == pytest.approx(expected, rel=1e-9)
+
+    def test_probe_removed_after_impedance(self):
+        c = Circuit()
+        c.inductor("L1", "a", "0", 5e-9)
+        driving_point_impedance(c, [1e9], "a", bias_time=None)
+        assert all(not el.name.startswith("_Z") for el in c.elements)
+
+
+class TestLinearizedDevices:
+    def test_common_source_gain(self):
+        """Low-frequency gain of a resistively loaded common-source stage."""
+        c = Circuit()
+        c.vsource("Vdd", "vdd", "0", Dc(1.8))
+        c.vsource("Vg", "g", "0", Dc(1.0))
+        c.resistor("Rd", "vdd", "d", 2e3)
+        dev = BsimLikeMosfet()
+        c.mosfet("M1", "d", "g", "0", "0", dev)
+        res = ac_analysis(c, [1e6], "Vg", bias_time=0.0)
+        gain = res.magnitude("d")[0]
+
+        from repro.spice import dc_operating_point
+
+        op_point = dc_operating_point(c)
+        vd = op_point.voltage("d")
+        op = dev.partials(1.0, vd, 0.0)
+        expected = op.gm / (1 / 2e3 + op.gds)
+        assert gain == pytest.approx(expected, rel=1e-3)
+
+    def test_unknown_stimulus_rejected(self):
+        c = Circuit()
+        c.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(KeyError):
+            ac_analysis(c, [1e9], "Vnope", bias_time=None)
+
+    def test_nonpositive_frequency_rejected(self):
+        c = Circuit()
+        c.vsource("Vin", "a", "0", Dc(0.0))
+        c.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(ValueError):
+            ac_analysis(c, [0.0], "Vin", bias_time=None)

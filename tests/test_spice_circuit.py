@@ -1,0 +1,82 @@
+"""Unit tests for the Circuit netlist builder."""
+
+import pytest
+
+from repro.devices import BsimLikeMosfet
+from repro.spice import Circuit, Dc, Ramp
+
+
+@pytest.fixture
+def circuit():
+    return Circuit("test")
+
+
+class TestNodes:
+    def test_ground_aliases(self, circuit):
+        assert circuit.node("0") == 0
+        assert circuit.node("gnd") == 0
+        assert circuit.node("GND") == 0
+
+    def test_interning_is_stable(self, circuit):
+        a = circuit.node("a")
+        assert circuit.node("a") == a
+
+    def test_distinct_nodes_get_distinct_ids(self, circuit):
+        assert circuit.node("a") != circuit.node("b")
+
+    def test_node_name_roundtrip(self, circuit):
+        nid = circuit.node("out")
+        assert circuit.node_name(nid) == "out"
+
+    def test_node_id_unknown_raises(self, circuit):
+        with pytest.raises(KeyError):
+            circuit.node_id("nope")
+
+    def test_num_nodes_includes_ground(self, circuit):
+        circuit.node("a")
+        assert circuit.num_nodes == 2
+
+
+class TestElements:
+    def test_constructors_create_elements(self, circuit):
+        circuit.resistor("R1", "a", "0", 1e3)
+        circuit.capacitor("C1", "a", "0", 1e-12)
+        circuit.inductor("L1", "a", "b", 1e-9)
+        circuit.vsource("V1", "b", "0", Dc(1.0))
+        circuit.isource("I1", "a", "0", Dc(1e-3))
+        circuit.mosfet("M1", "a", "b", "0", "0", BsimLikeMosfet())
+        assert len(circuit.elements) == 6
+
+    def test_duplicate_names_rejected(self, circuit):
+        circuit.resistor("R1", "a", "0", 1e3)
+        with pytest.raises(ValueError, match="duplicate"):
+            circuit.resistor("R1", "b", "0", 1e3)
+
+    def test_element_lookup(self, circuit):
+        r = circuit.resistor("R1", "a", "0", 1e3)
+        assert circuit.element("R1") is r
+        with pytest.raises(KeyError):
+            circuit.element("R2")
+
+    def test_scalar_shape_coerced_to_dc(self, circuit):
+        v = circuit.vsource("V1", "a", "0", 2.5)
+        assert v.shape(0.0) == 2.5
+
+    def test_invalid_element_values(self, circuit):
+        with pytest.raises(ValueError):
+            circuit.resistor("R1", "a", "0", 0.0)
+        with pytest.raises(ValueError):
+            circuit.capacitor("C1", "a", "0", -1e-12)
+        with pytest.raises(ValueError):
+            circuit.inductor("L1", "a", "0", 0.0)
+
+
+class TestBreakpoints:
+    def test_union_of_source_breakpoints(self, circuit):
+        circuit.vsource("V1", "a", "0", Ramp(0, 1, 1e-9, 1e-9))
+        circuit.vsource("V2", "b", "0", Ramp(0, 1, 0.5e-9, 1e-9))
+        assert circuit.breakpoints() == pytest.approx([0.5e-9, 1e-9, 1.5e-9, 2e-9])
+
+    def test_no_sources_no_breakpoints(self, circuit):
+        circuit.resistor("R1", "a", "0", 1e3)
+        assert circuit.breakpoints() == []

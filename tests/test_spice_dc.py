@@ -1,0 +1,95 @@
+"""Unit tests for the DC operating-point analysis."""
+
+import pytest
+
+from repro.devices import BsimLikeMosfet, Level1Mosfet, Level1Parameters
+from repro.spice import Circuit, Dc, dc_operating_point
+
+
+class TestLinear:
+    def test_resistor_divider(self):
+        c = Circuit()
+        c.vsource("V1", "top", "0", Dc(10.0))
+        c.resistor("R1", "top", "mid", 3e3)
+        c.resistor("R2", "mid", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol.voltage("mid") == pytest.approx(2.5)
+        assert sol.current("R2") == pytest.approx(2.5e-3)
+
+    def test_vsource_current_direction(self):
+        c = Circuit()
+        c.vsource("V1", "a", "0", Dc(1.0))
+        c.resistor("R1", "a", "0", 1e3)
+        sol = dc_operating_point(c)
+        # 1 mA leaves the + terminal into the circuit: branch current is -1 mA.
+        assert sol.current("V1") == pytest.approx(-1e-3)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.isource("I1", "0", "a", Dc(2e-3))
+        c.resistor("R1", "a", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol.voltage("a") == pytest.approx(2.0)
+
+    def test_inductor_is_dc_short(self):
+        c = Circuit()
+        c.vsource("V1", "a", "0", Dc(5.0))
+        c.inductor("L1", "a", "b", 1e-9)
+        c.resistor("R1", "b", "0", 1e3)
+        sol = dc_operating_point(c)
+        assert sol.voltage("b") == pytest.approx(5.0)
+        assert sol.current("L1") == pytest.approx(5e-3)
+
+    def test_capacitor_is_dc_open(self):
+        c = Circuit()
+        c.vsource("V1", "a", "0", Dc(5.0))
+        c.resistor("R1", "a", "b", 1e3)
+        c.capacitor("C1", "b", "0", 1e-12)
+        c.resistor("R2", "b", "0", 1e6)
+        sol = dc_operating_point(c)
+        # No capacitor current: divider is 1k/1M.
+        assert sol.voltage("b") == pytest.approx(5.0 * 1e6 / (1e6 + 1e3), rel=1e-6)
+
+
+class TestNonlinear:
+    def test_diode_connected_level1(self):
+        """Diode-connected square-law device against the analytic solution."""
+        params = Level1Parameters(lam=0.0, gamma=0.0, kp=100e-6, w=10e-6, l=1e-6, vth0=0.5)
+        c = Circuit()
+        c.vsource("V1", "vdd", "0", Dc(3.0))
+        c.resistor("R1", "vdd", "d", 10e3)
+        c.mosfet("M1", "d", "d", "0", "0", Level1Mosfet(params))
+        sol = dc_operating_point(c)
+        vd = sol.voltage("d")
+        beta = params.kp * params.w / params.l
+        # KCL: (3 - vd)/R = beta/2 (vd - vth)^2
+        residual = (3.0 - vd) / 10e3 - 0.5 * beta * (vd - params.vth0) ** 2
+        assert abs(residual) < 1e-9
+        assert 0.5 < vd < 3.0
+
+    def test_bsim_inverter_pulldown(self):
+        c = Circuit()
+        c.vsource("Vdd", "vdd", "0", Dc(1.8))
+        c.vsource("Vg", "g", "0", Dc(1.8))
+        c.resistor("Rl", "vdd", "d", 1e3)
+        c.mosfet("M1", "d", "g", "0", "0", BsimLikeMosfet())
+        sol = dc_operating_point(c)
+        # Strong pulldown through 1k: output well below the rail.
+        assert 0.0 < sol.voltage("d") < 1.0
+
+    def test_source_time_parameter(self):
+        from repro.spice import Ramp
+
+        c = Circuit()
+        c.vsource("V1", "a", "0", Ramp(0, 2, 0, 1e-9))
+        c.resistor("R1", "a", "0", 1e3)
+        sol = dc_operating_point(c, t=0.5e-9)
+        assert sol.voltage("a") == pytest.approx(1.0)
+
+    def test_current_of_non_branch_element_errors(self):
+        c = Circuit()
+        c.isource("I1", "0", "a", Dc(1e-3))
+        c.resistor("R1", "a", "0", 1e3)
+        sol = dc_operating_point(c)
+        with pytest.raises(TypeError):
+            sol.current("I1")

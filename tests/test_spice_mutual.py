@@ -1,0 +1,83 @@
+"""Unit tests for mutual inductance (coupled package pins)."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Circuit, Dc, transient
+
+
+def parallel_pair_circuit(coupling):
+    """Two identical 10 nH inductors in parallel behind 100 ohms."""
+    c = Circuit()
+    c.vsource("V1", "in", "0", Dc(1.0))
+    c.resistor("R1", "in", "a", 100.0)
+    c.inductor("L1", "a", "0", 10e-9)
+    c.inductor("L2", "a", "0", 10e-9)
+    if coupling:
+        c.mutual("K1", "L1", "L2", coupling)
+    return c
+
+
+class TestCoupledPair:
+    @pytest.mark.parametrize("k", [0.2, 0.5, 0.9])
+    def test_effective_inductance(self, k):
+        """Equal currents through a coupled pair see L_eff = L(1+k)/2."""
+        res = transient(parallel_pair_circuit(k), 3e-10, 2e-13)
+        leff = 10e-9 * (1 + k) / 2
+        tau = leff / 100.0
+        t = 5e-11
+        assert res.voltage("a").value_at(t) == pytest.approx(np.exp(-t / tau), abs=2e-3)
+
+    def test_symmetric_current_split(self):
+        res = transient(parallel_pair_circuit(0.5), 3e-10, 2e-13)
+        i1 = res.current("L1")
+        i2 = res.current("L2")
+        assert i1.max_abs_difference(i2) < 1e-9
+
+    def test_zero_coupling_limit(self):
+        uncoupled = transient(parallel_pair_circuit(None), 3e-10, 2e-13)
+        tiny = transient(parallel_pair_circuit(1e-6), 3e-10, 2e-13)
+        assert uncoupled.voltage("a").max_abs_difference(tiny.voltage("a")) < 1e-4
+
+    def test_transformer_induces_secondary_voltage(self):
+        """Open-secondary transformer: v2 = (M/L1) * v1."""
+        k = 0.8
+        c = Circuit()
+        c.vsource("V1", "in", "0", Dc(1.0))
+        c.resistor("R1", "in", "p", 50.0)
+        c.inductor("L1", "p", "0", 10e-9)
+        c.inductor("L2", "s", "0", 10e-9)
+        c.resistor("Rload", "s", "0", 1e6)  # ~open secondary
+        c.mutual("K1", "L1", "L2", k)
+        res = transient(c, 2e-10, 1e-13)
+        t = 2e-11
+        v1 = res.voltage("p").value_at(t)
+        v2 = res.voltage("s").value_at(t)
+        assert v2 == pytest.approx(k * v1, rel=0.02)
+
+
+class TestValidation:
+    def test_coupling_out_of_range(self):
+        c = parallel_pair_circuit(None)
+        with pytest.raises(ValueError):
+            c.mutual("K1", "L1", "L2", 1.0)
+        with pytest.raises(ValueError):
+            c.mutual("K2", "L1", "L2", 0.0)
+
+    def test_self_coupling_rejected(self):
+        from repro.spice.elements import MutualInductance
+
+        c = parallel_pair_circuit(None)
+        la = c.element("L1")
+        with pytest.raises(ValueError, match="distinct"):
+            MutualInductance("K1", la, la, 0.5)
+
+    def test_non_inductor_rejected(self):
+        c = parallel_pair_circuit(None)
+        with pytest.raises(TypeError):
+            c.mutual("K1", "L1", "R1", 0.5)
+
+    def test_mutual_value(self):
+        c = parallel_pair_circuit(None)
+        coupled = c.mutual("K1", "L1", "L2", 0.5)
+        assert coupled.mutual == pytest.approx(0.5 * 10e-9)

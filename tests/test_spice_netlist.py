@@ -1,0 +1,149 @@
+"""Tests for SPICE netlist export/import."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import BsimLikeMosfet
+from repro.spice import Circuit, Dc, Pulse, Pwl, Ramp, transient
+from repro.spice.netlist import format_value, from_spice, parse_value, to_spice
+
+
+class TestValueParsing:
+    @pytest.mark.parametrize("token,expected", [
+        ("1k", 1e3), ("2.2K", 2.2e3), ("10MEG", 10e6), ("5n", 5e-9),
+        ("1p", 1e-12), ("3u", 3e-6), ("7m", 7e-3), ("1.5G", 1.5e9),
+        ("2f", 2e-15), ("4T", 4e12), ("42", 42.0), ("1e-9", 1e-9),
+    ])
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    @settings(max_examples=50)
+    @given(st.floats(min_value=1e-15, max_value=1e12, allow_nan=False))
+    def test_format_roundtrip(self, value):
+        assert parse_value(format_value(value)) == pytest.approx(value, rel=1e-9)
+
+
+class TestExport:
+    def test_cards_rendered(self):
+        c = Circuit("demo")
+        c.resistor("R1", "a", "0", 1e3)
+        c.capacitor("C1", "a", "0", 1e-12, ic=1.8)
+        c.inductor("L1", "a", "b", 5e-9)
+        c.vsource("Vin", "b", "0", Ramp(0, 1.8, 0, 0.5e-9))
+        text = to_spice(c)
+        assert "* demo" in text
+        assert "R1 a 0 1000" in text
+        assert "IC=1.8" in text
+        assert "PWL(" in text
+        assert text.strip().endswith(".END")
+
+    def test_mosfet_card_uses_model_name(self):
+        c = Circuit()
+        c.mosfet("1", "d", "g", "0", "0", BsimLikeMosfet())
+        assert "M1 d g 0 0 bsim-like" in to_spice(c)
+
+    def test_mutual_card(self):
+        c = Circuit()
+        c.inductor("a", "x", "0", 1e-9)
+        c.inductor("b", "x", "0", 1e-9)
+        c.mutual("1", "a", "b", 0.4)
+        assert "K1 La Lb 0.4" in to_spice(c)
+
+
+class TestImport:
+    def test_basic_deck(self):
+        deck = """simple divider
+V1 in 0 DC 10
+R1 in mid 3k
+R2 mid 0 1k
+.END
+"""
+        circuit = from_spice(deck)
+        from repro.spice import dc_operating_point
+
+        sol = dc_operating_point(circuit)
+        assert sol.voltage("mid") == pytest.approx(2.5)
+
+    def test_comments_and_blank_lines_skipped(self):
+        deck = "* a comment\n\nR1 a 0 1k\n* another\nC1 a 0 1p IC=1\n"
+        circuit = from_spice(deck)
+        assert len(circuit.elements) == 2
+
+    def test_pulse_and_pwl_sources(self):
+        deck = (
+            "V1 a 0 PULSE(0 1 1n 0.1n 0.1n 2n)\n"
+            "V2 b 0 PWL(0 0 1n 1.8)\n"
+        )
+        circuit = from_spice(deck)
+        assert isinstance(circuit.element("V1").shape, Pulse)
+        assert isinstance(circuit.element("V2").shape, Pwl)
+        assert circuit.element("V2").shape(0.5e-9) == pytest.approx(0.9)
+
+    def test_mosfet_requires_registry(self):
+        deck = "M1 d g 0 0 bsim-like\n"
+        with pytest.raises(KeyError, match="registry"):
+            from_spice(deck)
+        circuit = from_spice(deck, models={"bsim-like": BsimLikeMosfet()})
+        assert circuit.element("M1").model.name == "bsim-like"
+
+    def test_mutual_resolves_forward_references(self):
+        deck = "K1 La Lb 0.5\nLa x 0 1n\nLb x 0 1n\n"
+        circuit = from_spice(deck)
+        assert circuit.element("K1").coupling == pytest.approx(0.5)
+
+    def test_unsupported_card(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            from_spice("R1 a 0 1k\nQ1 c b e model\n")
+
+    def test_malformed_source(self):
+        with pytest.raises(ValueError):
+            from_spice("V1 a 0 DC 1 2\n")
+
+
+class TestRoundTrip:
+    def test_rlc_roundtrip_simulates_identically(self):
+        c = Circuit("rlc")
+        c.vsource("Vs", "in", "0", Ramp(0, 1, 0, 1e-12))
+        c.resistor("R1", "in", "m", 10.0)
+        c.inductor("L1", "m", "o", 5e-9)
+        c.capacitor("C1", "o", "0", 1e-12, ic=0.0)
+
+        rebuilt = from_spice(to_spice(c))
+        a = transient(c, 2e-9, 1e-12).voltage("o")
+        b = transient(rebuilt, 2e-9, 1e-12).voltage("o")
+        assert a.max_abs_difference(b) < 1e-9
+
+    def test_driver_bank_roundtrip(self):
+        from repro.analysis import DriverBankSpec, build_driver_bank
+        from repro.process import TSMC018
+
+        spec = DriverBankSpec(
+            technology=TSMC018, n_drivers=4, inductance=5e-9,
+            capacitance=1e-12, rise_time=0.5e-9,
+        )
+        circuit = build_driver_bank(spec)
+        text = to_spice(circuit)
+        device = circuit.element("M1").model
+        rebuilt = from_spice(text, models={device.name: device})
+        assert {e.name for e in rebuilt.elements} == {e.name for e in circuit.elements}
+
+    @settings(max_examples=25)
+    @given(
+        r=st.floats(1.0, 1e6),
+        c_val=st.floats(1e-15, 1e-9),
+        l_val=st.floats(1e-12, 1e-6),
+        v=st.floats(-10, 10),
+    )
+    def test_value_fidelity_property(self, r, c_val, l_val, v):
+        circuit = Circuit()
+        circuit.vsource("Vs", "a", "0", Dc(v))
+        circuit.resistor("Rr", "a", "b", r)
+        circuit.capacitor("Cc", "b", "0", c_val)
+        circuit.inductor("Ll", "b", "0", l_val)
+        rebuilt = from_spice(to_spice(circuit))
+        assert rebuilt.element("Rr").ohms == pytest.approx(r, rel=1e-9)
+        assert rebuilt.element("Cc").farads == pytest.approx(c_val, rel=1e-9)
+        assert rebuilt.element("Ll").henries == pytest.approx(l_val, rel=1e-9)
+        assert rebuilt.element("Vs").shape(0.0) == pytest.approx(v, rel=1e-9, abs=1e-12)

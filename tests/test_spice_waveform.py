@@ -1,0 +1,105 @@
+"""Unit tests for the Waveform container."""
+
+import numpy as np
+import pytest
+
+from repro.spice import Waveform
+
+
+@pytest.fixture
+def ramp():
+    t = np.linspace(0, 1, 11)
+    return Waveform(t, 2 * t)
+
+
+@pytest.fixture
+def ringing():
+    t = np.linspace(0, 4 * np.pi, 1000)
+    return Waveform(t, np.exp(-0.1 * t) * np.sin(t))
+
+
+class TestConstruction:
+    def test_length(self, ramp):
+        assert len(ramp) == 11
+
+    def test_span(self, ramp):
+        assert ramp.tstart == 0.0
+        assert ramp.tstop == 1.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Waveform(np.arange(3), np.arange(4))
+
+    def test_rejects_non_monotone_time(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            Waveform(np.array([0.0]), np.array([1.0]))
+
+
+class TestQueries:
+    def test_interpolation(self, ramp):
+        assert ramp.value_at(0.25) == pytest.approx(0.5)
+
+    def test_interpolation_clamps(self, ramp):
+        assert ramp.value_at(-1.0) == 0.0
+        assert ramp.value_at(2.0) == 2.0
+
+    def test_vectorized_value_at(self, ramp):
+        out = ramp.value_at(np.array([0.1, 0.2]))
+        assert out == pytest.approx([0.2, 0.4])
+
+    def test_window(self, ringing):
+        win = ringing.window(1.0, 2.0)
+        assert win.tstart == pytest.approx(1.0)
+        assert win.tstop == pytest.approx(2.0)
+        assert win.value_at(1.5) == pytest.approx(ringing.value_at(1.5), abs=1e-6)
+
+    def test_window_invalid(self, ringing):
+        with pytest.raises(ValueError):
+            ringing.window(2.0, 1.0)
+
+
+class TestExtrema:
+    def test_peak_of_damped_sine(self, ringing):
+        # d/dt[e^{-0.1t} sin t] = 0 at tan t = 10.
+        t_star = np.arctan(10.0)
+        t_peak, v_peak = ringing.peak()
+        assert t_peak == pytest.approx(t_star, abs=0.02)
+        assert v_peak == pytest.approx(np.exp(-0.1 * t_star) * np.sin(t_star), abs=1e-3)
+
+    def test_trough(self, ringing):
+        t_min, v_min = ringing.trough()
+        assert t_min == pytest.approx(np.arctan(10.0) + np.pi, abs=0.02)
+        assert v_min < 0
+
+    def test_local_maxima_count(self, ringing):
+        maxima = ringing.local_maxima()
+        assert len(maxima) == 2  # peaks at pi/2 and pi/2 + 2pi
+
+    def test_local_maxima_decreasing(self, ringing):
+        values = [v for _, v in ringing.local_maxima()]
+        assert values[0] > values[1]
+
+
+class TestCalculus:
+    def test_derivative_of_ramp(self, ramp):
+        d = ramp.derivative()
+        assert np.allclose(d.y, 2.0)
+
+    def test_integral_of_ramp(self, ramp):
+        assert ramp.integral() == pytest.approx(1.0)
+
+    def test_resample(self, ramp):
+        r = ramp.resample(np.linspace(0, 1, 5))
+        assert len(r) == 5
+        assert r.value_at(0.5) == pytest.approx(1.0)
+
+    def test_rms_difference_zero_against_self(self, ringing):
+        assert ringing.rms_difference(ringing) == 0.0
+
+    def test_max_abs_difference(self, ramp):
+        other = Waveform(ramp.t, ramp.y + 0.5)
+        assert ramp.max_abs_difference(other) == pytest.approx(0.5)
