@@ -1,24 +1,31 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench reports examples clean
+PY := PYTHONPATH=src python
+
+.PHONY: install test bench bench-perf reports examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
+# Tier-1 suite: the command CI runs and regressions are judged against.
 test:
-	pytest tests/
+	$(PY) -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only -s
+	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+# Fast-path vs seed-engine perf regression; writes BENCH_perf.json.
+bench-perf:
+	$(PY) -m pytest benchmarks/bench_perf.py -q -s
 
 # Regenerate every paper artifact into benchmarks/reports/*.txt and
 # the run logs the task description asks for.
 reports:
-	pytest tests/ 2>&1 | tee test_output.txt
-	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+	$(PY) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PY) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
 examples:
-	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+	for f in examples/*.py; do echo "== $$f"; $(PY) $$f || exit 1; done
 
 clean:
 	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis

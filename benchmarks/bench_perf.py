@@ -1,0 +1,106 @@
+"""Benchmark P1 — engine fast path vs the frozen seed engine.
+
+Times the cached-assembly engine against ``legacy_reference=True`` (a
+byte-for-byte preservation of the seed Newton loop and device evaluation)
+on the two workloads the perf work targets:
+
+* one golden transient of a mid-size driver bank, and
+* a Fig. 3-class driver-count sweep.
+
+Both engines run the identical workload; parity of every peak is checked
+to 1e-9 V before speedups are reported.  The summary lands in
+``BENCH_perf.json`` at the repo root for regression tracking.
+
+The sweep strides N over 1..30 (the full Fig. 3 range) rather than
+running every count, purely to keep the legacy-engine half of the
+comparison inside a CI-friendly minute; the fast engine handles the
+dense sweep in seconds (see ``bench_fig3``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.driver_bank import DriverBankSpec
+from repro.process import TSMC018
+from repro.analysis.simulate import simulate_ssn, simulate_ssn_cache_clear
+from repro.spice.transient import TransientOptions
+
+#: Required end-to-end gain of the fast path over the seed engine.
+MIN_SPEEDUP = 3.0
+#: Peak-voltage agreement between the two engines.
+PARITY_TOL = 1e-9
+
+SINGLE_N = 10
+SWEEP_COUNTS = list(range(1, 31, 4))  # Fig. 3 range, strided for runtime
+
+LEGACY = TransientOptions(legacy_reference=True)
+
+
+def _spec(tech, n):
+    return DriverBankSpec(
+        technology=tech, n_drivers=n, inductance=5e-9, rise_time=0.2e-9
+    )
+
+
+def _run_single(tech, options):
+    return simulate_ssn(_spec(tech, SINGLE_N), options=options).peak_voltage
+
+
+def _run_sweep(tech, options):
+    base = _spec(tech, 1)
+    return [
+        simulate_ssn(dataclasses.replace(base, n_drivers=n), options=options).peak_voltage
+        for n in SWEEP_COUNTS
+    ]
+
+
+@pytest.fixture(scope="module")
+def tech018():
+    return TSMC018
+
+
+def test_fastpath_speedup(tech018, wall_clock, perf_report, publish):
+    simulate_ssn_cache_clear()
+
+    legacy_peak = wall_clock.measure("single_legacy", _run_single, tech018, LEGACY)
+    fast_peak = wall_clock.measure("single_fast", _run_single, tech018, None)
+    assert abs(fast_peak - legacy_peak) <= PARITY_TOL
+
+    legacy_peaks = wall_clock.measure("sweep_legacy", _run_sweep, tech018, LEGACY)
+    fast_peaks = wall_clock.measure("sweep_fast", _run_sweep, tech018, None)
+    for lp, fp in zip(legacy_peaks, fast_peaks):
+        assert abs(fp - lp) <= PARITY_TOL
+
+    single_speedup = wall_clock.speedup("single_legacy", "single_fast")
+    sweep_speedup = wall_clock.speedup("sweep_legacy", "sweep_fast")
+
+    payload = {
+        "parity_tol_volts": PARITY_TOL,
+        "single_transient": {
+            "n_drivers": SINGLE_N,
+            "legacy_seconds": wall_clock.timings["single_legacy"],
+            "fast_seconds": wall_clock.timings["single_fast"],
+            "speedup": single_speedup,
+        },
+        "driver_sweep": {
+            "counts": SWEEP_COUNTS,
+            "legacy_seconds": wall_clock.timings["sweep_legacy"],
+            "fast_seconds": wall_clock.timings["sweep_fast"],
+            "speedup": sweep_speedup,
+        },
+    }
+    perf_report(payload)
+
+    lines = ["engine fast path vs seed engine", ""]
+    for label, key in [("single transient (N=10)", "single_transient"),
+                       ("driver sweep (N=1..30)", "driver_sweep")]:
+        row = payload[key]
+        lines.append(
+            f"{label}: legacy {row['legacy_seconds']:.2f}s -> "
+            f"fast {row['fast_seconds']:.2f}s  ({row['speedup']:.1f}x)"
+        )
+    publish("bench_perf", "\n".join(lines) + "\n")
+
+    assert single_speedup >= MIN_SPEEDUP
+    assert sweep_speedup >= MIN_SPEEDUP

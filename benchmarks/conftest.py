@@ -8,17 +8,55 @@ survive the run either way.
 
 from __future__ import annotations
 
+import json
 import pathlib
+import time
 
 import pytest
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
 def report_dir() -> pathlib.Path:
     REPORT_DIR.mkdir(exist_ok=True)
     return REPORT_DIR
+
+
+class WallClock:
+    """Accumulates named wall-clock timings for the perf benchmarks."""
+
+    def __init__(self):
+        self.timings: dict[str, float] = {}
+
+    def measure(self, name: str, fn, *args, **kwargs):
+        """Time one call of ``fn`` and record it under ``name``."""
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.timings[name] = time.perf_counter() - start
+        return result
+
+    def speedup(self, before: str, after: str) -> float:
+        return self.timings[before] / self.timings[after]
+
+
+@pytest.fixture
+def wall_clock() -> WallClock:
+    return WallClock()
+
+
+@pytest.fixture
+def perf_report():
+    """Write the machine-readable perf summary to ``BENCH_perf.json``
+    at the repo root (the regression-tracking artifact)."""
+
+    def _write(payload: dict) -> None:
+        path = REPO_ROOT / "BENCH_perf.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {path}")
+
+    return _write
 
 
 @pytest.fixture

@@ -16,8 +16,16 @@ from .metrics import (
     relative_error,
 )
 from .montecarlo import MonteCarloResult, ParameterSpread, peak_noise_distribution
+from .parallel import parallel_map, resolve_workers
 from .ramps import EffectiveRamp, crossing_time, extract_effective_ramp
-from .simulate import SsnSimulation, default_stop_time, default_time_step, simulate_ssn
+from .simulate import (
+    SsnSimulation,
+    default_stop_time,
+    default_time_step,
+    simulate_many,
+    simulate_ssn,
+    simulate_ssn_cached,
+)
 from .sweeps import (
     SweepPoint,
     SweepResult,
@@ -49,12 +57,16 @@ __all__ = [
     "default_stop_time",
     "default_time_step",
     "extract_effective_ramp",
+    "parallel_map",
     "peak_noise_distribution",
     "percent_error",
     "relative_error",
+    "resolve_workers",
     "simulate_buffer_chain",
     "simulate_cmos",
+    "simulate_many",
     "simulate_ssn",
+    "simulate_ssn_cached",
     "sweep",
     "sweep_driver_count",
     "sweep_ground_capacitance",

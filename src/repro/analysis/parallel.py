@@ -1,0 +1,87 @@
+"""Process-pool execution for embarrassingly parallel experiment work.
+
+Sweep points and Monte Carlo trials are independent, so the experiment
+layer fans them out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+while keeping three invariants:
+
+* **Deterministic ordering** — results come back in submission order
+  (``Executor.map``), so parallel runs are element-for-element identical
+  to serial runs.
+* **Graceful serial fallback** — ``max_workers=1`` (the default) never
+  touches multiprocessing, and a pool that cannot be created or dies
+  mid-flight (sandboxed environments, unpicklable payloads, killed
+  workers) falls back to computing the remaining work in-process.
+* **Configurable worker count** — pass ``max_workers`` explicitly or set
+  the ``REPRO_MAX_WORKERS`` environment variable; ``0``/``None`` means
+  "one worker per CPU".
+
+Worker functions must be module-level (picklable) and their arguments
+pickle-round-trippable; the frozen spec dataclasses used by the sweep and
+Monte Carlo layers satisfy both.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when ``max_workers`` is not passed.
+WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+
+def resolve_workers(max_workers: int | None = None) -> int:
+    """The effective worker count for one parallel region.
+
+    ``None`` defers to the ``REPRO_MAX_WORKERS`` environment variable and
+    finally to 1 (serial — the safe default for library use).  ``0`` means
+    one worker per available CPU.  Negative values are an error.
+    """
+    if max_workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            max_workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    if max_workers < 0:
+        raise ValueError(f"max_workers must be >= 0, got {max_workers}")
+    if max_workers == 0:
+        return os.cpu_count() or 1
+    return max_workers
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: int | None = None,
+) -> list[R]:
+    """Order-preserving map over ``items``, optionally across processes.
+
+    With one worker (or one item) this is a plain list comprehension —
+    zero multiprocessing machinery.  Otherwise the items are dispatched to
+    a process pool; results return in input order.  If the pool cannot be
+    created or breaks, the whole map is recomputed serially, so callers
+    always get a complete, ordered result.
+
+    Exceptions raised by ``fn`` itself propagate unchanged in both modes.
+    """
+    work: Sequence[T] = list(items)
+    workers = resolve_workers(max_workers)
+    if workers <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(work))) as pool:
+            return list(pool.map(fn, work))
+    except (OSError, BrokenProcessPool, pickle.PicklingError, TypeError):
+        # Pool unavailable (sandbox/fork limits) or payload unpicklable:
+        # degrade to the serial path rather than failing the experiment.
+        return [fn(item) for item in work]

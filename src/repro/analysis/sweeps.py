@@ -5,17 +5,24 @@ capacitance C, ...) comparing the golden simulation's peak SSN against one
 or more closed-form estimates.  :func:`sweep` factors that pattern out:
 callers provide a base :class:`DriverBankSpec`, the values to sweep, how to
 apply a value to the spec, and named estimator callbacks.
+
+The golden simulations — the expensive part — are memoized on the frozen
+spec and can fan out across a process pool (``max_workers``); the cheap
+closed-form estimators always run in the calling process, so estimator
+callbacks are free to be closures.  Parallel sweeps return points in the
+same order as serial sweeps, element for element.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Callable, Sequence
 
 import numpy as np
 
 from .driver_bank import DriverBankSpec
-from .simulate import simulate_ssn
+from .simulate import simulate_many
 
 #: An estimator maps the concrete spec of one sweep point to a peak voltage.
 Estimator = Callable[[DriverBankSpec], float]
@@ -38,7 +45,14 @@ class SweepPoint:
     estimates: dict[str, float]
 
     def percent_error(self, name: str) -> float:
-        """Signed percent error of one estimator at this point."""
+        """Signed percent error of one estimator at this point.
+
+        Returns ``nan`` when the golden simulation's peak is exactly zero
+        (a degenerate point — e.g. a sweep value that suppresses switching
+        entirely), where a relative error is undefined.
+        """
+        if self.simulated_peak == 0:
+            return math.nan
         return 100.0 * (self.estimates[name] - self.simulated_peak) / self.simulated_peak
 
 
@@ -69,10 +83,15 @@ class SweepResult:
         """Write the sweep as CSV: knob, simulated peak, every estimate.
 
         Column order: the knob, ``simulated``, then estimators sorted by
-        name — the layout external plotting scripts expect.
+        name — the layout external plotting scripts expect.  An empty
+        sweep writes just the header row.
         """
         names = self.estimator_names
         header = ",".join([self.knob, "simulated"] + names)
+        if not self.points:
+            with open(path, "w") as fh:
+                fh.write(header + "\n")
+            return
         rows = [
             [p.value, p.simulated_peak] + [p.estimates[n] for n in names]
             for p in self.points
@@ -86,6 +105,7 @@ def sweep(
     values: Sequence[float],
     apply: Callable[[DriverBankSpec, float], DriverBankSpec],
     estimators: dict[str, Estimator],
+    max_workers: int | None = None,
 ) -> SweepResult:
     """Run the golden simulation and all estimators across ``values``.
 
@@ -95,14 +115,17 @@ def sweep(
         values: knob values, in presentation order.
         apply: pure function deriving a concrete spec from the template.
         estimators: name -> callback evaluated on each concrete spec.
+        max_workers: process-pool width for the golden simulations; the
+            default (None) honors ``REPRO_MAX_WORKERS`` and otherwise runs
+            serially.  Results are order- and value-identical either way.
 
     Returns:
         The populated :class:`SweepResult`.
     """
+    specs = [apply(base, value) for value in values]
+    sims = simulate_many(specs, max_workers=max_workers)
     points = []
-    for value in values:
-        spec = apply(base, value)
-        sim = simulate_ssn(spec)
+    for value, spec, sim in zip(values, specs, sims):
         estimates = {name: float(fn(spec)) for name, fn in estimators.items()}
         points.append(
             SweepPoint(
@@ -116,7 +139,8 @@ def sweep(
 
 
 def sweep_driver_count(
-    base: DriverBankSpec, counts: Sequence[int], estimators: dict[str, Estimator]
+    base: DriverBankSpec, counts: Sequence[int], estimators: dict[str, Estimator],
+    max_workers: int | None = None,
 ) -> SweepResult:
     """Sweep the number of simultaneously switching drivers (Figs. 3-4)."""
     return sweep(
@@ -125,11 +149,13 @@ def sweep_driver_count(
         list(counts),
         lambda spec, n: dataclasses.replace(spec, n_drivers=int(n)),
         estimators,
+        max_workers=max_workers,
     )
 
 
 def sweep_ground_capacitance(
-    base: DriverBankSpec, capacitances: Sequence[float], estimators: dict[str, Estimator]
+    base: DriverBankSpec, capacitances: Sequence[float], estimators: dict[str, Estimator],
+    max_workers: int | None = None,
 ) -> SweepResult:
     """Sweep the parasitic ground capacitance (Section 4 studies)."""
     return sweep(
@@ -138,11 +164,13 @@ def sweep_ground_capacitance(
         list(capacitances),
         lambda spec, c: dataclasses.replace(spec, capacitance=float(c)),
         estimators,
+        max_workers=max_workers,
     )
 
 
 def sweep_rise_time(
-    base: DriverBankSpec, rise_times: Sequence[float], estimators: dict[str, Estimator]
+    base: DriverBankSpec, rise_times: Sequence[float], estimators: dict[str, Estimator],
+    max_workers: int | None = None,
 ) -> SweepResult:
     """Sweep the input ramp duration (slope design-knob studies)."""
     return sweep(
@@ -151,4 +179,5 @@ def sweep_rise_time(
         list(rise_times),
         lambda spec, tr: dataclasses.replace(spec, rise_time=float(tr)),
         estimators,
+        max_workers=max_workers,
     )

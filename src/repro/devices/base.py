@@ -54,17 +54,28 @@ class MosfetModel(abc.ABC):
         same shape.  Must never return negative current for ``vds >= 0``.
         """
 
+    def ids_scalar(self, vgs: float, vds: float, vbs: float = 0.0) -> float:
+        """Drain current at one scalar bias point.
+
+        Semantically identical to ``float(self.ids(...))``; subclasses may
+        override with a pure-``math`` implementation to skip the numpy
+        broadcast machinery, which dominates the circuit simulator's Newton
+        assembly cost on scalar inputs.
+        """
+        return float(self.ids(vgs, vds, vbs))
+
     def partials(self, vgs: float, vds: float, vbs: float = 0.0) -> OperatingPoint:
         """Current and conductances at a scalar bias point.
 
         The default implementation uses central finite differences on
-        :meth:`ids`; override for analytic derivatives.
+        :meth:`ids_scalar`; override for analytic derivatives.
         """
         h = _FD_STEP
-        ids = float(self.ids(vgs, vds, vbs))
-        gm = float(self.ids(vgs + h, vds, vbs) - self.ids(vgs - h, vds, vbs)) / (2 * h)
-        gds = float(self.ids(vgs, vds + h, vbs) - self.ids(vgs, vds - h, vbs)) / (2 * h)
-        gmbs = float(self.ids(vgs, vds, vbs + h) - self.ids(vgs, vds, vbs - h)) / (2 * h)
+        f = self.ids_scalar
+        ids = f(vgs, vds, vbs)
+        gm = (f(vgs + h, vds, vbs) - f(vgs - h, vds, vbs)) / (2 * h)
+        gds = (f(vgs, vds + h, vbs) - f(vgs, vds - h, vbs)) / (2 * h)
+        gmbs = (f(vgs, vds, vbs + h) - f(vgs, vds, vbs - h)) / (2 * h)
         return OperatingPoint(ids=ids, gm=gm, gds=gds, gmbs=gmbs)
 
     def saturation_current(self, vgs, vds_high, vbs=0.0):
@@ -74,6 +85,23 @@ class MosfetModel(abc.ABC):
         the source bounces; several callers read better with this name.
         """
         return self.ids(vgs, vds_high, vbs)
+
+
+def reference_partials(model: MosfetModel, vgs: float, vds: float,
+                       vbs: float = 0.0) -> OperatingPoint:
+    """Finite-difference partials through the vectorized :meth:`MosfetModel.ids`.
+
+    This is the original (pre-fast-path) operating-point evaluation.  The
+    legacy simulator engine (``TransientOptions(legacy_reference=True)``)
+    stamps through it so the golden-parity tests can bound the fast path
+    against frozen seed numerics.
+    """
+    h = _FD_STEP
+    ids = float(model.ids(vgs, vds, vbs))
+    gm = float(model.ids(vgs + h, vds, vbs) - model.ids(vgs - h, vds, vbs)) / (2 * h)
+    gds = float(model.ids(vgs, vds + h, vbs) - model.ids(vgs, vds - h, vbs)) / (2 * h)
+    gmbs = float(model.ids(vgs, vds, vbs + h) - model.ids(vgs, vds, vbs - h)) / (2 * h)
+    return OperatingPoint(ids=ids, gm=gm, gds=gds, gmbs=gmbs)
 
 
 def ensure_arrays(*values):

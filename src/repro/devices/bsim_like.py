@@ -24,6 +24,7 @@ circuit simulator can evaluate it anywhere the Newton iteration wanders.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 import numpy as np
 
@@ -114,6 +115,24 @@ class BsimLikeMosfet(MosfetModel):
 
     def __init__(self, params: BsimLikeParameters | None = None):
         self.params = params or BsimLikeParameters()
+        self._const_params = None
+        self._consts = None
+
+    def _scalar_consts(self):
+        """Temperature-derived constants, cached per parameter object.
+
+        ``vth0_t``/``mu0_t``/``thermal_voltage`` are dataclass properties;
+        recomputing them on every Newton stamp is measurable.  ``params`` is
+        frozen, so identity is a sound cache key.
+        """
+        p = self.params
+        if self._const_params is not p:
+            self._const_params = p
+            self._consts = (
+                p.vth0_t, p.mu0_t, p.thermal_voltage,
+                math.sqrt(p.phi), p.ec * p.l,
+            )
+        return self._consts
 
     # -- threshold and overdrive ------------------------------------------------
 
@@ -177,3 +196,46 @@ class BsimLikeMosfet(MosfetModel):
         if out.ndim == 0:
             return float(out)
         return out
+
+    # -- scalar fast path --------------------------------------------------------
+
+    def _ids_forward_scalar(self, vgs: float, vds: float, vbs: float) -> float:
+        """Pure-``math`` twin of :meth:`_ids_forward` for one bias point.
+
+        Same IEEE-double operations in the same order as the vectorized
+        version, minus the per-call numpy broadcast/allocation overhead —
+        the circuit simulator stamps through this tens of thousands of
+        times per transient run.
+        """
+        p = self.params
+        vth0_t, mu0_t, vt, sqrt_phi, ecl = self._scalar_consts()
+
+        arg = p.phi - vbs
+        if arg < 1e-12:
+            arg = 1e-12
+        vth = vth0_t + p.gamma * (math.sqrt(arg) - sqrt_phi) - p.sigma * vds
+
+        x = (vgs - vth) / (2.0 * p.n * vt)
+        if x > 0.0:
+            soft = x + math.log1p(math.exp(-x))
+        else:
+            soft = math.log1p(math.exp(x))
+        vgsteff = 2.0 * p.n * vt * soft
+
+        vdsat = vgsteff * ecl / (vgsteff + ecl)
+        t = vdsat - vds - p.delta
+        vdseff = vdsat - 0.5 * (t + math.sqrt(t * t + 4.0 * p.delta * vdsat))
+        if vdseff < 0.0:
+            vdseff = 0.0
+
+        mueff = mu0_t / (1.0 + p.theta * vgsteff)
+        beta = mueff * p.cox * p.w / p.l
+        core = beta * (vgsteff - 0.5 * vdseff) * vdseff / (1.0 + vdseff / ecl)
+        over = vds - vdseff
+        clm = 1.0 + p.lam * (over if over > 0.0 else 0.0)
+        return core * clm
+
+    def ids_scalar(self, vgs: float, vds: float, vbs: float = 0.0) -> float:
+        if vds >= 0.0:
+            return self._ids_forward_scalar(vgs, vds, vbs)
+        return -self._ids_forward_scalar(vgs - vds, -vds, vbs - vds)

@@ -41,6 +41,9 @@ class ComplementaryMosfet(MosfetModel):
             return -float(out)
         return -out
 
+    def ids_scalar(self, vgs: float, vds: float, vbs: float = 0.0) -> float:
+        return -self.inner.ids_scalar(-vgs, -vds, -vbs)
+
     @property
     def params(self):
         """The inner (magnitude-space) parameters."""

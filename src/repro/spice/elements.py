@@ -30,6 +30,17 @@ class Element:
     #: Number of extra MNA branch-current unknowns this element introduces.
     nbranches = 0
 
+    #: True when ``stamp`` reads the Newton iterate ``x`` — such elements
+    #: are restamped at every iterate; all others stamp once per solve into
+    #: the cached base matrix (see :class:`repro.spice.mna.MnaSystem`).
+    nonlinear = False
+
+    #: State-dict keys whose values change this element's *matrix* stamp
+    #: (not just the RHS).  The linear-circuit LU cache keys on these; an
+    #: element whose matrix stamp depends on state it does not declare here
+    #: would silently break that cache.
+    matrix_state_keys: tuple[str, ...] = ()
+
     def __init__(self, name: str, nodes: tuple[int, ...]):
         self.name = name
         self.nodes = nodes
@@ -72,23 +83,38 @@ class Resistor(Element):
 class Capacitor(Element):
     """Linear capacitor with optional initial voltage."""
 
+    matrix_state_keys = ("first_step",)
+
     def __init__(self, name: str, a: int, b: int, farads: float, ic: float | None = None):
         if farads <= 0:
             raise ValueError(f"capacitor {name}: capacitance must be positive, got {farads}")
         super().__init__(name, (a, b))
         self.farads = farads
         self.ic = ic
+        # One-slot companion-conductance cache: step halving/regrowth in the
+        # transient engine revisits the same few dt values, and the division
+        # shows up in profiles at ~1e5 stamps per run.
+        self._geq_key: tuple[float, bool] | None = None
+        self._geq: float = 0.0
+
+    def _conductance(self, dt: float, trap: bool) -> float:
+        """geq for the active companion method, cached per (dt, method)."""
+        key = (dt, trap)
+        if key != self._geq_key:
+            self._geq = (2.0 * self.farads / dt) if trap else (self.farads / dt)
+            self._geq_key = key
+        return self._geq
 
     def _companion(self, ctx) -> tuple[float, float]:
         """(geq, ieq) such that i(a->b) = geq * v - ieq for the active method."""
         state = ctx.state(self)
         if ctx.method == "trap" and not state.get("first_step", True):
-            geq = 2.0 * self.farads / ctx.dt
+            geq = self._conductance(ctx.dt, True)
             ieq = geq * state["v"] + state["i"]
         else:
             # Backward Euler; also used for the first step after a restart,
             # where no consistent previous current exists yet.
-            geq = self.farads / ctx.dt
+            geq = self._conductance(ctx.dt, False)
             ieq = geq * state["v"]
         return geq, ieq
 
@@ -130,6 +156,7 @@ class Inductor(Element):
     """Linear inductor; its branch current is an MNA unknown."""
 
     nbranches = 1
+    matrix_state_keys = ("first_step",)
 
     def __init__(self, name: str, a: int, b: int, henries: float, ic: float = 0.0):
         if henries <= 0:
@@ -137,6 +164,16 @@ class Inductor(Element):
         super().__init__(name, (a, b))
         self.henries = henries
         self.ic = ic
+        self._req_key: tuple[float, bool] | None = None
+        self._req: float = 0.0
+
+    def _resistance(self, dt: float, trap: bool) -> float:
+        """req for the active companion method, cached per (dt, method)."""
+        key = (dt, trap)
+        if key != self._req_key:
+            self._req = (2.0 * self.henries / dt) if trap else (self.henries / dt)
+            self._req_key = key
+        return self._req
 
     def stamp(self, ctx) -> None:
         a, b = self.nodes
@@ -159,10 +196,10 @@ class Inductor(Element):
             return
         state = ctx.state(self)
         if ctx.method == "trap" and not state.get("first_step", True):
-            req = 2.0 * self.henries / ctx.dt
+            req = self._resistance(ctx.dt, True)
             veq = -state["v"] - req * state["i"]
         else:
-            req = self.henries / ctx.dt
+            req = self._resistance(ctx.dt, False)
             veq = -req * state["i"]
         ctx.set_branch_entry(row, row, -req)
         ctx.set_branch_rhs(row, veq)
@@ -211,25 +248,32 @@ class MutualInductance(Element):
         self.la = la
         self.lb = lb
         self.coupling = coupling
+        self._factor_key: tuple[float, bool] | None = None
+        self._factor: float = 0.0
 
     @property
     def mutual(self) -> float:
         """M in henries."""
         return self.coupling * (self.la.henries * self.lb.henries) ** 0.5
 
+    def _mutual_factor(self, dt: float, trap: bool) -> float:
+        key = (dt, trap)
+        if key != self._factor_key:
+            m = self.mutual
+            self._factor = (2.0 * m / dt) if trap else (m / dt)
+            self._factor_key = key
+        return self._factor
+
     def stamp(self, ctx) -> None:
         if ctx.mode != "tran":
             return
-        m = self.mutual
         for own, other in ((self.la, self.lb), (self.lb, self.la)):
             row = ctx.branch_row(own)
             col = ctx.branch_row(other)
             own_state = ctx.state(own)
             other_state = ctx.state(other)
-            if ctx.method == "trap" and not own_state.get("first_step", True):
-                factor = 2.0 * m / ctx.dt
-            else:
-                factor = m / ctx.dt
+            trap = ctx.method == "trap" and not own_state.get("first_step", True)
+            factor = self._mutual_factor(ctx.dt, trap)
             ctx.set_branch_entry(row, col, -factor)
             ctx.set_branch_rhs(row, -factor * other_state.get("i", 0.0))
 

@@ -8,20 +8,54 @@ stamps at each Newton iterate.  Circuits in this repository are small
 
 :class:`StampContext` is the façade elements stamp through; it hides the
 ground-row elimination and the node-vs-branch index arithmetic.
+
+Fast-path assembly
+------------------
+
+Only the MOSFETs are nonlinear: every other stamp is independent of the
+Newton iterate ``x``.  The solver therefore partitions the element list
+(:attr:`MnaSystem.linear_elements` / :attr:`MnaSystem.nonlinear_elements`),
+stamps the linear part **once** per ``(mode, t, dt, method)`` into a cached
+base matrix/RHS pair, and per Newton iterate copies the base into
+preallocated work buffers and restamps only the nonlinear devices.  The
+buffers are owned by the system and reused across every time step, so the
+steady-state allocation rate of a transient run is zero.
+
+For circuits with no nonlinear elements at all, the matrix additionally
+depends only on ``(mode, dt, method)`` plus each companion element's
+``first_step`` flag (trapezoidal vs backward-Euler stamps differ), so its
+LU factorization is cached across time steps and invalidated exactly when
+that key changes — see ``docs/performance.md`` for the invariants.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
+
+try:  # pragma: no cover - exercised indirectly by the linear-circuit tests
+    from scipy.linalg import lu_factor as _lu_factor, lu_solve as _lu_solve
+except ImportError:  # pragma: no cover
+    _lu_factor = _lu_solve = None
 
 from .circuit import Circuit
 
 
 class StampContext:
-    """Mutable assembly state handed to each element's ``stamp``."""
+    """Mutable assembly state handed to each element's ``stamp``.
+
+    ``A``/``z`` may be caller-owned reusable buffers (fast path) or freshly
+    allocated (default).  After a fast-path Newton solve converges, the
+    returned context's ``x`` holds the *converged* unknowns while ``A``/``z``
+    still hold the last iterate's assembly — state commits and current
+    extraction only read ``x``, ``dt``, ``method`` and the element states,
+    so this is safe by construction (and bounded by the Newton tolerance).
+    """
 
     def __init__(self, system: "MnaSystem", mode: str, t: float, dt: float,
-                 method: str, states: dict, x: np.ndarray, gmin: float):
+                 method: str, states: dict, x: np.ndarray, gmin: float,
+                 fast: bool = True, buffers: tuple | None = None):
         self.system = system
         self.mode = mode
         self.t = t
@@ -29,10 +63,14 @@ class StampContext:
         self.method = method
         self.x = x
         self.gmin = gmin
+        self.fast = fast
         self._states = states
-        n = system.size
-        self.A = np.zeros((n, n))
-        self.z = np.zeros(n)
+        if buffers is None:
+            n = system.size
+            self.A = np.zeros((n, n))
+            self.z = np.zeros(n)
+        else:
+            self.A, self.z = buffers
 
     # -- state & values -----------------------------------------------------------
 
@@ -116,12 +154,102 @@ class MnaSystem:
         self.num_branch_unknowns = nb
         self.size = self.num_node_unknowns + nb
         self._elements = circuit.elements
+        #: Elements whose stamps never read the Newton iterate ``x``.
+        self.linear_elements = [el for el in self._elements if not el.nonlinear]
+        #: Elements restamped at every Newton iterate (MOSFETs).
+        self.nonlinear_elements = [el for el in self._elements if el.nonlinear]
+        # Reusable fast-path buffers, allocated on first use.
+        self._base_A: np.ndarray | None = None
+        self._base_z: np.ndarray | None = None
+        self._work_A: np.ndarray | None = None
+        self._work_z: np.ndarray | None = None
+        # LU cache for linear-only circuits: key -> LAPACK getrf factors.
+        self._lu_key = None
+        self._lu = None
 
     def context(self, mode: str, t: float, dt: float, method: str,
-                states: dict, x: np.ndarray, gmin: float) -> StampContext:
-        return StampContext(self, mode, t, dt, method, states, x, gmin)
+                states: dict, x: np.ndarray, gmin: float,
+                fast: bool = True, buffers: tuple | None = None) -> StampContext:
+        return StampContext(self, mode, t, dt, method, states, x, gmin,
+                            fast=fast, buffers=buffers)
 
     def assemble(self, ctx: StampContext) -> None:
         """Fill ``ctx.A`` and ``ctx.z`` from every element's stamp."""
         for el in self._elements:
             el.stamp(ctx)
+
+    # -- fast-path assembly ---------------------------------------------------------
+
+    def assembly_buffers(self):
+        """The system-owned (base_A, base_z, work_A, work_z) scratch buffers."""
+        if self._base_A is None:
+            n = self.size
+            self._base_A = np.zeros((n, n))
+            self._base_z = np.zeros(n)
+            self._work_A = np.zeros((n, n))
+            self._work_z = np.zeros(n)
+        return self._base_A, self._base_z, self._work_A, self._work_z
+
+    def assemble_base(self, ctx: StampContext) -> None:
+        """Stamp only the linear elements into ``ctx`` (buffers pre-zeroed)."""
+        ctx.A[:] = 0.0
+        ctx.z[:] = 0.0
+        for el in self.linear_elements:
+            el.stamp(ctx)
+
+    def assemble_nonlinear(self, ctx: StampContext) -> None:
+        """Stamp only the nonlinear elements on top of the copied base."""
+        for el in self.nonlinear_elements:
+            el.stamp(ctx)
+
+    # -- linear-circuit LU reuse ---------------------------------------------------
+
+    def linear_matrix_key(self, mode: str, dt: float, method: str, states: dict):
+        """Cache key under which a linear-only circuit's matrix is constant.
+
+        The matrix depends on the analysis mode, the companion step ``dt``
+        and method, and — per element — the state keys it declares in
+        ``matrix_state_keys`` (the trap/BE ``first_step`` restart flag).
+        Any ``dt`` change, method change, or breakpoint restart therefore
+        produces a new key and invalidates the cached factorization.
+        """
+        flags = tuple(
+            states.get(el, {}).get(key, True)
+            for el in self.linear_elements
+            for key in el.matrix_state_keys
+        )
+        return (mode, dt, method, flags)
+
+    def solve_linear_cached(self, key, A: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Solve ``A x = z`` reusing the LU factors when ``key`` repeats.
+
+        Falls back to ``np.linalg.solve`` when scipy is unavailable and to
+        least squares when the matrix is singular (floating subcircuits),
+        mirroring the plain Newton path's behavior.
+        """
+        if _lu_factor is not None:
+            with warnings.catch_warnings():
+                # Exactly singular matrices (floating subcircuits) fall back
+                # to least squares below, as the plain path does — silence
+                # scipy's LinAlgWarning on the zero pivot.
+                warnings.simplefilter("ignore")
+                if key != self._lu_key:
+                    try:
+                        self._lu = _lu_factor(A)
+                        self._lu_key = key
+                    except (ValueError, np.linalg.LinAlgError):
+                        self._lu = None
+                        self._lu_key = None
+                if self._lu is not None:
+                    x = _lu_solve(self._lu, z)
+                    if np.all(np.isfinite(x)):
+                        return x
+                    # Singular or near-singular: drop the cache entry and
+                    # fall through to the reference solve path.
+                    self._lu = None
+                    self._lu_key = None
+        try:
+            return np.linalg.solve(A, z)
+        except np.linalg.LinAlgError:
+            x, *_ = np.linalg.lstsq(A, z, rcond=None)
+            return x

@@ -19,11 +19,14 @@ femtofarad-scale channel capacitances of the drivers (see DESIGN.md).
 
 from __future__ import annotations
 
+from ..devices.base import reference_partials
 from .elements import Element
 
 
 class MosfetElement(Element):
     """Four-terminal NMOS: (drain, gate, source, bulk)."""
+
+    nonlinear = True
 
     def __init__(self, name: str, drain: int, gate: int, source: int, bulk: int, model):
         super().__init__(name, (drain, gate, source, bulk))
@@ -37,7 +40,12 @@ class MosfetElement(Element):
     def stamp(self, ctx) -> None:
         d, g, s, b = self.nodes
         vgs, vds, vbs = self._bias(ctx)
-        op = self.model.partials(vgs, vds, vbs)
+        if ctx.fast:
+            op = self.model.partials(vgs, vds, vbs)
+        else:
+            # Legacy reference engine: finite differences through the
+            # vectorized ids(), exactly as the seed simulator stamped.
+            op = reference_partials(self.model, vgs, vds, vbs)
         ieq = op.ids - op.gm * vgs - op.gds * vds - op.gmbs * vbs
 
         gsum = op.gm + op.gds + op.gmbs
@@ -57,4 +65,6 @@ class MosfetElement(Element):
     def current(self, ctx) -> float:
         """Channel current drain -> source at the present iterate."""
         vgs, vds, vbs = self._bias(ctx)
+        if ctx.fast:
+            return self.model.ids_scalar(vgs, vds, vbs)
         return float(self.model.ids(vgs, vds, vbs))

@@ -1,10 +1,27 @@
 """Damped Newton-Raphson solve of one assembled MNA system.
 
 Used by both the DC/IC analyses and every transient time step.  The solver
-re-stamps the (possibly nonlinear) system at each iterate, solves the dense
+stamps the (possibly nonlinear) system at each iterate, solves the dense
 linearized system, damps oversized updates (the MOSFET subthreshold
 exponential punishes full steps from a bad guess), and declares convergence
 when the update is small in the usual mixed absolute/relative sense.
+
+Two assembly strategies exist:
+
+* **fast** (default): the linear elements are stamped once per call into a
+  cached base matrix/RHS (they cannot change while ``(mode, t, dt, method)``
+  and the element states are fixed); each Newton iterate copies the base
+  into preallocated work buffers and restamps only the nonlinear devices.
+  After convergence the last iterate's context is reused with ``x`` updated
+  to the converged point — the redundant full re-assembly the reference
+  path performs is skipped, because state commits and current extraction
+  read only ``x``/``dt``/``method``/states, never ``A``/``z``.  Circuits
+  with no nonlinear elements collapse to a single direct solve with an LU
+  factorization cached across calls (see :mod:`repro.spice.mna`).
+* **reference** (``fast=False``): the frozen seed behavior — full
+  re-assembly of every element at every iterate plus a final assembly at
+  the converged point.  Kept verbatim so golden-parity tests and the perf
+  benchmark can compare against unchanged seed numerics.
 """
 
 from __future__ import annotations
@@ -31,6 +48,7 @@ def newton_solve(
     abstol: float = 1e-9,
     reltol: float = 1e-6,
     max_update: float = 0.5,
+    fast: bool = True,
 ) -> tuple[np.ndarray, StampContext]:
     """Solve the circuit equations for one (mode, t) point.
 
@@ -47,18 +65,92 @@ def newton_solve(
         abstol: absolute convergence tolerance on every unknown.
         reltol: relative convergence tolerance on every unknown.
         max_update: per-iteration cap on the infinity norm of the update.
+        fast: use the cached-base incremental assembly (default); False
+            selects the frozen seed reference path.
 
     Returns:
-        (x, ctx): the converged unknowns and a context assembled *at* the
+        (x, ctx): the converged unknowns and a context positioned *at* the
         converged point, ready for state commits and current extraction.
 
     Raises:
         ConvergenceError: if the iteration budget is exhausted or the
             linearized system is singular beyond recovery.
     """
+    if not fast:
+        return _newton_solve_reference(
+            system, mode, t, dt, method, states, x0, gmin,
+            max_iter, abstol, reltol, max_update,
+        )
+
+    x = np.array(x0, dtype=float)
+    base_A, base_z, work_A, work_z = system.assembly_buffers()
+
+    # Linear base: stamped once — nothing in it can change across iterates.
+    base_ctx = system.context(mode, t, dt, method, states, x, gmin,
+                              buffers=(base_A, base_z))
+    system.assemble_base(base_ctx)
+
+    ctx = system.context(mode, t, dt, method, states, x, gmin,
+                         buffers=(work_A, work_z))
+
+    if not system.nonlinear_elements:
+        # Purely linear: the Newton map is affine with a constant matrix, so
+        # the damped iteration lands exactly on the direct solution; solve
+        # once, reusing the cached LU factors when the matrix is unchanged.
+        np.copyto(work_A, base_A)
+        np.copyto(work_z, base_z)
+        key = system.linear_matrix_key(mode, dt, method, states)
+        x_new = system.solve_linear_cached(key, work_A, work_z)
+        if not np.all(np.isfinite(x_new)):
+            raise ConvergenceError(f"non-finite solution while solving at t={t}")
+        ctx.x = x_new
+        return x_new, ctx
+
+    for _ in range(max_iter):
+        np.copyto(work_A, base_A)
+        np.copyto(work_z, base_z)
+        ctx.x = x
+        system.assemble_nonlinear(ctx)
+        try:
+            x_new = np.linalg.solve(work_A, work_z)
+        except np.linalg.LinAlgError:
+            x_new, *_ = np.linalg.lstsq(work_A, work_z, rcond=None)
+        if not np.all(np.isfinite(x_new)):
+            raise ConvergenceError(f"non-finite solution while solving at t={t}")
+
+        dx = x_new - x
+        step = float(np.max(np.abs(dx))) if dx.size else 0.0
+        if step > max_update:
+            x = x + dx * (max_update / step)
+            continue
+        x = x_new
+        if np.all(np.abs(dx) <= abstol + reltol * np.abs(x)):
+            # Reuse the last iterate's context: only ``x`` needs to move to
+            # the converged point (A/z stay one Newton update behind, which
+            # downstream state commits and current reads never consult).
+            ctx.x = x
+            return x, ctx
+    raise ConvergenceError(f"Newton failed to converge in {max_iter} iterations at t={t}")
+
+
+def _newton_solve_reference(
+    system: MnaSystem,
+    mode: str,
+    t: float,
+    dt: float,
+    method: str,
+    states: dict,
+    x0: np.ndarray,
+    gmin: float,
+    max_iter: int,
+    abstol: float,
+    reltol: float,
+    max_update: float,
+) -> tuple[np.ndarray, StampContext]:
+    """The seed engine's Newton loop, byte-for-byte (full assembly per iterate)."""
     x = np.array(x0, dtype=float)
     for _ in range(max_iter):
-        ctx = system.context(mode, t, dt, method, states, x, gmin)
+        ctx = system.context(mode, t, dt, method, states, x, gmin, fast=False)
         system.assemble(ctx)
         try:
             x_new = np.linalg.solve(ctx.A, ctx.z)
@@ -74,7 +166,7 @@ def newton_solve(
             continue
         x = x_new
         if np.all(np.abs(dx) <= abstol + reltol * np.abs(x)):
-            final = system.context(mode, t, dt, method, states, x, gmin)
+            final = system.context(mode, t, dt, method, states, x, gmin, fast=False)
             system.assemble(final)
             return x, final
     raise ConvergenceError(f"Newton failed to converge in {max_iter} iterations at t={t}")

@@ -7,7 +7,11 @@ backward-Euler first step after t=0 (no consistent history exists yet),
 which is the standard SPICE ``UIC`` start-up.
 
 Every accepted step records all node voltages and all element currents, so
-results expose full waveforms by name.
+results expose full waveforms by name.  Samples land in preallocated
+capacity-doubling buffers (no per-step array allocation), and the Newton
+solver runs the cached-assembly fast path unless
+``TransientOptions(legacy_reference=True)`` selects the frozen seed engine
+(kept for golden-parity tests and the perf benchmark).
 """
 
 from __future__ import annotations
@@ -42,6 +46,10 @@ class TransientOptions:
         lte_rtol: relative LTE tolerance per accepted step (adaptive only).
         lte_atol: absolute LTE tolerance in volts/amperes (adaptive only).
         max_growth: largest per-step enlargement factor (adaptive only).
+        legacy_reference: run the frozen seed engine (full re-assembly at
+            every Newton iterate, vectorized finite-difference device
+            partials).  Slower; exists so the fast path can be regression-
+            tested against unchanged seed numerics.
     """
 
     method: str = "trap"
@@ -53,6 +61,7 @@ class TransientOptions:
     lte_rtol: float = 1e-3
     lte_atol: float = 1e-6
     max_growth: float = 2.0
+    legacy_reference: bool = False
 
     def __post_init__(self):
         if self.method not in ("trap", "be"):
@@ -92,6 +101,44 @@ class TransientResult:
         return [n for n in self._circuit.node_names if n != "0"]
 
 
+class _SampleRecorder:
+    """Capacity-doubling sample buffers for one transient run.
+
+    Replaces the seed's per-step ``list.append(np.array(...))`` pattern: one
+    time vector, one (steps, nodes) voltage block and one (steps, elements)
+    current block, grown geometrically and trimmed once at the end.
+    """
+
+    def __init__(self, num_nodes: int, current_names: list[str], capacity: int = 256):
+        self._n = 0
+        self._times = np.empty(capacity)
+        self._nodes = np.empty((capacity, num_nodes))
+        self._names = current_names
+        self._currents = np.empty((capacity, len(current_names)))
+
+    def _grow(self) -> None:
+        cap = 2 * len(self._times)
+        self._times = np.resize(self._times, cap)
+        self._nodes = np.resize(self._nodes, (cap, self._nodes.shape[1]))
+        self._currents = np.resize(self._currents, (cap, self._currents.shape[1]))
+
+    def append(self, t: float, node_x: np.ndarray, currents: list[float]) -> None:
+        if self._n == len(self._times):
+            self._grow()
+        i = self._n
+        self._times[i] = t
+        self._nodes[i, :] = node_x
+        self._currents[i, :] = currents
+        self._n += 1
+
+    def finish(self) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+        n = self._n
+        currents = {
+            name: np.array(self._currents[:n, j]) for j, name in enumerate(self._names)
+        }
+        return np.array(self._times[:n]), np.array(self._nodes[:n, :]), currents
+
+
 def transient(
     circuit: Circuit,
     tstop: float,
@@ -118,6 +165,7 @@ def transient(
     if dt <= 0:
         raise ValueError("dt must be positive")
     opts = options or TransientOptions()
+    fast = not opts.legacy_reference
 
     system = MnaSystem(circuit)
     states: dict = {}
@@ -127,6 +175,7 @@ def transient(
         system, "ic", tstart, dt=dt, method=opts.method, states=states,
         x0=np.zeros(system.size), gmin=max(opts.gmin, 1e-9),
         max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
+        fast=fast,
     )
     for el in circuit.elements:
         el.init_state(ctx)
@@ -134,16 +183,12 @@ def transient(
     breakpoints = [b for b in circuit.breakpoints() if tstart < b < tstop]
     breakpoints.append(tstop)
 
-    times = [tstart]
-    node_rows = [np.array(x[: system.num_node_unknowns])]
-    current_rows: dict[str, list[float]] = {
-        el.name: [] for el in circuit.elements if hasattr(el, "current")
-    }
+    measured = [el for el in circuit.elements if hasattr(el, "current")]
+    recorder = _SampleRecorder(system.num_node_unknowns, [el.name for el in measured])
     # Element currents at t=0 come from the IC context (capacitor companion
     # models are undefined before the first step, so record zeros there).
-    for el in circuit.elements:
-        if el.name in current_rows:
-            current_rows[el.name].append(_safe_current(el, ctx))
+    recorder.append(tstart, x[: system.num_node_unknowns],
+                    [_safe_current(el, ctx) for el in measured])
 
     t = tstart
     h = dt
@@ -156,6 +201,7 @@ def transient(
             system, "tran", t_target, dt=h_target, method=opts.method,
             states=step_states, x0=x0, gmin=opts.gmin,
             max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
+            fast=fast,
         )
 
     def commit_all(ctx):
@@ -178,9 +224,7 @@ def transient(
                     if h_step < min_h:
                         raise
             # Record, then commit state (commit consumes the pre-step state).
-            for el in circuit.elements:
-                if el.name in current_rows:
-                    current_rows[el.name].append(_safe_current(el, step_ctx))
+            step_currents = [_safe_current(el, step_ctx) for el in measured]
             commit_all(step_ctx)
             grown = min(dt, h_step * 2.0)
         else:
@@ -210,9 +254,7 @@ def transient(
                 h_step = max(h_step * max(0.9 * err ** (-1.0 / 3.0), 0.25), min_h)
                 if h_step <= min_h:
                     break  # accept at the floor rather than stall
-            for el in circuit.elements:
-                if el.name in current_rows:
-                    current_rows[el.name].append(_safe_current(el, step_ctx))
+            step_currents = [_safe_current(el, step_ctx) for el in measured]
             commit_all(step_ctx)
             states.clear()
             states.update(half_states)
@@ -221,8 +263,7 @@ def transient(
 
         t += h_step
         x = x_new
-        times.append(t)
-        node_rows.append(np.array(x[: system.num_node_unknowns]))
+        recorder.append(t, x[: system.num_node_unknowns], step_currents)
 
         if abs(t - next_bp) < 1e-21 or t >= next_bp:
             # Source slope discontinuity: restart the integrator with a
@@ -237,17 +278,20 @@ def transient(
                 next_bp = tstop
         h = grown
 
-    return TransientResult(
-        circuit,
-        np.array(times),
-        np.vstack(node_rows) if node_rows else np.zeros((0, 0)),
-        {name: np.array(vals) for name, vals in current_rows.items()},
-    )
+    times, node_samples, currents = recorder.finish()
+    return TransientResult(circuit, times, node_samples, currents)
 
 
 def _safe_current(element, ctx) -> float:
-    """Element current, tolerating elements without tran-mode current."""
+    """Element current, tolerating elements whose current is undefined here.
+
+    Expected gaps only: a companion model asked for state it does not have
+    yet (``KeyError``, e.g. a capacitor at the t=0 IC sample) or an element
+    family without the queried accessor/state machinery (``AttributeError``).
+    Anything else — sign errors, bad indexing, model bugs — propagates, so
+    real stamping defects surface instead of silently recording 0.0 A.
+    """
     try:
         return float(element.current(ctx))
-    except Exception:
+    except (KeyError, AttributeError):
         return 0.0

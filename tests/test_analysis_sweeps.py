@@ -1,11 +1,12 @@
 """Unit tests for the sweep engine (using fast, tiny simulations)."""
 
 import dataclasses
+import math
 
 import pytest
 
 from repro.analysis import DriverBankSpec, sweep_driver_count, sweep_ground_capacitance
-from repro.analysis.sweeps import sweep
+from repro.analysis.sweeps import SweepPoint, SweepResult, sweep
 
 
 @pytest.fixture
@@ -66,3 +67,22 @@ class TestSweepEngine:
         )
         assert result.knob == "load"
         assert result.points[1].spec.load_capacitance == pytest.approx(20e-12)
+
+
+class TestDegenerateSweepData:
+    def test_percent_error_of_zero_peak_is_nan(self, base):
+        point = SweepPoint(
+            value=1.0, spec=base, simulated_peak=0.0, estimates={"e": 0.5}
+        )
+        assert math.isnan(point.percent_error("e"))
+
+    def test_empty_sweep_to_csv_writes_header_only(self, tmp_path):
+        result = SweepResult(knob="n_drivers", points=())
+        out = tmp_path / "empty.csv"
+        result.to_csv(out)
+        assert out.read_text() == "n_drivers,simulated\n"
+
+    def test_empty_sweep_accessors(self):
+        result = SweepResult(knob="n_drivers", points=())
+        assert result.values() == []
+        assert result.estimator_names == []
