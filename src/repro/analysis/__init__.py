@@ -16,10 +16,11 @@ from .metrics import (
     relative_error,
 )
 from .montecarlo import MonteCarloResult, ParameterSpread, peak_noise_distribution
-from .parallel import parallel_map, resolve_workers
+from .parallel import parallel_map, parallel_map_traced, resolve_workers
 from .ramps import EffectiveRamp, crossing_time, extract_effective_ramp
 from .simulate import (
     SsnSimulation,
+    aggregate_telemetry,
     default_stop_time,
     default_time_step,
     simulate_many,
@@ -49,6 +50,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "WaveformComparison",
+    "aggregate_telemetry",
     "build_buffer_chain",
     "build_cmos_driver_bank",
     "build_driver_bank",
@@ -58,6 +60,7 @@ __all__ = [
     "default_time_step",
     "extract_effective_ramp",
     "parallel_map",
+    "parallel_map_traced",
     "peak_noise_distribution",
     "percent_error",
     "relative_error",

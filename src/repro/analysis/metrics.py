@@ -11,14 +11,28 @@ from ..spice.waveform import Waveform
 
 
 def relative_error(estimate: float, reference: float) -> float:
-    """Signed (estimate - reference)/reference; reference must be nonzero."""
+    """Signed (estimate - reference)/reference.
+
+    Zero-reference convention (a degenerate operating point, e.g. a sweep
+    value that suppresses switching entirely):
+
+    * ``0/0`` — estimate and reference both exactly 0 — is **0.0**: the
+      estimator is exactly right, there is no error to report.
+    * ``x/0`` with ``x != 0`` is **signed infinity** (the error really is
+      unbounded relative to a zero reference), never an exception.
+
+    Aggregators must not fold the infinite case into means — see
+    :meth:`ErrorSummary.from_pairs`, which skips and counts such pairs.
+    """
     if reference == 0.0:
-        raise ValueError("relative error undefined for a zero reference")
+        if estimate == 0.0:
+            return 0.0
+        return math.copysign(math.inf, estimate)
     return (estimate - reference) / reference
 
 
 def percent_error(estimate: float, reference: float) -> float:
-    """Signed relative error in percent."""
+    """Signed relative error in percent (same zero-reference conventions)."""
     return 100.0 * relative_error(estimate, reference)
 
 
@@ -31,28 +45,44 @@ class ErrorSummary:
         max_abs_percent: worst |percent error|.
         rms_percent: RMS percent error.
         bias_percent: mean signed percent error (positive = overestimates).
+        n_points: pairs that entered the aggregates.
+        n_skipped: degenerate pairs (zero reference) excluded from the
+            aggregates rather than propagating ``inf`` into the means.
     """
 
     mean_abs_percent: float
     max_abs_percent: float
     rms_percent: float
     bias_percent: float
+    n_points: int = 0
+    n_skipped: int = 0
 
     @classmethod
     def from_pairs(cls, estimates, references) -> "ErrorSummary":
-        """Summary over aligned arrays of estimates and golden references."""
+        """Summary over aligned arrays of estimates and golden references.
+
+        Pairs whose reference is exactly 0 carry no meaningful relative
+        error (see :func:`relative_error`); they are skipped and counted
+        in ``n_skipped`` instead of poisoning every mean with ``inf``.
+        If *no* pair has a nonzero reference the summary is undefined and
+        a ``ValueError`` is raised.
+        """
         estimates = np.asarray(estimates, dtype=float)
         references = np.asarray(references, dtype=float)
         if estimates.shape != references.shape or estimates.size == 0:
             raise ValueError("estimates and references must be equal-length, non-empty")
-        if np.any(references == 0.0):
-            raise ValueError("references must be nonzero")
-        pct = 100.0 * (estimates - references) / references
+        valid = references != 0.0
+        n_skipped = int(np.count_nonzero(~valid))
+        if not np.any(valid):
+            raise ValueError("all references are zero; relative errors undefined")
+        pct = 100.0 * (estimates[valid] - references[valid]) / references[valid]
         return cls(
             mean_abs_percent=float(np.mean(np.abs(pct))),
             max_abs_percent=float(np.max(np.abs(pct))),
             rms_percent=float(np.sqrt(np.mean(np.square(pct)))),
             bias_percent=float(np.mean(pct)),
+            n_points=int(pct.size),
+            n_skipped=n_skipped,
         )
 
 
@@ -67,20 +97,40 @@ class WaveformComparison:
         max_abs_error: worst |model - golden| in volts (or amperes).
         rms_error: RMS difference over the window.
         normalized_max_error: max_abs_error / max|golden|.
+        n_valid: samples that entered the comparison.  0 means the model
+            had no finite samples on the compared span (e.g. an
+            inductance-only model queried entirely after the ramp) and
+            every error field is NaN.
     """
 
     max_abs_error: float
     rms_error: float
     normalized_max_error: float
+    n_valid: int = -1
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no sample was comparable (all error fields are NaN)."""
+        return self.n_valid == 0
 
 
 def compare_waveforms(model: Waveform, golden: Waveform) -> WaveformComparison:
-    """Compare a (possibly partially-NaN) model waveform against a golden one."""
+    """Compare a (possibly partially-NaN) model waveform against a golden one.
+
+    A model window with *no* finite samples is a legitimate degenerate
+    query (an all-NaN validity window), not an error: the result comes
+    back with ``n_valid == 0`` and NaN error fields, computed without
+    tripping numpy's all-NaN/empty-slice ``RuntimeWarning`` s — callers
+    running under ``-W error::RuntimeWarning`` stay clean.
+    """
     reference = golden.value_at(model.t)
     diff = model.y - reference
     valid = np.isfinite(diff)
     if not np.any(valid):
-        raise ValueError("model waveform has no finite samples to compare")
+        nan = float("nan")
+        return WaveformComparison(
+            max_abs_error=nan, rms_error=nan, normalized_max_error=nan, n_valid=0
+        )
     diff = diff[valid]
     scale = float(np.max(np.abs(golden.y)))
     if scale == 0.0 or math.isclose(scale, 0.0):
@@ -90,4 +140,5 @@ def compare_waveforms(model: Waveform, golden: Waveform) -> WaveformComparison:
         max_abs_error=max_abs,
         rms_error=float(np.sqrt(np.mean(np.square(diff)))),
         normalized_max_error=max_abs / scale,
+        n_valid=int(diff.size),
     )

@@ -11,11 +11,13 @@ resulting peak-SSN statistics.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
 from ..core.asdm import AsdmParameters
 from ..core.figure import circuit_figure, peak_noise_from_figure
+from ..spice.telemetry import SolverTelemetry, record_session
 from .parallel import parallel_map, resolve_workers
 
 
@@ -48,6 +50,9 @@ class MonteCarloResult:
         std: sample standard deviation in volts.
         p95: 95th-percentile peak SSN (the guard-band number).
         nominal: peak SSN at the nominal parameters.
+        telemetry: run observability record (wall clock under
+            ``phase_seconds["montecarlo"]``; the closed-form evaluator
+            needs no Newton solves, so the solver counters stay zero).
     """
 
     samples: np.ndarray
@@ -55,6 +60,7 @@ class MonteCarloResult:
     std: float
     p95: float
     nominal: float
+    telemetry: SolverTelemetry | None = None
 
     @property
     def guard_band(self) -> float:
@@ -104,6 +110,8 @@ def peak_noise_distribution(
     if trials < 2:
         raise ValueError("trials must be at least 2")
     spread = spread or ParameterSpread()
+    tel = SolverTelemetry()
+    wall_start = time.perf_counter()
     rng = np.random.default_rng(seed)
     z = circuit_figure(n_drivers, inductance, vdd / rise_time)
 
@@ -121,10 +129,13 @@ def peak_noise_distribution(
         ]
         samples = np.concatenate(parallel_map(_trial_peaks, chunks, max_workers=workers))
 
+    tel.add_phase_seconds("montecarlo", time.perf_counter() - wall_start)
+    record_session(tel)
     return MonteCarloResult(
         samples=samples,
         mean=float(np.mean(samples)),
         std=float(np.std(samples)),
         p95=float(np.percentile(samples, 95.0)),
         nominal=peak_noise_from_figure(z, params, vdd),
+        telemetry=tel,
     )

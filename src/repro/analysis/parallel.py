@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -40,18 +41,32 @@ def resolve_workers(max_workers: int | None = None) -> int:
 
     ``None`` defers to the ``REPRO_MAX_WORKERS`` environment variable and
     finally to 1 (serial — the safe default for library use).  ``0`` means
-    one worker per available CPU.  Negative values are an error.
+    one worker per available CPU.
+
+    A garbage environment value (``"auto"``, ``""``, a negative number)
+    must never crash an experiment that would otherwise run fine serially:
+    it falls back to 1 worker with a :class:`RuntimeWarning`.  An invalid
+    *explicit* ``max_workers`` argument is a programming error and raises.
     """
     if max_workers is None:
         env = os.environ.get(WORKERS_ENV, "").strip()
         if not env:
             return 1
         try:
-            max_workers = int(env)
+            value = int(env)
         except ValueError:
-            raise ValueError(
-                f"{WORKERS_ENV} must be an integer, got {env!r}"
-            ) from None
+            warnings.warn(
+                f"{WORKERS_ENV}={env!r} is not an integer; running serially",
+                RuntimeWarning, stacklevel=2,
+            )
+            return 1
+        if value < 0:
+            warnings.warn(
+                f"{WORKERS_ENV}={env!r} is negative; running serially",
+                RuntimeWarning, stacklevel=2,
+            )
+            return 1
+        max_workers = value
     if max_workers < 0:
         raise ValueError(f"max_workers must be >= 0, got {max_workers}")
     if max_workers == 0:
@@ -74,14 +89,31 @@ def parallel_map(
 
     Exceptions raised by ``fn`` itself propagate unchanged in both modes.
     """
+    results, _ = parallel_map_traced(fn, items, max_workers=max_workers)
+    return results
+
+
+def parallel_map_traced(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: int | None = None,
+) -> tuple[list[R], bool]:
+    """:func:`parallel_map` plus whether the pool path actually ran.
+
+    Returns ``(results, used_pool)``.  ``used_pool`` is False for the
+    serial fast path *and* for the serial recompute after a pool failure —
+    i.e. it is True exactly when the results were produced in worker
+    processes.  Callers that fold worker-side state (telemetry records)
+    back into the parent use this to avoid double counting.
+    """
     work: Sequence[T] = list(items)
     workers = resolve_workers(max_workers)
     if workers <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
+        return [fn(item) for item in work], False
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(work))) as pool:
-            return list(pool.map(fn, work))
+            return list(pool.map(fn, work)), True
     except (OSError, BrokenProcessPool, pickle.PicklingError, TypeError):
         # Pool unavailable (sandbox/fork limits) or payload unpicklable:
         # degrade to the serial path rather than failing the experiment.
-        return [fn(item) for item in work]
+        return [fn(item) for item in work], False

@@ -13,8 +13,9 @@ import dataclasses
 import functools
 import math
 
+from ..spice.telemetry import SolverTelemetry, record_session
 from ..spice.transient import TransientOptions, transient
-from .parallel import parallel_map
+from .parallel import parallel_map_traced
 from ..spice.waveform import Waveform
 from .driver_bank import (
     DriverBankSpec,
@@ -44,6 +45,9 @@ class SsnSimulation:
         output_voltage: one driver's pad voltage.
         peak_voltage: maximum SSN voltage over the simulated span.
         peak_time: instant of that maximum.
+        telemetry: solver counters of the underlying transient run
+            (pickles across process-pool workers with the rest of the
+            simulation, so parallel sweeps keep full observability).
     """
 
     spec: DriverBankSpec
@@ -54,6 +58,7 @@ class SsnSimulation:
     output_voltage: Waveform
     peak_voltage: float
     peak_time: float
+    telemetry: SolverTelemetry | None = None
 
 
 def default_time_step(spec: DriverBankSpec) -> float:
@@ -119,6 +124,7 @@ def simulate_ssn(
         output_voltage=result.voltage(OUTPUT_NODE_FMT.format(index=1)),
         peak_voltage=peak_voltage,
         peak_time=peak_time,
+        telemetry=result.telemetry,
     )
 
 
@@ -160,14 +166,27 @@ def simulate_many(
     Results preserve the order of ``specs`` regardless of worker count, so
     parallel sweeps are element-for-element identical to serial ones.  In
     the serial path results are memoized via :func:`simulate_ssn_cached`.
+
+    When the runs execute in pool workers, their telemetry records come
+    back on the :class:`SsnSimulation` objects and are folded into the
+    parent process's session aggregator (if enabled) — worker-side session
+    state dies with the worker, so this is where cross-process
+    observability is stitched together.
     """
     if options is None:
-        return parallel_map(simulate_ssn_cached, list(specs), max_workers=max_workers)
-    return parallel_map(
-        functools.partial(_simulate_with_options, options=options),
-        list(specs),
-        max_workers=max_workers,
-    )
+        fn = simulate_ssn_cached
+    else:
+        fn = functools.partial(_simulate_with_options, options=options)
+    sims, used_pool = parallel_map_traced(fn, list(specs), max_workers=max_workers)
+    if used_pool:
+        for sim in sims:
+            record_session(sim.telemetry)
+    return sims
+
+
+def aggregate_telemetry(sims) -> SolverTelemetry:
+    """Summed solver telemetry over many :class:`SsnSimulation` results."""
+    return SolverTelemetry.aggregate(sim.telemetry for sim in sims)
 
 
 def _simulate_with_options(spec, options):

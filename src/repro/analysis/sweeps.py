@@ -21,6 +21,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..spice.telemetry import SolverTelemetry
 from .driver_bank import DriverBankSpec
 from .simulate import simulate_many
 
@@ -37,12 +38,15 @@ class SweepPoint:
         spec: the concrete circuit configuration simulated.
         simulated_peak: golden-simulation maximum SSN voltage.
         estimates: estimator name -> estimated maximum SSN voltage.
+        telemetry: solver counters of this point's golden simulation
+            (None for points built without one).
     """
 
     value: float
     spec: DriverBankSpec
     simulated_peak: float
     estimates: dict[str, float]
+    telemetry: SolverTelemetry | None = None
 
     def percent_error(self, name: str) -> float:
         """Signed percent error of one estimator at this point.
@@ -74,6 +78,17 @@ class SweepResult:
 
     def percent_errors(self, name: str) -> list[float]:
         return [p.percent_error(name) for p in self.points]
+
+    @property
+    def telemetry(self) -> SolverTelemetry:
+        """Aggregated solver telemetry over every point's golden simulation.
+
+        Sums the per-point records (which survive the process-pool round
+        trip), so ``result.telemetry.unrecovered_failures == 0`` asserts
+        that every operating point of the sweep converged — with however
+        many recovered retries ``step_retries`` reports.
+        """
+        return SolverTelemetry.aggregate(p.telemetry for p in self.points)
 
     @property
     def estimator_names(self) -> list[str]:
@@ -133,6 +148,7 @@ def sweep(
                 spec=spec,
                 simulated_peak=sim.peak_voltage,
                 estimates=estimates,
+                telemetry=sim.telemetry,
             )
         )
     return SweepResult(knob=knob, points=tuple(points))

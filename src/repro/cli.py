@@ -10,12 +10,22 @@ Four commands cover the library's day-to-day uses:
   (max simultaneous drivers / slower edges / more pads / skewing).
 * ``report``    — run a paper experiment and print its report (the same
   artifacts the benchmark harness regenerates).
+
+Every command additionally accepts ``--telemetry`` (print aggregated solver
+counters — Newton iterations, step rejections/retries, LU-cache activity,
+unrecovered failures — after the command's output) and
+``--telemetry-json PATH`` (write the same counters as a machine-readable
+run summary, so harnesses can assert "0 unrecovered failures, N retries"
+instead of just not-crashing).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+from .spice.telemetry import disable_session_telemetry, enable_session_telemetry
 
 from .core.design import (
     max_simultaneous_drivers,
@@ -84,6 +94,20 @@ def _add_tech_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _telemetry_parent() -> argparse.ArgumentParser:
+    """Shared ``--telemetry`` / ``--telemetry-json`` flags for every command."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--telemetry", action="store_true",
+        help="print aggregated solver telemetry after the command output",
+    )
+    parent.add_argument(
+        "--telemetry-json", metavar="PATH", default=None,
+        help="write the solver-telemetry run summary as JSON to PATH",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -92,13 +116,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(Ding & Mazumder, DATE 2002).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    telemetry_parent = _telemetry_parent()
+    _parent = {"parents": [telemetry_parent]}
 
-    fit = sub.add_parser("fit", help="fit ASDM and baseline models to a process")
+    fit = sub.add_parser("fit", help="fit ASDM and baseline models to a process",
+                         **_parent)
     _add_tech_argument(fit)
     fit.add_argument("--strength", type=float, default=1.0,
                      help="driver width as a multiple of the reference (default 1)")
 
-    est = sub.add_parser("estimate", help="peak-SSN estimate for one configuration")
+    est = sub.add_parser("estimate", help="peak-SSN estimate for one configuration",
+                         **_parent)
     _add_tech_argument(est)
     est.add_argument("-n", "--drivers", type=int, required=True,
                      help="simultaneously switching drivers")
@@ -112,7 +140,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="CSV of a measured gate waveform (t,y columns); "
                      "adds a PWL-drive estimate fed that waveform")
 
-    plan = sub.add_parser("plan", help="design a bus against a noise budget")
+    plan = sub.add_parser("plan", help="design a bus against a noise budget",
+                          **_parent)
     _add_tech_argument(plan)
     plan.add_argument("-b", "--budget", type=float, required=True,
                       help="peak-SSN budget in volts")
@@ -122,7 +151,8 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("-c", "--pin-capacitance", type=float, default=1e-12)
     plan.add_argument("-t", "--rise-time", type=float, default=0.5e-9)
 
-    report = sub.add_parser("report", help="run a paper experiment and print its report")
+    report = sub.add_parser("report", help="run a paper experiment and print its report",
+                            **_parent)
     _add_tech_argument(report)
     report.add_argument("experiment", choices=sorted(_EXPERIMENTS) + ["all"])
 
@@ -222,7 +252,21 @@ def main(argv=None) -> int:
         "plan": _run_plan,
         "report": _run_report,
     }
-    print(handlers[args.command](args))
+    collect = bool(getattr(args, "telemetry", False) or
+                   getattr(args, "telemetry_json", None))
+    session = enable_session_telemetry() if collect else None
+    try:
+        print(handlers[args.command](args))
+        if session is not None:
+            if args.telemetry:
+                print(session.format_report())
+            if args.telemetry_json:
+                with open(args.telemetry_json, "w") as fh:
+                    json.dump(session.as_dict(), fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+    finally:
+        if session is not None:
+            disable_session_telemetry()
     return 0
 
 

@@ -121,13 +121,21 @@ class PwlDriveSsnModel:
     # -- evaluation ---------------------------------------------------------------
 
     def voltage(self, t):
-        """SSN voltage at time(s) t; zero before turn-on."""
+        """SSN voltage at time(s) t; zero before turn-on.
+
+        Queries past the last knot clamp to the final (flat-tail) segment,
+        whose exponential decay extends to t = +inf by construction; the
+        segment index is bounded on *both* ends so no query can index out
+        of range or land on a nonexistent segment.
+        """
         t = np.asarray(t, dtype=float)
-        idx = np.clip(np.searchsorted(self._seg_start, t, side="right") - 1, 0, None)
-        safe = np.maximum(idx, 0)
-        vss = self._seg_vss[safe]
-        vn0 = self._seg_vn[safe]
-        t0 = self._seg_start[safe]
+        idx = np.clip(
+            np.searchsorted(self._seg_start, t, side="right") - 1,
+            0, len(self._seg_start) - 1,
+        )
+        vss = self._seg_vss[idx]
+        vn0 = self._seg_vn[idx]
+        t0 = self._seg_start[idx]
         v = vss + (vn0 - vss) * np.exp(-np.maximum(t - t0, 0.0) / self.time_constant)
         v = np.where(t < self.turn_on_time, 0.0, v)
         if v.ndim == 0:

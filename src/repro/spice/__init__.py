@@ -17,6 +17,12 @@ from .elements import MutualInductance
 from .netlist import from_spice, to_spice
 from .solver import ConvergenceError
 from .sources import Dc, Pulse, Pwl, Ramp, SourceShape
+from .telemetry import (
+    SolverTelemetry,
+    disable_session_telemetry,
+    enable_session_telemetry,
+    session_telemetry,
+)
 from .transient import TransientOptions, TransientResult, transient
 from .waveform import Waveform
 
@@ -30,14 +36,18 @@ __all__ = [
     "Pulse",
     "Pwl",
     "Ramp",
+    "SolverTelemetry",
     "SourceShape",
     "TransientOptions",
     "TransientResult",
     "Waveform",
     "ac_analysis",
     "dc_operating_point",
+    "disable_session_telemetry",
     "driving_point_impedance",
+    "enable_session_telemetry",
     "from_spice",
+    "session_telemetry",
     "to_spice",
     "transient",
 ]

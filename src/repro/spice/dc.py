@@ -3,25 +3,34 @@
 Capacitors open, inductors short.  A plain Newton solve handles the gentle
 circuits in this repository; if it fails, gmin stepping (progressively
 relaxing a shunt conductance across the nonlinear devices) provides the
-usual continuation fallback.
+usual continuation fallback.  Every solve records its counters — Newton
+iterations, gmin stages, wall clock — into a
+:class:`~repro.spice.telemetry.SolverTelemetry` exposed on the returned
+:class:`DcSolution`; an unrecoverable failure raises ``ConvergenceError``
+with the partial record attached as ``.telemetry``.
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from .circuit import Circuit
 from .mna import MnaSystem, StampContext
 from .solver import ConvergenceError, newton_solve
+from .telemetry import SolverTelemetry, record_session
 
 
 class DcSolution:
     """Converged DC operating point with name-based accessors."""
 
-    def __init__(self, circuit: Circuit, x: np.ndarray, ctx: StampContext):
+    def __init__(self, circuit: Circuit, x: np.ndarray, ctx: StampContext,
+                 telemetry: SolverTelemetry | None = None):
         self._circuit = circuit
         self._x = x
         self._ctx = ctx
+        self.telemetry = telemetry if telemetry is not None else SolverTelemetry()
 
     def voltage(self, node_name: str) -> float:
         """Node voltage in volts."""
@@ -39,25 +48,61 @@ class DcSolution:
         return np.array(self._x)
 
 
-def dc_operating_point(circuit: Circuit, t: float = 0.0, gmin: float = 1e-12) -> DcSolution:
+def dc_operating_point(circuit: Circuit, t: float = 0.0, gmin: float = 1e-12,
+                       telemetry: SolverTelemetry | None = None) -> DcSolution:
     """Solve the DC operating point at source time ``t``.
 
     Tries a direct Newton solve first, then gmin stepping from 1e-3 S down
     to the target gmin, reusing each stage's solution as the next guess.
+    A stage that fails to converge is skipped (the continuation proceeds
+    from the last good point); only a failure at the final, target-gmin
+    stage is unrecoverable.
+
+    Args:
+        circuit: the netlist to solve (not mutated).
+        t: evaluation time for the independent sources.
+        gmin: target shunt conductance across nonlinear devices.
+        telemetry: optional record to accumulate into; a fresh one is
+            created (and attached to the solution) when omitted.
     """
+    tel = telemetry if telemetry is not None else SolverTelemetry()
+    wall_start = time.perf_counter()
     system = MnaSystem(circuit)
     x0 = np.zeros(system.size)
     try:
-        x, ctx = newton_solve(system, "dc", t, dt=1.0, method="be", states={}, x0=x0, gmin=gmin)
-        return DcSolution(circuit, x, ctx)
+        x, ctx = newton_solve(system, "dc", t, dt=1.0, method="be", states={},
+                              x0=x0, gmin=gmin, telemetry=tel)
+        return _finish(circuit, x, ctx, tel, wall_start)
     except ConvergenceError:
         pass
 
     x = x0
+    ctx = None
     schedule = [10.0 ** (-k) for k in range(3, 13)]
     schedule = [g for g in schedule if g > gmin] + [gmin]
     for stage_gmin in schedule:
-        x, ctx = newton_solve(
-            system, "dc", t, dt=1.0, method="be", states={}, x0=x, gmin=stage_gmin
-        )
-    return DcSolution(circuit, x, ctx)
+        tel.gmin_steps += 1
+        try:
+            x, ctx = newton_solve(
+                system, "dc", t, dt=1.0, method="be", states={}, x0=x,
+                gmin=stage_gmin, telemetry=tel,
+            )
+        except ConvergenceError as exc:
+            if stage_gmin == gmin:
+                # The final target stage is the answer; nothing to skip to.
+                tel.unrecovered_failures += 1
+                tel.add_phase_seconds("dc", time.perf_counter() - wall_start)
+                record_session(tel)
+                exc.telemetry = tel
+                raise
+            # Intermediate stage: continue the ladder from the last good x.
+            tel.step_rejections += 1
+            tel.step_retries += 1
+    return _finish(circuit, x, ctx, tel, wall_start)
+
+
+def _finish(circuit: Circuit, x: np.ndarray, ctx: StampContext,
+            tel: SolverTelemetry, wall_start: float) -> DcSolution:
+    tel.add_phase_seconds("dc", time.perf_counter() - wall_start)
+    record_session(tel)
+    return DcSolution(circuit, x, ctx, telemetry=tel)

@@ -163,9 +163,14 @@ class MnaSystem:
         self._base_z: np.ndarray | None = None
         self._work_A: np.ndarray | None = None
         self._work_z: np.ndarray | None = None
-        # LU cache for linear-only circuits: key -> LAPACK getrf factors.
+        # LU cache for linear-only circuits: key -> LAPACK getrf factors,
+        # plus a copy of the factored matrix guarding against key collisions
+        # (two circuits/element values sharing one (mode, dt, method, flags)).
         self._lu_key = None
         self._lu = None
+        self._lu_A: np.ndarray | None = None
+        #: Optional SolverTelemetry the current solve records into.
+        self.telemetry = None
 
     def context(self, mode: str, t: float, dt: float, method: str,
                 states: dict, x: np.ndarray, gmin: float,
@@ -175,6 +180,8 @@ class MnaSystem:
 
     def assemble(self, ctx: StampContext) -> None:
         """Fill ``ctx.A`` and ``ctx.z`` from every element's stamp."""
+        if self.telemetry is not None:
+            self.telemetry.full_assemblies += 1
         for el in self._elements:
             el.stamp(ctx)
 
@@ -192,6 +199,8 @@ class MnaSystem:
 
     def assemble_base(self, ctx: StampContext) -> None:
         """Stamp only the linear elements into ``ctx`` (buffers pre-zeroed)."""
+        if self.telemetry is not None:
+            self.telemetry.base_assemblies += 1
         ctx.A[:] = 0.0
         ctx.z[:] = 0.0
         for el in self.linear_elements:
@@ -199,6 +208,8 @@ class MnaSystem:
 
     def assemble_nonlinear(self, ctx: StampContext) -> None:
         """Stamp only the nonlinear elements on top of the copied base."""
+        if self.telemetry is not None:
+            self.telemetry.nonlinear_restamps += 1
         for el in self.nonlinear_elements:
             el.stamp(ctx)
 
@@ -223,23 +234,44 @@ class MnaSystem:
     def solve_linear_cached(self, key, A: np.ndarray, z: np.ndarray) -> np.ndarray:
         """Solve ``A x = z`` reusing the LU factors when ``key`` repeats.
 
+        The key alone is not trusted: reuse additionally requires the
+        assembled matrix to equal the one that was factored (an O(n^2)
+        compare versus the O(n^3) factorization), so a different circuit —
+        or the same circuit with mutated element values — sharing an
+        identical ``(mode, dt, method, flags)`` key can never pick up a
+        stale factorization.
+
         Falls back to ``np.linalg.solve`` when scipy is unavailable and to
         least squares when the matrix is singular (floating subcircuits),
         mirroring the plain Newton path's behavior.
         """
+        tel = self.telemetry
         if _lu_factor is not None:
             with warnings.catch_warnings():
                 # Exactly singular matrices (floating subcircuits) fall back
                 # to least squares below, as the plain path does — silence
                 # scipy's LinAlgWarning on the zero pivot.
                 warnings.simplefilter("ignore")
-                if key != self._lu_key:
+                stale = (
+                    key == self._lu_key
+                    and self._lu_A is not None
+                    and not np.array_equal(A, self._lu_A)
+                )
+                if stale and tel is not None:
+                    tel.lu_cache_invalidations += 1
+                if key != self._lu_key or stale:
+                    if tel is not None:
+                        tel.lu_cache_misses += 1
                     try:
                         self._lu = _lu_factor(A)
                         self._lu_key = key
+                        self._lu_A = A.copy()
                     except (ValueError, np.linalg.LinAlgError):
                         self._lu = None
                         self._lu_key = None
+                        self._lu_A = None
+                elif tel is not None:
+                    tel.lu_cache_hits += 1
                 if self._lu is not None:
                     x = _lu_solve(self._lu, z)
                     if np.all(np.isfinite(x)):
@@ -248,6 +280,7 @@ class MnaSystem:
                     # fall through to the reference solve path.
                     self._lu = None
                     self._lu_key = None
+                    self._lu_A = None
         try:
             return np.linalg.solve(A, z)
         except np.linalg.LinAlgError:

@@ -29,10 +29,18 @@ from __future__ import annotations
 import numpy as np
 
 from .mna import MnaSystem, StampContext
+from .telemetry import SolverTelemetry
 
 
 class ConvergenceError(RuntimeError):
-    """Newton iteration failed to converge."""
+    """Newton iteration failed to converge.
+
+    When raised from within a transient run, the engine attaches the run's
+    partial :class:`~repro.spice.telemetry.SolverTelemetry` as a
+    ``telemetry`` attribute so callers can see how far recovery got.
+    """
+
+    telemetry: SolverTelemetry | None = None
 
 
 def newton_solve(
@@ -49,6 +57,7 @@ def newton_solve(
     reltol: float = 1e-6,
     max_update: float = 0.5,
     fast: bool = True,
+    telemetry: SolverTelemetry | None = None,
 ) -> tuple[np.ndarray, StampContext]:
     """Solve the circuit equations for one (mode, t) point.
 
@@ -67,6 +76,8 @@ def newton_solve(
         max_update: per-iteration cap on the infinity norm of the update.
         fast: use the cached-base incremental assembly (default); False
             selects the frozen seed reference path.
+        telemetry: optional counters record; iteration, assembly and
+            LU-cache activity of this solve are added to it.
 
     Returns:
         (x, ctx): the converged unknowns and a context positioned *at* the
@@ -76,10 +87,13 @@ def newton_solve(
         ConvergenceError: if the iteration budget is exhausted or the
             linearized system is singular beyond recovery.
     """
+    system.telemetry = telemetry
+    if telemetry is not None:
+        telemetry.newton_solves += 1
     if not fast:
         return _newton_solve_reference(
             system, mode, t, dt, method, states, x0, gmin,
-            max_iter, abstol, reltol, max_update,
+            max_iter, abstol, reltol, max_update, telemetry,
         )
 
     x = np.array(x0, dtype=float)
@@ -107,6 +121,8 @@ def newton_solve(
         return x_new, ctx
 
     for _ in range(max_iter):
+        if telemetry is not None:
+            telemetry.newton_iterations += 1
         np.copyto(work_A, base_A)
         np.copyto(work_z, base_z)
         ctx.x = x
@@ -146,10 +162,16 @@ def _newton_solve_reference(
     abstol: float,
     reltol: float,
     max_update: float,
+    telemetry: SolverTelemetry | None = None,
 ) -> tuple[np.ndarray, StampContext]:
-    """The seed engine's Newton loop, byte-for-byte (full assembly per iterate)."""
+    """The seed engine's Newton loop, byte-for-byte (full assembly per iterate).
+
+    Telemetry counting is the only addition; the numerics are untouched.
+    """
     x = np.array(x0, dtype=float)
     for _ in range(max_iter):
+        if telemetry is not None:
+            telemetry.newton_iterations += 1
         ctx = system.context(mode, t, dt, method, states, x, gmin, fast=False)
         system.assemble(ctx)
         try:

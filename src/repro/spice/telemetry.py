@@ -1,0 +1,174 @@
+"""Solver observability: counters and timings for one (or many) runs.
+
+Every Newton solve, transient run and DC analysis threads a
+:class:`SolverTelemetry` record through the engine.  The record answers the
+questions the fast-path caches (PR 1) made otherwise unanswerable — how
+many LU factorizations were reused vs. recomputed, how many Newton
+iterations each phase burned, and whether any time step had to be rejected
+and retried — so an experiment can assert "0 unrecovered failures, N
+recovered retries" instead of merely not crashing.
+
+Records are plain dataclasses of ints/floats (plus one ``phase_seconds``
+dict), so they pickle across :class:`~concurrent.futures.ProcessPoolExecutor`
+workers and merge associatively: per-run records ride on
+``TransientResult.telemetry`` / ``DcSolution.telemetry`` /
+``SsnSimulation.telemetry``, and the analysis layer aggregates them with
+:meth:`SolverTelemetry.aggregate` (sweeps, Monte Carlo, ``simulate_many``).
+
+For end-to-end CLI observability there is additionally a *session*
+aggregator: :func:`enable_session_telemetry` turns on a process-local
+accumulator that every completed engine run merges into, and the CLI's
+``--telemetry`` / ``--telemetry-json`` flags print or dump it.  Session
+telemetry is process-local; pool-parallel runs are folded back in by
+``simulate_many`` from the records returned by the workers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+
+@dataclasses.dataclass
+class SolverTelemetry:
+    """Counters and wall-clock phases of one engine run (mutable, mergeable).
+
+    Attributes:
+        newton_solves: calls into :func:`repro.spice.solver.newton_solve`.
+        newton_iterations: total Newton iterations across all solves
+            (damped sub-steps count; linear direct solves count zero).
+        accepted_steps: transient time steps committed to the result.
+        step_rejections: solve attempts rejected by non-convergence or a
+            non-finite iterate (includes any final, unrecovered one).
+        step_retries: rejected steps re-attempted at a halved ``dt``
+            (the *recovered* rejections, when the retry ultimately lands).
+        lte_rejections: adaptive-mode steps redone because the local
+            truncation error estimate exceeded tolerance (not failures).
+        unrecovered_failures: rejections that exhausted the retry ladder
+            (the run raised ``ConvergenceError``); 0 on any run that
+            returned a result.
+        gmin_steps: gmin-stepping continuation stages run by the DC solver.
+        lu_cache_hits / lu_cache_misses: linear-circuit LU factorization
+            reuses vs. (re)factorizations.
+        lu_cache_invalidations: cached factors dropped because the
+            assembled matrix no longer matched the cached one (staleness
+            guard) despite an identical cache key.
+        base_assemblies: linear-base stamp passes (once per fast solve).
+        nonlinear_restamps: nonlinear-device restamp passes (once per
+            fast Newton iterate).
+        full_assemblies: full re-assemblies (reference engine only).
+        phase_seconds: wall-clock seconds per named phase ("ic", "dc",
+            "stepping", "total", ...); merged by summing per key.
+    """
+
+    newton_solves: int = 0
+    newton_iterations: int = 0
+    accepted_steps: int = 0
+    step_rejections: int = 0
+    step_retries: int = 0
+    lte_rejections: int = 0
+    unrecovered_failures: int = 0
+    gmin_steps: int = 0
+    lu_cache_hits: int = 0
+    lu_cache_misses: int = 0
+    lu_cache_invalidations: int = 0
+    base_assemblies: int = 0
+    nonlinear_restamps: int = 0
+    full_assemblies: int = 0
+    phase_seconds: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def recovered_rejections(self) -> int:
+        """Rejected steps that the retry ladder ultimately recovered."""
+        return self.step_rejections - self.unrecovered_failures
+
+    def add_phase_seconds(self, phase: str, seconds: float) -> None:
+        """Accumulate wall-clock time into one named phase."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def merge(self, other: "SolverTelemetry") -> "SolverTelemetry":
+        """Fold ``other``'s counters into this record (returns self)."""
+        for f in dataclasses.fields(self):
+            if f.name == "phase_seconds":
+                for phase, seconds in other.phase_seconds.items():
+                    self.add_phase_seconds(phase, seconds)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @classmethod
+    def aggregate(cls, records: Iterable[Optional["SolverTelemetry"]]) -> "SolverTelemetry":
+        """Sum of many per-run records (``None`` entries are skipped)."""
+        total = cls()
+        for rec in records:
+            if rec is not None:
+                total.merge(rec)
+        return total
+
+    def as_dict(self) -> dict:
+        """Machine-readable summary (JSON-serializable)."""
+        out = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "phase_seconds"
+        }
+        out["recovered_rejections"] = self.recovered_rejections
+        out["phase_seconds"] = dict(self.phase_seconds)
+        out["ok"] = self.unrecovered_failures == 0
+        return out
+
+    def format_report(self) -> str:
+        """Human-readable multi-line summary (the CLI ``--telemetry`` view)."""
+        lines = [
+            "solver telemetry:",
+            f"  newton solves / iterations:   {self.newton_solves} / {self.newton_iterations}",
+            f"  accepted steps:               {self.accepted_steps}",
+            f"  step rejections (recovered):  {self.step_rejections} ({self.recovered_rejections})",
+            f"  LTE rejections (adaptive):    {self.lte_rejections}",
+            f"  unrecovered failures:         {self.unrecovered_failures}",
+            f"  gmin continuation stages:     {self.gmin_steps}",
+            f"  LU cache hits / misses:       {self.lu_cache_hits} / {self.lu_cache_misses}"
+            + (f" (+{self.lu_cache_invalidations} staleness drops)"
+               if self.lu_cache_invalidations else ""),
+            f"  assemblies (base/nonlin/full): {self.base_assemblies} / "
+            f"{self.nonlinear_restamps} / {self.full_assemblies}",
+        ]
+        if self.phase_seconds:
+            phases = ", ".join(
+                f"{name} {secs:.3g}s" for name, secs in sorted(self.phase_seconds.items())
+            )
+            lines.append(f"  wall clock: {phases}")
+        return "\n".join(lines)
+
+
+# -- session aggregation (process-local) -------------------------------------------
+
+_session: SolverTelemetry | None = None
+
+
+def enable_session_telemetry() -> SolverTelemetry:
+    """Start (or restart) the process-local session aggregator.
+
+    Returns the live record; every engine run completing in this process
+    merges into it until :func:`disable_session_telemetry`.
+    """
+    global _session
+    _session = SolverTelemetry()
+    return _session
+
+
+def disable_session_telemetry() -> None:
+    """Stop session aggregation (per-run records are unaffected)."""
+    global _session
+    _session = None
+
+
+def session_telemetry() -> SolverTelemetry | None:
+    """The live session aggregator, or None when disabled (the default)."""
+    return _session
+
+
+def record_session(telemetry: SolverTelemetry | None) -> None:
+    """Merge one finished run's record into the session aggregator, if on."""
+    if _session is not None and telemetry is not None and telemetry is not _session:
+        _session.merge(telemetry)

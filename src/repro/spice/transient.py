@@ -12,17 +12,28 @@ capacity-doubling buffers (no per-step array allocation), and the Newton
 solver runs the cached-assembly fast path unless
 ``TransientOptions(legacy_reference=True)`` selects the frozen seed engine
 (kept for golden-parity tests and the perf benchmark).
+
+Robustness & observability: a Newton failure (non-convergence or a
+non-finite iterate) *rejects* the step — committed state is untouched — and
+the engine retries at half the step, halving repeatedly down to
+``TransientOptions.min_dt`` (default ``dt / 4096``) before giving up.  Every
+run carries a :class:`~repro.spice.telemetry.SolverTelemetry` record on
+``TransientResult.telemetry`` counting iterations, rejections/retries,
+cache activity and per-phase wall clock; an unrecoverable failure raises
+``ConvergenceError`` with the partial record attached as ``.telemetry``.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
 from .circuit import Circuit
 from .mna import MnaSystem
 from .solver import ConvergenceError, newton_solve
+from .telemetry import SolverTelemetry, record_session
 from .waveform import Waveform
 
 #: Refuse to shrink the step below base_dt / _MIN_STEP_DIVISOR.
@@ -46,6 +57,10 @@ class TransientOptions:
         lte_rtol: relative LTE tolerance per accepted step (adaptive only).
         lte_atol: absolute LTE tolerance in volts/amperes (adaptive only).
         max_growth: largest per-step enlargement factor (adaptive only).
+        min_dt: absolute floor for the Newton-failure recovery ladder (and
+            the adaptive controller); ``None`` (default) keeps the seed
+            behavior of ``dt / 4096``.  A rejection that would need a step
+            below this floor is unrecoverable and raises.
         legacy_reference: run the frozen seed engine (full re-assembly at
             every Newton iterate, vectorized finite-difference device
             partials).  Slower; exists so the fast path can be regression-
@@ -61,6 +76,7 @@ class TransientOptions:
     lte_rtol: float = 1e-3
     lte_atol: float = 1e-6
     max_growth: float = 2.0
+    min_dt: float | None = None
     legacy_reference: bool = False
 
     def __post_init__(self):
@@ -70,17 +86,26 @@ class TransientOptions:
             raise ValueError("LTE tolerances must be positive")
         if self.max_growth <= 1.0:
             raise ValueError("max_growth must exceed 1")
+        if self.min_dt is not None and self.min_dt <= 0:
+            raise ValueError("min_dt must be positive when given")
 
 
 class TransientResult:
-    """Waveforms of one transient run, addressable by node/element name."""
+    """Waveforms of one transient run, addressable by node/element name.
+
+    ``telemetry`` carries the run's solver counters (Newton iterations,
+    step rejections/retries, cache activity, per-phase wall clock); a run
+    that produced a result always has ``telemetry.unrecovered_failures == 0``.
+    """
 
     def __init__(self, circuit: Circuit, times: np.ndarray,
-                 node_samples: np.ndarray, current_samples: dict[str, np.ndarray]):
+                 node_samples: np.ndarray, current_samples: dict[str, np.ndarray],
+                 telemetry: SolverTelemetry | None = None):
         self._circuit = circuit
         self.times = times
         self._nodes = node_samples  # shape (n_steps, n_nodes-1)
         self._currents = current_samples
+        self.telemetry = telemetry if telemetry is not None else SolverTelemetry()
 
     def voltage(self, node_name: str) -> Waveform:
         """Waveform of a node voltage."""
@@ -169,14 +194,20 @@ def transient(
 
     system = MnaSystem(circuit)
     states: dict = {}
+    tel = SolverTelemetry()
+    wall_start = time.perf_counter()
 
     # t=0 consistency solve: capacitors forced to their ICs, inductors to theirs.
-    x, ctx = newton_solve(
-        system, "ic", tstart, dt=dt, method=opts.method, states=states,
-        x0=np.zeros(system.size), gmin=max(opts.gmin, 1e-9),
-        max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
-        fast=fast,
-    )
+    try:
+        x, ctx = newton_solve(
+            system, "ic", tstart, dt=dt, method=opts.method, states=states,
+            x0=np.zeros(system.size), gmin=max(opts.gmin, 1e-9),
+            max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
+            fast=fast, telemetry=tel,
+        )
+    except ConvergenceError as exc:
+        _fail(exc, tel, wall_start)
+    tel.add_phase_seconds("ic", time.perf_counter() - wall_start)
     for el in circuit.elements:
         el.init_state(ctx)
 
@@ -194,14 +225,15 @@ def transient(
     h = dt
     bp_iter = iter(breakpoints)
     next_bp = next(bp_iter)
-    min_h = dt / _MIN_STEP_DIVISOR
+    min_h = opts.min_dt if opts.min_dt is not None else dt / _MIN_STEP_DIVISOR
+    stepping_start = time.perf_counter()
 
     def solve_step(step_states, x0, t_target, h_target):
         return newton_solve(
             system, "tran", t_target, dt=h_target, method=opts.method,
             states=step_states, x0=x0, gmin=opts.gmin,
             max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
-            fast=fast,
+            fast=fast, telemetry=tel,
         )
 
     def commit_all(ctx):
@@ -219,10 +251,14 @@ def transient(
                 try:
                     x_new, step_ctx = solve_step(states, x, t + h_step, h_step)
                     break
-                except ConvergenceError:
+                except ConvergenceError as exc:
+                    # Rejected step: committed state is untouched, so the
+                    # retry at half the step restarts from clean history.
+                    tel.step_rejections += 1
                     h_step /= 2.0
                     if h_step < min_h:
-                        raise
+                        _fail(exc, tel, wall_start, stepping_start)
+                    tel.step_retries += 1
             # Record, then commit state (commit consumes the pre-step state).
             step_currents = [_safe_current(el, step_ctx) for el in measured]
             commit_all(step_ctx)
@@ -241,16 +277,19 @@ def transient(
                     x_new, step_ctx = solve_step(
                         half_states, x_mid, t + h_step, h_step / 2
                     )
-                except ConvergenceError:
+                except ConvergenceError as exc:
+                    tel.step_rejections += 1
                     h_step /= 2.0
                     if h_step < min_h:
-                        raise
+                        _fail(exc, tel, wall_start, stepping_start)
+                    tel.step_retries += 1
                     continue
                 nn = system.num_node_unknowns
                 scale = opts.lte_atol + opts.lte_rtol * np.abs(x_new[:nn])
                 err = float(np.max(np.abs(x_big[:nn] - x_new[:nn]) / scale)) if nn else 0.0
                 if err <= 1.0:
                     break
+                tel.lte_rejections += 1
                 h_step = max(h_step * max(0.9 * err ** (-1.0 / 3.0), 0.25), min_h)
                 if h_step <= min_h:
                     break  # accept at the floor rather than stall
@@ -263,6 +302,7 @@ def transient(
 
         t += h_step
         x = x_new
+        tel.accepted_steps += 1
         recorder.append(t, x[: system.num_node_unknowns], step_currents)
 
         if abs(t - next_bp) < 1e-21 or t >= next_bp:
@@ -279,7 +319,24 @@ def transient(
         h = grown
 
     times, node_samples, currents = recorder.finish()
-    return TransientResult(circuit, times, node_samples, currents)
+    now = time.perf_counter()
+    tel.add_phase_seconds("stepping", now - stepping_start)
+    tel.add_phase_seconds("total", now - wall_start)
+    record_session(tel)
+    return TransientResult(circuit, times, node_samples, currents, telemetry=tel)
+
+
+def _fail(exc: ConvergenceError, tel: SolverTelemetry, wall_start: float,
+          stepping_start: float | None = None) -> None:
+    """Mark a run unrecoverable and re-raise with its telemetry attached."""
+    now = time.perf_counter()
+    tel.unrecovered_failures += 1
+    if stepping_start is not None:
+        tel.add_phase_seconds("stepping", now - stepping_start)
+    tel.add_phase_seconds("total", now - wall_start)
+    record_session(tel)
+    exc.telemetry = tel
+    raise exc
 
 
 def _safe_current(element, ctx) -> float:

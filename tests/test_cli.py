@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.spice.telemetry import session_telemetry
 
 
 class TestParser:
@@ -65,3 +68,32 @@ class TestCommands:
         assert main(["report", "damping"]) == 0
         out = capsys.readouterr().out
         assert "Eqn (27)" in out
+
+
+class TestTelemetryFlags:
+    def test_telemetry_prints_solver_counters(self, capsys):
+        # fig2 runs real transients, so the counters must be nonzero.
+        assert main(["report", "fig2", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "solver telemetry:" in out
+        assert "unrecovered failures:         0" in out
+
+    def test_telemetry_json_writes_run_summary(self, capsys, tmp_path):
+        path = tmp_path / "telemetry.json"
+        assert main(["report", "fig2", "--telemetry-json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "solver telemetry:" not in out  # json flag alone stays quiet
+        data = json.loads(path.read_text())
+        assert data["ok"] is True
+        assert data["unrecovered_failures"] == 0
+        assert data["newton_solves"] > 0
+        assert data["accepted_steps"] > 0
+
+    def test_session_disabled_after_command(self, capsys):
+        assert main(["report", "fig2", "--telemetry"]) == 0
+        capsys.readouterr()
+        assert session_telemetry() is None
+
+    def test_no_flags_no_telemetry_output(self, capsys):
+        assert main(["estimate", "-n", "8"]) == 0
+        assert "solver telemetry:" not in capsys.readouterr().out

@@ -92,6 +92,39 @@ class TestGeneralDrive:
         pwl = PwlDriveSsnModel(params, 8, 5e-9, t, v)
         assert not pwl.on_state_violated(1.8)
 
+    def test_query_past_last_knot_clamps_to_final_segment(self, params):
+        """Regression: the segment lookup must clamp its *upper* bound.
+
+        ``searchsorted(..., 'right') - 1`` returns ``len(knots) - 1`` for
+        times at or past the final knot — one past the last segment — so
+        an unclamped lookup reads stale coefficients.  Far-future queries
+        must evaluate the final flat-tail segment (exponential decay
+        toward its asymptote), identically for scalars and arrays.
+        """
+        t, v = ramp_knots(tr=0.3e-9, hold=2e-9)
+        pwl = PwlDriveSsnModel(params, 8, 5e-9, t, v)
+        t_end = t[-1]
+        # Scalar queries at and beyond the final knot are finite and decay.
+        at_end = float(pwl.voltage(t_end))
+        beyond = float(pwl.voltage(t_end + 5e-9))
+        far = float(pwl.voltage(t_end + 50e-9))
+        assert np.isfinite(at_end) and np.isfinite(beyond) and np.isfinite(far)
+        assert abs(beyond) <= abs(at_end)
+        assert abs(far) <= abs(beyond)
+        # The tail continues the last segment's solution smoothly: a point
+        # just inside and just outside the final knot must nearly agree
+        # (up to the genuine exponential decay over 2*eps).
+        eps = 1e-15
+        inside = float(pwl.voltage(t_end - eps))
+        outside = float(pwl.voltage(t_end + eps))
+        assert outside == pytest.approx(inside, rel=1e-4)
+        # Array queries mixing in-range and far-future times match the
+        # scalar path element-wise.
+        ts = np.array([0.2e-9, t_end, t_end + 5e-9, t_end + 50e-9])
+        arr = np.asarray(pwl.voltage(ts))
+        scalars = np.array([float(pwl.voltage(x)) for x in ts])
+        np.testing.assert_allclose(arr, scalars, rtol=0, atol=0)
+
 
 class TestValidation:
     def test_gate_never_turning_on(self, params):

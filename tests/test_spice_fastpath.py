@@ -157,11 +157,21 @@ class TestParallelDeterminism:
         assert resolve_workers(0) >= 1
         monkeypatch.setenv("REPRO_MAX_WORKERS", "5")
         assert resolve_workers(None) == 5
+        # An explicit bad argument is a programming error and still raises.
         with pytest.raises(ValueError):
             resolve_workers(-2)
-        monkeypatch.setenv("REPRO_MAX_WORKERS", "abc")
-        with pytest.raises(ValueError, match="REPRO_MAX_WORKERS"):
-            resolve_workers(None)
+
+    @pytest.mark.parametrize("garbage", ["auto", "abc", "1.5", "-3"])
+    def test_resolve_workers_garbage_env_falls_back_serial(self, monkeypatch, garbage):
+        # A broken environment variable must degrade to serial with a
+        # warning, never crash an experiment (satellite bugfix).
+        monkeypatch.setenv("REPRO_MAX_WORKERS", garbage)
+        with pytest.warns(RuntimeWarning, match="REPRO_MAX_WORKERS"):
+            assert resolve_workers(None) == 1
+
+    def test_resolve_workers_blank_env_is_serial_without_warning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_WORKERS", "   ")
+        assert resolve_workers(None) == 1
 
 
 def _square(v):
