@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-perf reports examples clean
+.PHONY: install test bench bench-smoke bench-perf reports examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,11 @@ test:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+# Perf benchmark in smoke mode: tiny workloads, every engine exercised,
+# no timing assertions and no BENCH_perf.json rewrite (CI-safe).
+bench-smoke:
+	$(PY) -m pytest benchmarks/bench_perf.py -q -s --quick
 
 # Fast-path vs seed-engine perf regression; writes BENCH_perf.json.
 bench-perf:

@@ -1,40 +1,87 @@
-"""Benchmark P1 — engine fast path vs the frozen seed engine.
+"""Benchmark P1 — engine fast path and batched ensemble vs their baselines.
 
-Times the cached-assembly engine against ``legacy_reference=True`` (a
-byte-for-byte preservation of the seed Newton loop and device evaluation)
-on the two workloads the perf work targets:
+Two regression-tracked comparisons:
 
-* one golden transient of a mid-size driver bank, and
-* a Fig. 3-class driver-count sweep.
+* the cached-assembly scalar engine against ``legacy_reference=True`` (a
+  byte-for-byte preservation of the seed Newton loop and device
+  evaluation), on one golden transient and a Fig. 3-class sweep; and
+* the batched lockstep engine (one vectorized Newton loop for the whole
+  ensemble) against the scalar fast path it shares its numerics with, on
+  the same driver-count sweep.
 
-Both engines run the identical workload; parity of every peak is checked
-to 1e-9 V before speedups are reported.  The summary lands in
-``BENCH_perf.json`` at the repo root for regression tracking.
+Every speedup is gated on peak parity to 1e-9 V first.  The summaries
+merge into ``BENCH_perf.json`` at the repo root, together with host
+metadata (CPU count, numpy version, commit) so the perf trajectory stays
+interpretable across machines.
 
 The sweep strides N over 1..30 (the full Fig. 3 range) rather than
 running every count, purely to keep the legacy-engine half of the
 comparison inside a CI-friendly minute; the fast engine handles the
 dense sweep in seconds (see ``bench_fig3``).
+
+``pytest benchmarks/bench_perf.py --quick`` shrinks every workload to
+smoke-test size and drops the timing assertions — CI uses it to catch
+engine breakage without asserting wall-clock behavior on shared runners.
 """
 
 import dataclasses
+import os
+import pathlib
+import platform
+import subprocess
+import time
 
+import numpy as np
 import pytest
 
 from repro.analysis.driver_bank import DriverBankSpec
 from repro.process import TSMC018
-from repro.analysis.simulate import simulate_ssn, simulate_ssn_cache_clear
+from repro.analysis.simulate import (
+    simulate_many,
+    simulate_ssn,
+    simulate_ssn_cache_clear,
+)
 from repro.spice.transient import TransientOptions
 
 #: Required end-to-end gain of the fast path over the seed engine.
 MIN_SPEEDUP = 3.0
-#: Peak-voltage agreement between the two engines.
+#: Required gain of the batched ensemble over the scalar fast path.
+MIN_BATCH_SPEEDUP = 3.0
+#: Peak-voltage agreement between any two engines.
 PARITY_TOL = 1e-9
 
 SINGLE_N = 10
 SWEEP_COUNTS = list(range(1, 31, 4))  # Fig. 3 range, strided for runtime
 
+#: --quick smoke sizes: still exercises every engine, finishes in seconds.
+QUICK_SINGLE_N = 3
+QUICK_SWEEP_COUNTS = [1, 4]
+
+#: Timing repetitions for the batch comparison; the hosts this runs on
+#: are shared and noisy, so each side reports its best of several runs.
+TIMING_REPS = 3
+
 LEGACY = TransientOptions(legacy_reference=True)
+
+
+def _host_metadata() -> dict:
+    """Machine context stamped into ``BENCH_perf.json`` with every run."""
+    commit = "unknown"
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return {
+        "commit": commit,
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def _spec(tech, n):
@@ -43,16 +90,28 @@ def _spec(tech, n):
     )
 
 
-def _run_single(tech, options):
-    return simulate_ssn(_spec(tech, SINGLE_N), options=options).peak_voltage
+def _run_single(tech, options, n):
+    return simulate_ssn(_spec(tech, n), options=options).peak_voltage
 
 
-def _run_sweep(tech, options):
+def _run_sweep(tech, options, counts):
     base = _spec(tech, 1)
     return [
         simulate_ssn(dataclasses.replace(base, n_drivers=n), options=options).peak_voltage
-        for n in SWEEP_COUNTS
+        for n in counts
     ]
+
+
+def _best_of(wall_clock, name, fn, reps):
+    """Record ``fn``'s best wall clock over ``reps`` runs; return last result."""
+    best, result = None, None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    wall_clock.timings[name] = best
+    return result
 
 
 @pytest.fixture(scope="module")
@@ -60,31 +119,39 @@ def tech018():
     return TSMC018
 
 
-def test_fastpath_speedup(tech018, wall_clock, perf_report, publish):
+def test_fastpath_speedup(tech018, wall_clock, perf_report, publish, quick):
     simulate_ssn_cache_clear()
+    single_n = QUICK_SINGLE_N if quick else SINGLE_N
+    counts = QUICK_SWEEP_COUNTS if quick else SWEEP_COUNTS
 
-    legacy_peak = wall_clock.measure("single_legacy", _run_single, tech018, LEGACY)
-    fast_peak = wall_clock.measure("single_fast", _run_single, tech018, None)
+    legacy_peak = wall_clock.measure("single_legacy", _run_single, tech018, LEGACY, single_n)
+    fast_peak = wall_clock.measure("single_fast", _run_single, tech018, None, single_n)
     assert abs(fast_peak - legacy_peak) <= PARITY_TOL
 
-    legacy_peaks = wall_clock.measure("sweep_legacy", _run_sweep, tech018, LEGACY)
-    fast_peaks = wall_clock.measure("sweep_fast", _run_sweep, tech018, None)
+    legacy_peaks = wall_clock.measure("sweep_legacy", _run_sweep, tech018, LEGACY, counts)
+    fast_peaks = wall_clock.measure("sweep_fast", _run_sweep, tech018, None, counts)
     for lp, fp in zip(legacy_peaks, fast_peaks):
         assert abs(fp - lp) <= PARITY_TOL
 
     single_speedup = wall_clock.speedup("single_legacy", "single_fast")
     sweep_speedup = wall_clock.speedup("sweep_legacy", "sweep_fast")
 
+    if quick:
+        # Smoke mode: engines and parity exercised, but neither the timing
+        # assertions nor the regression artifact reflect real workloads.
+        return
+
     payload = {
+        "host": _host_metadata(),
         "parity_tol_volts": PARITY_TOL,
         "single_transient": {
-            "n_drivers": SINGLE_N,
+            "n_drivers": single_n,
             "legacy_seconds": wall_clock.timings["single_legacy"],
             "fast_seconds": wall_clock.timings["single_fast"],
             "speedup": single_speedup,
         },
         "driver_sweep": {
-            "counts": SWEEP_COUNTS,
+            "counts": counts,
             "legacy_seconds": wall_clock.timings["sweep_legacy"],
             "fast_seconds": wall_clock.timings["sweep_fast"],
             "speedup": sweep_speedup,
@@ -93,8 +160,8 @@ def test_fastpath_speedup(tech018, wall_clock, perf_report, publish):
     perf_report(payload)
 
     lines = ["engine fast path vs seed engine", ""]
-    for label, key in [("single transient (N=10)", "single_transient"),
-                       ("driver sweep (N=1..30)", "driver_sweep")]:
+    for label, key in [(f"single transient (N={single_n})", "single_transient"),
+                       ("driver sweep", "driver_sweep")]:
         row = payload[key]
         lines.append(
             f"{label}: legacy {row['legacy_seconds']:.2f}s -> "
@@ -104,3 +171,53 @@ def test_fastpath_speedup(tech018, wall_clock, perf_report, publish):
 
     assert single_speedup >= MIN_SPEEDUP
     assert sweep_speedup >= MIN_SPEEDUP
+
+
+def test_batched_sweep_speedup(tech018, wall_clock, perf_report, publish, quick):
+    counts = QUICK_SWEEP_COUNTS if quick else SWEEP_COUNTS
+    base = _spec(tech018, 1)
+    specs = [dataclasses.replace(base, n_drivers=n) for n in counts]
+
+    def scalar_run():
+        simulate_ssn_cache_clear()
+        return [s.peak_voltage for s in simulate_many(specs, engine="scalar")]
+
+    def batch_run():
+        simulate_ssn_cache_clear()
+        return [s.peak_voltage for s in simulate_many(specs, engine="batch")]
+
+    # Warm both paths (model constant caches, lazy imports) before timing.
+    scalar_run()
+    batch_run()
+
+    reps = 1 if quick else TIMING_REPS
+    scalar_peaks = _best_of(wall_clock, "batched_sweep_scalar", scalar_run, reps)
+    batch_peaks = _best_of(wall_clock, "batched_sweep_batch", batch_run, reps)
+    for sp, bp in zip(scalar_peaks, batch_peaks):
+        assert abs(bp - sp) <= PARITY_TOL
+
+    speedup = wall_clock.speedup("batched_sweep_scalar", "batched_sweep_batch")
+    if quick:
+        return
+
+    payload = {
+        "batched_sweep": {
+            "counts": counts,
+            "scalar_seconds": wall_clock.timings["batched_sweep_scalar"],
+            "batch_seconds": wall_clock.timings["batched_sweep_batch"],
+            "speedup": speedup,
+            "timing_reps": reps,
+        },
+    }
+    perf_report(payload)
+
+    publish(
+        "bench_perf_batched",
+        "batched ensemble engine vs scalar fast path\n\n"
+        f"driver sweep (N={counts[0]}..{counts[-1]}): "
+        f"scalar {wall_clock.timings['batched_sweep_scalar']:.2f}s -> "
+        f"batch {wall_clock.timings['batched_sweep_batch']:.2f}s  "
+        f"({speedup:.1f}x)\n",
+    )
+
+    assert speedup >= MIN_BATCH_SPEEDUP

@@ -18,6 +18,19 @@ REPORT_DIR = pathlib.Path(__file__).parent / "reports"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="perf benchmarks: tiny workloads and no timing assertions "
+        "(CI smoke — catches engine breakage, not regressions)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    return bool(request.config.getoption("--quick"))
+
+
 @pytest.fixture(scope="session")
 def report_dir() -> pathlib.Path:
     REPORT_DIR.mkdir(exist_ok=True)
@@ -48,12 +61,23 @@ def wall_clock() -> WallClock:
 
 @pytest.fixture
 def perf_report():
-    """Write the machine-readable perf summary to ``BENCH_perf.json``
-    at the repo root (the regression-tracking artifact)."""
+    """Merge the machine-readable perf summary into ``BENCH_perf.json``
+    at the repo root (the regression-tracking artifact).
+
+    Top-level sections are merged rather than the file overwritten, so
+    the perf benchmarks can contribute sections from separate tests.
+    """
 
     def _write(payload: dict) -> None:
         path = REPO_ROOT / "BENCH_perf.json"
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        merged = {}
+        if path.exists():
+            try:
+                merged = json.loads(path.read_text())
+            except ValueError:
+                merged = {}
+        merged.update(payload)
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
         print(f"\nwrote {path}")
 
     return _write

@@ -8,14 +8,24 @@ from .buffer_chain import (
 )
 from .cmos_driver import CmosDriverBankSpec, CmosSimulation, build_cmos_driver_bank, simulate_cmos
 from .driver_bank import DriverBankSpec, build_driver_bank
+from .engine import ENGINES, resolve_engine, set_default_engine
 from .metrics import (
     ErrorSummary,
     WaveformComparison,
+    batch_peaks,
+    batch_settling_times,
     compare_waveforms,
     percent_error,
     relative_error,
+    settling_time,
 )
-from .montecarlo import MonteCarloResult, ParameterSpread, peak_noise_distribution
+from .montecarlo import (
+    DeviceSpread,
+    MonteCarloResult,
+    ParameterSpread,
+    peak_noise_distribution,
+    transient_peak_distribution,
+)
 from .parallel import parallel_map, parallel_map_traced, resolve_workers
 from .ramps import EffectiveRamp, crossing_time, extract_effective_ramp
 from .simulate import (
@@ -41,7 +51,9 @@ __all__ = [
     "BufferChainSpec",
     "CmosDriverBankSpec",
     "CmosSimulation",
+    "DeviceSpread",
     "DriverBankSpec",
+    "ENGINES",
     "EffectiveRamp",
     "ErrorSummary",
     "MonteCarloResult",
@@ -51,6 +63,8 @@ __all__ = [
     "SweepResult",
     "WaveformComparison",
     "aggregate_telemetry",
+    "batch_peaks",
+    "batch_settling_times",
     "build_buffer_chain",
     "build_cmos_driver_bank",
     "build_driver_bank",
@@ -64,7 +78,10 @@ __all__ = [
     "peak_noise_distribution",
     "percent_error",
     "relative_error",
+    "resolve_engine",
     "resolve_workers",
+    "set_default_engine",
+    "settling_time",
     "simulate_buffer_chain",
     "simulate_cmos",
     "simulate_many",
@@ -74,4 +91,5 @@ __all__ = [
     "sweep_driver_count",
     "sweep_ground_capacitance",
     "sweep_rise_time",
+    "transient_peak_distribution",
 ]

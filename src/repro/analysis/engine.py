@@ -1,0 +1,73 @@
+"""Execution-engine selection for the analysis layer.
+
+The golden simulations can run on two transient engines:
+
+* ``"scalar"`` — one :func:`repro.spice.transient.transient` call per
+  configuration (optionally fanned out over a process pool).  This is the
+  seed behavior and the default.
+* ``"batch"`` — configurations that share a lockstep signature are folded
+  into one :func:`repro.spice.batch.batch_transient` call: a single
+  vectorized Newton loop advances the whole ensemble at once.
+* ``"auto"`` — ``"batch"`` whenever more than one configuration is
+  requested, ``"scalar"`` otherwise.
+
+Selection precedence, highest first: an explicit ``engine=`` argument, the
+process-wide default installed with :func:`set_default_engine` (the CLI's
+``--engine`` flag uses this), the ``REPRO_ENGINE`` environment variable,
+and finally ``"scalar"``.
+
+The batch engine degrades gracefully: configurations whose circuits cannot
+share a lockstep batch (mixed topologies, unsupported elements) and option
+modes the lockstep loop does not implement (adaptive stepping, the frozen
+legacy engine) silently fall back to the scalar path, so ``"batch"`` is
+always safe to request.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Recognized engine names, in documentation order.
+ENGINES = ("auto", "batch", "scalar")
+
+#: Environment variable consulted when no explicit engine is given.
+ENGINE_ENV = "REPRO_ENGINE"
+
+_default_engine: str | None = None
+
+
+def set_default_engine(engine: str | None) -> None:
+    """Install a process-wide default engine (``None`` clears it).
+
+    Sits between explicit ``engine=`` arguments and the ``REPRO_ENGINE``
+    environment variable in precedence; the CLI's ``--engine`` flag is a
+    thin wrapper around this.
+    """
+    global _default_engine
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    _default_engine = engine
+
+
+def resolve_engine(engine: str | None = None, n_items: int | None = None) -> str:
+    """Resolve an engine request to a concrete ``"batch"`` or ``"scalar"``.
+
+    Args:
+        engine: explicit request, or None to consult the process default
+            and then ``REPRO_ENGINE``.
+        n_items: ensemble size, used to resolve ``"auto"`` (batching a
+            single configuration has no lockstep to exploit).  ``None``
+            leaves ``"auto"`` resolved toward ``"batch"``.
+
+    Returns:
+        ``"batch"`` or ``"scalar"``.
+    """
+    if engine is None:
+        engine = _default_engine
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or "scalar"
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    if engine == "auto":
+        engine = "scalar" if (n_items is not None and n_items < 2) else "batch"
+    return engine

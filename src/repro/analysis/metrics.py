@@ -86,6 +86,87 @@ class ErrorSummary:
         )
 
 
+def settling_time(waveform: Waveform, band: float) -> float:
+    """Earliest time after which the signal stays within ``band`` of its end.
+
+    The batched-ensemble workflows summarize SSN waveforms by peak and
+    settling; this is the scalar reference definition.  ``band`` is an
+    absolute tolerance in the waveform's units and must be positive.
+    Returns the start time when the whole waveform already sits in the
+    band, and the last sample time when even the final sample's neighbors
+    leave it.
+    """
+    if band <= 0:
+        raise ValueError("band must be positive")
+    t, y = waveform.t, waveform.y
+    final = y[-1]
+    last_outside = -1
+    for i in range(len(y)):
+        if abs(y[i] - final) > band:
+            last_outside = i
+    if last_outside < 0:
+        return float(t[0])
+    return float(t[min(last_outside + 1, len(t) - 1)])
+
+
+def batch_peaks(times, values):
+    """Per-waveform (time, value) of the maximum over a ``(B, T)`` batch.
+
+    Vectorized equivalent of :meth:`Waveform.peak` over the batch axis —
+    one ``argmax`` instead of a Python loop, exactly tie-breaking the same
+    way (first maximal sample wins).
+
+    Args:
+        times: shared time grid, shape ``(T,)``, or per-waveform grids of
+            shape ``(B, T)``.
+        values: sample matrix, shape ``(B, T)``.
+
+    Returns:
+        ``(peak_times, peak_values)`` arrays of shape ``(B,)``.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError("values must be a (B, T) batch")
+    idx = np.argmax(values, axis=1)
+    rows = np.arange(len(values))
+    peak_times = times[idx] if times.ndim == 1 else times[rows, idx]
+    return peak_times, values[rows, idx]
+
+
+def batch_settling_times(times, values, band: float):
+    """Per-waveform settling times over a ``(B, T)`` batch.
+
+    Vectorized equivalent of :func:`settling_time`: the out-of-band mask
+    is reduced with one ``argmax`` over the reversed batch axis (the
+    position of each row's *last* out-of-band sample) instead of a
+    per-waveform Python scan.
+
+    Args:
+        times: shared time grid ``(T,)`` or per-waveform grids ``(B, T)``.
+        values: sample matrix, shape ``(B, T)``.
+        band: absolute settling tolerance, positive.
+
+    Returns:
+        Array of shape ``(B,)`` of settling times.
+    """
+    if band <= 0:
+        raise ValueError("band must be positive")
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError("values must be a (B, T) batch")
+    n = values.shape[1]
+    outside = np.abs(values - values[:, -1:]) > band
+    # argmax on the reversed mask finds each row's last True; all-False
+    # rows (already settled) report argmax 0, masked off separately.
+    last_outside = n - 1 - np.argmax(outside[:, ::-1], axis=1)
+    settle_idx = np.minimum(last_outside + 1, n - 1)
+    settle_idx = np.where(outside.any(axis=1), settle_idx, 0)
+    rows = np.arange(len(values))
+    return times[settle_idx] if times.ndim == 1 else times[rows, settle_idx]
+
+
 @dataclasses.dataclass(frozen=True)
 class WaveformComparison:
     """Pointwise agreement of a model waveform with a golden waveform.

@@ -13,8 +13,10 @@ import dataclasses
 import functools
 import math
 
+from ..spice.batch import BatchIncompatibleError, batch_transient, lockstep_signature
 from ..spice.telemetry import SolverTelemetry, record_session
 from ..spice.transient import TransientOptions, transient
+from .engine import resolve_engine
 from .parallel import parallel_map_traced
 from ..spice.waveform import Waveform
 from .driver_bank import (
@@ -105,6 +107,15 @@ def simulate_ssn(
         dt if dt is not None else default_time_step(spec),
         options=options,
     )
+    return _package_simulation(spec, result)
+
+
+def _package_simulation(spec: DriverBankSpec, result) -> SsnSimulation:
+    """Extract the SSN waveforms and peak from one finished transient run.
+
+    Shared by the scalar path and the batched-ensemble path, so both
+    engines report through the identical packaging.
+    """
     ssn = result.voltage(GROUND_BOUNCE_NODE)
     peak_time, peak_voltage = ssn.peak()
 
@@ -160,27 +171,86 @@ def simulate_many(
     specs,
     max_workers: int | None = None,
     options: TransientOptions | None = None,
+    engine: str | None = None,
 ) -> list[SsnSimulation]:
-    """Golden-simulate many specs, optionally across a process pool.
+    """Golden-simulate many specs on the selected execution engine.
 
-    Results preserve the order of ``specs`` regardless of worker count, so
-    parallel sweeps are element-for-element identical to serial ones.  In
-    the serial path results are memoized via :func:`simulate_ssn_cached`.
+    Results preserve the order of ``specs`` regardless of engine or worker
+    count, so sweeps are element-for-element comparable however they ran.
 
-    When the runs execute in pool workers, their telemetry records come
-    back on the :class:`SsnSimulation` objects and are folded into the
-    parent process's session aggregator (if enabled) — worker-side session
-    state dies with the worker, so this is where cross-process
-    observability is stitched together.
+    ``engine`` selects the transient engine (``"scalar"``, ``"batch"`` or
+    ``"auto"``; default per :func:`repro.analysis.engine.resolve_engine`):
+
+    * scalar — one :func:`transient` per spec, optionally across a process
+      pool (``max_workers``); serial results are memoized via
+      :func:`simulate_ssn_cached`.  When the runs execute in pool workers,
+      their telemetry records come back on the :class:`SsnSimulation`
+      objects and are folded into the parent process's session aggregator
+      (if enabled) — worker-side session state dies with the worker, so
+      this is where cross-process observability is stitched together.
+    * batch — specs whose circuits share a lockstep signature (same
+      topology and time grid, different parameter values) are simulated
+      together by one vectorized Newton loop
+      (:func:`repro.spice.batch.batch_transient`).  Specs that cannot join
+      a lockstep group — incompatible topologies, singleton groups, or
+      option modes the batched loop does not implement — fall back to the
+      scalar path, so ``"batch"`` never fails where ``"scalar"`` succeeds.
     """
+    specs = list(specs)
+    if resolve_engine(engine, len(specs)) == "batch":
+        return _simulate_many_batched(specs, options)
     if options is None:
         fn = simulate_ssn_cached
     else:
         fn = functools.partial(_simulate_with_options, options=options)
-    sims, used_pool = parallel_map_traced(fn, list(specs), max_workers=max_workers)
+    sims, used_pool = parallel_map_traced(fn, specs, max_workers=max_workers)
     if used_pool:
         for sim in sims:
             record_session(sim.telemetry)
+    return sims
+
+
+def _simulate_many_batched(specs, options) -> list[SsnSimulation]:
+    """Lockstep grouping behind the ``"batch"`` engine of :func:`simulate_many`.
+
+    Builds every spec's circuit, groups them by (lockstep signature,
+    stop time, time step), runs each group of two or more through
+    :func:`batch_transient`, and routes everything else — singletons and
+    incompatible circuits or options — through the scalar path.
+    """
+    sims: list[SsnSimulation | None] = [None] * len(specs)
+    groups: dict[tuple, list[int]] = {}
+    circuits: list = [None] * len(specs)
+    for i, spec in enumerate(specs):
+        circuit = build_driver_bank(spec)
+        try:
+            key = (
+                lockstep_signature(circuit),
+                default_stop_time(spec),
+                default_time_step(spec),
+            )
+        except BatchIncompatibleError:
+            key = ("scalar", i)
+        circuits[i] = circuit
+        groups.setdefault(key, []).append(i)
+
+    for key, members in groups.items():
+        ran_batched = False
+        if len(members) >= 2:
+            _, tstop, dt = key
+            try:
+                results = batch_transient(
+                    [circuits[i] for i in members], tstop, dt, options=options
+                )
+            except BatchIncompatibleError:
+                pass  # e.g. adaptive/legacy options: scalar fallback below
+            else:
+                for i, result in zip(members, results):
+                    sims[i] = _package_simulation(specs[i], result)
+                ran_batched = True
+        if not ran_batched:
+            for i in members:
+                sims[i] = simulate_ssn_cached(specs[i], options=options)
     return sims
 
 

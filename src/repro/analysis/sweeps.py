@@ -19,8 +19,6 @@ import dataclasses
 import math
 from typing import Callable, Sequence
 
-import numpy as np
-
 from ..spice.telemetry import SolverTelemetry
 from .driver_bank import DriverBankSpec
 from .simulate import simulate_many
@@ -97,21 +95,20 @@ class SweepResult:
     def to_csv(self, path) -> None:
         """Write the sweep as CSV: knob, simulated peak, every estimate.
 
-        Column order: the knob, ``simulated``, then estimators sorted by
-        name — the layout external plotting scripts expect.  An empty
-        sweep writes just the header row.
+        Column order is deterministic — the knob, ``simulated``, then
+        estimators sorted by name — regardless of estimator-dict insertion
+        order, so diffs between sweep runs are meaningful.  Values are
+        written with :func:`repr`, the shortest string that round-trips
+        the exact float, so reading the file back reproduces every bit.
+        An empty sweep writes just the header row.
         """
         names = self.estimator_names
         header = ",".join([self.knob, "simulated"] + names)
-        if not self.points:
-            with open(path, "w") as fh:
-                fh.write(header + "\n")
-            return
-        rows = [
-            [p.value, p.simulated_peak] + [p.estimates[n] for n in names]
-            for p in self.points
-        ]
-        np.savetxt(path, np.array(rows), delimiter=",", header=header, comments="")
+        with open(path, "w") as fh:
+            fh.write(header + "\n")
+            for p in self.points:
+                row = [p.value, p.simulated_peak] + [p.estimates[n] for n in names]
+                fh.write(",".join(repr(float(v)) for v in row) + "\n")
 
 
 def sweep(
@@ -121,6 +118,7 @@ def sweep(
     apply: Callable[[DriverBankSpec, float], DriverBankSpec],
     estimators: dict[str, Estimator],
     max_workers: int | None = None,
+    engine: str | None = None,
 ) -> SweepResult:
     """Run the golden simulation and all estimators across ``values``.
 
@@ -133,12 +131,16 @@ def sweep(
         max_workers: process-pool width for the golden simulations; the
             default (None) honors ``REPRO_MAX_WORKERS`` and otherwise runs
             serially.  Results are order- and value-identical either way.
+        engine: transient engine for the golden simulations (``"scalar"``,
+            ``"batch"`` or ``"auto"``); the default honors ``REPRO_ENGINE``
+            per :func:`repro.analysis.engine.resolve_engine`.  The batched
+            engine runs all sweep points in one vectorized Newton loop.
 
     Returns:
         The populated :class:`SweepResult`.
     """
     specs = [apply(base, value) for value in values]
-    sims = simulate_many(specs, max_workers=max_workers)
+    sims = simulate_many(specs, max_workers=max_workers, engine=engine)
     points = []
     for value, spec, sim in zip(values, specs, sims):
         estimates = {name: float(fn(spec)) for name, fn in estimators.items()}
@@ -156,7 +158,7 @@ def sweep(
 
 def sweep_driver_count(
     base: DriverBankSpec, counts: Sequence[int], estimators: dict[str, Estimator],
-    max_workers: int | None = None,
+    max_workers: int | None = None, engine: str | None = None,
 ) -> SweepResult:
     """Sweep the number of simultaneously switching drivers (Figs. 3-4)."""
     return sweep(
@@ -166,12 +168,13 @@ def sweep_driver_count(
         lambda spec, n: dataclasses.replace(spec, n_drivers=int(n)),
         estimators,
         max_workers=max_workers,
+        engine=engine,
     )
 
 
 def sweep_ground_capacitance(
     base: DriverBankSpec, capacitances: Sequence[float], estimators: dict[str, Estimator],
-    max_workers: int | None = None,
+    max_workers: int | None = None, engine: str | None = None,
 ) -> SweepResult:
     """Sweep the parasitic ground capacitance (Section 4 studies)."""
     return sweep(
@@ -181,12 +184,13 @@ def sweep_ground_capacitance(
         lambda spec, c: dataclasses.replace(spec, capacitance=float(c)),
         estimators,
         max_workers=max_workers,
+        engine=engine,
     )
 
 
 def sweep_rise_time(
     base: DriverBankSpec, rise_times: Sequence[float], estimators: dict[str, Estimator],
-    max_workers: int | None = None,
+    max_workers: int | None = None, engine: str | None = None,
 ) -> SweepResult:
     """Sweep the input ramp duration (slope design-knob studies)."""
     return sweep(
@@ -196,4 +200,5 @@ def sweep_rise_time(
         lambda spec, tr: dataclasses.replace(spec, rise_time=float(tr)),
         estimators,
         max_workers=max_workers,
+        engine=engine,
     )

@@ -25,6 +25,7 @@ import argparse
 import json
 import sys
 
+from .analysis.engine import ENGINES, set_default_engine
 from .spice.telemetry import disable_session_telemetry, enable_session_telemetry
 
 from .core.design import (
@@ -95,7 +96,7 @@ def _add_tech_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _telemetry_parent() -> argparse.ArgumentParser:
-    """Shared ``--telemetry`` / ``--telemetry-json`` flags for every command."""
+    """Shared ``--telemetry`` / ``--telemetry-json`` / ``--engine`` flags."""
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
         "--telemetry", action="store_true",
@@ -104,6 +105,13 @@ def _telemetry_parent() -> argparse.ArgumentParser:
     parent.add_argument(
         "--telemetry-json", metavar="PATH", default=None,
         help="write the solver-telemetry run summary as JSON to PATH",
+    )
+    parent.add_argument(
+        "--engine", choices=list(ENGINES), default=None,
+        help="transient engine for golden simulations: 'batch' runs "
+        "same-topology ensembles in one vectorized Newton loop, 'scalar' "
+        "simulates them one at a time, 'auto' picks per workload "
+        "(default: $REPRO_ENGINE, else scalar)",
     )
     return parent
 
@@ -255,6 +263,7 @@ def main(argv=None) -> int:
     collect = bool(getattr(args, "telemetry", False) or
                    getattr(args, "telemetry_json", None))
     session = enable_session_telemetry() if collect else None
+    set_default_engine(getattr(args, "engine", None))
     try:
         print(handlers[args.command](args))
         if session is not None:
@@ -265,6 +274,7 @@ def main(argv=None) -> int:
                     json.dump(session.as_dict(), fh, indent=2, sort_keys=True)
                     fh.write("\n")
     finally:
+        set_default_engine(None)
         if session is not None:
             disable_session_telemetry()
     return 0

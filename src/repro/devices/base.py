@@ -78,6 +78,53 @@ class MosfetModel(abc.ABC):
         gmbs = (f(vgs, vds, vbs + h) - f(vgs, vds, vbs - h)) / (2 * h)
         return OperatingPoint(ids=ids, gm=gm, gds=gds, gmbs=gmbs)
 
+    def partials_array(self, vgs, vds, vbs=0.0) -> OperatingPoint:
+        """Array-in/array-out operating points over a batch of bias points.
+
+        Central finite differences through the vectorized :meth:`ids` with
+        the same step as the scalar :meth:`partials`, so a batched engine's
+        Newton iterates track the scalar engine's to floating-point noise.
+        The seven bias evaluations (center plus six perturbed) are stacked
+        into one ``(7, B)`` call so the model's elementwise math runs once
+        per iterate instead of seven times.
+
+        Returns an :class:`OperatingPoint` whose fields are arrays shaped
+        like the broadcast inputs.
+        """
+        h = _FD_STEP
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        vbs = np.asarray(vbs, dtype=float)
+        if not (vgs.shape == vds.shape == vbs.shape):
+            vgs, vds, vbs = np.broadcast_arrays(vgs, vds, vbs)
+        # Broadcast-fill preallocated grids instead of stacking seven
+        # temporaries: this runs once per batched Newton iterate, where
+        # python-level array plumbing is the dominant cost.  The grids are
+        # cached on the model (refilled in full every call, so stale
+        # perturbations never leak between iterates).
+        shape = (7,) + vgs.shape
+        grids = getattr(self, "_fd_grids", None)
+        if grids is None or grids[0].shape != shape:
+            grids = (np.empty(shape), np.empty(shape), np.empty(shape))
+            self._fd_grids = grids
+        grid_vgs, grid_vds, grid_vbs = grids
+        grid_vgs[:] = vgs
+        grid_vgs[1] += h
+        grid_vgs[2] -= h
+        grid_vds[:] = vds
+        grid_vds[3] += h
+        grid_vds[4] -= h
+        grid_vbs[:] = vbs
+        grid_vbs[5] += h
+        grid_vbs[6] -= h
+        i = np.asarray(self.ids(grid_vgs, grid_vds, grid_vbs), dtype=float)
+        return OperatingPoint(
+            ids=i[0],
+            gm=(i[1] - i[2]) / (2 * h),
+            gds=(i[3] - i[4]) / (2 * h),
+            gmbs=(i[5] - i[6]) / (2 * h),
+        )
+
     def saturation_current(self, vgs, vds_high, vbs=0.0):
         """Convenience alias: current with the drain held at a high rail.
 

@@ -117,6 +117,8 @@ class BsimLikeMosfet(MosfetModel):
         self.params = params or BsimLikeParameters()
         self._const_params = None
         self._consts = None
+        self._aconst_params = None
+        self._aconsts = None
 
     def _scalar_consts(self):
         """Temperature-derived constants, cached per parameter object.
@@ -133,6 +135,41 @@ class BsimLikeMosfet(MosfetModel):
                 math.sqrt(p.phi), p.ec * p.l,
             )
         return self._consts
+
+    def _array_consts(self):
+        """Fused bias-independent constants of the vectorized current path.
+
+        Unlike the scalar cache this one tolerates stacked ``(B,)``
+        parameter fields (see :func:`stack_models`), so the vectorized
+        current path shares one cache with batched ensembles.  Every
+        product that does not involve a terminal voltage is folded here —
+        the vectorized evaluation runs once per batched Newton iterate on
+        small arrays, where each elementwise operation costs a fixed numpy
+        dispatch overhead regardless of width.
+        """
+        p = self.params
+        if self._aconst_params is not p:
+            self._aconst_params = p
+            ecl = p.ec * p.l
+            two_nvt = 2.0 * p.n * p.thermal_voltage
+            self._aconsts = (
+                # threshold: vth = vth_base + gamma*sqrt(phi - vbs) - sigma*vds
+                p.vth0_t - p.gamma * np.sqrt(p.phi),
+                p.gamma,
+                p.sigma,
+                ecl,
+                two_nvt,
+                1.0 / two_nvt,
+                4.0 * p.delta,
+                p.delta,
+                p.theta,
+                # zero-degradation gain beta0 = mu0(T) * cox * w / l
+                p.mu0_t * p.cox * p.w / p.l,
+                1.0 / ecl,
+                p.lam,
+                p.phi,
+            )
+        return self._aconsts
 
     # -- threshold and overdrive ------------------------------------------------
 
@@ -167,27 +204,56 @@ class BsimLikeMosfet(MosfetModel):
     # -- drain current ----------------------------------------------------------
 
     def _ids_forward(self, vgs, vds, vbs):
-        """Drain current for ``vds >= 0`` (element-wise arrays)."""
-        p = self.params
-        vgsteff = self.effective_overdrive(vgs, vbs, vds)
-        ecl = p.ec * p.l
+        """Drain current for ``vds >= 0`` (element-wise arrays).
+
+        Inlines :meth:`threshold` / :meth:`effective_overdrive` with the
+        fused constants of :meth:`_array_consts`: this runs once per
+        batched Newton iterate on small arrays, where per-operation numpy
+        dispatch dominates, so every redundant ``asarray``/property
+        evaluation and every foldable product is measurable.  The
+        arithmetic is the public methods' up to floating-point
+        reassociation (``logaddexp`` for the stable softplus, reciprocal
+        multiplies for the constant divisors) — differences are at
+        rounding level, far inside every model and parity tolerance.
+        """
+        (vth_base, gamma, sigma, ecl, two_nvt, inv_two_nvt, four_delta,
+         delta, theta, beta0, inv_ecl, lam, phi) = self._array_consts()
+        arg = np.maximum(phi - vbs, 1e-12)
+        vth = vth_base + gamma * np.sqrt(arg) - sigma * vds
+        x = (vgs - vth) * inv_two_nvt
+        # softplus log(1 + exp(x)), numerically stable on both sides.
+        vgsteff = two_nvt * np.logaddexp(0.0, x)
         vdsat = vgsteff * ecl / (vgsteff + ecl)
 
         # Smooth minimum of (vds, vdsat): the BSIM3 Vdseff expression.
-        t = vdsat - vds - p.delta
-        vdseff = vdsat - 0.5 * (t + np.sqrt(t * t + 4.0 * p.delta * vdsat))
+        t = vdsat - vds - delta
+        vdseff = vdsat - 0.5 * (t + np.sqrt(t * t + four_delta * vdsat))
         # Floating-point rounding can push vdseff infinitesimally below zero
         # at vds = 0, which would flip the sign of the (tiny) current.
         vdseff = np.maximum(vdseff, 0.0)
 
-        mueff = p.mu0_t / (1.0 + p.theta * vgsteff)
-        beta = mueff * p.cox * p.w / p.l
-        core = beta * (vgsteff - 0.5 * vdseff) * vdseff / (1.0 + vdseff / ecl)
-        clm = 1.0 + p.lam * np.maximum(vds - vdseff, 0.0)
+        beta = beta0 / (1.0 + theta * vgsteff)
+        core = beta * (vgsteff - 0.5 * vdseff) * vdseff / (1.0 + vdseff * inv_ecl)
+        clm = 1.0 + lam * np.maximum(vds - vdseff, 0.0)
         return core * clm
 
     def ids(self, vgs, vds, vbs=0.0):
-        vgs, vds, vbs = ensure_arrays(vgs, vds, vbs)
+        if not (
+            type(vgs) is np.ndarray and vgs.dtype == np.float64
+            and type(vds) is np.ndarray and vds.dtype == np.float64
+            and type(vbs) is np.ndarray and vbs.dtype == np.float64
+            and vgs.shape == vds.shape == vbs.shape
+        ):
+            vgs, vds, vbs = ensure_arrays(vgs, vds, vbs)
+        if vds.size and vds.min() >= 0.0:
+            # All-forward fast path: the swapped branch would be discarded
+            # element-for-element by the np.where below, so skip computing
+            # it.  Batched Newton iterates land here almost always (the SSN
+            # drivers never see a reversed channel), halving device cost.
+            out = self._ids_forward(vgs, vds, vbs)
+            if out.ndim == 0:
+                return float(out)
+            return out
         forward = self._ids_forward(vgs, np.abs(vds), vbs)
         # Source/drain swap for vds < 0: gate and bulk referenced to the
         # electrical source, which is the terminal at lower potential.
@@ -239,3 +305,53 @@ class BsimLikeMosfet(MosfetModel):
         if vds >= 0.0:
             return self._ids_forward_scalar(vgs, vds, vbs)
         return -self._ids_forward_scalar(vgs - vds, -vds, vbs - vds)
+
+
+def stack_models(models) -> BsimLikeMosfet:
+    """One model evaluating B golden devices elementwise over the instance axis.
+
+    Builds a :class:`BsimLikeMosfet` whose parameter fields are ``(B,)``
+    arrays (one entry per input model), so every elementwise expression in
+    the model broadcasts across the instance axis: ``stacked.ids(vgs, vds,
+    vbs)`` with ``(B,)`` bias arrays returns the per-instance currents of B
+    *different* devices in one vectorized pass.  This is the device half of
+    the batched ensemble engine (:mod:`repro.spice.batch`): a driver-count
+    sweep stacks B drivers that differ only in width, a Monte Carlo fleet
+    stacks B process perturbations.
+
+    Fields that are identical across all inputs stay scalars (the common
+    case for everything except ``w``), keeping the broadcast cheap.  The
+    parameter container is assembled field-by-field because each input was
+    already validated by ``BsimLikeParameters.__post_init__``; the array
+    container itself never passes through validation (its comparisons are
+    not array-safe).
+
+    Args:
+        models: sequence of :class:`BsimLikeMosfet` instances (length >= 1).
+
+    Returns:
+        The stacked model.  With a single input model, that model itself.
+
+    Raises:
+        TypeError: if any input is not a :class:`BsimLikeMosfet`.
+        ValueError: on an empty sequence.
+    """
+    models = list(models)
+    if not models:
+        raise ValueError("stack_models needs at least one model")
+    for m in models:
+        if not isinstance(m, BsimLikeMosfet):
+            raise TypeError(
+                f"stack_models supports BsimLikeMosfet only, got {type(m).__name__}"
+            )
+    if len(models) == 1:
+        return models[0]
+    stacked = object.__new__(BsimLikeParameters)
+    for f in dataclasses.fields(BsimLikeParameters):
+        values = [getattr(m.params, f.name) for m in models]
+        first = values[0]
+        if all(v == first for v in values[1:]):
+            object.__setattr__(stacked, f.name, first)
+        else:
+            object.__setattr__(stacked, f.name, np.array(values, dtype=float))
+    return BsimLikeMosfet(stacked)

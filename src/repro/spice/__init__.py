@@ -11,6 +11,7 @@ nothing proprietary.  Public surface:
 """
 
 from .ac import AcResult, ac_analysis, driving_point_impedance
+from .batch import BatchIncompatibleError, batch_transient, lockstep_signature
 from .circuit import Circuit
 from .dc import DcSolution, dc_operating_point
 from .elements import MutualInductance
@@ -28,6 +29,7 @@ from .waveform import Waveform
 
 __all__ = [
     "AcResult",
+    "BatchIncompatibleError",
     "Circuit",
     "ConvergenceError",
     "Dc",
@@ -42,11 +44,13 @@ __all__ = [
     "TransientResult",
     "Waveform",
     "ac_analysis",
+    "batch_transient",
     "dc_operating_point",
     "disable_session_telemetry",
     "driving_point_impedance",
     "enable_session_telemetry",
     "from_spice",
+    "lockstep_signature",
     "session_telemetry",
     "to_spice",
     "transient",

@@ -1,0 +1,955 @@
+"""Batched ensemble transient engine: B same-topology circuits in lockstep.
+
+The paper's headline results are *ensembles* of structurally identical SSN
+circuits differing only in parameter values — the Fig. 3 driver-count sweep
+(one circuit per N, widths and loads scale), the capacitance studies, Monte
+Carlo fleets over process spread.  The scalar engine (:mod:`.transient`)
+simulates them one at a time; this module simulates the whole ensemble in
+one vectorized Newton loop:
+
+* **Batched MNA assembly** — element *banks* (one per template element
+  position, holding that element's B per-instance values and companion
+  states as ``(B,)`` arrays) stamp the linear part into a cached
+  ``(B, n, n)`` matrix stack keyed on ``(mode, dt, method-phase)`` and the
+  per-step right-hand sides into a ``(B, n)`` stack.
+* **Batched device evaluation** — every MOSFET position is evaluated for
+  all instances at once through :class:`~repro.spice.mosfet.MosfetBank`
+  (stacked golden-model parameters, vectorized finite-difference operating
+  points with the scalar fast path's step).
+* **Batched Newton loop** — one ``numpy.linalg.solve`` on the active
+  ``(a, n, n)`` sub-stack per iterate, per-instance damping and a
+  per-instance convergence mask; converged instances leave the active set
+  so they stop iterating at exactly the point the scalar loop would.
+* **Scalar fallback** — an instance whose Newton solve fails (the batch
+  never halves the shared step) leaves the ensemble and is re-simulated by
+  the scalar engine, which owns the step-halving/gmin recovery ladder and
+  its telemetry (PR 2).  The instance's record gets ``batch_fallbacks = 1``.
+
+Numerics: the lockstep loop reproduces the scalar fast path's step
+sequence (breakpoint landing, post-breakpoint BE restart, step regrowth)
+and Newton iteration (same damping cap, same convergence test, same
+finite-difference partials step), so batched waveforms agree with the
+scalar engine to floating-point noise — the golden-parity suite bounds the
+difference at 1e-9 V/A, the same contract the fast path honors against the
+seed engine.  Results are bitwise-deterministic: identical inputs produce
+identical ensembles regardless of how instances converge or fall back.
+
+Memory: the engine holds ``O(B * n^2)`` for the matrix stacks plus
+``O(steps * B * n)`` recorded samples; callers batching thousands of
+instances should chunk (the analysis layer does, see
+``repro.analysis.simulate``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .circuit import Circuit
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    MutualInductance,
+    Resistor,
+    VoltageSource,
+)
+from .mna import MnaSystem
+from .mosfet import MosfetBank, MosfetElement
+from .solver import DEFAULT_MAX_UPDATE
+from .telemetry import SolverTelemetry, record_session
+from .transient import TransientOptions, TransientResult, transient
+
+#: Conductance forcing a capacitor to its initial condition in "ic" mode
+#: (mirrors repro.spice.elements._IC_FORCE_CONDUCTANCE).
+_IC_FORCE = 1e3
+#: Stiff-Thevenin resistance of the inductor "ic" stamp (see elements.py).
+_IC_INDUCTOR_R = 1e-3
+
+
+class BatchIncompatibleError(ValueError):
+    """The given circuits (or options) cannot run in lockstep.
+
+    Raised for mixed topologies, mismatched source breakpoints, element
+    types the batched engine does not stamp, or option modes it does not
+    implement (adaptive stepping, the frozen legacy engine).  Callers
+    route such ensembles to the scalar engine instead.
+    """
+
+
+def lockstep_signature(circuit: Circuit) -> tuple:
+    """Structural key under which circuits can share one lockstep batch.
+
+    Two circuits with equal signatures have the same nodes, the same
+    element list (types, names, terminals, branch layout), the same
+    source breakpoint times and compatible device-model families — they
+    differ only in parameter *values*, which is exactly what the banks
+    vectorize over.
+
+    Raises:
+        BatchIncompatibleError: if the circuit contains an element type
+            the batched engine cannot stamp.
+    """
+    position = {id(el): k for k, el in enumerate(circuit.elements)}
+    sig: list = [circuit.num_nodes]
+    for el in circuit.elements:
+        if isinstance(el, Resistor):
+            sig.append(("R", el.name, el.nodes))
+        elif isinstance(el, Capacitor):
+            sig.append(("C", el.name, el.nodes, el.ic is None))
+        elif isinstance(el, Inductor):
+            sig.append(("L", el.name, el.nodes))
+        elif isinstance(el, MutualInductance):
+            sig.append(("K", el.name, position[id(el.la)], position[id(el.lb)]))
+        elif isinstance(el, (VoltageSource, CurrentSource)):
+            kind = "V" if isinstance(el, VoltageSource) else "I"
+            sig.append((kind, el.name, el.nodes, tuple(el.shape.breakpoints())))
+        elif isinstance(el, MosfetElement):
+            sig.append(("M", el.name, el.nodes, type(el.model).__name__))
+        else:
+            raise BatchIncompatibleError(
+                f"element {el.name!r} ({type(el).__name__}) has no batched stamp"
+            )
+    return tuple(sig)
+
+
+# -- element banks ------------------------------------------------------------------
+#
+# One bank per template element position.  Matrix scatters write A[:, r, c]
+# with 0-based unknown indices (ground rows/columns eliminated); the sign
+# conventions mirror StampContext exactly.
+
+
+def _v(x: np.ndarray, node: int) -> np.ndarray:
+    """Per-instance voltage of one node; ground is 0 V.  ``x`` is (B, n)."""
+    if node == 0:
+        return np.zeros(len(x))
+    return x[:, node - 1]
+
+
+def _add(A: np.ndarray, r: int, c: int, value) -> None:
+    """A[:, r-1, c-1] += value for two node ids, skipping ground."""
+    if r == 0 or c == 0:
+        return
+    A[:, r - 1, c - 1] += value
+
+
+def _add_conductance(A: np.ndarray, a: int, b: int, g) -> None:
+    _add(A, a, a, g)
+    _add(A, b, b, g)
+    _add(A, a, b, -g)
+    _add(A, b, a, -g)
+
+
+def _add_rhs_current(z: np.ndarray, frm: int, to: int, i) -> None:
+    """A current ``i`` forced from node ``frm`` to node ``to``; z is (B, n)."""
+    if frm != 0:
+        z[:, frm - 1] -= i
+    if to != 0:
+        z[:, to - 1] += i
+
+
+class _Bank:
+    """Base bank: B aligned instances of one template element position."""
+
+    #: Whether the underlying element family records a current waveform.
+    has_current = False
+    #: Whether the bank restamps at every Newton iterate (devices only).
+    nonlinear = False
+
+    def __init__(self, elements, system: MnaSystem):
+        self.elements = elements
+        self.name = elements[0].name
+        self.nodes = elements[0].nodes
+        self.system = system
+
+    def stamp_matrix(self, A, mode: str, dt: float, trap: bool) -> None:
+        """Linear matrix contribution (constant across Newton iterates)."""
+
+    def stamp_rhs(self, z, mode: str, t: float, dt: float, trap: bool) -> None:
+        """Per-step right-hand-side contribution."""
+
+    def init_state(self, x) -> None:
+        """Initialize companion state from the (B, n) IC solution."""
+
+    def commit(self, x, dt: float, trap: bool) -> None:
+        """Roll companion state after an accepted step."""
+
+    def current(self, x, mode: str, dt: float, trap: bool) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _ResistorBank(_Bank):
+    has_current = True
+
+    def __init__(self, elements, system):
+        super().__init__(elements, system)
+        self.g = np.array([1.0 / el.ohms for el in elements])
+
+    def stamp_matrix(self, A, mode, dt, trap):
+        a, b = self.nodes
+        _add_conductance(A, a, b, self.g)
+
+    def current(self, x, mode, dt, trap):
+        a, b = self.nodes
+        return (_v(x, a) - _v(x, b)) * self.g
+
+
+class _CapacitorBank(_Bank):
+    has_current = True
+
+    def __init__(self, elements, system):
+        super().__init__(elements, system)
+        self.farads = np.array([el.farads for el in elements])
+        self.ic = None if elements[0].ic is None else np.array(
+            [el.ic for el in elements]
+        )
+        self.v = np.zeros(len(elements))
+        self.i = np.zeros(len(elements))
+
+    def _geq(self, dt: float, trap: bool) -> np.ndarray:
+        return (2.0 * self.farads / dt) if trap else (self.farads / dt)
+
+    def _companion(self, dt: float, trap: bool):
+        geq = self._geq(dt, trap)
+        ieq = geq * self.v + self.i if trap else geq * self.v
+        return geq, ieq
+
+    def stamp_matrix(self, A, mode, dt, trap):
+        a, b = self.nodes
+        if mode == "dc":
+            return
+        if mode == "ic":
+            if self.ic is not None:
+                _add_conductance(A, a, b, _IC_FORCE)
+            return
+        _add_conductance(A, a, b, self._geq(dt, trap))
+
+    def stamp_rhs(self, z, mode, t, dt, trap):
+        a, b = self.nodes
+        if mode == "dc":
+            return
+        if mode == "ic":
+            if self.ic is not None:
+                _add_rhs_current(z, b, a, _IC_FORCE * self.ic)
+            return
+        _, ieq = self._companion(dt, trap)
+        _add_rhs_current(z, b, a, ieq)
+
+    def init_state(self, x):
+        a, b = self.nodes
+        self.v = self.ic.copy() if self.ic is not None else _v(x, a) - _v(x, b)
+        self.i = np.zeros(len(self.elements))
+
+    def commit(self, x, dt, trap):
+        a, b = self.nodes
+        geq, ieq = self._companion(dt, trap)
+        v = _v(x, a) - _v(x, b)
+        self.i = geq * v - ieq
+        self.v = np.array(v)
+
+    def current(self, x, mode, dt, trap):
+        # The t=0 sample runs through the backward-Euler first-step
+        # companion exactly as the scalar recorder does (trap is False on
+        # the first step by construction).
+        a, b = self.nodes
+        geq, ieq = self._companion(dt, trap)
+        return geq * (_v(x, a) - _v(x, b)) - ieq
+
+
+class _InductorBank(_Bank):
+    has_current = True
+
+    def __init__(self, elements, system):
+        super().__init__(elements, system)
+        self.henries = np.array([el.henries for el in elements])
+        self.ic = np.array([el.ic for el in elements])
+        self.row = system.branch_row_of(elements[0])
+        self.i = np.zeros(len(elements))
+        self.v = np.zeros(len(elements))
+
+    def _req(self, dt: float, trap: bool) -> np.ndarray:
+        return (2.0 * self.henries / dt) if trap else (self.henries / dt)
+
+    def stamp_matrix(self, A, mode, dt, trap):
+        a, b = self.nodes
+        row = self.row
+        if a != 0:
+            A[:, a - 1, row] += 1.0
+        if b != 0:
+            A[:, b - 1, row] -= 1.0
+        if a != 0:
+            A[:, row, a - 1] += 1.0
+        if b != 0:
+            A[:, row, b - 1] -= 1.0
+        if mode == "dc":
+            return
+        if mode == "ic":
+            A[:, row, row] += -_IC_INDUCTOR_R
+            return
+        A[:, row, row] += -self._req(dt, trap)
+
+    def stamp_rhs(self, z, mode, t, dt, trap):
+        if mode == "dc":
+            return
+        if mode == "ic":
+            z[:, self.row] += -_IC_INDUCTOR_R * self.ic
+            return
+        req = self._req(dt, trap)
+        veq = (-self.v - req * self.i) if trap else (-req * self.i)
+        z[:, self.row] += veq
+
+    def init_state(self, x):
+        a, b = self.nodes
+        self.i = self.ic.copy()
+        self.v = _v(x, a) - _v(x, b)
+
+    def commit(self, x, dt, trap):
+        a, b = self.nodes
+        self.i = np.array(x[:, self.row])
+        self.v = _v(x, a) - _v(x, b)
+
+    def current(self, x, mode, dt, trap):
+        if mode == "ic":
+            # The t=0 consistency stamp is a stiff short whose branch
+            # unknown is not the inductor current; the state *is* ic.
+            return self.ic.copy()
+        return np.array(x[:, self.row])
+
+
+class _MutualBank(_Bank):
+    def __init__(self, elements, system, inductor_banks):
+        super().__init__(elements, system)
+        self.mutual = np.array([el.mutual for el in elements])
+        self.pair = inductor_banks  # (bank of la, bank of lb)
+
+    def _factor(self, dt: float, trap: bool) -> np.ndarray:
+        return (2.0 * self.mutual / dt) if trap else (self.mutual / dt)
+
+    def stamp_matrix(self, A, mode, dt, trap):
+        if mode != "tran":
+            return
+        factor = self._factor(dt, trap)
+        for own, other in (self.pair, self.pair[::-1]):
+            A[:, own.row, other.row] += -factor
+
+    def stamp_rhs(self, z, mode, t, dt, trap):
+        if mode != "tran":
+            return
+        factor = self._factor(dt, trap)
+        for own, other in (self.pair, self.pair[::-1]):
+            z[:, own.row] += -factor * other.i
+
+
+class _VoltageSourceBank(_Bank):
+    has_current = True
+
+    def __init__(self, elements, system):
+        super().__init__(elements, system)
+        self.row = system.branch_row_of(elements[0])
+        shapes = [el.shape for el in elements]
+        # Shared-shape fast path: the frozen shape dataclasses compare by
+        # value, so identical stimuli are evaluated once per step.
+        self.shared = shapes[0] if all(s == shapes[0] for s in shapes[1:]) else None
+        self.shapes = shapes
+
+    def _value(self, t: float):
+        if self.shared is not None:
+            return self.shared(t)
+        return np.array([s(t) for s in self.shapes])
+
+    def stamp_matrix(self, A, mode, dt, trap):
+        plus, minus = self.nodes
+        row = self.row
+        if plus != 0:
+            A[:, plus - 1, row] += 1.0
+            A[:, row, plus - 1] += 1.0
+        if minus != 0:
+            A[:, minus - 1, row] -= 1.0
+            A[:, row, minus - 1] -= 1.0
+
+    def stamp_rhs(self, z, mode, t, dt, trap):
+        z[:, self.row] += self._value(t)
+
+    def current(self, x, mode, dt, trap):
+        return np.array(x[:, self.row])
+
+
+class _CurrentSourceBank(_Bank):
+    def __init__(self, elements, system):
+        super().__init__(elements, system)
+        shapes = [el.shape for el in elements]
+        self.shared = shapes[0] if all(s == shapes[0] for s in shapes[1:]) else None
+        self.shapes = shapes
+
+    def stamp_rhs(self, z, mode, t, dt, trap):
+        frm, to = self.nodes
+        value = self.shared(t) if self.shared is not None else np.array(
+            [s(t) for s in self.shapes]
+        )
+        _add_rhs_current(z, frm, to, value)
+
+
+class _MosfetBankAdapter(_Bank):
+    """Nonlinear bank: restamped per Newton iterate via :class:`MosfetBank`."""
+
+    has_current = True
+    nonlinear = True
+
+    def __init__(self, elements, system):
+        super().__init__(elements, system)
+        self.bank = MosfetBank(elements)
+
+    def _bias(self, x):
+        d, g, s, b = self.nodes
+        vs = _v(x, s)
+        return _v(x, g) - vs, _v(x, d) - vs, _v(x, b) - vs
+
+    def stamp_matrix(self, A, mode, dt, trap, gmin: float = 0.0):
+        # The gmin shunt is stamped by the device in the scalar engine but
+        # is constant across iterates, so it lives in the cached linear
+        # stack here (gmin differs between "ic" and "tran" solves; the
+        # cache is keyed on mode).
+        d, _, s, _ = self.nodes
+        _add_conductance(A, d, s, gmin)
+
+    def stamp_iterate(self, A, z, x) -> None:
+        """Linearized device stamps for the whole ensemble.
+
+        ``A``/``z`` are the full ``(B, n, n)``/``(B, n)`` work stacks;
+        operating points are evaluated for every instance in one vectorized
+        pass (instances share the stacked model's parameter axis).  Rows of
+        instances that already converged or failed are stamped too — their
+        solutions are simply never applied — because masking the math would
+        cost more than the redundant flops at ensemble sizes where the
+        per-operation overhead dominates.
+        """
+        d, g, s, b = self.nodes
+        vgs, vds, vbs = self._bias(x)
+        op = self.bank.partials(vgs, vds, vbs)
+        gm, gds, gmbs = op.gm, op.gds, op.gmbs
+        ieq = op.ids - gm * vgs - gds * vds - gmbs * vbs
+        gsum = gm + gds + gmbs
+        # KCL at drain: +Id; at source: -Id (mirrors MosfetElement.stamp).
+        _add(A, d, g, gm)
+        _add(A, d, d, gds)
+        _add(A, d, b, gmbs)
+        _add(A, d, s, -gsum)
+        _add(A, s, g, -gm)
+        _add(A, s, d, -gds)
+        _add(A, s, b, -gmbs)
+        _add(A, s, s, gsum)
+        _add_rhs_current(z, d, s, ieq)
+
+    def current(self, x, mode, dt, trap):
+        return self.bank.ids(*self._bias(x))
+
+
+class _Rank1Lane:
+    """Sherman-Morrison Newton solves for the single-device common case.
+
+    A MOSFET's linearized stamp touches only the drain and source KCL rows,
+    and those two rows carry the *same* four-entry conductance row vector
+    with opposite signs.  With one device bank the per-iterate matrix is
+    therefore a rank-1 update of the cached linear stack:
+
+        A_iter = A_lin + u v^T,    u = e_d - e_s (constant),
+                                   v = per-iterate conductances,
+
+    and with ``W = A_lin^{-1}`` (inverted once per ``(mode, dt, trap,
+    gmin)`` cache key) each Newton iterate's dense solve collapses to a
+    handful of O(B n) operations:
+
+        x = y - (W u) (v^T y) / (1 + v^T W u),    y = W (z - ieq u).
+
+    Since ``z`` is constant within one solve, ``W z`` is computed once per
+    solve and the iterate only folds in the ``ieq`` term.  This removes the
+    linear-stack copy, the device scatter and the batched LAPACK solve from
+    the Newton loop entirely — the dominant per-iterate costs after device
+    evaluation.
+
+    The lane is numerically a *different* solver than LAPACK's LU, so
+    iterates differ from the scalar engine's at rounding level; Newton
+    contraction pins the converged points back together (the golden-parity
+    suite bounds the waveform difference under the same 1e-9 contract).
+    If the linear stack is singular (floating subcircuits) the inverse
+    does not exist: the lane reports unavailable and the caller uses the
+    dense batched solve, preserving the least-squares degradation path.
+    """
+
+    def __init__(self, adapter: _MosfetBankAdapter):
+        self.adapter = adapter
+        d, g, s, b = adapter.nodes
+        # 0-based unknown columns; -1 marks ground (term dropped).
+        self.dc = d - 1
+        self.gc = g - 1
+        self.sc = s - 1
+        self.bc = b - 1
+        self._key: tuple | None = None
+        self._W: np.ndarray | None = None
+        self.wu: np.ndarray | None = None
+
+    def prepare(self, A: np.ndarray, key: tuple, alive: np.ndarray,
+                identity: np.ndarray) -> np.ndarray | None:
+        """The cached inverse stack for this key, or None if singular."""
+        if key != self._key:
+            self._key = key
+            src = A
+            if not alive.all():
+                # Failed instances may have any linear stamp; keep the
+                # stack invertible by swapping their rows for identity.
+                src = A.copy()
+                src[~alive] = identity
+            try:
+                W = np.linalg.inv(src)
+            except np.linalg.LinAlgError:
+                self._W = None
+                self.wu = None
+                return None
+            if not np.isfinite(W).all():
+                self._W = None
+                self.wu = None
+                return None
+            self._W = W
+            if self.dc >= 0 and self.sc >= 0:
+                self.wu = W[:, :, self.dc] - W[:, :, self.sc]
+            elif self.dc >= 0:
+                self.wu = W[:, :, self.dc].copy()
+            elif self.sc >= 0:
+                self.wu = -W[:, :, self.sc]
+            else:  # degenerate d == s == ground: no device coupling at all
+                self.wu = np.zeros(A.shape[:2])
+        return self._W
+
+    def bias(self, x: np.ndarray):
+        """(vgs, vds, vbs) per instance, without per-node helper calls."""
+        vs = x[:, self.sc] if self.sc >= 0 else 0.0
+        vg = x[:, self.gc] if self.gc >= 0 else 0.0
+        vd = x[:, self.dc] if self.dc >= 0 else 0.0
+        vb = x[:, self.bc] if self.bc >= 0 else 0.0
+        return vg - vs, vd - vs, vb - vs
+
+    def vdot(self, m: np.ndarray, gm, gds, gmbs, gsum):
+        """``v^T m`` per instance: v has entries only at g, d, b, s."""
+        acc = None
+        if self.gc >= 0:
+            acc = gm * m[:, self.gc]
+        if self.dc >= 0:
+            t = gds * m[:, self.dc]
+            acc = t if acc is None else acc + t
+        if self.bc >= 0:
+            t = gmbs * m[:, self.bc]
+            acc = t if acc is None else acc + t
+        if self.sc >= 0:
+            t = gsum * m[:, self.sc]
+            acc = -t if acc is None else acc - t
+        return 0.0 if acc is None else acc
+
+
+def _build_banks(circuits: list[Circuit], system: MnaSystem) -> list[_Bank]:
+    """One bank per template element position, instances column-aligned."""
+    columns = [c.elements for c in circuits]
+    banks: list[_Bank] = []
+    by_position: dict[int, _Bank] = {}
+    template = columns[0]
+    position = {id(el): k for k, el in enumerate(template)}
+    for k, el in enumerate(template):
+        instances = [col[k] for col in columns]
+        if isinstance(el, Resistor):
+            bank = _ResistorBank(instances, system)
+        elif isinstance(el, Capacitor):
+            bank = _CapacitorBank(instances, system)
+        elif isinstance(el, Inductor):
+            bank = _InductorBank(instances, system)
+        elif isinstance(el, MutualInductance):
+            pair = (by_position[position[id(el.la)]], by_position[position[id(el.lb)]])
+            bank = _MutualBank(instances, system, pair)
+        elif isinstance(el, VoltageSource):
+            bank = _VoltageSourceBank(instances, system)
+        elif isinstance(el, CurrentSource):
+            bank = _CurrentSourceBank(instances, system)
+        elif isinstance(el, MosfetElement):
+            bank = _MosfetBankAdapter(instances, system)
+        else:  # pragma: no cover - lockstep_signature rejects these first
+            raise BatchIncompatibleError(
+                f"element {el.name!r} ({type(el).__name__}) has no batched stamp"
+            )
+        by_position[k] = bank
+        banks.append(bank)
+    return banks
+
+
+class _BatchRecorder:
+    """Capacity-doubling (steps, B, ...) sample buffers for one ensemble."""
+
+    def __init__(self, batch: int, num_nodes: int, num_currents: int,
+                 capacity: int = 256):
+        self._n = 0
+        self._times = np.empty(capacity)
+        self._nodes = np.empty((capacity, batch, num_nodes))
+        self._currents = np.empty((capacity, batch, num_currents))
+
+    def append(self, t: float, node_x: np.ndarray, currents: np.ndarray) -> None:
+        if self._n == len(self._times):
+            cap = 2 * len(self._times)
+            self._times = np.resize(self._times, cap)
+            self._nodes = np.resize(self._nodes, (cap,) + self._nodes.shape[1:])
+            self._currents = np.resize(self._currents, (cap,) + self._currents.shape[1:])
+        i = self._n
+        self._times[i] = t
+        self._nodes[i] = node_x
+        self._currents[i] = currents
+        self._n += 1
+
+    def finish(self):
+        n = self._n
+        return (np.array(self._times[:n]), self._nodes[:n], self._currents[:n])
+
+
+def batch_transient(
+    circuits,
+    tstop: float,
+    dt: float,
+    tstart: float = 0.0,
+    options: TransientOptions | None = None,
+) -> list[TransientResult]:
+    """Simulate an ensemble of same-topology circuits in lockstep.
+
+    Args:
+        circuits: the ensemble (not mutated); all members must share one
+            :func:`lockstep_signature` — same topology, element names and
+            source breakpoints, differing only in parameter values.
+        tstop: shared end time in seconds.
+        dt: shared base time step in seconds.
+        tstart: shared start time.
+        options: engine knobs; ``adaptive`` and ``legacy_reference`` are
+            not implemented in lockstep and raise.
+
+    Returns:
+        One :class:`~repro.spice.transient.TransientResult` per circuit, in
+        input order, each with its own per-instance telemetry record.
+        Instances that needed the step-halving/gmin recovery ladder are
+        transparently re-run on the scalar engine (their telemetry carries
+        ``batch_fallbacks == 1``).
+
+    Raises:
+        BatchIncompatibleError: mixed topologies or unsupported options.
+        ConvergenceError: an instance failed even on the scalar ladder.
+    """
+    if tstop <= tstart:
+        raise ValueError("tstop must be greater than tstart")
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    opts = options or TransientOptions()
+    if opts.adaptive:
+        raise BatchIncompatibleError("adaptive stepping is not batchable; "
+                                     "use the scalar engine")
+    if opts.legacy_reference:
+        raise BatchIncompatibleError("the frozen legacy engine has no batched form")
+
+    circuits = list(circuits)
+    if not circuits:
+        return []
+    sig = lockstep_signature(circuits[0])
+    for c in circuits[1:]:
+        if lockstep_signature(c) != sig:
+            raise BatchIncompatibleError(
+                f"circuit {c.title!r} does not share the ensemble topology"
+            )
+
+    batch = len(circuits)
+    systems = [MnaSystem(c) for c in circuits]  # assigns branch layout
+    system = systems[0]
+    n = system.size
+    nn = system.num_node_unknowns
+    if n == 0:
+        raise BatchIncompatibleError("circuit has no unknowns")
+    banks = _build_banks(circuits, system)
+    linear_banks = [b for b in banks if not b.nonlinear]
+    device_banks = [b for b in banks if b.nonlinear]
+    measured = [b for b in banks if b.has_current]
+    # One nonlinear device: its stamp is a rank-1 matrix update, so Newton
+    # iterates can reuse a cached inverse of the linear stack (see
+    # _Rank1Lane).  Multi-device ensembles use the dense batched solve.
+    rank1 = _Rank1Lane(device_banks[0]) if len(device_banks) == 1 else None
+
+    method = opts.method
+    wall_start = time.perf_counter()
+
+    # Vectorized per-instance telemetry counters (folded into real
+    # SolverTelemetry records at the end; python-object updates per step
+    # would cost more than the solves).
+    # One linear-base assembly per solve and one device restamp per iterate
+    # (exactly the scalar fast path's counting), so base_assemblies aliases
+    # newton_solves and nonlinear_restamps aliases newton_iterations.
+    c_solves = np.zeros(batch, dtype=int)
+    c_iters = np.zeros(batch, dtype=int)
+    c_steps = np.zeros(batch, dtype=int)
+
+    alive = np.ones(batch, dtype=bool)      # still simulated in lockstep
+    fallback = np.zeros(batch, dtype=bool)  # needs the scalar engine
+
+    x = np.zeros((batch, n))
+
+    # Cached linear stack: constant while (mode, dt, trap-phase, gmin) are.
+    lin_A = np.zeros((batch, n, n))
+    lin_z = np.zeros((batch, n))
+    lin_key: tuple | None = None
+
+    def linear_matrix(mode: str, dt_now: float, trap: bool, gmin: float) -> np.ndarray:
+        nonlocal lin_key
+        key = (mode, dt_now, trap, gmin)
+        if key != lin_key:
+            lin_A[:] = 0.0
+            for bank in linear_banks:
+                bank.stamp_matrix(lin_A, mode, dt_now, trap)
+            for bank in device_banks:
+                bank.stamp_matrix(lin_A, mode, dt_now, trap, gmin=gmin)
+            lin_key = key
+        return lin_A
+
+    def linear_rhs(mode: str, t_now: float, dt_now: float, trap: bool) -> np.ndarray:
+        lin_z[:] = 0.0
+        for bank in linear_banks:
+            bank.stamp_rhs(lin_z, mode, t_now, dt_now, trap)
+        return lin_z
+
+    # Preallocated per-iterate work stacks (copied from the cached linear
+    # part, then restamped by the device banks).
+    work_A = np.empty((batch, n, n))
+    work_z = np.empty((batch, n))
+    identity = np.eye(n)
+
+    def mark_failed(bad: np.ndarray) -> None:
+        alive[bad] = False
+        fallback[bad] = True
+
+    def newton_batch(mode: str, t_now: float, dt_now: float, trap: bool,
+                     gmin: float) -> None:
+        """One lockstep solve; failing instances leave the ensemble.
+
+        The whole ensemble is computed unconditionally every iterate and
+        per-instance masks gate only the *bookkeeping* (which rows accept
+        the update, which count an iteration): at ensemble sizes where
+        numpy's per-operation dispatch dominates, redundant flops on
+        settled rows are cheaper than gather/scatter index machinery.
+        """
+        nonlocal x
+        if not alive.any():
+            return
+        np.add(c_solves, alive, out=c_solves)
+        A = linear_matrix(mode, dt_now, trap, gmin)
+        z = linear_rhs(mode, t_now, dt_now, trap)
+        any_dead = not alive.all()
+
+        if not device_banks:
+            # Purely linear lockstep: the Newton map is affine, one direct
+            # batched solve lands on the solution (iteration count stays 0,
+            # matching the scalar direct-solve path).
+            np.copyto(work_A, A)
+            np.copyto(work_z, z)
+            if any_dead:
+                work_A[~alive] = identity
+                work_z[~alive] = 0.0
+            xn = _solve_stack(work_A, work_z)
+            finite = np.isfinite(xn).all(axis=1)
+            x = np.where((alive & finite)[:, None], xn, x)
+            bad = alive & ~finite
+            if bad.any():
+                mark_failed(bad)
+            return
+
+        active = alive.copy()
+        all_active = not any_dead
+        lane_W = None
+        if rank1 is not None:
+            lane_W = rank1.prepare(A, (mode, dt_now, trap, gmin), alive, identity)
+            if lane_W is not None:
+                # z is constant within the solve; only the ieq term of the
+                # device RHS varies per iterate, folded in below.
+                y_base = np.matmul(lane_W, z[:, :, None])[:, :, 0]
+                wu = rank1.wu
+                dev = rank1.adapter
+        for _ in range(opts.max_newton):
+            np.add(c_iters, active, out=c_iters)
+            if lane_W is not None:
+                vgs, vds, vbs = rank1.bias(x)
+                op = dev.bank.partials(vgs, vds, vbs)
+                gm, gds, gmbs = op.gm, op.gds, op.gmbs
+                ieq = op.ids - gm * vgs - gds * vds - gmbs * vbs
+                gsum = gm + gds + gmbs
+                y = y_base - ieq[:, None] * wu
+                vy = rank1.vdot(y, gm, gds, gmbs, gsum)
+                vwu = rank1.vdot(wu, gm, gds, gmbs, gsum)
+                # A near-singular update (1 + v^T W u ~ 0) yields non-finite
+                # rows, caught below and routed to the scalar ladder.
+                xn = y - wu * (vy / (1.0 + vwu))[:, None]
+            else:
+                np.copyto(work_A, A)
+                np.copyto(work_z, z)
+                for bank in device_banks:
+                    bank.stamp_iterate(work_A, work_z, x)
+                if any_dead:
+                    # Keep the stack solvable: failed instances' rows may
+                    # hold garbage stamps, so overwrite them with a trivial
+                    # system.
+                    dead = ~alive
+                    work_A[dead] = identity
+                    work_z[dead] = 0.0
+                xn = _solve_stack(work_A, work_z)
+            if not np.isfinite(xn).all():
+                finite = np.isfinite(xn).all(axis=1)
+                bad = active & ~finite
+                if bad.any():
+                    mark_failed(bad)
+                    active = active & finite
+                    any_dead = True
+                    all_active = False
+                    if not active.any():
+                        return
+                # Neutralize the non-finite rows so the update arithmetic
+                # below stays warning-free (their x must not move anyway).
+                xn = np.where(finite[:, None], xn, x)
+            dx = xn - x
+            adx = np.abs(dx)
+            step = adx.max(axis=1)
+            damped = step > DEFAULT_MAX_UPDATE
+            if damped.any():
+                scale = DEFAULT_MAX_UPDATE / np.maximum(step, DEFAULT_MAX_UPDATE)
+                moved = np.where(damped[:, None], x + dx * scale[:, None], xn)
+                none_damped = False
+            else:
+                moved = xn
+                none_damped = True
+            x = moved if all_active else np.where(active[:, None], moved, x)
+            # Same test as the scalar loop: damped iterations never declare
+            # convergence; undamped ones converge when the update is small.
+            conv = (adx <= opts.abstol + opts.reltol * np.abs(xn)).all(axis=1)
+            settled = (active & conv) if none_damped else (active & ~damped & conv)
+            if settled.any():
+                active = active & ~settled
+                all_active = False
+                if not active.any():
+                    return
+        # Iteration budget exhausted: remaining active instances would need
+        # the recovery ladder — hand them to the scalar engine.
+        mark_failed(active)
+
+    # -- t=0 consistency solve -------------------------------------------------------
+    newton_batch("ic", tstart, dt, trap=False, gmin=max(opts.gmin, 1e-9))
+    ic_elapsed = time.perf_counter() - wall_start
+    for bank in banks:
+        bank.init_state(x)
+
+    template_circuit = circuits[0]
+    breakpoints = [b for b in template_circuit.breakpoints() if tstart < b < tstop]
+    breakpoints.append(tstop)
+
+    recorder = _BatchRecorder(batch, nn, len(measured))
+    current_block = np.empty((batch, len(measured)))
+
+    def sample_currents(mode: str, dt_now: float, trap: bool) -> np.ndarray:
+        for j, bank in enumerate(measured):
+            current_block[:, j] = bank.current(x, mode, dt_now, trap)
+        return current_block
+
+    recorder.append(tstart, x[:, :nn], sample_currents("ic", dt, trap=False))
+
+    t = tstart
+    h = dt
+    bp_iter = iter(breakpoints)
+    next_bp = next(bp_iter)
+    first_step = True
+    stepping_start = time.perf_counter()
+
+    while t < tstop - 1e-21 and alive.any():
+        h_step = min(h, next_bp - t)
+        trap = method == "trap" and not first_step
+        newton_batch("tran", t + h_step, h_step, trap, opts.gmin)
+        # Record, then commit state (commit consumes the pre-step state).
+        sample_currents("tran", h_step, trap)
+        for bank in banks:
+            bank.commit(x, h_step, trap)
+        first_step = False
+        grown = min(dt, h_step * 2.0)
+
+        t += h_step
+        c_steps[alive] += 1
+        recorder.append(t, x[:, :nn], current_block)
+
+        if abs(t - next_bp) < 1e-21 or t >= next_bp:
+            # Source slope discontinuity: restart the integrator with a
+            # backward-Euler step (see the scalar engine).
+            first_step = True
+            try:
+                next_bp = next(bp_iter)
+            except StopIteration:
+                next_bp = tstop
+        h = grown
+
+    now = time.perf_counter()
+    times, node_block, current_block_all = recorder.finish()
+    current_names = [b.name for b in measured]
+
+    # Shared wall clock is split evenly across instance records so that
+    # aggregated telemetry still sums to real elapsed time.
+    ic_share = ic_elapsed / batch
+    stepping_share = (now - stepping_start) / batch
+    total_share = (now - wall_start) / batch
+
+    results: list[TransientResult | None] = [None] * batch
+    for b in range(batch):
+        if not alive[b]:
+            continue
+        tel = SolverTelemetry(
+            newton_solves=int(c_solves[b]),
+            newton_iterations=int(c_iters[b]),
+            accepted_steps=int(c_steps[b]),
+            base_assemblies=int(c_solves[b]),
+            nonlinear_restamps=int(c_iters[b]),
+        )
+        tel.add_phase_seconds("ic", ic_share)
+        tel.add_phase_seconds("stepping", stepping_share)
+        tel.add_phase_seconds("total", total_share)
+        record_session(tel)
+        currents = {
+            name: np.array(current_block_all[:, b, j])
+            for j, name in enumerate(current_names)
+        }
+        results[b] = TransientResult(
+            circuits[b], times, np.array(node_block[:, b, :]), currents,
+            telemetry=tel,
+        )
+
+    for b in np.flatnonzero(fallback):
+        # This instance needed the recovery ladder: the scalar engine owns
+        # step halving, gmin stepping and their telemetry.  Its partial
+        # batched work is discarded (and not attributed).
+        result = transient(circuits[b], tstop, dt, tstart=tstart, options=opts)
+        result.telemetry.batch_fallbacks += 1
+        record_session(SolverTelemetry(batch_fallbacks=1))
+        results[b] = result
+
+    return results
+
+
+def _solve_stack(A: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Batched dense solve with the scalar engine's singular fallback.
+
+    ``numpy.linalg.solve`` rejects the whole stack when any one matrix is
+    singular; the scalar path degrades that instance to least squares
+    (floating subcircuits), so mirror it per instance on failure.
+    """
+    try:
+        # NumPy >= 2.0 treats a 2-D ``b`` as one matrix, not a vector
+        # stack, so carry an explicit trailing axis.
+        return np.linalg.solve(A, z[..., None])[..., 0]
+    except np.linalg.LinAlgError:
+        out = np.empty_like(z)
+        for k in range(len(A)):
+            try:
+                out[k] = np.linalg.solve(A[k], z[k])
+            except np.linalg.LinAlgError:
+                out[k], *_ = np.linalg.lstsq(A[k], z[k], rcond=None)
+        return out

@@ -90,9 +90,7 @@ class StampContext:
 
     def branch_row(self, element, k: int = 0) -> int:
         """Global row/column index of the element's k-th branch unknown."""
-        if element.branch_start is None:
-            raise RuntimeError(f"element {element.name} has no assigned branches")
-        return self.system.num_node_unknowns + element.branch_start + k
+        return self.system.branch_row_of(element, k)
 
     # -- stamping primitives --------------------------------------------------------
 
@@ -171,6 +169,17 @@ class MnaSystem:
         self._lu_A: np.ndarray | None = None
         #: Optional SolverTelemetry the current solve records into.
         self.telemetry = None
+
+    def branch_row_of(self, element, k: int = 0) -> int:
+        """Global row/column index of an element's k-th branch unknown.
+
+        Shared by :class:`StampContext` and the batched ensemble engine
+        (:mod:`repro.spice.batch`), which scatters per-instance stamps by
+        the same unknown ordering.
+        """
+        if element.branch_start is None:
+            raise RuntimeError(f"element {element.name} has no assigned branches")
+        return self.num_node_unknowns + element.branch_start + k
 
     def context(self, mode: str, t: float, dt: float, method: str,
                 states: dict, x: np.ndarray, gmin: float,

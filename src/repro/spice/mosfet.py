@@ -19,7 +19,10 @@ femtofarad-scale channel capacitances of the drivers (see DESIGN.md).
 
 from __future__ import annotations
 
-from ..devices.base import reference_partials
+import numpy as np
+
+from ..devices.base import OperatingPoint, reference_partials
+from ..devices.bsim_like import BsimLikeMosfet, stack_models
 from .elements import Element
 
 
@@ -68,3 +71,64 @@ class MosfetElement(Element):
         if ctx.fast:
             return self.model.ids_scalar(vgs, vds, vbs)
         return float(self.model.ids(vgs, vds, vbs))
+
+
+class MosfetBank:
+    """Array-in/array-out view of one MOSFET position across B instances.
+
+    The batched ensemble engine (:mod:`repro.spice.batch`) simulates B
+    same-topology circuits in lockstep; at each Newton iterate it needs the
+    operating points of "the same" device in every instance — devices that
+    share terminals and model family but may differ in parameter values
+    (width in a driver-count sweep, threshold/mobility in a Monte Carlo
+    fleet).  A bank evaluates all B at once:
+
+    * all instances share one model object: evaluate it directly on
+      ``(B,)`` bias arrays (every model's :meth:`ids` is vectorized);
+    * all instances use the golden BSIM-like model: stack the parameter
+      fields into ``(B,)`` arrays (:func:`repro.devices.bsim_like.stack_models`)
+      and evaluate the stacked model once;
+    * anything else: a per-instance Python loop — correct for arbitrary
+      model mixes, just not vectorized.
+
+    Partials use the same central-difference step as the scalar fast path
+    (:meth:`~repro.devices.base.MosfetModel.partials`), so batched Newton
+    iterates track the scalar engine's to floating-point noise.
+    """
+
+    def __init__(self, elements: list[MosfetElement]):
+        if not elements:
+            raise ValueError("a MosfetBank needs at least one element")
+        self.nodes = elements[0].nodes
+        self.name = elements[0].name
+        models = [el.model for el in elements]
+        self._models: list | None = None
+        if all(m is models[0] for m in models):
+            self._model = models[0]
+        elif all(isinstance(m, BsimLikeMosfet) for m in models):
+            self._model = stack_models(models)
+        else:
+            self._model = None
+            self._models = models
+
+    def partials(self, vgs, vds, vbs) -> OperatingPoint:
+        """Per-instance operating points; fields are ``(B,)`` arrays."""
+        if self._model is not None:
+            return self._model.partials_array(vgs, vds, vbs)
+        ops = [m.partials(float(g), float(d), float(b))
+               for m, g, d, b in zip(self._models, vgs, vds, vbs)]
+        return OperatingPoint(
+            ids=np.array([op.ids for op in ops]),
+            gm=np.array([op.gm for op in ops]),
+            gds=np.array([op.gds for op in ops]),
+            gmbs=np.array([op.gmbs for op in ops]),
+        )
+
+    def ids(self, vgs, vds, vbs) -> np.ndarray:
+        """Per-instance channel currents drain -> source, shape ``(B,)``."""
+        if self._model is not None:
+            return np.asarray(self._model.ids(vgs, vds, vbs), dtype=float)
+        return np.array([
+            m.ids_scalar(float(g), float(d), float(b))
+            for m, g, d, b in zip(self._models, vgs, vds, vbs)
+        ])

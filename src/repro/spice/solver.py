@@ -31,6 +31,11 @@ import numpy as np
 from .mna import MnaSystem, StampContext
 from .telemetry import SolverTelemetry
 
+#: Per-iteration cap on the infinity norm of the Newton update; shared with
+#: the batched ensemble engine (:mod:`repro.spice.batch`) so both paths damp
+#: identically.
+DEFAULT_MAX_UPDATE = 0.5
+
 
 class ConvergenceError(RuntimeError):
     """Newton iteration failed to converge.
@@ -55,7 +60,7 @@ def newton_solve(
     max_iter: int = 100,
     abstol: float = 1e-9,
     reltol: float = 1e-6,
-    max_update: float = 0.5,
+    max_update: float = DEFAULT_MAX_UPDATE,
     fast: bool = True,
     telemetry: SolverTelemetry | None = None,
 ) -> tuple[np.ndarray, StampContext]:

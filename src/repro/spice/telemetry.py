@@ -57,8 +57,14 @@ class SolverTelemetry:
         nonlinear_restamps: nonlinear-device restamp passes (once per
             fast Newton iterate).
         full_assemblies: full re-assemblies (reference engine only).
+        batch_fallbacks: instances that left the batched ensemble engine
+            for the scalar path (Newton failure needing the step-halving /
+            gmin recovery ladder); the scalar re-run's counters replace the
+            instance's partial batched ones.
         phase_seconds: wall-clock seconds per named phase ("ic", "dc",
-            "stepping", "total", ...); merged by summing per key.
+            "stepping", "total", ...); merged by summing per key.  The
+            batched engine splits its shared wall clock evenly across the
+            per-instance records, so aggregates still sum to real time.
     """
 
     newton_solves: int = 0
@@ -75,6 +81,7 @@ class SolverTelemetry:
     base_assemblies: int = 0
     nonlinear_restamps: int = 0
     full_assemblies: int = 0
+    batch_fallbacks: int = 0
     phase_seconds: dict = dataclasses.field(default_factory=dict)
 
     @property
@@ -133,6 +140,8 @@ class SolverTelemetry:
             f"  assemblies (base/nonlin/full): {self.base_assemblies} / "
             f"{self.nonlinear_restamps} / {self.full_assemblies}",
         ]
+        if self.batch_fallbacks:
+            lines.append(f"  batch -> scalar fallbacks:    {self.batch_fallbacks}")
         if self.phase_seconds:
             phases = ", ".join(
                 f"{name} {secs:.3g}s" for name, secs in sorted(self.phase_seconds.items())

@@ -1,0 +1,178 @@
+"""Tests for execution-engine selection and the batched analysis routing.
+
+Covers :mod:`repro.analysis.engine` (precedence of explicit argument,
+process default, ``REPRO_ENGINE``), the lockstep grouping inside
+:func:`simulate_many`, sweep/Monte-Carlo pass-through, and the CLI flag.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.driver_bank import DriverBankSpec
+from repro.analysis.engine import ENGINES, resolve_engine, set_default_engine
+from repro.analysis.montecarlo import DeviceSpread, transient_peak_distribution
+from repro.analysis.simulate import simulate_many, simulate_ssn_cache_clear
+from repro.analysis.sweeps import sweep_driver_count
+from repro.cli import build_parser
+from repro.spice.transient import TransientOptions
+
+#: Batched analysis results must stay within this of the scalar path.
+PARITY_TOL = 1e-9
+
+
+@pytest.fixture(autouse=True)
+def _clean_engine_state(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    set_default_engine(None)
+    yield
+    set_default_engine(None)
+
+
+@pytest.fixture
+def base(tech018):
+    # Coarse rise time keeps each golden simulation fast for unit testing.
+    return DriverBankSpec(
+        technology=tech018, n_drivers=1, inductance=5e-9, rise_time=0.5e-9
+    )
+
+
+class TestResolveEngine:
+    def test_default_is_scalar(self):
+        assert resolve_engine() == "scalar"
+        assert resolve_engine(None, n_items=10) == "scalar"
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "batch")
+        assert resolve_engine("scalar") == "scalar"
+
+    def test_env_var_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "batch")
+        assert resolve_engine() == "batch"
+
+    def test_process_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "batch")
+        set_default_engine("scalar")
+        assert resolve_engine() == "scalar"
+
+    def test_auto_picks_by_ensemble_size(self):
+        assert resolve_engine("auto", n_items=1) == "scalar"
+        assert resolve_engine("auto", n_items=2) == "batch"
+        assert resolve_engine("auto") == "batch"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_engine("vectorized")
+        with pytest.raises(ValueError):
+            set_default_engine("vectorized")
+
+    def test_engine_names_frozen(self):
+        assert ENGINES == ("auto", "batch", "scalar")
+
+
+class TestSimulateManyRouting:
+    def test_batch_matches_scalar(self, base):
+        specs = [dataclasses.replace(base, n_drivers=n) for n in (1, 3, 6)]
+        scalar = simulate_many(specs, engine="scalar")
+        simulate_ssn_cache_clear()
+        batched = simulate_many(specs, engine="batch")
+        for s, b in zip(scalar, batched):
+            assert abs(s.peak_voltage - b.peak_voltage) <= PARITY_TOL
+            assert np.max(np.abs(s.ssn.y - b.ssn.y)) <= PARITY_TOL
+            # Per-instance telemetry survives the lockstep loop exactly.
+            assert b.telemetry.newton_iterations == s.telemetry.newton_iterations
+
+    def test_results_preserve_spec_order(self, base):
+        specs = [dataclasses.replace(base, n_drivers=n) for n in (5, 1, 3)]
+        sims = simulate_many(specs, engine="batch")
+        assert [s.spec.n_drivers for s in sims] == [5, 1, 3]
+
+    def test_mixed_time_grids_split_into_groups(self, base):
+        # Different rise times -> different breakpoints and steps; the
+        # batch router must split them rather than force one lockstep.
+        specs = [
+            dataclasses.replace(base, n_drivers=2),
+            dataclasses.replace(base, n_drivers=4),
+            dataclasses.replace(base, n_drivers=2, rise_time=0.25e-9),
+        ]
+        scalar = simulate_many(specs, engine="scalar")
+        simulate_ssn_cache_clear()
+        batched = simulate_many(specs, engine="batch")
+        for s, b in zip(scalar, batched):
+            assert abs(s.peak_voltage - b.peak_voltage) <= PARITY_TOL
+
+    def test_unbatchable_options_fall_back_to_scalar(self, base):
+        specs = [dataclasses.replace(base, n_drivers=n) for n in (1, 2)]
+        options = TransientOptions(legacy_reference=True)
+        sims = simulate_many(specs, options=options, engine="batch")
+        assert all(sim.peak_voltage > 0.0 for sim in sims)
+
+    def test_env_var_routes_batch(self, base, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "batch")
+        specs = [dataclasses.replace(base, n_drivers=n) for n in (1, 2)]
+        scalar = simulate_many(specs, engine="scalar")
+        simulate_ssn_cache_clear()
+        routed = simulate_many(specs)
+        for s, r in zip(scalar, routed):
+            assert abs(s.peak_voltage - r.peak_voltage) <= PARITY_TOL
+
+
+class TestSweepPassThrough:
+    def test_sweep_engines_agree(self, base):
+        estimators = {"const": lambda spec: 0.25}
+        counts = [1, 2, 4]
+        scalar = sweep_driver_count(base, counts, estimators, engine="scalar")
+        simulate_ssn_cache_clear()
+        batched = sweep_driver_count(base, counts, estimators, engine="batch")
+        assert scalar.values() == batched.values()
+        for sp, bp in zip(scalar.simulated_peaks(), batched.simulated_peaks()):
+            assert abs(sp - bp) <= PARITY_TOL
+        # Aggregated telemetry still accounts for every point.
+        assert batched.telemetry.newton_iterations == \
+            scalar.telemetry.newton_iterations
+
+
+class TestTransientMonteCarlo:
+    def test_engines_draw_identical_samples(self, base):
+        spec = dataclasses.replace(base, n_drivers=4)
+        kwargs = dict(spread=DeviceSpread(), trials=5, seed=11)
+        scalar = transient_peak_distribution(spec, engine="scalar", **kwargs)
+        simulate_ssn_cache_clear()
+        batched = transient_peak_distribution(spec, engine="batch", **kwargs)
+        assert len(scalar.samples) == len(batched.samples) == 5
+        assert np.max(np.abs(scalar.samples - batched.samples)) <= PARITY_TOL
+        assert scalar.nominal == pytest.approx(batched.nominal, abs=PARITY_TOL)
+
+    def test_distribution_statistics_coherent(self, base):
+        mc = transient_peak_distribution(
+            dataclasses.replace(base, n_drivers=4), trials=6, seed=3, engine="batch"
+        )
+        assert mc.samples.min() <= mc.mean <= mc.samples.max()
+        assert mc.samples.min() <= mc.p95 <= mc.samples.max()
+        assert mc.std >= 0.0
+        assert mc.telemetry.newton_iterations > 0
+
+    def test_too_few_trials_rejected(self, base):
+        with pytest.raises(ValueError):
+            transient_peak_distribution(base, trials=1)
+
+    def test_negative_spread_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceSpread(vth_sigma=-0.01)
+
+
+class TestCliFlag:
+    def test_engine_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["estimate", "-n", "4", "--engine", "batch"]
+        )
+        assert args.engine == "batch"
+
+    def test_engine_flag_default_none(self):
+        args = build_parser().parse_args(["estimate", "-n", "4"])
+        assert args.engine is None
+
+    def test_engine_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "-n", "4", "--engine", "turbo"])

@@ -5,7 +5,15 @@ import warnings
 import numpy as np
 import pytest
 
-from repro.analysis import ErrorSummary, compare_waveforms, percent_error, relative_error
+from repro.analysis import (
+    ErrorSummary,
+    batch_peaks,
+    batch_settling_times,
+    compare_waveforms,
+    percent_error,
+    relative_error,
+    settling_time,
+)
 from repro.spice import Waveform
 
 
@@ -121,3 +129,68 @@ class TestWaveformComparison:
         t = np.linspace(0, 1, 10)
         with pytest.raises(ValueError):
             compare_waveforms(Waveform(t, np.ones(10)), Waveform(t, np.zeros(10)))
+
+
+class TestBatchedWaveformMetrics:
+    """The batch-axis metrics must pin the scalar definitions exactly."""
+
+    @pytest.fixture
+    def ensemble(self):
+        rng = np.random.default_rng(42)
+        t = np.sort(rng.uniform(0.0, 1.0, size=257))
+        t[0], t[-1] = 0.0, 1.0
+        # Damped-ring-like waveforms with random amplitude/phase; a few
+        # rows made constant or monotone to hit the degenerate branches.
+        y = np.array([
+            a * np.exp(-3.0 * t) * np.sin(2 * np.pi * f * t + p)
+            for a, f, p in zip(rng.uniform(0.1, 2.0, 16),
+                               rng.uniform(0.5, 8.0, 16),
+                               rng.uniform(0, 2 * np.pi, 16))
+        ])
+        y[0] = 0.25          # constant: settles immediately, peak at t[0]
+        y[1] = np.linspace(-1.0, 1.0, len(t))  # monotone: peak at the end
+        return t, y
+
+    def test_batch_peaks_equal_scalar_peaks(self, ensemble):
+        t, y = ensemble
+        pt, pv = batch_peaks(t, y)
+        for i in range(len(y)):
+            st, sv = Waveform(t, y[i]).peak()
+            assert pt[i] == st
+            assert pv[i] == sv
+
+    def test_batch_peaks_per_row_time_grids(self, ensemble):
+        t, y = ensemble
+        grids = np.stack([t + i for i in range(len(y))])
+        pt, _ = batch_peaks(grids, y)
+        base_pt, _ = batch_peaks(t, y)
+        assert np.array_equal(pt, base_pt + np.arange(len(y)))
+
+    @pytest.mark.parametrize("band", [1e-3, 0.05, 0.5])
+    def test_batch_settling_equal_scalar_settling(self, ensemble, band):
+        t, y = ensemble
+        ts = batch_settling_times(t, y, band)
+        for i in range(len(y)):
+            assert ts[i] == settling_time(Waveform(t, y[i]), band)
+
+    def test_settled_everywhere_reports_start(self):
+        t = np.linspace(0.0, 1.0, 32)
+        assert settling_time(Waveform(t, np.full(32, 0.7)), 1e-6) == 0.0
+        ts = batch_settling_times(t, np.full((3, 32), 0.7), 1e-6)
+        assert np.array_equal(ts, np.zeros(3))
+
+    def test_never_settles_reports_last_sample(self):
+        t = np.linspace(0.0, 1.0, 32)
+        y = np.linspace(0.0, 5.0, 32)
+        assert settling_time(Waveform(t, y), 1e-3) == 1.0
+        assert batch_settling_times(t, y[None, :], 1e-3)[0] == 1.0
+
+    def test_bad_inputs_rejected(self):
+        t = np.linspace(0.0, 1.0, 8)
+        y = np.zeros((2, 8))
+        with pytest.raises(ValueError):
+            batch_settling_times(t, y, 0.0)
+        with pytest.raises(ValueError):
+            batch_peaks(t, np.zeros(8))
+        with pytest.raises(ValueError):
+            settling_time(Waveform(t, np.zeros(8)), -1.0)

@@ -86,3 +86,40 @@ class TestDegenerateSweepData:
         result = SweepResult(knob="n_drivers", points=())
         assert result.values() == []
         assert result.estimator_names == []
+
+
+class TestCsvRoundTrip:
+    @pytest.fixture
+    def result(self, base):
+        # Irrational-ish values exercise full-precision serialization.
+        points = tuple(
+            SweepPoint(
+                value=float(n),
+                spec=dataclasses.replace(base, n_drivers=n),
+                simulated_peak=0.1 + math.sqrt(n) / 7.0,
+                estimates={"beta": n / 3.0, "alpha": math.pi / n},
+            )
+            for n in (1, 2, 5)
+        )
+        return SweepResult(knob="n_drivers", points=points)
+
+    def test_column_order_deterministic(self, result, tmp_path):
+        out = tmp_path / "sweep.csv"
+        result.to_csv(out)
+        header = out.read_text().splitlines()[0]
+        # Knob, simulated, then estimators sorted by name — regardless of
+        # the insertion order of the estimates dict.
+        assert header == "n_drivers,simulated,alpha,beta"
+
+    def test_values_roundtrip_exactly(self, result, tmp_path):
+        out = tmp_path / "sweep.csv"
+        result.to_csv(out)
+        lines = out.read_text().splitlines()
+        assert len(lines) == 1 + len(result.points)
+        for line, p in zip(lines[1:], result.points):
+            value, simulated, alpha, beta = (float(f) for f in line.split(","))
+            # repr-serialized floats read back bit-for-bit, not approximately.
+            assert value == p.value
+            assert simulated == p.simulated_peak
+            assert alpha == p.estimates["alpha"]
+            assert beta == p.estimates["beta"]

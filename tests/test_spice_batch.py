@@ -1,0 +1,204 @@
+"""Golden-parity, telemetry and compatibility tests for the batched engine.
+
+The lockstep ensemble engine (:func:`repro.spice.batch.batch_transient`)
+simulates many same-topology circuits through one vectorized Newton loop.
+It must reproduce the scalar fast path to within 1e-9 V / 1e-9 A per
+instance — the same contract ``test_spice_fastpath`` holds the fast path
+to against the seed engine — and its per-instance telemetry must agree
+with the scalar path's counters, so ensemble observability survives the
+vectorization.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.driver_bank import DriverBankSpec, build_driver_bank
+from repro.analysis.simulate import default_stop_time, default_time_step
+from repro.spice import Circuit, Ramp
+from repro.spice.batch import (
+    BatchIncompatibleError,
+    batch_transient,
+    lockstep_signature,
+)
+from repro.spice.transient import TransientOptions, transient
+
+#: Batched waveforms must stay within this of the scalar fast path.
+PARITY_TOL = 1e-9
+
+
+def _driver_specs(tech, counts, **kwargs):
+    base = DriverBankSpec(
+        technology=tech, n_drivers=1, inductance=5e-9, rise_time=0.2e-9, **kwargs
+    )
+    return [dataclasses.replace(base, n_drivers=n) for n in counts]
+
+
+def _grid(spec, coarsen=4.0):
+    return default_stop_time(spec), coarsen * default_time_step(spec)
+
+
+def _assert_results_match(scalar, batched, tol=PARITY_TOL):
+    for s, b in zip(scalar, batched):
+        assert np.array_equal(s.times, b.times), "step sequences diverged"
+        for node in s.node_names:
+            dv = np.max(np.abs(s.voltage(node).y - b.voltage(node).y))
+            assert dv <= tol, f"node {node}: |dV| = {dv:.3e} V"
+
+
+class TestLockstepSignature:
+    def test_same_topology_different_parameters_share_signature(self, tech018):
+        specs = _driver_specs(tech018, [1, 7, 19])
+        sigs = {lockstep_signature(build_driver_bank(s)) for s in specs}
+        assert len(sigs) == 1
+
+    def test_different_topologies_differ(self, tech018):
+        with_c, without_c = _driver_specs(tech018, [4, 4])
+        with_c = dataclasses.replace(with_c, capacitance=2e-12)
+        assert lockstep_signature(build_driver_bank(with_c)) != lockstep_signature(
+            build_driver_bank(without_c)
+        )
+
+    def test_different_breakpoints_differ(self, tech018):
+        fast_edge, slow_edge = _driver_specs(tech018, [4, 4])
+        slow_edge = dataclasses.replace(slow_edge, rise_time=0.4e-9)
+        assert lockstep_signature(build_driver_bank(fast_edge)) != lockstep_signature(
+            build_driver_bank(slow_edge)
+        )
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("method", ["trap", "be"])
+    def test_collapsed_driver_bank_ensemble(self, tech018, method):
+        specs = _driver_specs(tech018, [1, 5, 13, 29])
+        tstop, dt = _grid(specs[0])
+        options = TransientOptions(method=method)
+        scalar = [
+            transient(build_driver_bank(s), tstop, dt, options=options) for s in specs
+        ]
+        batched = batch_transient(
+            [build_driver_bank(s) for s in specs], tstop, dt, options=options
+        )
+        _assert_results_match(scalar, batched)
+        assert all(b.telemetry.batch_fallbacks == 0 for b in batched)
+
+    def test_multi_device_lc_bank_dense_path(self, tech018):
+        """Non-collapsed banks have several MOSFET banks per circuit, which
+        exercises the dense stamp/solve lane instead of the rank-1 update.
+        Instances vary in inductance (value-only, so topology is shared)."""
+        specs = [
+            dataclasses.replace(
+                s, capacitance=2e-12, collapse=False, n_drivers=3, inductance=l
+            )
+            for s, l in zip(_driver_specs(tech018, [3, 3]), [3e-9, 8e-9])
+        ]
+        tstop, dt = _grid(specs[0], coarsen=8.0)
+        scalar = [transient(build_driver_bank(s), tstop, dt) for s in specs]
+        batched = batch_transient([build_driver_bank(s) for s in specs], tstop, dt)
+        _assert_results_match(scalar, batched)
+
+    def test_linear_only_ensemble(self):
+        def make(r):
+            c = Circuit("rlc")
+            c.vsource("Vin", "in", "0", Ramp(0.0, 1.8, 0.1e-9, 0.2e-9))
+            c.resistor("R1", "in", "mid", r)
+            c.inductor("L1", "mid", "out", 4e-9, ic=0.0)
+            c.capacitor("C1", "out", "0", 3e-12, ic=0.0)
+            return c
+
+        values = [10.0, 25.0, 80.0]
+        scalar = [transient(make(r), 2e-9, 5e-12) for r in values]
+        batched = batch_transient([make(r) for r in values], 2e-9, 5e-12)
+        _assert_results_match(scalar, batched)
+        for s, b in zip(scalar, batched):
+            di = np.max(np.abs(s.current("L1").y - b.current("L1").y))
+            assert di <= PARITY_TOL
+
+    def test_branch_currents_match(self, tech018):
+        specs = _driver_specs(tech018, [3, 9])
+        tstop, dt = _grid(specs[0])
+        scalar = [transient(build_driver_bank(s), tstop, dt) for s in specs]
+        batched = batch_transient([build_driver_bank(s) for s in specs], tstop, dt)
+        for s, b in zip(scalar, batched):
+            di = np.max(np.abs(s.current("Lgnd").y - b.current("Lgnd").y))
+            assert di <= PARITY_TOL, f"|dI| = {di:.3e} A"
+
+
+class TestTelemetry:
+    def test_per_instance_counters_match_scalar_path(self, tech018):
+        """Satellite contract: batched runs report per-instance Newton
+        iteration counts that sum to the scalar-path totals."""
+        specs = _driver_specs(tech018, [1, 5, 13, 21])
+        tstop, dt = _grid(specs[0])
+        scalar = [transient(build_driver_bank(s), tstop, dt) for s in specs]
+        batched = batch_transient([build_driver_bank(s) for s in specs], tstop, dt)
+
+        for s, b in zip(scalar, batched):
+            assert b.telemetry.newton_solves == s.telemetry.newton_solves
+            assert b.telemetry.newton_iterations == s.telemetry.newton_iterations
+            assert b.telemetry.accepted_steps == s.telemetry.accepted_steps
+
+        batched_total = sum(b.telemetry.newton_iterations for b in batched)
+        scalar_total = sum(s.telemetry.newton_iterations for s in scalar)
+        assert batched_total == scalar_total
+
+    def test_no_unrecovered_failures_on_nominal_workload(self, tech018):
+        specs = _driver_specs(tech018, [2, 8])
+        tstop, dt = _grid(specs[0])
+        batched = batch_transient([build_driver_bank(s) for s in specs], tstop, dt)
+        assert all(b.telemetry.unrecovered_failures == 0 for b in batched)
+
+
+class TestCompatibilityGuards:
+    def test_mixed_topologies_raise(self, tech018):
+        with_c, without_c = _driver_specs(tech018, [4, 4])
+        with_c = dataclasses.replace(with_c, capacitance=2e-12)
+        circuits = [build_driver_bank(with_c), build_driver_bank(without_c)]
+        with pytest.raises(BatchIncompatibleError):
+            batch_transient(circuits, 1e-9, 1e-12)
+
+    @pytest.mark.parametrize(
+        "options",
+        [TransientOptions(adaptive=True), TransientOptions(legacy_reference=True)],
+        ids=["adaptive", "legacy"],
+    )
+    def test_unbatchable_options_raise(self, tech018, options):
+        specs = _driver_specs(tech018, [2, 4])
+        circuits = [build_driver_bank(s) for s in specs]
+        with pytest.raises(BatchIncompatibleError):
+            batch_transient(circuits, 1e-9, 1e-12, options=options)
+
+    def test_empty_ensemble_is_empty(self):
+        assert batch_transient([], 1e-9, 1e-12) == []
+
+    def test_bad_grid_raises(self, tech018):
+        circuits = [build_driver_bank(s) for s in _driver_specs(tech018, [2])]
+        with pytest.raises(ValueError):
+            batch_transient(circuits, 0.0, 1e-12)
+        with pytest.raises(ValueError):
+            batch_transient(circuits, 1e-9, -1e-12)
+
+
+class TestScalarFallback:
+    def test_failed_instances_rerun_on_scalar_ladder(self, tech018, monkeypatch):
+        """When the lockstep loop cannot converge an instance, that instance
+        is transparently re-run on the scalar engine (which owns the
+        step-halving/gmin recovery ladder) and flagged in telemetry.  The
+        batched solves are sabotaged to return non-finite iterates, which
+        fails every instance out of the lockstep loop deterministically."""
+        from repro.spice import batch as batch_mod
+
+        monkeypatch.setattr(batch_mod._Rank1Lane, "prepare",
+                            lambda self, *a, **k: None)
+        monkeypatch.setattr(batch_mod, "_solve_stack",
+                            lambda A, z: np.full(z.shape, np.nan))
+
+        specs = _driver_specs(tech018, [3, 11])
+        tstop, dt = _grid(specs[0])
+        scalar = [transient(build_driver_bank(s), tstop, dt) for s in specs]
+        batched = batch_transient([build_driver_bank(s) for s in specs], tstop, dt)
+
+        # Fallback results come from the scalar engine itself: bitwise equal.
+        _assert_results_match(scalar, batched, tol=0.0)
+        assert all(b.telemetry.batch_fallbacks == 1 for b in batched)
