@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-smoke bench-perf reports examples clean
+.PHONY: install test bench bench-smoke bench-perf campaign-smoke reports examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,6 +22,16 @@ bench-smoke:
 # Fast-path vs seed-engine perf regression; writes BENCH_perf.json.
 bench-perf:
 	$(PY) -m pytest benchmarks/bench_perf.py -q -s
+
+# Campaign fault-tolerance smoke: a checkpointed CLI run, then a resumed
+# re-run against the same journal (recomputes nothing, must exit 0).
+campaign-smoke:
+	rm -f campaign_smoke.jsonl
+	$(PY) -m repro simulate -n 1,2,3 -l 1e-9 --chunk-size 2 \
+	  --checkpoint campaign_smoke.jsonl --telemetry
+	$(PY) -m repro simulate -n 1,2,3 -l 1e-9 --chunk-size 2 \
+	  --checkpoint campaign_smoke.jsonl --resume
+	rm -f campaign_smoke.jsonl
 
 # Regenerate every paper artifact into benchmarks/reports/*.txt and
 # the run logs the task description asks for.

@@ -1,0 +1,526 @@
+"""Fault-tolerant campaign runner: journaled chunks, retries, degradation.
+
+The paper's headline results (the Fig. 3 driver-count sweeps, the Table 1
+comparisons) and the golden Monte Carlo extensions are long multi-instance
+campaigns; PVT-corner characterization in practice means thousands of such
+runs.  Before this module, one crashed worker, one poison parameter point
+or one Ctrl-C lost the whole sweep.  :class:`CampaignRunner` executes any
+sweep / ``simulate_many`` / ``transient_peak_distribution`` workload as a
+sequence of *chunks* with four guarantees:
+
+1. **Atomic checkpointing** — after every completed chunk the whole
+   journal (header plus one JSON line per finished chunk) is rewritten to
+   a temp file in the checkpoint's directory, fsynced, and committed with
+   ``os.replace``.  A crash at any instant leaves either the previous
+   valid journal or the new valid journal on disk, never a torn file.
+2. **Exact resume** — ``resume=True`` replays the journal (validating a
+   fingerprint of the workload so a stale journal cannot silently corrupt
+   a different campaign) and re-executes only the missing chunks.  Results
+   are **bit-identical** to an uninterrupted run: journaled floats are
+   serialized by :mod:`json` with ``repr`` round-trip fidelity, and fresh
+   chunks execute the same deterministic code path.
+3. **Retry with backoff and a deadline** — a failing chunk is re-attempted
+   up to ``max_retries`` times with capped exponential backoff; each task
+   additionally carries an optional wall-clock ``deadline`` after which
+   its attempt is treated as failed (:class:`DeadlineExceeded`).
+4. **Graceful engine degradation** — when a chunk exhausts its bulk retry
+   budget, each of its instances is recovered independently down the
+   batch -> scalar fast path -> legacy reference ladder
+   (:func:`repro.analysis.engine.degradation_rungs`).  Every recovery
+   action is counted in :class:`~repro.spice.telemetry.SolverTelemetry`
+   (``retries``, ``degradations``, ``chunks_failed``,
+   ``checkpoint_writes``), so harnesses assert exact recovery behavior
+   instead of mere survival.
+
+Worker crashes below the chunk level are absorbed one layer down:
+:func:`repro.analysis.parallel.parallel_map` respawns a broken process
+pool once and then recomputes serially, so a killed worker costs a
+``degradations`` tick, not the campaign.
+
+Every failure path here is exercised by tests through the deterministic
+fault injector (:mod:`repro.testing.faults`) rather than trusted.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..spice.telemetry import SolverTelemetry, record_session
+from ..spice.transient import TransientOptions
+from ..testing import faults
+from .driver_bank import DriverBankSpec
+from .engine import degradation_rungs, resolve_engine
+from .parallel import parallel_map_traced
+from .simulate import SsnSimulation, simulate_many, simulate_ssn_cached
+
+#: Journal schema version (bumped on incompatible format changes).
+CHECKPOINT_VERSION = 1
+
+#: Engine options of the last-resort "legacy" rung: the frozen seed engine.
+LEGACY_OPTIONS = TransientOptions(legacy_reference=True)
+
+
+class CampaignError(RuntimeError):
+    """A campaign instance failed every rung of the recovery ladder.
+
+    The runner's :class:`~repro.spice.telemetry.SolverTelemetry` (with
+    ``unrecovered_failures`` incremented) is attached as ``.telemetry``.
+    """
+
+    telemetry: SolverTelemetry | None = None
+
+
+class CheckpointMismatchError(CampaignError):
+    """The checkpoint on disk was written by a *different* workload.
+
+    Resuming a sweep from another sweep's journal would silently splice
+    wrong numbers into the result, so the fingerprint (workload kind,
+    item count, chunk size, parameter digest) must match exactly.
+    """
+
+
+class DeadlineExceeded(CampaignError):
+    """One task's wall-clock attempt exceeded the configured deadline."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of one campaign execution.
+
+    Attributes:
+        checkpoint: journal path (JSONL); None disables checkpointing.
+        resume: replay an existing journal and run only missing chunks.
+            Without an existing journal this is a normal fresh run.
+        chunk_size: instances per journaled chunk (the checkpoint
+            granularity; part of the resume fingerprint).
+        max_retries: re-attempts per chunk (and per instance per rung)
+            after the first failure.
+        deadline: per-task wall-clock budget in seconds (None = unlimited).
+        backoff_base: first retry backoff in seconds; attempt ``k`` sleeps
+            ``min(backoff_cap, backoff_base * 2**k)``.  0 disables sleeping
+            (the test suite's setting).
+        backoff_cap: upper bound on one backoff sleep.
+        max_workers: process-pool width for scalar bulk execution (as in
+            :func:`repro.analysis.parallel.parallel_map`).
+        engine: starting engine rung (``"batch"``/``"scalar"``/``"auto"``;
+            default per :func:`repro.analysis.engine.resolve_engine`).
+    """
+
+    checkpoint: str | os.PathLike | None = None
+    resume: bool = False
+    chunk_size: int = 8
+    max_retries: int = 2
+    deadline: float | None = None
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    max_workers: int | None = None
+    engine: str | None = None
+
+    def __post_init__(self):
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive when given")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff times must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationSummary:
+    """Journal-backed summary of one golden simulation in a campaign.
+
+    Campaign journals store JSON-serializable summaries (peaks, times,
+    telemetry counters), not full waveforms; callers needing waveforms
+    re-simulate the few configurations of interest via
+    :func:`repro.analysis.simulate.simulate_ssn_cached`.
+    """
+
+    index: int
+    spec: DriverBankSpec
+    peak_voltage: float
+    peak_time: float
+    engine: str
+    telemetry: SolverTelemetry | None = None
+
+
+# -- picklable instance worker -------------------------------------------------------
+
+
+def _record_from(index: int, sim: SsnSimulation, rung: str) -> dict:
+    return {
+        "index": int(index),
+        "peak": float(sim.peak_voltage),
+        "peak_time": float(sim.peak_time),
+        "engine": rung,
+        "telemetry": None if sim.telemetry is None else sim.telemetry.as_dict(),
+    }
+
+
+def _simulate_rung(spec: DriverBankSpec, rung: str) -> SsnSimulation:
+    if rung == "legacy":
+        return simulate_ssn_cached(spec, options=LEGACY_OPTIONS)
+    return simulate_ssn_cached(spec)
+
+
+def _instance_record(payload: tuple) -> dict:
+    """Simulate one instance and summarize it (module-level: picklable).
+
+    Publishes ``task``/``engine`` fault scope, runs the ``task`` probe (the
+    injector's stall fault sleeps here) and enforces the per-task deadline
+    on the attempt's wall clock.
+    """
+    index, spec, rung, deadline = payload
+    with faults.scope(task=index, engine=rung):
+        start = time.perf_counter()
+        faults.probe("task")
+        sim = _simulate_rung(spec, rung)
+        elapsed = time.perf_counter() - start
+    if deadline is not None and elapsed > deadline:
+        raise DeadlineExceeded(
+            f"task {index} took {elapsed:.3f} s against a {deadline:.3f} s deadline"
+        )
+    return _record_from(index, sim, rung)
+
+
+# -- the runner ----------------------------------------------------------------------
+
+
+class CampaignRunner:
+    """Executes spec ensembles as journaled, retried, degradable chunks.
+
+    One runner instance accumulates campaign telemetry across its runs in
+    ``self.telemetry`` (campaign counters only — per-instance solver
+    counters ride on the returned results, exactly as in direct sweeps, so
+    nothing is double counted when callers aggregate both).
+    """
+
+    def __init__(self, config: CampaignConfig | None = None, **kwargs):
+        if config is not None and kwargs:
+            raise TypeError("pass either a CampaignConfig or keyword knobs, not both")
+        self.config = config if config is not None else CampaignConfig(**kwargs)
+        self.telemetry = SolverTelemetry()
+
+    # -- checkpoint I/O --------------------------------------------------------------
+
+    @staticmethod
+    def _fingerprint(kind: str, n_items: int, chunk_size: int, extra: dict) -> str:
+        payload = json.dumps(
+            {"kind": kind, "n_items": n_items, "chunk_size": chunk_size, **extra},
+            sort_keys=True, default=repr,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def _write_journal(self, path: Path, header: dict, done: dict[int, dict]) -> None:
+        """Atomically replace the journal with header + completed chunks.
+
+        The temp file lives in the journal's directory so ``os.replace``
+        stays a same-filesystem atomic rename; a crash mid-write (the
+        injector's ``crash-write`` fault fires after the header lands in
+        the temp file) leaves the previous journal untouched.
+        """
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(header, sort_keys=True) + "\n")
+                faults.probe("checkpoint")
+                for ci in sorted(done):
+                    fh.write(json.dumps(done[ci], sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        self.telemetry.checkpoint_writes += 1
+
+    def _load_journal(self, path: Path, header: dict) -> dict[int, dict]:
+        """Replay a journal, validating it belongs to this exact workload."""
+        done: dict[int, dict] = {}
+        if not path.exists():
+            return done
+        with open(path) as fh:
+            lines = [line for line in fh.read().splitlines() if line.strip()]
+        if not lines:
+            return done
+        on_disk = json.loads(lines[0])
+        for key in ("version", "kind", "n_items", "chunk_size", "fingerprint"):
+            if on_disk.get(key) != header[key]:
+                raise CheckpointMismatchError(
+                    f"checkpoint {path} was written by a different campaign "
+                    f"({key}: journal {on_disk.get(key)!r} vs workload {header[key]!r}); "
+                    "delete it or point --checkpoint elsewhere"
+                )
+        for line in lines[1:]:
+            entry = json.loads(line)
+            done[int(entry["chunk"])] = entry
+            # Restored chunks contribute their saved recovery counters, so
+            # resumed telemetry reports the whole campaign's history.
+            self.telemetry.merge(SolverTelemetry.from_dict(entry.get("campaign", {})))
+        return done
+
+    # -- execution -------------------------------------------------------------------
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        cfg = self.config
+        if cfg.backoff_base > 0:
+            time.sleep(min(cfg.backoff_cap, cfg.backoff_base * (2.0 ** attempt)))
+
+    def _bulk(self, indices: Sequence[int], specs: Sequence[DriverBankSpec],
+              rung: str, tally: SolverTelemetry) -> list[dict]:
+        """One whole-chunk execution attempt at one engine rung."""
+        faults.probe("engine")
+        cfg = self.config
+        if rung == "batch":
+            # Lockstep shares one wall clock across the ensemble, so the
+            # per-task deadline applies on the scalar rungs only.
+            sims = simulate_many(list(specs), engine="batch")
+            return [_record_from(i, sim, rung) for i, sim in zip(indices, sims)]
+        payloads = [(i, spec, rung, cfg.deadline) for i, spec in zip(indices, specs)]
+        if rung == "scalar":
+            records, used_pool = parallel_map_traced(
+                _instance_record, payloads, max_workers=cfg.max_workers,
+                telemetry=tally,
+            )
+            if used_pool:
+                # Worker-side session aggregation dies with the workers;
+                # stitch their per-run counters into this process's session.
+                for rec in records:
+                    if rec.get("telemetry"):
+                        record_session(SolverTelemetry.from_dict(rec["telemetry"]))
+            return records
+        return [_instance_record(p) for p in payloads]
+
+    def _recover_instance(self, ci: int, index: int, spec: DriverBankSpec,
+                          rung0: str, tally: SolverTelemetry) -> dict:
+        """Retry one instance down the engine ladder until it lands."""
+        cfg = self.config
+        last_exc: BaseException | None = None
+        for rung in degradation_rungs(rung0):
+            if rung != rung0:
+                tally.degradations += 1
+            for attempt in range(1 + cfg.max_retries):
+                with faults.scope(chunk=ci, task=index, attempt=attempt,
+                                  phase="instance", engine=rung):
+                    try:
+                        return _instance_record((index, spec, rung, cfg.deadline))
+                    except Exception as exc:
+                        last_exc = exc
+                        if attempt < cfg.max_retries:
+                            tally.retries += 1
+                            self._sleep_backoff(attempt)
+        tally.unrecovered_failures += 1
+        self.telemetry.merge(tally)
+        error = CampaignError(
+            f"instance {index} (chunk {ci}) failed every rung of the "
+            f"recovery ladder {degradation_rungs(rung0)}: {last_exc}"
+        )
+        error.telemetry = self.telemetry
+        raise error from last_exc
+
+    def _run_chunk(self, ci: int, indices: Sequence[int],
+                   specs: Sequence[DriverBankSpec], rung0: str) -> dict:
+        cfg = self.config
+        tally = SolverTelemetry()  # this chunk's recovery counters
+        records: list[dict] | None = None
+        for attempt in range(1 + cfg.max_retries):
+            with faults.scope(chunk=ci, attempt=attempt, phase="bulk", engine=rung0):
+                try:
+                    records = self._bulk(indices, specs, rung0, tally)
+                    break
+                except Exception:
+                    if attempt < cfg.max_retries:
+                        tally.retries += 1
+                        self._sleep_backoff(attempt)
+        if records is None:
+            # Bulk budget exhausted: recover instance by instance, each
+            # walking its own rung ladder.
+            tally.chunks_failed += 1
+            records = [
+                self._recover_instance(ci, i, spec, rung0, tally)
+                for i, spec in zip(indices, specs)
+            ]
+        self.telemetry.merge(tally)
+        return {
+            "chunk": int(ci),
+            "indices": [int(i) for i in indices],
+            "engine": rung0,
+            "records": records,
+            "campaign": {
+                "retries": tally.retries,
+                "degradations": tally.degradations,
+                "chunks_failed": tally.chunks_failed,
+            },
+        }
+
+    def run_specs(self, specs: Sequence[DriverBankSpec], kind: str = "simulate",
+                  fingerprint_extra: dict | None = None) -> list[dict]:
+        """Execute every spec, returning one summary record per spec.
+
+        The core campaign loop: chunk the specs, skip chunks already in
+        the journal (``resume``), execute the rest through the retry /
+        degradation machinery, and commit the journal atomically after
+        every completed chunk.  A ``KeyboardInterrupt`` (or any crash)
+        propagates — the journal already holds every completed chunk, so
+        re-running with ``resume=True`` finishes the campaign without
+        recomputing them.
+        """
+        specs = list(specs)
+        cfg = self.config
+        n = len(specs)
+        if n == 0:
+            return []
+        rung0 = resolve_engine(cfg.engine, n)
+        fingerprint = self._fingerprint(
+            kind, n, cfg.chunk_size, fingerprint_extra or {}
+        )
+        header = {
+            "version": CHECKPOINT_VERSION,
+            "kind": kind,
+            "n_items": n,
+            "chunk_size": cfg.chunk_size,
+            "fingerprint": fingerprint,
+        }
+        path = Path(cfg.checkpoint) if cfg.checkpoint is not None else None
+        done: dict[int, dict] = {}
+        if path is not None:
+            if cfg.resume:
+                done = self._load_journal(path, header)
+            else:
+                # Fresh run: commit a header-only journal immediately so an
+                # interrupt during the first chunk still leaves valid JSONL.
+                self._write_journal(path, header, done)
+
+        chunk_ids = range(0, n, cfg.chunk_size)
+        for ci, start in enumerate(chunk_ids):
+            if ci in done:
+                continue
+            indices = list(range(start, min(start + cfg.chunk_size, n)))
+            with faults.scope(chunk=ci):
+                faults.probe("chunk")
+                done[ci] = self._run_chunk(ci, indices, [specs[i] for i in indices],
+                                           rung0)
+            if path is not None:
+                self._write_journal(path, header, done)
+
+        records = [rec for ci in sorted(done) for rec in done[ci]["records"]]
+        records.sort(key=lambda rec: rec["index"])
+        record_session(SolverTelemetry.from_dict({
+            "retries": self.telemetry.retries,
+            "degradations": self.telemetry.degradations,
+            "chunks_failed": self.telemetry.chunks_failed,
+            "checkpoint_writes": self.telemetry.checkpoint_writes,
+        }))
+        return records
+
+    # -- workload wrappers -----------------------------------------------------------
+
+    def run_sweep(self, knob: str, base: DriverBankSpec, values: Sequence[float],
+                  apply: Callable[[DriverBankSpec, float], DriverBankSpec],
+                  estimators: dict[str, Callable[[DriverBankSpec], float]]):
+        """Fault-tolerant :func:`repro.analysis.sweeps.sweep` equivalent.
+
+        Golden peaks come from the journaled campaign; the cheap
+        closed-form estimators are recomputed in-process at assembly time
+        (they are pure functions of the spec, so resumed results are
+        identical to uninterrupted ones).
+        """
+        from .sweeps import SweepPoint, SweepResult
+
+        values = [float(v) for v in values]
+        specs = [apply(base, v) for v in values]
+        records = self.run_specs(
+            specs, kind="sweep",
+            fingerprint_extra={"knob": knob, "values": [repr(v) for v in values],
+                               "base": repr(base)},
+        )
+        points = []
+        for value, spec, rec in zip(values, specs, records):
+            estimates = {name: float(fn(spec)) for name, fn in estimators.items()}
+            tel = (SolverTelemetry.from_dict(rec["telemetry"])
+                   if rec.get("telemetry") else None)
+            points.append(SweepPoint(
+                value=value, spec=spec, simulated_peak=rec["peak"],
+                estimates=estimates, telemetry=tel,
+            ))
+        return SweepResult(knob=knob, points=tuple(points))
+
+    def run_montecarlo(self, spec: DriverBankSpec, spread=None, trials: int = 64,
+                       seed: int = 0):
+        """Fault-tolerant golden transient Monte Carlo (device variation).
+
+        Mirrors :func:`repro.analysis.montecarlo.transient_peak_distribution`:
+        the trial draws are fixed up front from ``seed``, so the sample
+        vector is identical for every chunking, worker count and recovery
+        path.
+        """
+        from .montecarlo import DeviceSpread, MonteCarloResult
+
+        if trials < 2:
+            raise ValueError("trials must be at least 2")
+        spread = spread or DeviceSpread()
+        rng = np.random.default_rng(seed)
+        tech = spec.technology
+        vths = tech.nmos.vth0 + rng.normal(0.0, spread.vth_sigma, size=trials)
+        mus = tech.nmos.mu0 * rng.lognormal(
+            mean=0.0, sigma=max(spread.mu_sigma, 1e-12), size=trials
+        )
+        trial_specs = [
+            dataclasses.replace(
+                spec,
+                technology=dataclasses.replace(
+                    tech, nmos=tech.nmos.scaled(vth0=float(v), mu0=float(m))
+                ),
+            )
+            for v, m in zip(vths, mus)
+        ]
+        records = self.run_specs(
+            trial_specs, kind="montecarlo",
+            fingerprint_extra={"trials": trials, "seed": seed,
+                               "spread": repr(spread), "spec": repr(spec)},
+        )
+        samples = np.array([rec["peak"] for rec in records])
+        tel = SolverTelemetry.aggregate(
+            SolverTelemetry.from_dict(rec["telemetry"])
+            for rec in records if rec.get("telemetry")
+        )
+        return MonteCarloResult(
+            samples=samples,
+            mean=float(np.mean(samples)),
+            std=float(np.std(samples)),
+            p95=float(np.percentile(samples, 95.0)),
+            nominal=simulate_ssn_cached(spec).peak_voltage,
+            telemetry=tel,
+        )
+
+    def run_simulate(self, specs: Sequence[DriverBankSpec]) -> list[SimulationSummary]:
+        """Fault-tolerant golden simulation of a spec list (summaries)."""
+        specs = list(specs)
+        records = self.run_specs(
+            specs, kind="simulate",
+            fingerprint_extra={"specs": [repr(s) for s in specs]},
+        )
+        return [
+            SimulationSummary(
+                index=rec["index"], spec=specs[rec["index"]],
+                peak_voltage=rec["peak"], peak_time=rec["peak_time"],
+                engine=rec["engine"],
+                telemetry=(SolverTelemetry.from_dict(rec["telemetry"])
+                           if rec.get("telemetry") else None),
+            )
+            for rec in records
+        ]

@@ -30,6 +30,13 @@ import os
 #: Recognized engine names, in documentation order.
 ENGINES = ("auto", "batch", "scalar")
 
+#: The campaign runner's graceful-degradation ladder, strongest rung first:
+#: the vectorized lockstep engine, the scalar fast path, and finally the
+#: frozen legacy reference engine (slow but the most battle-tested
+#: numerics).  "legacy" is an execution rung, not a selectable default
+#: engine, so it is not part of :data:`ENGINES`.
+DEGRADATION_LADDER = ("batch", "scalar", "legacy")
+
 #: Environment variable consulted when no explicit engine is given.
 ENGINE_ENV = "REPRO_ENGINE"
 
@@ -71,3 +78,25 @@ def resolve_engine(engine: str | None = None, n_items: int | None = None) -> str
     if engine == "auto":
         engine = "scalar" if (n_items is not None and n_items < 2) else "batch"
     return engine
+
+
+def degradation_rungs(start: str) -> tuple[str, ...]:
+    """Per-instance recovery rungs at and below ``start``, strongest first.
+
+    The batch rung only exists for *bulk* (whole-chunk) execution — a
+    single instance has no lockstep to exploit — so per-instance recovery
+    after a failed batch chunk begins at the scalar fast path:
+
+    >>> degradation_rungs("batch")
+    ('scalar', 'legacy')
+    >>> degradation_rungs("scalar")
+    ('scalar', 'legacy')
+    >>> degradation_rungs("legacy")
+    ('legacy',)
+    """
+    if start not in DEGRADATION_LADDER:
+        raise ValueError(
+            f"unknown rung {start!r}; choose from {DEGRADATION_LADDER}"
+        )
+    rungs = DEGRADATION_LADDER[DEGRADATION_LADDER.index(start):]
+    return tuple(r for r in rungs if r != "batch")

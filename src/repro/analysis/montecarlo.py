@@ -167,6 +167,7 @@ def transient_peak_distribution(
     trials: int = 64,
     seed: int = 0,
     engine: str | None = None,
+    campaign=None,
 ) -> MonteCarloResult:
     """Monte Carlo the *golden-simulated* peak SSN under device variation.
 
@@ -188,6 +189,13 @@ def transient_peak_distribution(
             front, so samples are identical for every engine.
         engine: transient engine, as in
             :func:`repro.analysis.simulate.simulate_many`.
+        campaign: optional :class:`repro.analysis.campaign.CampaignConfig`
+            routing the trial fleet through the fault-tolerant
+            :class:`~repro.analysis.campaign.CampaignRunner`
+            (checkpoint/resume, retries, engine degradation).  The draw
+            vector is fixed up front from ``seed`` either way, so samples
+            are bit-identical to the direct path; ``engine`` here is
+            ignored in favor of the config's own knob.
 
     Returns:
         The sampled golden peak-SSN distribution and summary statistics;
@@ -197,6 +205,12 @@ def transient_peak_distribution(
     # Local import: simulate builds on driver_bank, keep module import light.
     from .simulate import aggregate_telemetry, simulate_many, simulate_ssn_cached
 
+    if campaign is not None:
+        from .campaign import CampaignRunner
+
+        runner = campaign if isinstance(campaign, CampaignRunner) \
+            else CampaignRunner(campaign)
+        return runner.run_montecarlo(spec, spread=spread, trials=trials, seed=seed)
     if trials < 2:
         raise ValueError("trials must be at least 2")
     spread = spread or DeviceSpread()

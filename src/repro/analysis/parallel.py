@@ -8,9 +8,13 @@ while keeping three invariants:
   (``Executor.map``), so parallel runs are element-for-element identical
   to serial runs.
 * **Graceful serial fallback** — ``max_workers=1`` (the default) never
-  touches multiprocessing, and a pool that cannot be created or dies
-  mid-flight (sandboxed environments, unpicklable payloads, killed
-  workers) falls back to computing the remaining work in-process.
+  touches multiprocessing; a pool that cannot be *created* (sandboxed
+  environments, unpicklable payloads) silently computes the work
+  in-process; and a pool that *breaks* mid-flight (a worker process
+  killed by the OOM killer, a segfaulting extension, an injected crash)
+  is respawned once and, if it breaks again, the map is recomputed
+  serially with a :class:`RuntimeWarning` and a telemetry degradation
+  flag — a crashed worker never loses the campaign.
 * **Configurable worker count** — pass ``max_workers`` explicitly or set
   the ``REPRO_MAX_WORKERS`` environment variable; ``0``/``None`` means
   "one worker per CPU".
@@ -29,11 +33,17 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..spice.telemetry import SolverTelemetry, record_session
+from ..testing import faults
+
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Environment variable consulted when ``max_workers`` is not passed.
 WORKERS_ENV = "REPRO_MAX_WORKERS"
+
+#: Broken-pool respawns attempted before degrading to the serial path.
+POOL_RESPAWNS = 1
 
 
 def resolve_workers(max_workers: int | None = None) -> int:
@@ -74,22 +84,38 @@ def resolve_workers(max_workers: int | None = None) -> int:
     return max_workers
 
 
+def _pool_invoke(payload: tuple[Callable[[T], R], int, T]) -> R:
+    """Worker-side shim: publish the task index as fault scope, then call.
+
+    Module-level (picklable) on purpose.  The ``worker`` probe is what lets
+    the fault injector kill this specific worker process deterministically;
+    with no fault plan installed it is a no-op.
+    """
+    fn, index, item = payload
+    with faults.scope(task=index):
+        faults.probe("worker")
+        return fn(item)
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
     max_workers: int | None = None,
+    telemetry: SolverTelemetry | None = None,
 ) -> list[R]:
     """Order-preserving map over ``items``, optionally across processes.
 
     With one worker (or one item) this is a plain list comprehension —
     zero multiprocessing machinery.  Otherwise the items are dispatched to
     a process pool; results return in input order.  If the pool cannot be
-    created or breaks, the whole map is recomputed serially, so callers
-    always get a complete, ordered result.
+    created it is skipped silently; if it breaks mid-flight it is respawned
+    once and then the whole map is recomputed serially (with a
+    ``RuntimeWarning``), so callers always get a complete, ordered result.
 
     Exceptions raised by ``fn`` itself propagate unchanged in both modes.
     """
-    results, _ = parallel_map_traced(fn, items, max_workers=max_workers)
+    results, _ = parallel_map_traced(fn, items, max_workers=max_workers,
+                                     telemetry=telemetry)
     return results
 
 
@@ -97,6 +123,7 @@ def parallel_map_traced(
     fn: Callable[[T], R],
     items: Iterable[T],
     max_workers: int | None = None,
+    telemetry: SolverTelemetry | None = None,
 ) -> tuple[list[R], bool]:
     """:func:`parallel_map` plus whether the pool path actually ran.
 
@@ -105,15 +132,40 @@ def parallel_map_traced(
     i.e. it is True exactly when the results were produced in worker
     processes.  Callers that fold worker-side state (telemetry records)
     back into the parent use this to avoid double counting.
+
+    A :class:`~concurrent.futures.process.BrokenProcessPool` (a worker
+    process died — OOM kill, segfault, injected crash) is retried on a
+    fresh pool ``POOL_RESPAWNS`` times; if the pool keeps breaking the map
+    is recomputed serially with a ``RuntimeWarning`` and a ``degradations``
+    tick on ``telemetry`` (and the session aggregator, if enabled), never
+    an exception: completed campaigns must survive crashed workers.
     """
     work: Sequence[T] = list(items)
     workers = resolve_workers(max_workers)
     if workers <= 1 or len(work) <= 1:
         return [fn(item) for item in work], False
-    try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(work))) as pool:
-            return list(pool.map(fn, work)), True
-    except (OSError, BrokenProcessPool, pickle.PicklingError, TypeError):
-        # Pool unavailable (sandbox/fork limits) or payload unpicklable:
-        # degrade to the serial path rather than failing the experiment.
-        return [fn(item) for item in work], False
+    payloads = [(fn, i, item) for i, item in enumerate(work)]
+    for _ in range(1 + POOL_RESPAWNS):
+        try:
+            with ProcessPoolExecutor(max_workers=min(workers, len(work))) as pool:
+                return list(pool.map(_pool_invoke, payloads)), True
+        except BrokenProcessPool:
+            # A worker died mid-map.  Results from pure fns are
+            # deterministic, so re-running the full map (fresh pool, then
+            # serially) reproduces exactly what an unbroken run returns.
+            continue
+        except (OSError, pickle.PicklingError, TypeError):
+            # Pool unavailable (sandbox/fork limits) or payload unpicklable:
+            # degrade to the serial path rather than failing the experiment.
+            return [fn(item) for item in work], False
+    warnings.warn(
+        "process pool broke; recomputing the map serially",
+        RuntimeWarning, stacklevel=2,
+    )
+    if telemetry is not None:
+        # The caller owns folding this record into the session aggregator;
+        # recording here too would double count.
+        telemetry.degradations += 1
+    else:
+        record_session(SolverTelemetry(degradations=1))
+    return [fn(item) for item in work], False

@@ -119,6 +119,7 @@ def sweep(
     estimators: dict[str, Estimator],
     max_workers: int | None = None,
     engine: str | None = None,
+    campaign=None,
 ) -> SweepResult:
     """Run the golden simulation and all estimators across ``values``.
 
@@ -135,10 +136,23 @@ def sweep(
             ``"batch"`` or ``"auto"``); the default honors ``REPRO_ENGINE``
             per :func:`repro.analysis.engine.resolve_engine`.  The batched
             engine runs all sweep points in one vectorized Newton loop.
+        campaign: optional :class:`repro.analysis.campaign.CampaignConfig`
+            routing the golden simulations through the fault-tolerant
+            :class:`~repro.analysis.campaign.CampaignRunner`
+            (checkpoint/resume, retries, engine degradation).  Results are
+            bit-identical to the direct path; ``max_workers``/``engine``
+            here are ignored in favor of the config's own knobs.
 
     Returns:
         The populated :class:`SweepResult`.
     """
+    if campaign is not None:
+        # Local import: campaign builds on this module's result types.
+        from .campaign import CampaignRunner
+
+        runner = campaign if isinstance(campaign, CampaignRunner) \
+            else CampaignRunner(campaign)
+        return runner.run_sweep(knob, base, values, apply, estimators)
     specs = [apply(base, value) for value in values]
     sims = simulate_many(specs, max_workers=max_workers, engine=engine)
     points = []
@@ -158,7 +172,7 @@ def sweep(
 
 def sweep_driver_count(
     base: DriverBankSpec, counts: Sequence[int], estimators: dict[str, Estimator],
-    max_workers: int | None = None, engine: str | None = None,
+    max_workers: int | None = None, engine: str | None = None, campaign=None,
 ) -> SweepResult:
     """Sweep the number of simultaneously switching drivers (Figs. 3-4)."""
     return sweep(
@@ -169,12 +183,13 @@ def sweep_driver_count(
         estimators,
         max_workers=max_workers,
         engine=engine,
+        campaign=campaign,
     )
 
 
 def sweep_ground_capacitance(
     base: DriverBankSpec, capacitances: Sequence[float], estimators: dict[str, Estimator],
-    max_workers: int | None = None, engine: str | None = None,
+    max_workers: int | None = None, engine: str | None = None, campaign=None,
 ) -> SweepResult:
     """Sweep the parasitic ground capacitance (Section 4 studies)."""
     return sweep(
@@ -185,12 +200,13 @@ def sweep_ground_capacitance(
         estimators,
         max_workers=max_workers,
         engine=engine,
+        campaign=campaign,
     )
 
 
 def sweep_rise_time(
     base: DriverBankSpec, rise_times: Sequence[float], estimators: dict[str, Estimator],
-    max_workers: int | None = None, engine: str | None = None,
+    max_workers: int | None = None, engine: str | None = None, campaign=None,
 ) -> SweepResult:
     """Sweep the input ramp duration (slope design-knob studies)."""
     return sweep(
@@ -201,4 +217,5 @@ def sweep_rise_time(
         estimators,
         max_workers=max_workers,
         engine=engine,
+        campaign=campaign,
     )

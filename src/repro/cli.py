@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's day-to-day uses:
+Seven commands cover the library's day-to-day uses:
 
 * ``fit``       — characterize a process: print the fitted ASDM (and
   baseline) parameters for a technology card.
@@ -10,10 +10,21 @@ Four commands cover the library's day-to-day uses:
   (max simultaneous drivers / slower edges / more pads / skewing).
 * ``report``    — run a paper experiment and print its report (the same
   artifacts the benchmark harness regenerates).
+* ``sweep``     — golden-simulate one knob sweep (driver count, ground
+  capacitance or rise time) against the ASDM estimate.
+* ``montecarlo``— golden transient Monte Carlo under device variation.
+* ``simulate``  — golden-simulate a list of driver counts and print peaks.
+
+The last three run *campaigns* — long multi-simulation workloads — through
+the fault-tolerant runner (:mod:`repro.analysis.campaign`): they accept
+``--checkpoint PATH`` (journal completed chunks atomically), ``--resume``
+(replay the journal and run only what's missing, bit-identical to an
+uninterrupted run), ``--max-retries``/``--deadline`` (per-chunk retry
+budget and per-task wall-clock limit) plus ``--chunk-size``/``--workers``.
 
 Every command additionally accepts ``--telemetry`` (print aggregated solver
 counters — Newton iterations, step rejections/retries, LU-cache activity,
-unrecovered failures — after the command's output) and
+campaign recoveries, unrecovered failures — after the command's output) and
 ``--telemetry-json PATH`` (write the same counters as a machine-readable
 run summary, so harnesses can assert "0 unrecovered failures, N retries"
 instead of just not-crashing).
@@ -22,9 +33,12 @@ instead of just not-crashing).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
+from .analysis.campaign import CampaignConfig, CampaignRunner
+from .analysis.driver_bank import DriverBankSpec
 from .analysis.engine import ENGINES, set_default_engine
 from .spice.telemetry import disable_session_telemetry, enable_session_telemetry
 
@@ -116,6 +130,53 @@ def _telemetry_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _campaign_parent() -> argparse.ArgumentParser:
+    """Shared fault-tolerance flags of the campaign commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--checkpoint", metavar="PATH", default=None,
+        help="journal completed chunks to PATH (atomic JSONL); a crashed or "
+        "interrupted run can be finished with --resume",
+    )
+    parent.add_argument(
+        "--resume", action="store_true",
+        help="replay the --checkpoint journal and run only missing chunks; "
+        "results are bit-identical to an uninterrupted run",
+    )
+    parent.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="re-attempts per chunk (and per recovery rung) after the first "
+        "failure (default 2)",
+    )
+    parent.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-task wall-clock budget; an attempt exceeding it counts as "
+        "failed and enters the retry/degradation ladder (default: none)",
+    )
+    parent.add_argument(
+        "--chunk-size", type=int, default=8, metavar="N",
+        help="simulations per journaled chunk (default 8)",
+    )
+    parent.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool width for scalar-engine chunks (default: "
+        "$REPRO_MAX_WORKERS, else serial; 0 = one per CPU)",
+    )
+    return parent
+
+
+def _campaign_config(args) -> CampaignConfig:
+    return CampaignConfig(
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        chunk_size=args.chunk_size,
+        max_retries=args.max_retries,
+        deadline=args.deadline,
+        max_workers=args.workers,
+        engine=getattr(args, "engine", None),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -163,6 +224,56 @@ def build_parser() -> argparse.ArgumentParser:
                             **_parent)
     _add_tech_argument(report)
     report.add_argument("experiment", choices=sorted(_EXPERIMENTS) + ["all"])
+
+    campaign_parent = _campaign_parent()
+    _campaign = {"parents": [telemetry_parent, campaign_parent]}
+
+    swp = sub.add_parser(
+        "sweep", help="golden-simulate a knob sweep vs the ASDM estimate",
+        **_campaign)
+    _add_tech_argument(swp)
+    swp.add_argument("--knob", choices=("n_drivers", "capacitance", "rise_time"),
+                     default="n_drivers", help="quantity to sweep (default n_drivers)")
+    swp.add_argument("--values", required=True,
+                     help="comma-separated knob values (e.g. 1,2,4,8)")
+    swp.add_argument("-n", "--drivers", type=int, default=4,
+                     help="base driver count (default 4)")
+    swp.add_argument("-l", "--inductance", type=float, default=5e-9,
+                     help="ground inductance in henries (default 5e-9)")
+    swp.add_argument("-c", "--capacitance", type=float, default=None,
+                     help="base ground capacitance in farads (default: none)")
+    swp.add_argument("-t", "--rise-time", type=float, default=0.5e-9,
+                     help="base input rise time in seconds (default 0.5e-9)")
+    swp.add_argument("--csv", metavar="PATH", default=None,
+                     help="also write the sweep as CSV to PATH")
+
+    mc = sub.add_parser(
+        "montecarlo", help="golden transient Monte Carlo under device variation",
+        **_campaign)
+    _add_tech_argument(mc)
+    mc.add_argument("-n", "--drivers", type=int, required=True,
+                    help="simultaneously switching drivers")
+    mc.add_argument("-l", "--inductance", type=float, default=5e-9)
+    mc.add_argument("-c", "--capacitance", type=float, default=None)
+    mc.add_argument("-t", "--rise-time", type=float, default=0.5e-9)
+    mc.add_argument("--trials", type=int, default=64,
+                    help="Monte Carlo draws (default 64)")
+    mc.add_argument("--seed", type=int, default=0,
+                    help="RNG seed; draws are fixed up front (default 0)")
+    mc.add_argument("--vth-sigma", type=float, default=None,
+                    help="threshold 1-sigma in volts (default: DeviceSpread)")
+    mc.add_argument("--mu-sigma", type=float, default=None,
+                    help="mobility lognormal sigma (default: DeviceSpread)")
+
+    sim = sub.add_parser(
+        "simulate", help="golden-simulate driver counts and print SSN peaks",
+        **_campaign)
+    _add_tech_argument(sim)
+    sim.add_argument("-n", "--drivers", required=True,
+                     help="comma-separated driver counts (e.g. 2,4,8)")
+    sim.add_argument("-l", "--inductance", type=float, default=5e-9)
+    sim.add_argument("-c", "--capacitance", type=float, default=None)
+    sim.add_argument("-t", "--rise-time", type=float, default=0.5e-9)
 
     return parser
 
@@ -251,6 +362,120 @@ def _run_report(args) -> str:
     return _EXPERIMENTS[args.experiment](args.tech)
 
 
+#: sweep-command knob -> pure spec transform (shared with the sweep layer).
+_SWEEP_APPLY = {
+    "n_drivers": lambda spec, v: dataclasses.replace(spec, n_drivers=int(v)),
+    "capacitance": lambda spec, v: dataclasses.replace(spec, capacitance=float(v)),
+    "rise_time": lambda spec, v: dataclasses.replace(spec, rise_time=float(v)),
+}
+
+
+def _asdm_estimator(models):
+    """Closed-form peak-SSN estimate matched to each point's topology."""
+    vdd = models.technology.vdd
+
+    def estimate(spec: DriverBankSpec) -> float:
+        if spec.capacitance is not None:
+            return LcSsnModel(models.asdm, spec.n_drivers, spec.inductance,
+                              spec.capacitance, vdd, spec.rise_time).peak_voltage()
+        return InductiveSsnModel(models.asdm, spec.n_drivers, spec.inductance,
+                                 vdd, spec.rise_time).peak_voltage()
+
+    return estimate
+
+
+def _campaign_summary(runner: CampaignRunner) -> str:
+    tel = runner.telemetry
+    return (f"  campaign: retries={tel.retries} degradations={tel.degradations} "
+            f"chunks_failed={tel.chunks_failed} "
+            f"checkpoints={tel.checkpoint_writes}")
+
+
+def _run_sweep(args) -> str:
+    models = fitted_models(args.tech)
+    base = DriverBankSpec(
+        technology=models.technology, n_drivers=args.drivers,
+        inductance=args.inductance, rise_time=args.rise_time,
+        capacitance=args.capacitance,
+    )
+    values = [float(v) for v in args.values.split(",") if v.strip()]
+    runner = CampaignRunner(_campaign_config(args))
+    result = runner.run_sweep(args.knob, base, values, _SWEEP_APPLY[args.knob],
+                              {"asdm": _asdm_estimator(models)})
+    lines = [
+        f"sweep {args.knob} over {len(values)} points "
+        f"({args.tech}, L = {args.inductance:.3g} H)",
+        f"  {'value':>12}  {'simulated':>10}  {'asdm':>10}  {'err%':>7}",
+    ]
+    for p in result.points:
+        lines.append(
+            f"  {p.value:>12.6g}  {p.simulated_peak:>10.4f}  "
+            f"{p.estimates['asdm']:>10.4f}  {p.percent_error('asdm'):>7.2f}"
+        )
+    lines.append(_campaign_summary(runner))
+    if args.csv:
+        result.to_csv(args.csv)
+        lines.append(f"  wrote {args.csv}")
+    return "\n".join(lines)
+
+
+def _run_montecarlo(args) -> str:
+    from .analysis.montecarlo import DeviceSpread
+
+    models = fitted_models(args.tech)
+    spec = DriverBankSpec(
+        technology=models.technology, n_drivers=args.drivers,
+        inductance=args.inductance, rise_time=args.rise_time,
+        capacitance=args.capacitance,
+    )
+    defaults = DeviceSpread()
+    spread = DeviceSpread(
+        vth_sigma=defaults.vth_sigma if args.vth_sigma is None else args.vth_sigma,
+        mu_sigma=defaults.mu_sigma if args.mu_sigma is None else args.mu_sigma,
+    )
+    runner = CampaignRunner(_campaign_config(args))
+    result = runner.run_montecarlo(spec, spread=spread, trials=args.trials,
+                                   seed=args.seed)
+    lines = [
+        f"golden Monte Carlo: {args.trials} trials, {args.drivers} drivers, "
+        f"L = {args.inductance:.3g} H, seed {args.seed} ({args.tech})",
+        f"  mean peak SSN:  {result.mean:.4f} V   (std {result.std:.4f} V)",
+        f"  p95 peak SSN:   {result.p95:.4f} V",
+        f"  nominal:        {result.nominal:.4f} V   "
+        f"(guard band {result.guard_band:.4f} V)",
+        _campaign_summary(runner),
+    ]
+    return "\n".join(lines)
+
+
+def _run_simulate(args) -> str:
+    models = fitted_models(args.tech)
+    counts = [int(v) for v in args.drivers.split(",") if v.strip()]
+    specs = [
+        DriverBankSpec(
+            technology=models.technology, n_drivers=n,
+            inductance=args.inductance, rise_time=args.rise_time,
+            capacitance=args.capacitance,
+        )
+        for n in counts
+    ]
+    runner = CampaignRunner(_campaign_config(args))
+    summaries = runner.run_simulate(specs)
+    lines = [
+        f"golden simulation of {len(counts)} configurations "
+        f"({args.tech}, L = {args.inductance:.3g} H, "
+        f"tr = {args.rise_time:.3g} s)",
+        f"  {'drivers':>8}  {'peak SSN':>10}  {'at':>10}  engine",
+    ]
+    for n, summary in zip(counts, summaries):
+        lines.append(
+            f"  {n:>8}  {summary.peak_voltage:>10.4f}  "
+            f"{summary.peak_time:>10.3g}  {summary.engine}"
+        )
+    lines.append(_campaign_summary(runner))
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -259,6 +484,9 @@ def main(argv=None) -> int:
         "estimate": _run_estimate,
         "plan": _run_plan,
         "report": _run_report,
+        "sweep": _run_sweep,
+        "montecarlo": _run_montecarlo,
+        "simulate": _run_simulate,
     }
     collect = bool(getattr(args, "telemetry", False) or
                    getattr(args, "telemetry_json", None))

@@ -114,6 +114,27 @@ def lockstep_signature(circuit: Circuit) -> tuple:
     return tuple(sig)
 
 
+def _require_finite(name: str, param: str, values) -> np.ndarray:
+    """Validate one element position's parameter bank at construction.
+
+    The scalar element constructors only reject non-*positive* values, so a
+    NaN/inf slips through (``nan <= 0`` is False) and would otherwise fail
+    deep inside the lockstep Newton loop as an opaque non-finite iterate.
+    Catching it here names the offending element, parameter and instance.
+
+    Raises:
+        BatchIncompatibleError: if any entry is NaN or infinite.
+    """
+    arr = np.asarray(values, dtype=float)
+    if not np.isfinite(arr).all():
+        bad = int(np.flatnonzero(~np.isfinite(arr))[0])
+        raise BatchIncompatibleError(
+            f"element {name!r}: non-finite {param} in batch instance {bad} "
+            f"({arr[bad]!r}); fix the parameter bank before simulating"
+        )
+    return arr
+
+
 # -- element banks ------------------------------------------------------------------
 #
 # One bank per template element position.  Matrix scatters write A[:, r, c]
@@ -185,7 +206,8 @@ class _ResistorBank(_Bank):
 
     def __init__(self, elements, system):
         super().__init__(elements, system)
-        self.g = np.array([1.0 / el.ohms for el in elements])
+        ohms = _require_finite(self.name, "resistance", [el.ohms for el in elements])
+        self.g = _require_finite(self.name, "conductance", 1.0 / ohms)
 
     def stamp_matrix(self, A, mode, dt, trap):
         a, b = self.nodes
@@ -201,9 +223,11 @@ class _CapacitorBank(_Bank):
 
     def __init__(self, elements, system):
         super().__init__(elements, system)
-        self.farads = np.array([el.farads for el in elements])
-        self.ic = None if elements[0].ic is None else np.array(
-            [el.ic for el in elements]
+        self.farads = _require_finite(
+            self.name, "capacitance", [el.farads for el in elements]
+        )
+        self.ic = None if elements[0].ic is None else _require_finite(
+            self.name, "initial condition", [el.ic for el in elements]
         )
         self.v = np.zeros(len(elements))
         self.i = np.zeros(len(elements))
@@ -263,8 +287,12 @@ class _InductorBank(_Bank):
 
     def __init__(self, elements, system):
         super().__init__(elements, system)
-        self.henries = np.array([el.henries for el in elements])
-        self.ic = np.array([el.ic for el in elements])
+        self.henries = _require_finite(
+            self.name, "inductance", [el.henries for el in elements]
+        )
+        self.ic = _require_finite(
+            self.name, "initial condition", [el.ic for el in elements]
+        )
         self.row = system.branch_row_of(elements[0])
         self.i = np.zeros(len(elements))
         self.v = np.zeros(len(elements))
@@ -321,7 +349,9 @@ class _InductorBank(_Bank):
 class _MutualBank(_Bank):
     def __init__(self, elements, system, inductor_banks):
         super().__init__(elements, system)
-        self.mutual = np.array([el.mutual for el in elements])
+        self.mutual = _require_finite(
+            self.name, "mutual inductance", [el.mutual for el in elements]
+        )
         self.pair = inductor_banks  # (bank of la, bank of lb)
 
     def _factor(self, dt: float, trap: bool) -> np.ndarray:

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..testing.faults import fire as _fire_fault
 from .mna import MnaSystem, StampContext
 from .telemetry import SolverTelemetry
 
@@ -95,6 +96,10 @@ def newton_solve(
     system.telemetry = telemetry
     if telemetry is not None:
         telemetry.newton_solves += 1
+    if _fire_fault("newton") is not None:
+        # Deterministic fault injection (repro.testing.faults): report this
+        # solve as diverged so the recovery ladders above get exercised.
+        raise ConvergenceError(f"injected Newton divergence at t={t}")
     if not fast:
         return _newton_solve_reference(
             system, mode, t, dt, method, states, x0, gmin,

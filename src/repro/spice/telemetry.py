@@ -61,6 +61,21 @@ class SolverTelemetry:
             for the scalar path (Newton failure needing the step-halving /
             gmin recovery ladder); the scalar re-run's counters replace the
             instance's partial batched ones.
+        retries: failed campaign attempts re-executed at the same engine
+            rung after a backoff (see ``repro.analysis.campaign``); distinct
+            from ``step_retries``, which counts time-step halvings inside
+            one transient run.
+        degradations: execution-path downgrades taken to keep a workload
+            alive: a campaign chunk or instance dropping one rung of the
+            batch -> scalar -> legacy engine ladder, or a broken process
+            pool falling back to the serial path
+            (:func:`repro.analysis.parallel.parallel_map`).
+        chunks_failed: campaign chunks whose bulk execution exhausted its
+            retry budget and entered per-instance recovery; a chunk that
+            ultimately recovers still counts here (``unrecovered_failures``
+            stays 0 unless recovery itself failed).
+        checkpoint_writes: atomic campaign-checkpoint files committed via
+            ``os.replace`` (one per completed chunk plus the final state).
         phase_seconds: wall-clock seconds per named phase ("ic", "dc",
             "stepping", "total", ...); merged by summing per key.  The
             batched engine splits its shared wall clock evenly across the
@@ -82,6 +97,10 @@ class SolverTelemetry:
     nonlinear_restamps: int = 0
     full_assemblies: int = 0
     batch_fallbacks: int = 0
+    retries: int = 0
+    degradations: int = 0
+    chunks_failed: int = 0
+    checkpoint_writes: int = 0
     phase_seconds: dict = dataclasses.field(default_factory=dict)
 
     @property
@@ -111,6 +130,22 @@ class SolverTelemetry:
             if rec is not None:
                 total.merge(rec)
         return total
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolverTelemetry":
+        """Rebuild a record from :meth:`as_dict` output (journal round trip).
+
+        Unknown keys (including the derived ``ok`` / ``recovered_rejections``
+        entries ``as_dict`` adds) are ignored, so journals written by newer
+        versions with extra counters still load.
+        """
+        tel = cls()
+        for f in dataclasses.fields(cls):
+            if f.name == "phase_seconds":
+                tel.phase_seconds = dict(data.get("phase_seconds", {}))
+            elif f.name in data:
+                setattr(tel, f.name, int(data[f.name]))
+        return tel
 
     def as_dict(self) -> dict:
         """Machine-readable summary (JSON-serializable)."""
@@ -142,6 +177,13 @@ class SolverTelemetry:
         ]
         if self.batch_fallbacks:
             lines.append(f"  batch -> scalar fallbacks:    {self.batch_fallbacks}")
+        if self.retries or self.degradations or self.chunks_failed:
+            lines.append(
+                f"  campaign retries/degrades:    {self.retries} / {self.degradations}"
+                f" ({self.chunks_failed} chunks needed recovery)"
+            )
+        if self.checkpoint_writes:
+            lines.append(f"  checkpoint commits:           {self.checkpoint_writes}")
         if self.phase_seconds:
             phases = ", ".join(
                 f"{name} {secs:.3g}s" for name, secs in sorted(self.phase_seconds.items())

@@ -1,0 +1,35 @@
+"""Test-support machinery shipped with the library (not test code itself).
+
+The only resident so far is :mod:`repro.testing.faults`, the deterministic
+fault injector the robustness suite uses to force worker crashes, Newton
+divergence, stalls and mid-run interrupts through the campaign runner's
+recovery ladder.  It lives in the package (not under ``tests/``) because
+the probes are compiled into the engine and must resolve in pool workers
+and CI subprocesses alike.
+"""
+
+from .faults import (
+    FAULTS_ENV,
+    FaultRule,
+    InjectedCrash,
+    InjectedFault,
+    clear_faults,
+    current_scope,
+    fire,
+    install_faults,
+    probe,
+    scope,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultRule",
+    "InjectedCrash",
+    "InjectedFault",
+    "clear_faults",
+    "current_scope",
+    "fire",
+    "install_faults",
+    "probe",
+    "scope",
+]

@@ -1,0 +1,235 @@
+"""Campaign runner: checkpoint/resume, chunking, journaling, wrappers.
+
+The fault-free contracts: a campaign must return exactly what the direct
+execution paths return (bit-identical peaks and samples), journal progress
+as valid JSONL committed atomically, resume from any prefix of that
+journal without recomputing finished chunks, and refuse to resume from a
+journal written by a different workload.  Failure-path behavior lives in
+``test_campaign_faults``.
+"""
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    CheckpointMismatchError,
+)
+from repro.analysis.driver_bank import DriverBankSpec
+from repro.analysis.montecarlo import transient_peak_distribution
+from repro.analysis.simulate import simulate_many
+from repro.analysis.sweeps import sweep
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults():
+    faults.clear_faults()
+    yield
+    faults.clear_faults()
+
+
+def _specs(tech, counts):
+    base = DriverBankSpec(
+        technology=tech, n_drivers=1, inductance=1e-9, rise_time=0.5e-9
+    )
+    return [dataclasses.replace(base, n_drivers=n) for n in counts]
+
+
+def _config(**kwargs):
+    kwargs.setdefault("backoff_base", 0.0)
+    kwargs.setdefault("max_workers", 1)
+    kwargs.setdefault("engine", "scalar")
+    return CampaignConfig(**kwargs)
+
+
+class TestCleanRuns:
+    def test_matches_direct_simulate_many(self, tech018):
+        specs = _specs(tech018, [1, 2, 3, 4, 5])
+        direct = simulate_many(specs, engine="scalar")
+        runner = CampaignRunner(_config(chunk_size=2))
+        summaries = runner.run_simulate(specs)
+        assert [s.peak_voltage for s in summaries] == [
+            d.peak_voltage for d in direct
+        ]
+        assert [s.peak_time for s in summaries] == [d.peak_time for d in direct]
+        assert [s.engine for s in summaries] == ["scalar"] * len(specs)
+
+    def test_clean_telemetry_is_quiet(self, tech018):
+        runner = CampaignRunner(_config(chunk_size=2))
+        runner.run_simulate(_specs(tech018, [1, 2, 3]))
+        tel = runner.telemetry
+        assert (tel.retries, tel.degradations, tel.chunks_failed) == (0, 0, 0)
+        assert tel.unrecovered_failures == 0
+        assert tel.checkpoint_writes == 0  # no checkpoint configured
+
+    def test_batch_rung_matches_batch_engine(self, tech018):
+        specs = _specs(tech018, [2, 3, 4, 6])
+        direct = simulate_many(specs, engine="batch")
+        runner = CampaignRunner(_config(chunk_size=4, engine="batch"))
+        summaries = runner.run_simulate(specs)
+        assert [s.peak_voltage for s in summaries] == [
+            d.peak_voltage for d in direct
+        ]
+        assert all(s.engine == "batch" for s in summaries)
+
+    def test_empty_workload(self):
+        assert CampaignRunner(_config()).run_simulate([]) == []
+
+
+class TestCheckpointJournal:
+    def test_journal_is_valid_jsonl_with_header(self, tech018, tmp_path):
+        ckpt = tmp_path / "run.jsonl"
+        runner = CampaignRunner(_config(checkpoint=ckpt, chunk_size=2))
+        runner.run_simulate(_specs(tech018, [1, 2, 3, 4, 5]))
+        lines = ckpt.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["version"] == 1
+        assert header["kind"] == "simulate"
+        assert header["n_items"] == 5
+        chunks = [json.loads(line) for line in lines[1:]]
+        assert [c["chunk"] for c in chunks] == [0, 1, 2]
+        indices = [i for c in chunks for i in c["indices"]]
+        assert indices == [0, 1, 2, 3, 4]
+        for c in chunks:
+            for rec in c["records"]:
+                assert np.isfinite(rec["peak"])
+        # header write + one commit per chunk
+        assert runner.telemetry.checkpoint_writes == 4
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_resume_from_complete_journal_recomputes_nothing(
+        self, tech018, tmp_path
+    ):
+        specs = _specs(tech018, [1, 2, 3, 4, 5])
+        ckpt = tmp_path / "run.jsonl"
+        first = CampaignRunner(_config(checkpoint=ckpt, chunk_size=2))
+        baseline = first.run_simulate(specs)
+
+        second = CampaignRunner(_config(checkpoint=ckpt, chunk_size=2,
+                                        resume=True))
+        resumed = second.run_simulate(specs)
+        assert [s.peak_voltage for s in resumed] == [
+            s.peak_voltage for s in baseline
+        ]
+        assert second.telemetry.checkpoint_writes == 0
+
+    def test_resume_from_partial_journal_is_bit_identical(
+        self, tech018, tmp_path
+    ):
+        specs = _specs(tech018, [1, 2, 3, 4, 5, 6])
+        ckpt = tmp_path / "run.jsonl"
+        first = CampaignRunner(_config(checkpoint=ckpt, chunk_size=2))
+        baseline = first.run_simulate(specs)
+
+        # Keep the header and the first completed chunk only: the resumed
+        # run must re-execute chunks 1-2 and splice everything together
+        # exactly as the uninterrupted run reported it.
+        lines = ckpt.read_text().splitlines()
+        ckpt.write_text("\n".join(lines[:2]) + "\n")
+        second = CampaignRunner(_config(checkpoint=ckpt, chunk_size=2,
+                                        resume=True))
+        resumed = second.run_simulate(specs)
+        assert [s.peak_voltage for s in resumed] == [
+            s.peak_voltage for s in baseline
+        ]
+        assert [s.peak_time for s in resumed] == [
+            s.peak_time for s in baseline
+        ]
+        assert second.telemetry.checkpoint_writes == 2
+
+    def test_fingerprint_mismatch_is_rejected(self, tech018, tmp_path):
+        ckpt = tmp_path / "run.jsonl"
+        CampaignRunner(_config(checkpoint=ckpt, chunk_size=2)).run_simulate(
+            _specs(tech018, [1, 2, 3])
+        )
+        other = CampaignRunner(_config(checkpoint=ckpt, chunk_size=2,
+                                       resume=True))
+        with pytest.raises(CheckpointMismatchError):
+            other.run_simulate(_specs(tech018, [4, 5, 6]))
+
+    def test_chunk_size_participates_in_fingerprint(self, tech018, tmp_path):
+        specs = _specs(tech018, [1, 2, 3])
+        ckpt = tmp_path / "run.jsonl"
+        CampaignRunner(_config(checkpoint=ckpt, chunk_size=2)).run_simulate(specs)
+        other = CampaignRunner(_config(checkpoint=ckpt, chunk_size=3,
+                                       resume=True))
+        with pytest.raises(CheckpointMismatchError):
+            other.run_simulate(specs)
+
+    def test_resume_without_journal_runs_fresh(self, tech018, tmp_path):
+        runner = CampaignRunner(
+            _config(checkpoint=tmp_path / "fresh.jsonl", resume=True,
+                    chunk_size=2)
+        )
+        summaries = runner.run_simulate(_specs(tech018, [1, 2]))
+        assert len(summaries) == 2
+
+
+class TestWorkloadWrappers:
+    def test_sweep_campaign_matches_direct(self, tech018):
+        base = _specs(tech018, [1])[0]
+        values = [1, 2, 4]
+        apply = lambda spec, n: dataclasses.replace(spec, n_drivers=int(n))
+        estimators = {"linear": lambda spec: 0.02 * spec.n_drivers}
+        direct = sweep("n_drivers", base, values, apply, estimators,
+                       max_workers=1, engine="scalar")
+        via_campaign = sweep("n_drivers", base, values, apply, estimators,
+                             campaign=_config(chunk_size=2))
+        assert via_campaign.knob == direct.knob
+        assert via_campaign.values() == direct.values()
+        assert via_campaign.simulated_peaks() == direct.simulated_peaks()
+        assert via_campaign.estimate_series("linear") == \
+            direct.estimate_series("linear")
+
+    def test_montecarlo_campaign_matches_direct(self, tech018):
+        spec = _specs(tech018, [2])[0]
+        direct = transient_peak_distribution(spec, trials=4, seed=7,
+                                             engine="scalar")
+        via_campaign = transient_peak_distribution(
+            spec, trials=4, seed=7, campaign=_config(chunk_size=2)
+        )
+        assert np.array_equal(via_campaign.samples, direct.samples)
+        assert via_campaign.nominal == direct.nominal
+        assert via_campaign.mean == direct.mean
+        assert via_campaign.p95 == direct.p95
+
+    def test_journal_round_trip_preserves_float_bits(self, tech018, tmp_path):
+        """Peaks replayed from the JSONL journal are the exact floats the
+        original run computed — json round-trips repr exactly."""
+        specs = _specs(tech018, [1, 2, 3, 4])
+        ckpt = tmp_path / "run.jsonl"
+        first = CampaignRunner(_config(checkpoint=ckpt, chunk_size=2))
+        baseline = first.run_simulate(specs)
+        lines = ckpt.read_text().splitlines()
+        journaled = {
+            rec["index"]: rec["peak"]
+            for line in lines[1:]
+            for rec in json.loads(line)["records"]
+        }
+        for summary in baseline:
+            assert journaled[summary.index] == summary.peak_voltage
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"chunk_size": 0},
+            {"max_retries": -1},
+            {"deadline": 0.0},
+            {"backoff_base": -0.1},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            CampaignConfig(**kwargs)
+
+    def test_config_and_kwargs_are_exclusive(self):
+        with pytest.raises(TypeError):
+            CampaignRunner(CampaignConfig(), chunk_size=4)

@@ -202,3 +202,45 @@ class TestScalarFallback:
         # Fallback results come from the scalar engine itself: bitwise equal.
         _assert_results_match(scalar, batched, tol=0.0)
         assert all(b.telemetry.batch_fallbacks == 1 for b in batched)
+
+
+class TestParameterBankValidation:
+    """Satellite contract: NaN/inf parameter banks are rejected at bank
+    construction with an error naming the offending element, parameter and
+    batch instance — not deep inside the Newton loop as an opaque
+    non-finite iterate."""
+
+    @staticmethod
+    def _rlc(r=10.0, l=4e-9, c=3e-12):
+        circuit = Circuit("rlc")
+        circuit.vsource("Vin", "in", "0", Ramp(0.0, 1.8, 0.1e-9, 0.2e-9))
+        circuit.resistor("R1", "in", "mid", r)
+        circuit.inductor("L1", "mid", "out", l, ic=0.0)
+        circuit.capacitor("C1", "out", "0", c, ic=0.0)
+        return circuit
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_non_finite_resistance_names_element_and_instance(self, bad):
+        circuits = [self._rlc(), self._rlc(r=bad)]
+        with pytest.raises(BatchIncompatibleError) as err:
+            batch_transient(circuits, 1e-9, 5e-12)
+        message = str(err.value)
+        assert "R1" in message and "instance 1" in message
+
+    def test_non_finite_capacitance_names_element_and_instance(self):
+        circuits = [self._rlc(c=float("nan")), self._rlc()]
+        with pytest.raises(BatchIncompatibleError) as err:
+            batch_transient(circuits, 1e-9, 5e-12)
+        message = str(err.value)
+        assert "C1" in message and "instance 0" in message
+
+    def test_non_finite_inductance_names_element_and_instance(self):
+        circuits = [self._rlc(), self._rlc(l=float("inf"))]
+        with pytest.raises(BatchIncompatibleError) as err:
+            batch_transient(circuits, 1e-9, 5e-12)
+        message = str(err.value)
+        assert "L1" in message and "instance 1" in message
+
+    def test_finite_banks_still_simulate(self):
+        results = batch_transient([self._rlc(), self._rlc(r=25.0)], 1e-9, 5e-12)
+        assert len(results) == 2
