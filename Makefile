@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-smoke bench-perf campaign-smoke reports examples clean
+.PHONY: install test bench bench-smoke bench-perf campaign-smoke trace-smoke reports examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -32,6 +32,24 @@ campaign-smoke:
 	$(PY) -m repro simulate -n 1,2,3 -l 1e-9 --chunk-size 2 \
 	  --checkpoint campaign_smoke.jsonl --resume
 	rm -f campaign_smoke.jsonl
+
+# Observability smoke: a full-detail traced + metered CLI sweep, then
+# schema-validate the Chrome trace, read it back through the summarizer,
+# and check the Prometheus text carries the key histograms.
+trace-smoke:
+	rm -f trace_smoke.json metrics_smoke.prom
+	$(PY) -m repro sweep --values 1,2 --trace trace_smoke.json \
+	  --trace-detail full --metrics metrics_smoke.prom
+	$(PY) -c "import json; from repro.observability.export import \
+	  validate_chrome_trace; \
+	  validate_chrome_trace(json.load(open('trace_smoke.json'))); \
+	  print('chrome trace schema ok')"
+	$(PY) -m repro trace summarize trace_smoke.json
+	$(PY) -c "text = open('metrics_smoke.prom').read(); \
+	  assert 'repro_newton_iterations_per_solve_bucket' in text, 'newton histogram missing'; \
+	  assert 'repro_phase_seconds_bucket' in text, 'phase histogram missing'; \
+	  print('prometheus export ok')"
+	rm -f trace_smoke.json metrics_smoke.prom
 
 # Regenerate every paper artifact into benchmarks/reports/*.txt and
 # the run logs the task description asks for.

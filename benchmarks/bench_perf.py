@@ -35,6 +35,8 @@ import numpy as np
 import pytest
 
 from repro.analysis.driver_bank import DriverBankSpec
+from repro.observability import metrics as obs_metrics
+from repro.observability import trace as obs_trace
 from repro.process import TSMC018
 from repro.analysis.simulate import (
     simulate_many,
@@ -49,6 +51,9 @@ MIN_SPEEDUP = 3.0
 MIN_BATCH_SPEEDUP = 3.0
 #: Peak-voltage agreement between any two engines.
 PARITY_TOL = 1e-9
+#: Worst-case share of an untraced run the disabled instrumentation may
+#: cost (the observability package's hot-path budget).
+MAX_DISABLED_OVERHEAD = 0.03
 
 SINGLE_N = 10
 SWEEP_COUNTS = list(range(1, 31, 4))  # Fig. 3 range, strided for runtime
@@ -221,3 +226,96 @@ def test_batched_sweep_speedup(tech018, wall_clock, perf_report, publish, quick)
     )
 
     assert speedup >= MIN_BATCH_SPEEDUP
+
+
+def test_tracing_overhead(tech018, wall_clock, perf_report, publish, quick):
+    """Observability must be free when off and cheap when on.
+
+    Three measurements on one golden transient:
+
+    * the untraced wall clock (instrumentation present but disabled — the
+      shape every production run has);
+    * the same workload under full-detail tracing + metrics, with peak
+      parity asserted (reported, not gated: enabled tracing buys data
+      with time);
+    * the disabled no-op primitives micro-timed, then scaled by the span
+      count the traced run proved is on the hot path.  That bounds the
+      instrumentation's share of the untraced run without needing an
+      uninstrumented build to diff against, and the bound is a ratio of
+      back-to-back timings on one host, so shared-runner noise largely
+      cancels — it is asserted even in ``--quick`` mode.
+    """
+    single_n = QUICK_SINGLE_N if quick else SINGLE_N
+
+    def run():
+        simulate_ssn_cache_clear()
+        return simulate_ssn(_spec(tech018, single_n)).peak_voltage
+
+    run()  # warm model caches and lazy imports before timing
+
+    reps = 1 if quick else TIMING_REPS
+    peak_off = _best_of(wall_clock, "tracing_off", run, reps)
+
+    tracer = obs_trace.enable_tracing(detail="full")
+    obs_metrics.enable_metrics()
+    try:
+        peak_on = _best_of(wall_clock, "tracing_on", run, reps)
+    finally:
+        obs_trace.disable_tracing()
+        obs_metrics.disable_metrics()
+    assert abs(peak_on - peak_off) <= PARITY_TOL
+    assert tracer.spans, "full-detail tracing recorded no spans"
+
+    # Disabled-path cost per instrumented site: one span() call (returns
+    # the shared no-op span after a single global read) plus one metric
+    # observation (a no-op after the same read).
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        obs_trace.span("newton_solve", level="newton", mode="tran", t=0.0)
+        obs_metrics.observe("repro_newton_iterations_per_solve", 3)
+    per_site = (time.perf_counter() - start) / calls
+    # Sites that still execute with tracing disabled: everything except
+    # the per-iteration assembly/LU spans, which sit behind the hoisted
+    # wants("full") gate and cost one bool check when off.  2x that count
+    # is a safety margin (every span site pairs with at most one metric
+    # observation).
+    hot_sites = sum(
+        1 for sp in tracer.spans if sp.name not in ("assembly", "lu_solve")
+    )
+    disabled_fraction = (
+        2 * hot_sites * per_site / wall_clock.timings["tracing_off"]
+    )
+    enabled_fraction = wall_clock.speedup("tracing_on", "tracing_off") - 1.0
+
+    assert disabled_fraction < MAX_DISABLED_OVERHEAD
+
+    if quick:
+        return
+
+    payload = {
+        "tracing_overhead": {
+            "n_drivers": single_n,
+            "untraced_seconds": wall_clock.timings["tracing_off"],
+            "traced_seconds": wall_clock.timings["tracing_on"],
+            "traced_spans": len(tracer.spans),
+            "disabled_hot_sites": hot_sites,
+            "noop_site_seconds": per_site,
+            "disabled_overhead_fraction": disabled_fraction,
+            "enabled_overhead_fraction": enabled_fraction,
+            "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+            "timing_reps": reps,
+        },
+    }
+    perf_report(payload)
+
+    publish(
+        "bench_perf_tracing",
+        "observability overhead on one golden transient "
+        f"(N={single_n})\n\n"
+        f"untraced {wall_clock.timings['tracing_off']:.2f}s -> full-detail "
+        f"traced {wall_clock.timings['tracing_on']:.2f}s "
+        f"({100 * enabled_fraction:+.1f}%, {len(tracer.spans)} spans)\n"
+        f"disabled-instrumentation bound: {100 * disabled_fraction:.2f}% "
+        f"of the untraced run (budget {100 * MAX_DISABLED_OVERHEAD:.0f}%)\n",
+    )

@@ -43,18 +43,19 @@ fault injector (:mod:`repro.testing.faults`) rather than trusted.
 
 from __future__ import annotations
 
-import contextlib
 import dataclasses
 import hashlib
 import json
 import os
-import tempfile
 import time
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from ..observability import metrics as obs_metrics
+from ..observability import trace
+from ..observability.atomic import atomic_write
 from ..spice.telemetry import SolverTelemetry, record_session
 from ..spice.transient import TransientOptions
 from ..testing import faults
@@ -184,8 +185,9 @@ def _instance_record(payload: tuple) -> dict:
     index, spec, rung, deadline = payload
     with faults.scope(task=index, engine=rung):
         start = time.perf_counter()
-        faults.probe("task")
-        sim = _simulate_rung(spec, rung)
+        with trace.span("task", index=index, engine=rung):
+            faults.probe("task")
+            sim = _simulate_rung(spec, rung)
         elapsed = time.perf_counter() - start
     if deadline is not None and elapsed > deadline:
         raise DeadlineExceeded(
@@ -225,28 +227,26 @@ class CampaignRunner:
     def _write_journal(self, path: Path, header: dict, done: dict[int, dict]) -> None:
         """Atomically replace the journal with header + completed chunks.
 
-        The temp file lives in the journal's directory so ``os.replace``
-        stays a same-filesystem atomic rename; a crash mid-write (the
-        injector's ``crash-write`` fault fires after the header lands in
-        the temp file) leaves the previous journal untouched.
+        Publication goes through the shared
+        :func:`repro.observability.atomic.atomic_write` helper (tempfile in
+        the journal's directory, fsync, ``os.replace``); the line generator
+        runs the ``checkpoint`` fault probe after the header chunk, so the
+        injector's ``crash-write`` fault still fires after the header lands
+        in the temp file and leaves the previous journal untouched.
         """
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(json.dumps(header, sort_keys=True) + "\n")
-                faults.probe("checkpoint")
-                for ci in sorted(done):
-                    fh.write(json.dumps(done[ci], sort_keys=True) + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
+
+        def lines() -> Iterator[str]:
+            yield json.dumps(header, sort_keys=True) + "\n"
+            faults.probe("checkpoint")
+            for ci in sorted(done):
+                yield json.dumps(done[ci], sort_keys=True) + "\n"
+
+        start = time.perf_counter()
+        with trace.span("checkpoint_write", chunks=len(done)) as sp:
+            atomic_write(path, lines())
         self.telemetry.checkpoint_writes += 1
+        obs_metrics.observe("repro_checkpoint_write_seconds",
+                            trace.elapsed(sp, start))
 
     def _load_journal(self, path: Path, header: dict) -> dict[int, dict]:
         """Replay a journal, validating it belongs to this exact workload."""
@@ -333,27 +333,38 @@ class CampaignRunner:
         raise error from last_exc
 
     def _run_chunk(self, ci: int, indices: Sequence[int],
-                   specs: Sequence[DriverBankSpec], rung0: str) -> dict:
+                   specs: Sequence[DriverBankSpec], rung0: str,
+                   chunk_sp=trace.NOOP_SPAN) -> dict:
         cfg = self.config
         tally = SolverTelemetry()  # this chunk's recovery counters
         records: list[dict] | None = None
+        chunk_start = time.perf_counter()
         for attempt in range(1 + cfg.max_retries):
             with faults.scope(chunk=ci, attempt=attempt, phase="bulk", engine=rung0):
                 try:
                     records = self._bulk(indices, specs, rung0, tally)
                     break
                 except Exception:
+                    chunk_sp.add_event("bulk_attempt_failed", attempt=attempt)
                     if attempt < cfg.max_retries:
                         tally.retries += 1
                         self._sleep_backoff(attempt)
+        if records is not None and attempt > 0:
+            # Latency the retry ladder added before the chunk finally landed
+            # (first-attempt successes never observe into this histogram).
+            obs_metrics.observe("repro_chunk_retry_latency_seconds",
+                                time.perf_counter() - chunk_start)
         if records is None:
             # Bulk budget exhausted: recover instance by instance, each
             # walking its own rung ladder.
             tally.chunks_failed += 1
+            chunk_sp.add_event("per_instance_recovery")
             records = [
                 self._recover_instance(ci, i, spec, rung0, tally)
                 for i, spec in zip(indices, specs)
             ]
+            obs_metrics.observe("repro_chunk_retry_latency_seconds",
+                                time.perf_counter() - chunk_start)
         self.telemetry.merge(tally)
         return {
             "chunk": int(ci),
@@ -397,25 +408,33 @@ class CampaignRunner:
         }
         path = Path(cfg.checkpoint) if cfg.checkpoint is not None else None
         done: dict[int, dict] = {}
-        if path is not None:
-            if cfg.resume:
-                done = self._load_journal(path, header)
-            else:
-                # Fresh run: commit a header-only journal immediately so an
-                # interrupt during the first chunk still leaves valid JSONL.
-                self._write_journal(path, header, done)
-
-        chunk_ids = range(0, n, cfg.chunk_size)
-        for ci, start in enumerate(chunk_ids):
-            if ci in done:
-                continue
-            indices = list(range(start, min(start + cfg.chunk_size, n)))
-            with faults.scope(chunk=ci):
-                faults.probe("chunk")
-                done[ci] = self._run_chunk(ci, indices, [specs[i] for i in indices],
-                                           rung0)
+        with trace.span("campaign", kind=kind, items=n, engine=rung0,
+                        chunk_size=cfg.chunk_size) as csp:
             if path is not None:
-                self._write_journal(path, header, done)
+                if cfg.resume:
+                    done = self._load_journal(path, header)
+                    csp.set_attribute("resumed_chunks", len(done))
+                else:
+                    # Fresh run: commit a header-only journal immediately so
+                    # an interrupt during the first chunk still leaves valid
+                    # JSONL.
+                    self._write_journal(path, header, done)
+
+            chunk_ids = range(0, n, cfg.chunk_size)
+            for ci, start in enumerate(chunk_ids):
+                if ci in done:
+                    continue
+                indices = list(range(start, min(start + cfg.chunk_size, n)))
+                with trace.span("chunk", chunk=ci,
+                                instances=len(indices)) as chunk_sp:
+                    with faults.scope(chunk=ci):
+                        faults.probe("chunk")
+                        done[ci] = self._run_chunk(
+                            ci, indices, [specs[i] for i in indices], rung0,
+                            chunk_sp=chunk_sp,
+                        )
+                if path is not None:
+                    self._write_journal(path, header, done)
 
         records = [rec for ci in sorted(done) for rec in done[ci]["records"]]
         records.sort(key=lambda rec: rec["index"])

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import os
 
+from ..observability import metrics as obs_metrics
+
 #: Recognized engine names, in documentation order.
 ENGINES = ("auto", "batch", "scalar")
 
@@ -77,6 +79,7 @@ def resolve_engine(engine: str | None = None, n_items: int | None = None) -> str
         raise ValueError(f"unknown engine {engine!r}; choose from {ENGINES}")
     if engine == "auto":
         engine = "scalar" if (n_items is not None and n_items < 2) else "batch"
+    obs_metrics.inc("repro_engine_selected_total", labels={"engine": engine})
     return engine
 
 

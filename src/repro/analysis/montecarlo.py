@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.asdm import AsdmParameters
 from ..core.figure import circuit_figure, peak_noise_from_figure
+from ..observability import trace
 from ..spice.telemetry import SolverTelemetry, record_session
 from .driver_bank import DriverBankSpec
 from .parallel import parallel_map, resolve_workers
@@ -113,24 +114,29 @@ def peak_noise_distribution(
     spread = spread or ParameterSpread()
     tel = SolverTelemetry()
     wall_start = time.perf_counter()
-    rng = np.random.default_rng(seed)
-    z = circuit_figure(n_drivers, inductance, vdd / rise_time)
+    with trace.span("montecarlo", kind="closed_form", trials=trials) as msp:
+        rng = np.random.default_rng(seed)
+        z = circuit_figure(n_drivers, inductance, vdd / rise_time)
 
-    ks = params.k * rng.lognormal(mean=0.0, sigma=max(spread.k_sigma, 1e-12), size=trials)
-    v0s = params.v0 + rng.normal(0.0, spread.v0_sigma, size=trials)
-    lams = params.lam + rng.normal(0.0, spread.lam_sigma, size=trials)
+        ks = params.k * rng.lognormal(
+            mean=0.0, sigma=max(spread.k_sigma, 1e-12), size=trials
+        )
+        v0s = params.v0 + rng.normal(0.0, spread.v0_sigma, size=trials)
+        lams = params.lam + rng.normal(0.0, spread.lam_sigma, size=trials)
 
-    workers = resolve_workers(max_workers)
-    if workers <= 1:
-        samples = _trial_peaks((z, vdd, ks, v0s, lams))
-    else:
-        bounds = np.array_split(np.arange(trials), workers)
-        chunks = [
-            (z, vdd, ks[idx], v0s[idx], lams[idx]) for idx in bounds if len(idx)
-        ]
-        samples = np.concatenate(parallel_map(_trial_peaks, chunks, max_workers=workers))
+        workers = resolve_workers(max_workers)
+        if workers <= 1:
+            samples = _trial_peaks((z, vdd, ks, v0s, lams))
+        else:
+            bounds = np.array_split(np.arange(trials), workers)
+            chunks = [
+                (z, vdd, ks[idx], v0s[idx], lams[idx]) for idx in bounds if len(idx)
+            ]
+            samples = np.concatenate(
+                parallel_map(_trial_peaks, chunks, max_workers=workers)
+            )
 
-    tel.add_phase_seconds("montecarlo", time.perf_counter() - wall_start)
+    tel.add_phase_seconds("montecarlo", trace.elapsed(msp, wall_start))
     record_session(tel)
     return MonteCarloResult(
         samples=samples,
@@ -215,27 +221,28 @@ def transient_peak_distribution(
         raise ValueError("trials must be at least 2")
     spread = spread or DeviceSpread()
     wall_start = time.perf_counter()
-    rng = np.random.default_rng(seed)
-    tech = spec.technology
-    vths = tech.nmos.vth0 + rng.normal(0.0, spread.vth_sigma, size=trials)
-    mus = tech.nmos.mu0 * rng.lognormal(
-        mean=0.0, sigma=max(spread.mu_sigma, 1e-12), size=trials
-    )
-
-    trial_specs = [
-        dataclasses.replace(
-            spec,
-            technology=dataclasses.replace(
-                tech, nmos=tech.nmos.scaled(vth0=float(v), mu0=float(m))
-            ),
+    with trace.span("montecarlo", kind="transient", trials=trials) as msp:
+        rng = np.random.default_rng(seed)
+        tech = spec.technology
+        vths = tech.nmos.vth0 + rng.normal(0.0, spread.vth_sigma, size=trials)
+        mus = tech.nmos.mu0 * rng.lognormal(
+            mean=0.0, sigma=max(spread.mu_sigma, 1e-12), size=trials
         )
-        for v, m in zip(vths, mus)
-    ]
-    sims = simulate_many(trial_specs, engine=engine)
-    samples = np.array([sim.peak_voltage for sim in sims])
+
+        trial_specs = [
+            dataclasses.replace(
+                spec,
+                technology=dataclasses.replace(
+                    tech, nmos=tech.nmos.scaled(vth0=float(v), mu0=float(m))
+                ),
+            )
+            for v, m in zip(vths, mus)
+        ]
+        sims = simulate_many(trial_specs, engine=engine)
+        samples = np.array([sim.peak_voltage for sim in sims])
 
     tel = aggregate_telemetry(sims)
-    tel.add_phase_seconds("montecarlo_transient", time.perf_counter() - wall_start)
+    tel.add_phase_seconds("montecarlo_transient", trace.elapsed(msp, wall_start))
     return MonteCarloResult(
         samples=samples,
         mean=float(np.mean(samples)),

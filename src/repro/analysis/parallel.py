@@ -33,6 +33,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..observability import metrics as obs_metrics
+from ..observability import trace
 from ..spice.telemetry import SolverTelemetry, record_session
 from ..testing import faults
 
@@ -84,17 +86,58 @@ def resolve_workers(max_workers: int | None = None) -> int:
     return max_workers
 
 
-def _pool_invoke(payload: tuple[Callable[[T], R], int, T]) -> R:
+def _observability_config() -> tuple[dict | None, bool] | None:
+    """The parent's tracing/metrics state as a picklable worker bootstrap.
+
+    None when both are disabled (the production default), keeping the
+    worker payload byte-identical to the uninstrumented one.
+    """
+    tracer = trace.active_tracer()
+    want_metrics = obs_metrics.active_registry() is not None
+    if tracer is None and not want_metrics:
+        return None
+    return (None if tracer is None else tracer.config(), want_metrics)
+
+
+def _pool_invoke(
+    payload: tuple[Callable[[T], R], int, T, tuple | None]
+) -> tuple[R, list | None, dict | None]:
     """Worker-side shim: publish the task index as fault scope, then call.
 
     Module-level (picklable) on purpose.  The ``worker`` probe is what lets
     the fault injector kill this specific worker process deterministically;
     with no fault plan installed it is a no-op.
+
+    When the parent traces or collects metrics, a fresh tracer/registry is
+    enabled around the call and its serialized spans/metrics ride back with
+    the result, where :func:`parallel_map_traced` re-parents the spans
+    under the dispatching span (cross-process stitching).
     """
-    fn, index, item = payload
+    fn, index, item, obs_cfg = payload
     with faults.scope(task=index):
         faults.probe("worker")
-        return fn(item)
+        if obs_cfg is None:
+            return fn(item), None, None
+        trace_cfg, want_metrics = obs_cfg
+        if trace_cfg is not None:
+            # Offset the sampling seed per task so head-based sampling
+            # draws independently across the fleet, yet deterministically
+            # for any worker count and dispatch order.  The per-task id
+            # prefix keeps span ids globally unique even when one worker
+            # process serves several tasks (each task re-creates the
+            # tracer, restarting its id counter).
+            cfg = dict(trace_cfg)
+            cfg["seed"] = cfg.get("seed", 0) * 1_000_003 + index + 1
+            cfg["id_prefix"] = f"{os.getpid():x}t{index:x}"
+            trace.enable_tracing(**cfg)
+        if want_metrics:
+            obs_metrics.enable_metrics()
+        try:
+            result = fn(item)
+            return result, trace.snapshot_spans(), obs_metrics.snapshot_metrics()
+        finally:
+            trace.disable_tracing()
+            obs_metrics.disable_metrics()
 
 
 def parallel_map(
@@ -139,33 +182,62 @@ def parallel_map_traced(
     is recomputed serially with a ``RuntimeWarning`` and a ``degradations``
     tick on ``telemetry`` (and the session aggregator, if enabled), never
     an exception: completed campaigns must survive crashed workers.
+
+    With tracing/metrics enabled (:mod:`repro.observability`), workers run
+    under their own tracer/registry; their spans come back with the results
+    and are re-parented under this call's ``parallel_map`` span, and their
+    metrics merge into the parent registry.  Spans of a pool attempt that
+    *broke* are discarded with its results, so every task appears in the
+    stitched trace exactly once — whether it ultimately ran in a worker, in
+    the respawned pool, or in the serial recompute.
     """
     work: Sequence[T] = list(items)
     workers = resolve_workers(max_workers)
-    if workers <= 1 or len(work) <= 1:
-        return [fn(item) for item in work], False
-    payloads = [(fn, i, item) for i, item in enumerate(work)]
-    for _ in range(1 + POOL_RESPAWNS):
-        try:
-            with ProcessPoolExecutor(max_workers=min(workers, len(work))) as pool:
-                return list(pool.map(_pool_invoke, payloads)), True
-        except BrokenProcessPool:
-            # A worker died mid-map.  Results from pure fns are
-            # deterministic, so re-running the full map (fresh pool, then
-            # serially) reproduces exactly what an unbroken run returns.
-            continue
-        except (OSError, pickle.PicklingError, TypeError):
-            # Pool unavailable (sandbox/fork limits) or payload unpicklable:
-            # degrade to the serial path rather than failing the experiment.
+    with trace.span("parallel_map", items=len(work), workers=workers) as sp:
+        if workers <= 1 or len(work) <= 1:
+            sp.set_attribute("used_pool", False)
             return [fn(item) for item in work], False
-    warnings.warn(
-        "process pool broke; recomputing the map serially",
-        RuntimeWarning, stacklevel=2,
-    )
-    if telemetry is not None:
-        # The caller owns folding this record into the session aggregator;
-        # recording here too would double count.
-        telemetry.degradations += 1
-    else:
-        record_session(SolverTelemetry(degradations=1))
-    return [fn(item) for item in work], False
+        obs_cfg = _observability_config()
+        payloads = [(fn, i, item, obs_cfg) for i, item in enumerate(work)]
+        for _ in range(1 + POOL_RESPAWNS):
+            try:
+                with ProcessPoolExecutor(max_workers=min(workers, len(work))) as pool:
+                    outs = list(pool.map(_pool_invoke, payloads))
+            except BrokenProcessPool:
+                # A worker died mid-map.  Results from pure fns are
+                # deterministic, so re-running the full map (fresh pool, then
+                # serially) reproduces exactly what an unbroken run returns.
+                # Any spans from the dead attempt die with its results, so
+                # stitched traces stay exactly-once.
+                sp.add_event("broken_process_pool")
+                continue
+            except (OSError, pickle.PicklingError, TypeError):
+                # Pool unavailable (sandbox/fork limits) or payload unpicklable:
+                # degrade to the serial path rather than failing the experiment.
+                sp.set_attribute("used_pool", False)
+                return [fn(item) for item in work], False
+            # Stitch worker-side observability back under this span before
+            # handing out the results.
+            parent_id = trace.current_span_id()
+            registry = obs_metrics.active_registry()
+            for _, spans_payload, metrics_payload in outs:
+                if spans_payload:
+                    trace.adopt_spans(spans_payload, parent_id=parent_id)
+                if metrics_payload and registry is not None:
+                    registry.merge_dict(metrics_payload)
+            sp.set_attribute("used_pool", True)
+            return [result for result, _, _ in outs], True
+        warnings.warn(
+            "process pool broke; recomputing the map serially",
+            RuntimeWarning, stacklevel=2,
+        )
+        if telemetry is not None:
+            # The caller owns folding this record into the session aggregator;
+            # recording here too would double count.
+            telemetry.degradations += 1
+        else:
+            record_session(SolverTelemetry(degradations=1))
+        obs_metrics.inc("repro_pool_degradations_total")
+        sp.add_event("pool_degraded_to_serial")
+        sp.set_attribute("used_pool", False)
+        return [fn(item) for item in work], False

@@ -19,6 +19,7 @@ import dataclasses
 import math
 from typing import Callable, Sequence
 
+from ..observability import trace
 from ..spice.telemetry import SolverTelemetry
 from .driver_bank import DriverBankSpec
 from .simulate import simulate_many
@@ -153,21 +154,22 @@ def sweep(
         runner = campaign if isinstance(campaign, CampaignRunner) \
             else CampaignRunner(campaign)
         return runner.run_sweep(knob, base, values, apply, estimators)
-    specs = [apply(base, value) for value in values]
-    sims = simulate_many(specs, max_workers=max_workers, engine=engine)
-    points = []
-    for value, spec, sim in zip(values, specs, sims):
-        estimates = {name: float(fn(spec)) for name, fn in estimators.items()}
-        points.append(
-            SweepPoint(
-                value=float(value),
-                spec=spec,
-                simulated_peak=sim.peak_voltage,
-                estimates=estimates,
-                telemetry=sim.telemetry,
+    with trace.span("sweep", knob=knob, points=len(values)):
+        specs = [apply(base, value) for value in values]
+        sims = simulate_many(specs, max_workers=max_workers, engine=engine)
+        points = []
+        for value, spec, sim in zip(values, specs, sims):
+            estimates = {name: float(fn(spec)) for name, fn in estimators.items()}
+            points.append(
+                SweepPoint(
+                    value=float(value),
+                    spec=spec,
+                    simulated_peak=sim.peak_voltage,
+                    estimates=estimates,
+                    telemetry=sim.telemetry,
+                )
             )
-        )
-    return SweepResult(knob=knob, points=tuple(points))
+        return SweepResult(knob=knob, points=tuple(points))
 
 
 def sweep_driver_count(

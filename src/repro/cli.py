@@ -26,20 +26,32 @@ Every command additionally accepts ``--telemetry`` (print aggregated solver
 counters — Newton iterations, step rejections/retries, LU-cache activity,
 campaign recoveries, unrecovered failures — after the command's output) and
 ``--telemetry-json PATH`` (write the same counters as a machine-readable
-run summary, so harnesses can assert "0 unrecovered failures, N retries"
-instead of just not-crashing).
+run summary, atomically, so harnesses can assert "0 unrecovered failures,
+N retries" instead of just not-crashing).
+
+Observability (:mod:`repro.observability`) rides on the same parent parser:
+``--trace PATH`` records a hierarchical span tree and writes it as Chrome
+trace-event JSON (open in ``chrome://tracing`` / Perfetto, or summarize
+with ``repro trace summarize PATH``), ``--trace-detail`` picks the span
+granularity (phase/newton/full), ``--trace-sample`` head-samples root
+spans, and ``--metrics PATH`` exports session counters and histograms as
+Prometheus text.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import sys
 
 from .analysis.campaign import CampaignConfig, CampaignRunner
 from .analysis.driver_bank import DriverBankSpec
 from .analysis.engine import ENGINES, set_default_engine
+from .observability import atomic_write_json, summarize_trace_file
+from .observability import metrics as obs_metrics
+from .observability import trace as obs_trace
+from .observability.export import write_chrome_trace, write_prometheus
+from .observability.trace import DETAIL_LEVELS
 from .spice.telemetry import disable_session_telemetry, enable_session_telemetry
 
 from .core.design import (
@@ -126,6 +138,30 @@ def _telemetry_parent() -> argparse.ArgumentParser:
         "same-topology ensembles in one vectorized Newton loop, 'scalar' "
         "simulates them one at a time, 'auto' picks per workload "
         "(default: $REPRO_ENGINE, else scalar)",
+    )
+    parent.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record hierarchical run tracing and write a Chrome "
+        "trace-event JSON to PATH (view in chrome://tracing or Perfetto, "
+        "or print with 'repro trace summarize PATH')",
+    )
+    parent.add_argument(
+        "--trace-detail", choices=list(DETAIL_LEVELS), default="newton",
+        help="span granularity: 'phase' = campaign/analysis phases only, "
+        "'newton' adds one span per Newton solve, 'full' adds per-iteration "
+        "assembly/LU spans (default: newton)",
+    )
+    parent.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="P",
+        help="record each root span with probability P in [0, 1]; children "
+        "inherit the root's decision, so sampled traces stay whole trees "
+        "(default: 1.0)",
+    )
+    parent.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="collect session metrics (Newton-iteration, step-size and "
+        "phase-time histograms; engine/retry counters) and write Prometheus "
+        "text to PATH",
     )
     return parent
 
@@ -274,6 +310,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("-l", "--inductance", type=float, default=5e-9)
     sim.add_argument("-c", "--capacitance", type=float, default=None)
     sim.add_argument("-t", "--rise-time", type=float, default=0.5e-9)
+
+    tr = sub.add_parser("trace", help="inspect trace files written by --trace")
+    tr_sub = tr.add_subparsers(dest="trace_command", required=True)
+    tr_sum = tr_sub.add_parser(
+        "summarize", help="print a per-span-name timeline summary of a trace")
+    tr_sum.add_argument("file", help="Chrome trace-event JSON written by --trace")
+    tr_sum.add_argument("--max-depth", type=int, default=6, metavar="N",
+                        help="only summarize spans nested at most N deep "
+                        "(default: 6)")
 
     return parser
 
@@ -448,6 +493,10 @@ def _run_montecarlo(args) -> str:
     return "\n".join(lines)
 
 
+def _run_trace(args) -> str:
+    return summarize_trace_file(args.file, max_depth=args.max_depth)
+
+
 def _run_simulate(args) -> str:
     models = fitted_models(args.tech)
     counts = [int(v) for v in args.drivers.split(",") if v.strip()]
@@ -487,22 +536,36 @@ def main(argv=None) -> int:
         "sweep": _run_sweep,
         "montecarlo": _run_montecarlo,
         "simulate": _run_simulate,
+        "trace": _run_trace,
     }
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    # --metrics wants the session telemetry too: record_telemetry projects
+    # the aggregated counters and phase timings into the registry at export.
     collect = bool(getattr(args, "telemetry", False) or
-                   getattr(args, "telemetry_json", None))
+                   getattr(args, "telemetry_json", None) or metrics_path)
     session = enable_session_telemetry() if collect else None
+    tracer = obs_trace.enable_tracing(
+        sample=args.trace_sample, detail=args.trace_detail,
+    ) if trace_path else None
+    registry = obs_metrics.enable_metrics() if metrics_path else None
     set_default_engine(getattr(args, "engine", None))
     try:
         print(handlers[args.command](args))
         if session is not None:
-            if args.telemetry:
+            if getattr(args, "telemetry", False):
                 print(session.format_report())
-            if args.telemetry_json:
-                with open(args.telemetry_json, "w") as fh:
-                    json.dump(session.as_dict(), fh, indent=2, sort_keys=True)
-                    fh.write("\n")
+            if getattr(args, "telemetry_json", None):
+                atomic_write_json(args.telemetry_json, session.as_dict())
+        if tracer is not None:
+            write_chrome_trace(trace_path, tracer.spans, tracer)
+        if registry is not None:
+            registry.record_telemetry(session)
+            write_prometheus(metrics_path, registry)
     finally:
         set_default_engine(None)
+        obs_trace.disable_tracing()
+        obs_metrics.disable_metrics()
         if session is not None:
             disable_session_telemetry()
     return 0

@@ -1,0 +1,73 @@
+"""Zero-dependency observability for the SSN simulation stack.
+
+Three cooperating pieces, all process-local and off by default:
+
+* :mod:`~repro.observability.trace` — hierarchical spans (``campaign`` >
+  ``chunk`` > ``task`` > ``newton_solve``/``assembly``/``lu_solve``) with a
+  contextvar current-span stack, head-based sampling, detail levels and
+  cross-ProcessPool stitching.
+* :mod:`~repro.observability.metrics` — a registry of counters, gauges and
+  fixed-bucket histograms whose merge semantics match
+  :meth:`repro.spice.telemetry.SolverTelemetry.merge`.
+* :mod:`~repro.observability.export` — Chrome trace-event JSON (open in
+  ``chrome://tracing`` or Perfetto), Prometheus text exposition, and human
+  timeline summaries; :mod:`~repro.observability.atomic` publishes every
+  artifact via tempfile + fsync + ``os.replace``.
+
+See ``docs/observability.md`` for the span taxonomy, bucket layouts,
+overhead budget and CLI workflow (``--trace`` / ``--metrics`` /
+``repro trace summarize``).
+"""
+
+from .atomic import atomic_write, atomic_write_json
+from .metrics import (
+    MetricsRegistry,
+    active_registry,
+    disable_metrics,
+    enable_metrics,
+)
+from .trace import (
+    Span,
+    Tracer,
+    active_tracer,
+    adopt_spans,
+    current_span_id,
+    disable_tracing,
+    enable_tracing,
+    snapshot_spans,
+    span,
+)
+from .export import (
+    summarize_trace_file,
+    timeline_summary,
+    to_chrome_trace,
+    to_prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_prometheus,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "active_registry",
+    "active_tracer",
+    "adopt_spans",
+    "atomic_write",
+    "atomic_write_json",
+    "current_span_id",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "snapshot_spans",
+    "span",
+    "summarize_trace_file",
+    "timeline_summary",
+    "to_chrome_trace",
+    "to_prometheus_text",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_prometheus",
+]

@@ -1,0 +1,56 @@
+"""Crash-safe file publication: tempfile + fsync + ``os.replace``.
+
+Extracted from the campaign runner's checkpoint journal so every artifact
+the stack publishes — journals, ``--telemetry-json`` summaries, Chrome
+traces, Prometheus snapshots — commits through the same atomic rename: a
+reader (or a crash at any instant) sees either the previous complete file
+or the new complete file, never a torn one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterable
+
+
+def atomic_write(path: str | os.PathLike, content: str | Iterable[str]) -> Path:
+    """Atomically replace ``path`` with ``content``.
+
+    ``content`` is one string or an iterable of string chunks (written in
+    order — a generator may interleave work, e.g. fault-injection probes,
+    between chunks).  The temp file lives in the destination's directory so
+    the final ``os.replace`` is a same-filesystem atomic rename, and it is
+    fsynced before the rename so the committed name never points at
+    unflushed data.  On any failure the temp file is removed and the
+    previous ``path`` (if any) is left untouched.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent or Path("."),
+                               prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            if isinstance(content, str):
+                fh.write(content)
+            else:
+                for chunk in content:
+                    fh.write(chunk)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def atomic_write_json(path: str | os.PathLike, payload, *,
+                      indent: int = 2) -> Path:
+    """:func:`atomic_write` of ``payload`` as sorted, newline-ended JSON."""
+    return atomic_write(
+        path, json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    )

@@ -1,0 +1,306 @@
+"""Exporters: Chrome trace-event JSON, Prometheus text, timeline summaries.
+
+Three views of one run, for three audiences:
+
+* :func:`to_chrome_trace` — the ``chrome://tracing`` / `Perfetto
+  <https://ui.perfetto.dev>`_ JSON format (an object with a
+  ``traceEvents`` list of complete ``"X"`` events), for interactive
+  where-did-the-time-go spelunking.  Span ids ride in ``args`` so the tree
+  can be reconstructed losslessly from the file alone.
+* :func:`to_prometheus_text` — the text exposition format (``# HELP`` /
+  ``# TYPE`` plus cumulative ``_bucket{le=...}`` histogram lines), for
+  scraping a long campaign from a metrics stack.
+* :func:`timeline_summary` — a human tree with sibling spans aggregated by
+  name (``newton_solve x812``), the CLI's ``repro trace summarize`` view.
+
+All exporters are pure functions of spans / registries; file output goes
+through :func:`repro.observability.atomic.atomic_write` so partially
+written artifacts never exist on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Iterable, Sequence
+
+from .atomic import atomic_write, atomic_write_json
+from .metrics import Counter, Gauge, MetricsRegistry
+from .trace import Span, Tracer
+
+#: Schema version stamped into exported traces (consumed by trace-smoke).
+TRACE_SCHEMA = "repro-trace-1"
+
+
+# -- Chrome trace events -------------------------------------------------------------
+
+
+def _tid_map(spans: Sequence[Span]) -> dict[str, int]:
+    """Map span-id process prefixes to small integer thread ids."""
+    prefixes: dict[str, int] = {}
+    for sp in spans:
+        prefix = sp.span_id.split(".", 1)[0]
+        if prefix not in prefixes:
+            prefixes[prefix] = len(prefixes) + 1
+    return prefixes
+
+
+def to_chrome_trace(spans: Sequence[Span], tracer: Tracer | None = None) -> dict:
+    """Spans -> Chrome trace-event JSON object (``traceEvents`` format).
+
+    Timestamps are microseconds relative to the earliest span start, so
+    traces open at t=0 in Perfetto regardless of the host clock.  Each
+    worker process gets its own ``tid`` lane (derived from the pid prefix
+    of its span ids); span events inside a span become instant events.
+    """
+    spans = list(spans)
+    origin = min((sp.start for sp in spans), default=0.0)
+    tids = _tid_map(spans)
+    events = [{
+        "ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+        "args": {"name": "repro"},
+    }]
+    for sp in spans:
+        tid = tids[sp.span_id.split(".", 1)[0]]
+        end = sp.end if sp.end is not None else sp.start
+        args = {k: _jsonable(v) for k, v in sp.attributes.items()}
+        args["span_id"] = sp.span_id
+        if sp.parent_id is not None:
+            args["parent_id"] = sp.parent_id
+        events.append({
+            "ph": "X",
+            "name": sp.name,
+            "cat": sp.name,
+            "ts": (sp.start - origin) * 1e6,
+            "dur": max(end - sp.start, 0.0) * 1e6,
+            "pid": 0,
+            "tid": tid,
+            "args": args,
+        })
+        for ev in sp.events:
+            events.append({
+                "ph": "i",
+                "name": ev["name"],
+                "ts": (ev["t"] - origin) * 1e6,
+                "pid": 0,
+                "tid": tid,
+                "s": "t",
+                "args": {k: _jsonable(v) for k, v in ev.items()
+                         if k not in ("name", "t")},
+            })
+    out = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA},
+    }
+    if tracer is not None and tracer.dropped:
+        out["otherData"]["dropped_spans"] = tracer.dropped
+    return out
+
+
+def _jsonable(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return repr(value)
+
+
+def write_chrome_trace(path: str | os.PathLike, spans: Sequence[Span],
+                       tracer: Tracer | None = None) -> None:
+    """Atomically write :func:`to_chrome_trace` output as JSON."""
+    atomic_write_json(path, to_chrome_trace(spans, tracer), indent=None)
+
+
+def validate_chrome_trace(obj) -> dict:
+    """Check an object against the Chrome trace-event schema we emit.
+
+    Raises ``ValueError`` naming the first violation; returns the object
+    unchanged on success (so the trace-smoke pipeline can chain on it).
+    """
+    if not isinstance(obj, dict):
+        raise ValueError("trace must be a JSON object")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a 'traceEvents' list")
+    ids: set[str] = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            raise ValueError(f"traceEvents[{i}] has unsupported phase {ph!r}")
+        if "name" not in ev or "pid" not in ev or "tid" not in ev:
+            raise ValueError(f"traceEvents[{i}] misses name/pid/tid")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or math.isnan(ts) or ts < 0:
+            raise ValueError(f"traceEvents[{i}] has invalid ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"traceEvents[{i}] has invalid dur {dur!r}")
+            span_id = ev.get("args", {}).get("span_id")
+            if not span_id:
+                raise ValueError(f"traceEvents[{i}] misses args.span_id")
+            if span_id in ids:
+                raise ValueError(f"duplicate span id {span_id!r}")
+            ids.add(span_id)
+    for i, ev in enumerate(events):
+        parent = ev.get("args", {}).get("parent_id") if ev.get("ph") == "X" else None
+        if parent is not None and parent not in ids:
+            raise ValueError(
+                f"traceEvents[{i}] references unknown parent {parent!r}"
+            )
+    return obj
+
+
+# -- Prometheus text exposition ------------------------------------------------------
+
+
+def _fmt_labels(labels: Iterable[tuple[str, str]], extra: str = "") -> str:
+    parts = [f'{k}="{_escape(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _escape(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _fmt_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Registry -> Prometheus text exposition format (v0.0.4)."""
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for name, labels, metric in registry.items():
+        if name not in seen_header:
+            seen_header.add(name)
+            help_text = registry.help_text(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            kind = ("counter" if isinstance(metric, Counter)
+                    else "gauge" if isinstance(metric, Gauge) else "histogram")
+            lines.append(f"# TYPE {name} {kind}")
+        if isinstance(metric, Counter):
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(metric.value)}")
+        else:
+            cumulative = 0
+            for bound, count in zip(
+                list(metric.bounds) + [math.inf], metric.counts
+            ):
+                cumulative += count
+                le = _fmt_labels(labels, f'le="{_fmt_value(bound)}"')
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(metric.sum)}")
+            lines.append(f"{name}_count{_fmt_labels(labels)} {metric.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: str | os.PathLike, registry: MetricsRegistry) -> None:
+    """Atomically write :func:`to_prometheus_text` output."""
+    atomic_write(path, to_prometheus_text(registry))
+
+
+# -- human timeline summary ----------------------------------------------------------
+
+
+def timeline_summary(spans: Sequence[Span], max_depth: int = 6) -> str:
+    """Aggregate the span tree into a human timeline report.
+
+    Sibling spans sharing a name collapse into one line with count, total
+    and maximum duration — a 10k-solve campaign reads as a dozen lines, not
+    ten thousand.
+    """
+    spans = list(spans)
+    if not spans:
+        return "trace: no spans recorded"
+    children: dict[str | None, list[Span]] = {}
+    ids = {sp.span_id for sp in spans}
+    for sp in spans:
+        parent = sp.parent_id if sp.parent_id in ids else None
+        children.setdefault(parent, []).append(sp)
+
+    total = sum(sp.duration or 0.0 for sp in children.get(None, []))
+    lines = [f"trace: {len(spans)} spans, {total:.3f}s across "
+             f"{len(children.get(None, []))} root span(s)"]
+
+    def walk(parent_id: str | None, depth: int) -> None:
+        if depth > max_depth:
+            return
+        groups: dict[str, list[Span]] = {}
+        for sp in sorted(children.get(parent_id, []), key=lambda s: s.start):
+            groups.setdefault(sp.name, []).append(sp)
+        for name, group in groups.items():
+            durations = [sp.duration or 0.0 for sp in group]
+            label = name if len(group) == 1 else f"{name} x{len(group)}"
+            line = (f"{'  ' * (depth + 1)}{label:<28} "
+                    f"total {sum(durations):.4f}s")
+            if len(group) > 1:
+                line += f"  max {max(durations):.4f}s"
+            extras = _group_attributes(group)
+            if extras:
+                line += f"  [{extras}]"
+            lines.append(line)
+            # Recurse through the longest member only when grouped — the
+            # aggregate view stays readable; singletons expand fully.
+            if len(group) == 1:
+                walk(group[0].span_id, depth + 1)
+            else:
+                longest = max(group, key=lambda s: s.duration or 0.0)
+                walk(longest.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def _group_attributes(group: Sequence[Span]) -> str:
+    """Compact shared-attribute display for one aggregated line."""
+    if len(group) == 1:
+        attrs = {k: v for k, v in group[0].attributes.items()
+                 if k not in ("span_id", "parent_id")}
+        return ", ".join(f"{k}={v}" for k, v in sorted(attrs.items())[:4])
+    keys = set.intersection(*(set(sp.attributes) for sp in group)) if group else set()
+    shared = {}
+    for key in sorted(keys):
+        values = {repr(sp.attributes[key]) for sp in group}
+        if len(values) == 1:
+            shared[key] = group[0].attributes[key]
+    return ", ".join(f"{k}={v}" for k, v in list(shared.items())[:4])
+
+
+def spans_from_chrome_trace(obj: dict) -> list[Span]:
+    """Rebuild summarizable spans from an exported Chrome trace object."""
+    validate_chrome_trace(obj)
+    spans = []
+    for ev in obj["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        args = dict(ev.get("args", {}))
+        span_id = args.pop("span_id")
+        parent_id = args.pop("parent_id", None)
+        start = ev["ts"] / 1e6
+        spans.append(Span(
+            name=ev["name"], span_id=span_id, parent_id=parent_id,
+            start=start, end=start + ev["dur"] / 1e6, attributes=args,
+        ))
+    return spans
+
+
+def summarize_trace_file(path: str | os.PathLike, max_depth: int = 6) -> str:
+    """Load an exported Chrome trace and render its timeline summary."""
+    with open(path) as fh:
+        obj = json.load(fh)
+    summary = timeline_summary(spans_from_chrome_trace(obj), max_depth=max_depth)
+    dropped = obj.get("otherData", {}).get("dropped_spans")
+    if dropped:
+        summary += f"\n(note: {dropped} spans dropped by the max_spans cap)"
+    return summary

@@ -1,0 +1,331 @@
+"""Hierarchical run tracing: spans, a contextvar stack, cross-process stitching.
+
+The SSN stack executes as a tree — a campaign runs chunks, a chunk runs
+tasks, a task runs one transient, a transient runs Newton solves — and the
+question production debugging actually asks ("where did this 40-minute
+Monte Carlo spend its time, and which chunk degraded and why") is a question
+about that tree, not about flat counters.  This module records it as
+**spans**: named, timed, attributed intervals linked parent-to-child through
+a :mod:`contextvars` stack, exactly the way the paper's application-specific
+device modeling instruments the region that matters instead of everything.
+
+Design constraints, in order:
+
+1. **Zero-dependency and near-zero cost when disabled.**  Tracing is off by
+   default; :func:`span` then returns a shared no-op context manager after
+   one module-global read.  Hot inner loops (per-Newton-iteration assembly)
+   additionally gate on :meth:`Tracer.wants` so a disabled run pays a single
+   ``None`` check per iteration.  The perf benchmark pins the total
+   disabled-mode overhead under 3% (``bench_perf.py``).
+2. **Deterministic, bounded output.**  Head-based sampling decides at each
+   *root* span (children inherit the decision) from a seeded RNG;
+   ``max_spans`` caps memory with an explicit dropped-span count instead of
+   silent truncation.
+3. **Process-pool stitching.**  Worker processes trace into their own
+   :class:`Tracer`; finished spans are serialized with wall-clock-anchored
+   times (:func:`snapshot_spans`), shipped back with the results, and
+   re-parented under the dispatching span (:func:`adopt_spans`), so one
+   exported trace shows the whole campaign tree regardless of where each
+   task physically ran.
+
+Span taxonomy (see ``docs/observability.md``): ``campaign`` > ``chunk`` >
+``task`` > ``transient``/``dc`` > ``ic``/``stepping`` > ``newton_solve`` >
+``assembly``/``lu_solve``, plus ``checkpoint_write``, ``parallel_map``,
+``sweep``, ``montecarlo`` and ``batch_transient``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import dataclasses
+import itertools
+import os
+import random
+import time
+
+#: Detail levels, coarsest first.  A tracer records spans whose level is at
+#: or below its own: "phase" keeps campaign/chunk/task/phase structure,
+#: "newton" (the default) adds one span per Newton solve, "full" adds
+#: per-iteration assembly / linear-solve spans.
+DETAIL_LEVELS = ("phase", "newton", "full")
+
+_DETAIL_RANK = {name: rank for rank, name in enumerate(DETAIL_LEVELS)}
+
+#: Default cap on retained spans per tracer (drops are counted, not silent).
+DEFAULT_MAX_SPANS = 1_000_000
+
+
+@dataclasses.dataclass
+class Span:
+    """One named, timed interval in the run tree (also a context manager).
+
+    Attributes:
+        name: span kind (``"campaign"``, ``"chunk"``, ``"newton_solve"``...).
+        span_id: globally unique id (``"<prefix>.<counter hex>"``; the
+            prefix is the pid in the parent and pid+task in pool workers,
+            so stitched traces never collide even when one worker process
+            serves several tasks).
+        parent_id: enclosing span's id, or None for a root span.
+        start/end: :func:`time.perf_counter` instants (monotonic).
+        attributes: structured context (engine, chunk id, instance index...).
+        events: point-in-time markers (fault firings, degradations).
+        recorded: False for spans sampled out at their root; they still
+            keep the hierarchy consistent but are never exported.
+    """
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    start: float = 0.0
+    end: float | None = None
+    attributes: dict = dataclasses.field(default_factory=dict)
+    events: list = dataclasses.field(default_factory=list)
+    recorded: bool = True
+
+    _tracer: "Tracer | None" = dataclasses.field(default=None, repr=False)
+    _token: object = dataclasses.field(default=None, repr=False)
+
+    @property
+    def duration(self) -> float | None:
+        """Elapsed seconds, or None while the span is still open."""
+        return None if self.end is None else self.end - self.start
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attrs) -> None:
+        """Record a point-in-time marker inside this span."""
+        self.events.append({"name": name, "t": time.perf_counter(), **attrs})
+
+    def __enter__(self) -> "Span":
+        self._token = _current.set(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", f"{exc_type.__name__}: {exc}")
+        _current.reset(self._token)
+        if self._tracer is not None and self.recorded:
+            self._tracer._record(self)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    recorded = False
+    duration = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def set_attribute(self, key, value):
+        pass
+
+    def add_event(self, name, **attrs):
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+_current: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+
+class Tracer:
+    """Collects finished spans for one process (or one pool-worker task).
+
+    Attributes:
+        sample: root-span keep probability in [0, 1]; children inherit
+            their root's decision, so sampled trees stay structurally whole.
+        detail: coarsest-to-finest recording level (:data:`DETAIL_LEVELS`).
+        spans: finished, recorded spans in completion order.
+        dropped: spans discarded by the ``max_spans`` cap.
+    """
+
+    def __init__(self, sample: float = 1.0, detail: str = "newton",
+                 seed: int = 0, max_spans: int = DEFAULT_MAX_SPANS,
+                 id_prefix: str | None = None):
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"sample must be within [0, 1], got {sample}")
+        if detail not in _DETAIL_RANK:
+            raise ValueError(
+                f"unknown detail {detail!r}; choose from {DETAIL_LEVELS}"
+            )
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        self.sample = float(sample)
+        self.detail = detail
+        self.seed = int(seed)
+        self.max_spans = int(max_spans)
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._detail_rank = _DETAIL_RANK[detail]
+        self._rng = random.Random(seed)
+        self._ids = itertools.count(1)
+        # Span-id namespace.  The pid default keeps ids unique across pool
+        # *processes*; a worker that runs several tasks re-creates its
+        # tracer (and this counter) per task, so the pool shim overrides
+        # the prefix per task to keep stitched ids globally unique.
+        self._prefix = f"{os.getpid():x}" if id_prefix is None else id_prefix
+        # Wall-clock anchor: lets workers convert their monotonic times into
+        # an exchangeable timeline (see snapshot_spans / adopt_spans).
+        self.epoch_perf = time.perf_counter()
+        self.epoch_wall = time.time()
+
+    def wants(self, level: str) -> bool:
+        """Whether spans at ``level`` would be recorded by this tracer."""
+        return _DETAIL_RANK[level] <= self._detail_rank
+
+    def new_id(self) -> str:
+        return f"{self._prefix}.{next(self._ids):x}"
+
+    def start_span(self, name: str, level: str, attributes: dict) -> Span | _NoopSpan:
+        if _DETAIL_RANK[level] > self._detail_rank:
+            return NOOP_SPAN
+        parent = _current.get()
+        if parent is None:
+            sampled = self.sample >= 1.0 or self._rng.random() < self.sample
+            parent_id = None
+        else:
+            sampled = parent.recorded
+            parent_id = parent.span_id
+        sp = Span(name=name, span_id=self.new_id(), parent_id=parent_id,
+                  attributes=attributes, recorded=sampled)
+        sp._tracer = self
+        return sp
+
+    def _record(self, sp: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(sp)
+
+    def config(self) -> dict:
+        """Picklable settings for re-creating this tracer in a pool worker."""
+        return {"sample": self.sample, "detail": self.detail,
+                "seed": self.seed, "max_spans": self.max_spans}
+
+
+# -- process-local tracer ------------------------------------------------------------
+
+_tracer: Tracer | None = None
+
+
+def enable_tracing(sample: float = 1.0, detail: str = "newton", seed: int = 0,
+                   max_spans: int = DEFAULT_MAX_SPANS,
+                   id_prefix: str | None = None) -> Tracer:
+    """Install (or replace) the process-local tracer and return it."""
+    global _tracer
+    _tracer = Tracer(sample=sample, detail=detail, seed=seed,
+                     max_spans=max_spans, id_prefix=id_prefix)
+    return _tracer
+
+
+def disable_tracing() -> None:
+    """Remove the process-local tracer; :func:`span` reverts to no-ops."""
+    global _tracer
+    _tracer = None
+
+
+def active_tracer() -> Tracer | None:
+    """The live tracer, or None when tracing is disabled (the default)."""
+    return _tracer
+
+
+def span(name: str, level: str = "phase", **attributes):
+    """Open a span under the current one (``with span("chunk", chunk=3):``).
+
+    The disabled-mode fast path — one global read, one shared no-op context
+    manager — is what keeps production-default overhead inside the <3%
+    budget; per-iteration hot loops should additionally pre-check
+    ``active_tracer()``/:meth:`Tracer.wants` so even this call is skipped.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.start_span(name, level, attributes)
+
+
+def current_span_id() -> str | None:
+    """The enclosing span's id, or None outside any span (or disabled)."""
+    current = _current.get()
+    return None if current is None else current.span_id
+
+
+def elapsed(sp, start: float) -> float:
+    """Phase duration from a finished span, else a perf-counter fallback.
+
+    The single-timing-source contract: when tracing recorded ``sp``, its
+    monotonic span clock *is* the telemetry phase time; with tracing off the
+    caller's ``start`` anchor reproduces the pre-tracing measurement.
+    """
+    duration = getattr(sp, "duration", None)
+    return duration if duration is not None else time.perf_counter() - start
+
+
+# -- cross-process stitching ---------------------------------------------------------
+
+
+def span_to_dict(sp: Span, tracer: Tracer) -> dict:
+    """Serialize one span with times rebased to the wall clock.
+
+    Monotonic clocks are per-process (arbitrary epoch), so exchanged spans
+    carry wall-clock instants; :func:`adopt_spans` rebases them into the
+    adopting tracer's monotonic timeline.
+    """
+    to_wall = tracer.epoch_wall - tracer.epoch_perf
+    return {
+        "name": sp.name,
+        "span_id": sp.span_id,
+        "parent_id": sp.parent_id,
+        "start_wall": sp.start + to_wall,
+        "end_wall": (sp.end if sp.end is not None else sp.start) + to_wall,
+        "attributes": dict(sp.attributes),
+        "events": [
+            {**ev, "t": ev["t"] + to_wall} for ev in sp.events
+        ],
+    }
+
+
+def snapshot_spans() -> list[dict]:
+    """Serialize the live tracer's finished spans (worker -> parent payload)."""
+    tracer = _tracer
+    if tracer is None:
+        return []
+    return [span_to_dict(sp, tracer) for sp in tracer.spans]
+
+
+def adopt_spans(payload: list[dict], parent_id: str | None = None) -> int:
+    """Fold serialized spans from another process into the live tracer.
+
+    Root spans of the payload (``parent_id`` None) are re-parented under
+    ``parent_id`` — typically the span that dispatched the work — so the
+    stitched trace nests exactly as if the tasks had run inline.  Returns
+    the number of spans adopted (0 when tracing is disabled here).
+    """
+    tracer = _tracer
+    if tracer is None or not payload:
+        return 0
+    to_perf = tracer.epoch_perf - tracer.epoch_wall
+    adopted = 0
+    for item in payload:
+        sp = Span(
+            name=item["name"],
+            span_id=item["span_id"],
+            parent_id=item["parent_id"] if item["parent_id"] is not None else parent_id,
+            start=item["start_wall"] + to_perf,
+            end=item["end_wall"] + to_perf,
+            attributes=dict(item.get("attributes", {})),
+            events=[{**ev, "t": ev["t"] + to_perf} for ev in item.get("events", [])],
+        )
+        tracer._record(sp)
+        adopted += 1
+    return adopted

@@ -46,6 +46,7 @@ import time
 
 import numpy as np
 
+from ..observability import trace
 from .circuit import Circuit
 from .elements import (
     Capacitor,
@@ -867,99 +868,107 @@ def batch_transient(
         mark_failed(active)
 
     # -- t=0 consistency solve -------------------------------------------------------
-    newton_batch("ic", tstart, dt, trap=False, gmin=max(opts.gmin, 1e-9))
-    ic_elapsed = time.perf_counter() - wall_start
-    for bank in banks:
-        bank.init_state(x)
-
-    template_circuit = circuits[0]
-    breakpoints = [b for b in template_circuit.breakpoints() if tstart < b < tstop]
-    breakpoints.append(tstop)
-
-    recorder = _BatchRecorder(batch, nn, len(measured))
-    current_block = np.empty((batch, len(measured)))
-
-    def sample_currents(mode: str, dt_now: float, trap: bool) -> np.ndarray:
-        for j, bank in enumerate(measured):
-            current_block[:, j] = bank.current(x, mode, dt_now, trap)
-        return current_block
-
-    recorder.append(tstart, x[:, :nn], sample_currents("ic", dt, trap=False))
-
-    t = tstart
-    h = dt
-    bp_iter = iter(breakpoints)
-    next_bp = next(bp_iter)
-    first_step = True
-    stepping_start = time.perf_counter()
-
-    while t < tstop - 1e-21 and alive.any():
-        h_step = min(h, next_bp - t)
-        trap = method == "trap" and not first_step
-        newton_batch("tran", t + h_step, h_step, trap, opts.gmin)
-        # Record, then commit state (commit consumes the pre-step state).
-        sample_currents("tran", h_step, trap)
+    # The surrounding span carries the whole-ensemble run; with tracing on,
+    # the ic/stepping phase shares below derive from the sub-span clocks
+    # (trace.elapsed), otherwise from the seed perf-counter anchors.
+    with trace.span("batch_transient", batch=batch, tstop=tstop, dt=dt) as bsp:
+        with trace.span("ic") as ic_sp:
+            newton_batch("ic", tstart, dt, trap=False, gmin=max(opts.gmin, 1e-9))
+        ic_elapsed = trace.elapsed(ic_sp, wall_start)
         for bank in banks:
-            bank.commit(x, h_step, trap)
-        first_step = False
-        grown = min(dt, h_step * 2.0)
+            bank.init_state(x)
 
-        t += h_step
-        c_steps[alive] += 1
-        recorder.append(t, x[:, :nn], current_block)
+        template_circuit = circuits[0]
+        breakpoints = [b for b in template_circuit.breakpoints() if tstart < b < tstop]
+        breakpoints.append(tstop)
 
-        if abs(t - next_bp) < 1e-21 or t >= next_bp:
-            # Source slope discontinuity: restart the integrator with a
-            # backward-Euler step (see the scalar engine).
-            first_step = True
-            try:
-                next_bp = next(bp_iter)
-            except StopIteration:
-                next_bp = tstop
-        h = grown
+        recorder = _BatchRecorder(batch, nn, len(measured))
+        current_block = np.empty((batch, len(measured)))
 
-    now = time.perf_counter()
-    times, node_block, current_block_all = recorder.finish()
-    current_names = [b.name for b in measured]
+        def sample_currents(mode: str, dt_now: float, trap: bool) -> np.ndarray:
+            for j, bank in enumerate(measured):
+                current_block[:, j] = bank.current(x, mode, dt_now, trap)
+            return current_block
 
-    # Shared wall clock is split evenly across instance records so that
-    # aggregated telemetry still sums to real elapsed time.
-    ic_share = ic_elapsed / batch
-    stepping_share = (now - stepping_start) / batch
-    total_share = (now - wall_start) / batch
+        recorder.append(tstart, x[:, :nn], sample_currents("ic", dt, trap=False))
 
-    results: list[TransientResult | None] = [None] * batch
-    for b in range(batch):
-        if not alive[b]:
-            continue
-        tel = SolverTelemetry(
-            newton_solves=int(c_solves[b]),
-            newton_iterations=int(c_iters[b]),
-            accepted_steps=int(c_steps[b]),
-            base_assemblies=int(c_solves[b]),
-            nonlinear_restamps=int(c_iters[b]),
-        )
-        tel.add_phase_seconds("ic", ic_share)
-        tel.add_phase_seconds("stepping", stepping_share)
-        tel.add_phase_seconds("total", total_share)
-        record_session(tel)
-        currents = {
-            name: np.array(current_block_all[:, b, j])
-            for j, name in enumerate(current_names)
-        }
-        results[b] = TransientResult(
-            circuits[b], times, np.array(node_block[:, b, :]), currents,
-            telemetry=tel,
-        )
+        t = tstart
+        h = dt
+        bp_iter = iter(breakpoints)
+        next_bp = next(bp_iter)
+        first_step = True
+        stepping_start = time.perf_counter()
 
-    for b in np.flatnonzero(fallback):
-        # This instance needed the recovery ladder: the scalar engine owns
-        # step halving, gmin stepping and their telemetry.  Its partial
-        # batched work is discarded (and not attributed).
-        result = transient(circuits[b], tstop, dt, tstart=tstart, options=opts)
-        result.telemetry.batch_fallbacks += 1
-        record_session(SolverTelemetry(batch_fallbacks=1))
-        results[b] = result
+        with trace.span("stepping") as step_sp:
+            while t < tstop - 1e-21 and alive.any():
+                h_step = min(h, next_bp - t)
+                trap = method == "trap" and not first_step
+                newton_batch("tran", t + h_step, h_step, trap, opts.gmin)
+                # Record, then commit state (commit consumes the pre-step
+                # state).
+                sample_currents("tran", h_step, trap)
+                for bank in banks:
+                    bank.commit(x, h_step, trap)
+                first_step = False
+                grown = min(dt, h_step * 2.0)
+
+                t += h_step
+                c_steps[alive] += 1
+                recorder.append(t, x[:, :nn], current_block)
+
+                if abs(t - next_bp) < 1e-21 or t >= next_bp:
+                    # Source slope discontinuity: restart the integrator with
+                    # a backward-Euler step (see the scalar engine).
+                    first_step = True
+                    try:
+                        next_bp = next(bp_iter)
+                    except StopIteration:
+                        next_bp = tstop
+                h = grown
+
+        now = time.perf_counter()
+        times, node_block, current_block_all = recorder.finish()
+        current_names = [b.name for b in measured]
+
+        # Shared wall clock is split evenly across instance records so that
+        # aggregated telemetry still sums to real elapsed time.
+        ic_share = ic_elapsed / batch
+        stepping_share = trace.elapsed(step_sp, stepping_start) / batch
+        total_share = (now - wall_start) / batch
+
+        results: list[TransientResult | None] = [None] * batch
+        for b in range(batch):
+            if not alive[b]:
+                continue
+            tel = SolverTelemetry(
+                newton_solves=int(c_solves[b]),
+                newton_iterations=int(c_iters[b]),
+                accepted_steps=int(c_steps[b]),
+                base_assemblies=int(c_solves[b]),
+                nonlinear_restamps=int(c_iters[b]),
+            )
+            tel.add_phase_seconds("ic", ic_share)
+            tel.add_phase_seconds("stepping", stepping_share)
+            tel.add_phase_seconds("total", total_share)
+            record_session(tel)
+            currents = {
+                name: np.array(current_block_all[:, b, j])
+                for j, name in enumerate(current_names)
+            }
+            results[b] = TransientResult(
+                circuits[b], times, np.array(node_block[:, b, :]), currents,
+                telemetry=tel,
+            )
+
+        bsp.set_attribute("fallbacks", int(fallback.sum()))
+        for b in np.flatnonzero(fallback):
+            # This instance needed the recovery ladder: the scalar engine
+            # owns step halving, gmin stepping and their telemetry.  Its
+            # partial batched work is discarded (and not attributed).
+            result = transient(circuits[b], tstop, dt, tstart=tstart, options=opts)
+            result.telemetry.batch_fallbacks += 1
+            record_session(SolverTelemetry(batch_fallbacks=1))
+            results[b] = result
 
     return results
 

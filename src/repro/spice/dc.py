@@ -16,6 +16,7 @@ import time
 
 import numpy as np
 
+from ..observability import trace
 from .circuit import Circuit
 from .mna import MnaSystem, StampContext
 from .solver import ConvergenceError, newton_solve
@@ -67,42 +68,47 @@ def dc_operating_point(circuit: Circuit, t: float = 0.0, gmin: float = 1e-12,
     """
     tel = telemetry if telemetry is not None else SolverTelemetry()
     wall_start = time.perf_counter()
-    system = MnaSystem(circuit)
-    x0 = np.zeros(system.size)
-    try:
-        x, ctx = newton_solve(system, "dc", t, dt=1.0, method="be", states={},
-                              x0=x0, gmin=gmin, telemetry=tel)
-        return _finish(circuit, x, ctx, tel, wall_start)
-    except ConvergenceError:
-        pass
-
-    x = x0
-    ctx = None
-    schedule = [10.0 ** (-k) for k in range(3, 13)]
-    schedule = [g for g in schedule if g > gmin] + [gmin]
-    for stage_gmin in schedule:
-        tel.gmin_steps += 1
+    with trace.span("dc", t=t) as dsp:
+        system = MnaSystem(circuit)
+        x0 = np.zeros(system.size)
         try:
-            x, ctx = newton_solve(
-                system, "dc", t, dt=1.0, method="be", states={}, x0=x,
-                gmin=stage_gmin, telemetry=tel,
-            )
-        except ConvergenceError as exc:
-            if stage_gmin == gmin:
-                # The final target stage is the answer; nothing to skip to.
-                tel.unrecovered_failures += 1
-                tel.add_phase_seconds("dc", time.perf_counter() - wall_start)
-                record_session(tel)
-                exc.telemetry = tel
-                raise
-            # Intermediate stage: continue the ladder from the last good x.
-            tel.step_rejections += 1
-            tel.step_retries += 1
-    return _finish(circuit, x, ctx, tel, wall_start)
+            x, ctx = newton_solve(system, "dc", t, dt=1.0, method="be", states={},
+                                  x0=x0, gmin=gmin, telemetry=tel)
+            return _finish(circuit, x, ctx, tel, wall_start, dsp)
+        except ConvergenceError:
+            pass
+
+        x = x0
+        ctx = None
+        schedule = [10.0 ** (-k) for k in range(3, 13)]
+        schedule = [g for g in schedule if g > gmin] + [gmin]
+        for stage_gmin in schedule:
+            tel.gmin_steps += 1
+            try:
+                x, ctx = newton_solve(
+                    system, "dc", t, dt=1.0, method="be", states={}, x0=x,
+                    gmin=stage_gmin, telemetry=tel,
+                )
+            except ConvergenceError as exc:
+                if stage_gmin == gmin:
+                    # The final target stage is the answer; nothing to skip to.
+                    tel.unrecovered_failures += 1
+                    tel.add_phase_seconds("dc", time.perf_counter() - wall_start)
+                    record_session(tel)
+                    exc.telemetry = tel
+                    raise
+                # Intermediate stage: continue the ladder from the last good x.
+                tel.step_rejections += 1
+                tel.step_retries += 1
+        dsp.set_attribute("gmin_steps", tel.gmin_steps)
+        return _finish(circuit, x, ctx, tel, wall_start, dsp)
 
 
 def _finish(circuit: Circuit, x: np.ndarray, ctx: StampContext,
-            tel: SolverTelemetry, wall_start: float) -> DcSolution:
-    tel.add_phase_seconds("dc", time.perf_counter() - wall_start)
+            tel: SolverTelemetry, wall_start: float, dsp=None) -> DcSolution:
+    # The "dc" span is still open here (the caller's ``with`` closes it), so
+    # trace.elapsed's fallback keeps the seed perf-counter measurement; the
+    # span clock and this anchor share the same monotonic source.
+    tel.add_phase_seconds("dc", trace.elapsed(dsp, wall_start))
     record_session(tel)
     return DcSolution(circuit, x, ctx, telemetry=tel)

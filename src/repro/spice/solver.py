@@ -28,6 +28,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..observability import metrics as obs_metrics
+from ..observability import trace
+from ..observability.trace import NOOP_SPAN
 from ..testing.faults import fire as _fire_fault
 from .mna import MnaSystem, StampContext
 from .telemetry import SolverTelemetry
@@ -100,63 +103,84 @@ def newton_solve(
         # Deterministic fault injection (repro.testing.faults): report this
         # solve as diverged so the recovery ladders above get exercised.
         raise ConvergenceError(f"injected Newton divergence at t={t}")
-    if not fast:
-        return _newton_solve_reference(
-            system, mode, t, dt, method, states, x0, gmin,
-            max_iter, abstol, reltol, max_update, telemetry,
-        )
 
-    x = np.array(x0, dtype=float)
-    base_A, base_z, work_A, work_z = system.assembly_buffers()
+    # Per-iteration spans (assembly / lu_solve) exist only at "full" trace
+    # detail and are gated on one bool so the disabled-tracing inner loop
+    # pays a single module-global read per *solve*, not per iterate.
+    tracer = trace.active_tracer()
+    detailed = tracer is not None and tracer.wants("full")
+    with trace.span("newton_solve", level="newton", mode=mode, t=t) as nsp:
+        if not fast:
+            return _newton_solve_reference(
+                system, mode, t, dt, method, states, x0, gmin,
+                max_iter, abstol, reltol, max_update, telemetry, nsp,
+            )
 
-    # Linear base: stamped once — nothing in it can change across iterates.
-    base_ctx = system.context(mode, t, dt, method, states, x, gmin,
-                              buffers=(base_A, base_z))
-    system.assemble_base(base_ctx)
+        x = np.array(x0, dtype=float)
+        base_A, base_z, work_A, work_z = system.assembly_buffers()
 
-    ctx = system.context(mode, t, dt, method, states, x, gmin,
-                         buffers=(work_A, work_z))
+        # Linear base: stamped once — nothing in it can change across iterates.
+        base_ctx = system.context(mode, t, dt, method, states, x, gmin,
+                                  buffers=(base_A, base_z))
+        with trace.span("assembly", level="full") if detailed else NOOP_SPAN:
+            system.assemble_base(base_ctx)
 
-    if not system.nonlinear_elements:
-        # Purely linear: the Newton map is affine with a constant matrix, so
-        # the damped iteration lands exactly on the direct solution; solve
-        # once, reusing the cached LU factors when the matrix is unchanged.
-        np.copyto(work_A, base_A)
-        np.copyto(work_z, base_z)
-        key = system.linear_matrix_key(mode, dt, method, states)
-        x_new = system.solve_linear_cached(key, work_A, work_z)
-        if not np.all(np.isfinite(x_new)):
-            raise ConvergenceError(f"non-finite solution while solving at t={t}")
-        ctx.x = x_new
-        return x_new, ctx
+        ctx = system.context(mode, t, dt, method, states, x, gmin,
+                             buffers=(work_A, work_z))
 
-    for _ in range(max_iter):
-        if telemetry is not None:
-            telemetry.newton_iterations += 1
-        np.copyto(work_A, base_A)
-        np.copyto(work_z, base_z)
-        ctx.x = x
-        system.assemble_nonlinear(ctx)
-        try:
-            x_new = np.linalg.solve(work_A, work_z)
-        except np.linalg.LinAlgError:
-            x_new, *_ = np.linalg.lstsq(work_A, work_z, rcond=None)
-        if not np.all(np.isfinite(x_new)):
-            raise ConvergenceError(f"non-finite solution while solving at t={t}")
+        if not system.nonlinear_elements:
+            # Purely linear: the Newton map is affine with a constant matrix,
+            # so the damped iteration lands exactly on the direct solution;
+            # solve once, reusing the cached LU factors when the matrix is
+            # unchanged.
+            np.copyto(work_A, base_A)
+            np.copyto(work_z, base_z)
+            key = system.linear_matrix_key(mode, dt, method, states)
+            with trace.span("lu_solve", level="full") if detailed else NOOP_SPAN:
+                x_new = system.solve_linear_cached(key, work_A, work_z)
+            if not np.all(np.isfinite(x_new)):
+                raise ConvergenceError(f"non-finite solution while solving at t={t}")
+            ctx.x = x_new
+            nsp.set_attribute("iterations", 0)
+            obs_metrics.observe("repro_newton_iterations_per_solve", 0)
+            return x_new, ctx
 
-        dx = x_new - x
-        step = float(np.max(np.abs(dx))) if dx.size else 0.0
-        if step > max_update:
-            x = x + dx * (max_update / step)
-            continue
-        x = x_new
-        if np.all(np.abs(dx) <= abstol + reltol * np.abs(x)):
-            # Reuse the last iterate's context: only ``x`` needs to move to
-            # the converged point (A/z stay one Newton update behind, which
-            # downstream state commits and current reads never consult).
+        iterations = 0
+        for _ in range(max_iter):
+            iterations += 1
+            if telemetry is not None:
+                telemetry.newton_iterations += 1
+            np.copyto(work_A, base_A)
+            np.copyto(work_z, base_z)
             ctx.x = x
-            return x, ctx
-    raise ConvergenceError(f"Newton failed to converge in {max_iter} iterations at t={t}")
+            with trace.span("assembly", level="full") if detailed else NOOP_SPAN:
+                system.assemble_nonlinear(ctx)
+            with trace.span("lu_solve", level="full") if detailed else NOOP_SPAN:
+                try:
+                    x_new = np.linalg.solve(work_A, work_z)
+                except np.linalg.LinAlgError:
+                    x_new, *_ = np.linalg.lstsq(work_A, work_z, rcond=None)
+            if not np.all(np.isfinite(x_new)):
+                raise ConvergenceError(f"non-finite solution while solving at t={t}")
+
+            dx = x_new - x
+            step = float(np.max(np.abs(dx))) if dx.size else 0.0
+            if step > max_update:
+                x = x + dx * (max_update / step)
+                continue
+            x = x_new
+            if np.all(np.abs(dx) <= abstol + reltol * np.abs(x)):
+                # Reuse the last iterate's context: only ``x`` needs to move
+                # to the converged point (A/z stay one Newton update behind,
+                # which downstream state commits and current reads never
+                # consult).
+                ctx.x = x
+                nsp.set_attribute("iterations", iterations)
+                obs_metrics.observe("repro_newton_iterations_per_solve", iterations)
+                return x, ctx
+        raise ConvergenceError(
+            f"Newton failed to converge in {max_iter} iterations at t={t}"
+        )
 
 
 def _newton_solve_reference(
@@ -173,13 +197,17 @@ def _newton_solve_reference(
     reltol: float,
     max_update: float,
     telemetry: SolverTelemetry | None = None,
+    nsp=NOOP_SPAN,
 ) -> tuple[np.ndarray, StampContext]:
     """The seed engine's Newton loop, byte-for-byte (full assembly per iterate).
 
-    Telemetry counting is the only addition; the numerics are untouched.
+    Telemetry/observability counting is the only addition; the numerics are
+    untouched.
     """
     x = np.array(x0, dtype=float)
+    iterations = 0
     for _ in range(max_iter):
+        iterations += 1
         if telemetry is not None:
             telemetry.newton_iterations += 1
         ctx = system.context(mode, t, dt, method, states, x, gmin, fast=False)
@@ -200,5 +228,7 @@ def _newton_solve_reference(
         if np.all(np.abs(dx) <= abstol + reltol * np.abs(x)):
             final = system.context(mode, t, dt, method, states, x, gmin, fast=False)
             system.assemble(final)
+            nsp.set_attribute("iterations", iterations)
+            obs_metrics.observe("repro_newton_iterations_per_solve", iterations)
             return x, final
     raise ConvergenceError(f"Newton failed to converge in {max_iter} iterations at t={t}")

@@ -26,7 +26,15 @@ telemetry is process-local; pool-parallel runs are folded back in by
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Iterable, Optional
+
+#: Keys :meth:`SolverTelemetry.as_dict` derives from counters rather than
+#: storing; never round-tripped into ``extras``.
+_DERIVED_KEYS = frozenset({"ok", "recovered_rejections"})
+
+#: Unknown-counter names already warned about in this process (warn once).
+_warned_extras: set[str] = set()
 
 
 @dataclasses.dataclass
@@ -76,10 +84,20 @@ class SolverTelemetry:
             stays 0 unless recovery itself failed).
         checkpoint_writes: atomic campaign-checkpoint files committed via
             ``os.replace`` (one per completed chunk plus the final state).
+        extras: numeric counters from *newer* producers that this version
+            does not know as fields.  :meth:`from_dict` preserves them here
+            (warning once per process per counter name) instead of silently
+            dropping them, :meth:`merge` sums them per key, and
+            :meth:`as_dict` re-emits them at the top level, so journals
+            written by a newer version survive a round trip through an
+            older one without losing counts.
         phase_seconds: wall-clock seconds per named phase ("ic", "dc",
             "stepping", "total", ...); merged by summing per key.  The
             batched engine splits its shared wall clock evenly across the
             per-instance records, so aggregates still sum to real time.
+            When tracing is enabled (:mod:`repro.observability.trace`) the
+            engine derives these values from the recorded span timings, so
+            spans and telemetry report one consistent clock.
     """
 
     newton_solves: int = 0
@@ -101,6 +119,7 @@ class SolverTelemetry:
     degradations: int = 0
     chunks_failed: int = 0
     checkpoint_writes: int = 0
+    extras: dict = dataclasses.field(default_factory=dict)
     phase_seconds: dict = dataclasses.field(default_factory=dict)
 
     @property
@@ -118,6 +137,9 @@ class SolverTelemetry:
             if f.name == "phase_seconds":
                 for phase, seconds in other.phase_seconds.items():
                     self.add_phase_seconds(phase, seconds)
+            elif f.name == "extras":
+                for key, value in other.extras.items():
+                    self.extras[key] = self.extras.get(key, 0) + value
             else:
                 setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
         return self
@@ -135,25 +157,54 @@ class SolverTelemetry:
     def from_dict(cls, data: dict) -> "SolverTelemetry":
         """Rebuild a record from :meth:`as_dict` output (journal round trip).
 
-        Unknown keys (including the derived ``ok`` / ``recovered_rejections``
-        entries ``as_dict`` adds) are ignored, so journals written by newer
-        versions with extra counters still load.
+        The derived ``ok`` / ``recovered_rejections`` entries ``as_dict``
+        adds are skipped.  Any *other* unknown key — a counter written by a
+        newer producer — is preserved in :attr:`extras` (numeric values
+        only) with a once-per-process warning per counter name, so loading
+        a newer journal degrades loudly and losslessly instead of silently
+        dropping counts.
         """
         tel = cls()
+        known = {f.name for f in dataclasses.fields(cls)}
         for f in dataclasses.fields(cls):
             if f.name == "phase_seconds":
                 tel.phase_seconds = dict(data.get("phase_seconds", {}))
+            elif f.name == "extras":
+                pass  # never written as a wrapper; see as_dict
             elif f.name in data:
                 setattr(tel, f.name, int(data[f.name]))
+        unknown = {k: v for k, v in data.items()
+                   if k not in known and k not in _DERIVED_KEYS}
+        dropped = []
+        for key, value in unknown.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                tel.extras[key] = tel.extras.get(key, 0) + value
+            else:
+                dropped.append(key)
+        fresh = sorted(set(unknown) - _warned_extras)
+        if fresh:
+            _warned_extras.update(fresh)
+            kept = [k for k in fresh if k not in dropped]
+            message = ("SolverTelemetry.from_dict: unknown counters from a "
+                       f"newer producer: kept {kept} in extras")
+            if dropped:
+                message += f", dropped non-numeric {sorted(dropped)}"
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
         return tel
 
     def as_dict(self) -> dict:
-        """Machine-readable summary (JSON-serializable)."""
+        """Machine-readable summary (JSON-serializable).
+
+        ``extras`` counters are re-emitted at the top level (not under a
+        wrapper key), so a round trip through this version hands a newer
+        consumer back the exact counters its producer wrote.
+        """
         out = {
             f.name: getattr(self, f.name)
             for f in dataclasses.fields(self)
-            if f.name != "phase_seconds"
+            if f.name not in ("phase_seconds", "extras")
         }
+        out.update(self.extras)
         out["recovered_rejections"] = self.recovered_rejections
         out["phase_seconds"] = dict(self.phase_seconds)
         out["ok"] = self.unrecovered_failures == 0
@@ -184,6 +235,9 @@ class SolverTelemetry:
             )
         if self.checkpoint_writes:
             lines.append(f"  checkpoint commits:           {self.checkpoint_writes}")
+        if self.extras:
+            extras = ", ".join(f"{k}={v}" for k, v in sorted(self.extras.items()))
+            lines.append(f"  newer-producer counters:      {extras}")
         if self.phase_seconds:
             phases = ", ".join(
                 f"{name} {secs:.3g}s" for name, secs in sorted(self.phase_seconds.items())

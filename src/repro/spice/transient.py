@@ -30,6 +30,8 @@ import time
 
 import numpy as np
 
+from ..observability import metrics as obs_metrics
+from ..observability import trace
 from .circuit import Circuit
 from .mna import MnaSystem
 from .solver import ConvergenceError, newton_solve
@@ -197,131 +199,143 @@ def transient(
     tel = SolverTelemetry()
     wall_start = time.perf_counter()
 
-    # t=0 consistency solve: capacitors forced to their ICs, inductors to theirs.
-    try:
-        x, ctx = newton_solve(
-            system, "ic", tstart, dt=dt, method=opts.method, states=states,
-            x0=np.zeros(system.size), gmin=max(opts.gmin, 1e-9),
-            max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
-            fast=fast, telemetry=tel,
-        )
-    except ConvergenceError as exc:
-        _fail(exc, tel, wall_start)
-    tel.add_phase_seconds("ic", time.perf_counter() - wall_start)
-    for el in circuit.elements:
-        el.init_state(ctx)
-
-    breakpoints = [b for b in circuit.breakpoints() if tstart < b < tstop]
-    breakpoints.append(tstop)
-
-    measured = [el for el in circuit.elements if hasattr(el, "current")]
-    recorder = _SampleRecorder(system.num_node_unknowns, [el.name for el in measured])
-    # Element currents at t=0 come from the IC context (capacitor companion
-    # models are undefined before the first step, so record zeros there).
-    recorder.append(tstart, x[: system.num_node_unknowns],
-                    [_safe_current(el, ctx) for el in measured])
-
-    t = tstart
-    h = dt
-    bp_iter = iter(breakpoints)
-    next_bp = next(bp_iter)
-    min_h = opts.min_dt if opts.min_dt is not None else dt / _MIN_STEP_DIVISOR
-    stepping_start = time.perf_counter()
-
-    def solve_step(step_states, x0, t_target, h_target):
-        return newton_solve(
-            system, "tran", t_target, dt=h_target, method=opts.method,
-            states=step_states, x0=x0, gmin=opts.gmin,
-            max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
-            fast=fast, telemetry=tel,
-        )
-
-    def commit_all(ctx):
-        for el in circuit.elements:
-            el.commit(ctx)
-
-    def snapshot():
-        return {el: dict(state) for el, state in states.items()}
-
-    while t < tstop - 1e-21:
-        h_step = min(h, next_bp - t)
-
-        if not opts.adaptive:
-            while True:
-                try:
-                    x_new, step_ctx = solve_step(states, x, t + h_step, h_step)
-                    break
-                except ConvergenceError as exc:
-                    # Rejected step: committed state is untouched, so the
-                    # retry at half the step restarts from clean history.
-                    tel.step_rejections += 1
-                    h_step /= 2.0
-                    if h_step < min_h:
-                        _fail(exc, tel, wall_start, stepping_start)
-                    tel.step_retries += 1
-            # Record, then commit state (commit consumes the pre-step state).
-            step_currents = [_safe_current(el, step_ctx) for el in measured]
-            commit_all(step_ctx)
-            grown = min(dt, h_step * 2.0)
-        else:
-            # Step doubling: one h step vs two h/2 steps; their gap
-            # estimates the local truncation error of the coarse step.
-            while True:
-                try:
-                    big_states = snapshot()
-                    x_big, _ = solve_step(big_states, x, t + h_step, h_step)
-
-                    half_states = snapshot()
-                    x_mid, ctx_mid = solve_step(half_states, x, t + h_step / 2, h_step / 2)
-                    commit_all(ctx_mid)
-                    x_new, step_ctx = solve_step(
-                        half_states, x_mid, t + h_step, h_step / 2
-                    )
-                except ConvergenceError as exc:
-                    tel.step_rejections += 1
-                    h_step /= 2.0
-                    if h_step < min_h:
-                        _fail(exc, tel, wall_start, stepping_start)
-                    tel.step_retries += 1
-                    continue
-                nn = system.num_node_unknowns
-                scale = opts.lte_atol + opts.lte_rtol * np.abs(x_new[:nn])
-                err = float(np.max(np.abs(x_big[:nn] - x_new[:nn]) / scale)) if nn else 0.0
-                if err <= 1.0:
-                    break
-                tel.lte_rejections += 1
-                h_step = max(h_step * max(0.9 * err ** (-1.0 / 3.0), 0.25), min_h)
-                if h_step <= min_h:
-                    break  # accept at the floor rather than stall
-            step_currents = [_safe_current(el, step_ctx) for el in measured]
-            commit_all(step_ctx)
-            states.clear()
-            states.update(half_states)
-            factor = 0.9 * err ** (-1.0 / 3.0) if err > 0 else opts.max_growth
-            grown = min(dt, h_step * min(max(factor, 0.25), opts.max_growth))
-
-        t += h_step
-        x = x_new
-        tel.accepted_steps += 1
-        recorder.append(t, x[: system.num_node_unknowns], step_currents)
-
-        if abs(t - next_bp) < 1e-21 or t >= next_bp:
-            # Source slope discontinuity: restart the integrator with a
-            # backward-Euler step, or the trapezoidal companion rings
-            # (i_new = -i_prev) on any element sitting across the corner.
-            for state in states.values():
-                if "first_step" in state:
-                    state["first_step"] = True
+    with trace.span("transient", tstop=tstop, dt=dt,
+                    adaptive=opts.adaptive, method=opts.method) as tsp:
+        # t=0 consistency solve: capacitors forced to their ICs, inductors to
+        # theirs.
+        with trace.span("ic") as ic_sp:
             try:
-                next_bp = next(bp_iter)
-            except StopIteration:
-                next_bp = tstop
-        h = grown
+                x, ctx = newton_solve(
+                    system, "ic", tstart, dt=dt, method=opts.method, states=states,
+                    x0=np.zeros(system.size), gmin=max(opts.gmin, 1e-9),
+                    max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
+                    fast=fast, telemetry=tel,
+                )
+            except ConvergenceError as exc:
+                _fail(exc, tel, wall_start)
+        # Single timing source: the span's monotonic clock when tracing is
+        # on, the seed's perf-counter anchor otherwise (trace.elapsed).
+        tel.add_phase_seconds("ic", trace.elapsed(ic_sp, wall_start))
+        for el in circuit.elements:
+            el.init_state(ctx)
 
-    times, node_samples, currents = recorder.finish()
-    now = time.perf_counter()
-    tel.add_phase_seconds("stepping", now - stepping_start)
-    tel.add_phase_seconds("total", now - wall_start)
+        breakpoints = [b for b in circuit.breakpoints() if tstart < b < tstop]
+        breakpoints.append(tstop)
+
+        measured = [el for el in circuit.elements if hasattr(el, "current")]
+        recorder = _SampleRecorder(system.num_node_unknowns, [el.name for el in measured])
+        # Element currents at t=0 come from the IC context (capacitor companion
+        # models are undefined before the first step, so record zeros there).
+        recorder.append(tstart, x[: system.num_node_unknowns],
+                        [_safe_current(el, ctx) for el in measured])
+
+        t = tstart
+        h = dt
+        bp_iter = iter(breakpoints)
+        next_bp = next(bp_iter)
+        min_h = opts.min_dt if opts.min_dt is not None else dt / _MIN_STEP_DIVISOR
+        stepping_start = time.perf_counter()
+
+        def solve_step(step_states, x0, t_target, h_target):
+            return newton_solve(
+                system, "tran", t_target, dt=h_target, method=opts.method,
+                states=step_states, x0=x0, gmin=opts.gmin,
+                max_iter=opts.max_newton, abstol=opts.abstol, reltol=opts.reltol,
+                fast=fast, telemetry=tel,
+            )
+
+        def commit_all(ctx):
+            for el in circuit.elements:
+                el.commit(ctx)
+
+        def snapshot():
+            return {el: dict(state) for el, state in states.items()}
+
+        with trace.span("stepping") as step_sp:
+            while t < tstop - 1e-21:
+                h_step = min(h, next_bp - t)
+
+                if not opts.adaptive:
+                    while True:
+                        try:
+                            x_new, step_ctx = solve_step(states, x, t + h_step, h_step)
+                            break
+                        except ConvergenceError as exc:
+                            # Rejected step: committed state is untouched, so the
+                            # retry at half the step restarts from clean history.
+                            tel.step_rejections += 1
+                            h_step /= 2.0
+                            if h_step < min_h:
+                                _fail(exc, tel, wall_start, stepping_start)
+                            tel.step_retries += 1
+                    # Record, then commit state (commit consumes the pre-step
+                    # state).
+                    step_currents = [_safe_current(el, step_ctx) for el in measured]
+                    commit_all(step_ctx)
+                    grown = min(dt, h_step * 2.0)
+                else:
+                    # Step doubling: one h step vs two h/2 steps; their gap
+                    # estimates the local truncation error of the coarse step.
+                    while True:
+                        try:
+                            big_states = snapshot()
+                            x_big, _ = solve_step(big_states, x, t + h_step, h_step)
+
+                            half_states = snapshot()
+                            x_mid, ctx_mid = solve_step(
+                                half_states, x, t + h_step / 2, h_step / 2
+                            )
+                            commit_all(ctx_mid)
+                            x_new, step_ctx = solve_step(
+                                half_states, x_mid, t + h_step, h_step / 2
+                            )
+                        except ConvergenceError as exc:
+                            tel.step_rejections += 1
+                            h_step /= 2.0
+                            if h_step < min_h:
+                                _fail(exc, tel, wall_start, stepping_start)
+                            tel.step_retries += 1
+                            continue
+                        nn = system.num_node_unknowns
+                        scale = opts.lte_atol + opts.lte_rtol * np.abs(x_new[:nn])
+                        err = (float(np.max(np.abs(x_big[:nn] - x_new[:nn]) / scale))
+                               if nn else 0.0)
+                        if err <= 1.0:
+                            break
+                        tel.lte_rejections += 1
+                        h_step = max(h_step * max(0.9 * err ** (-1.0 / 3.0), 0.25), min_h)
+                        if h_step <= min_h:
+                            break  # accept at the floor rather than stall
+                    step_currents = [_safe_current(el, step_ctx) for el in measured]
+                    commit_all(step_ctx)
+                    states.clear()
+                    states.update(half_states)
+                    factor = 0.9 * err ** (-1.0 / 3.0) if err > 0 else opts.max_growth
+                    grown = min(dt, h_step * min(max(factor, 0.25), opts.max_growth))
+
+                t += h_step
+                x = x_new
+                tel.accepted_steps += 1
+                obs_metrics.observe("repro_step_seconds", h_step)
+                recorder.append(t, x[: system.num_node_unknowns], step_currents)
+
+                if abs(t - next_bp) < 1e-21 or t >= next_bp:
+                    # Source slope discontinuity: restart the integrator with a
+                    # backward-Euler step, or the trapezoidal companion rings
+                    # (i_new = -i_prev) on any element sitting across the corner.
+                    for state in states.values():
+                        if "first_step" in state:
+                            state["first_step"] = True
+                    try:
+                        next_bp = next(bp_iter)
+                    except StopIteration:
+                        next_bp = tstop
+                h = grown
+            step_sp.set_attribute("accepted_steps", tel.accepted_steps)
+
+        times, node_samples, currents = recorder.finish()
+        tel.add_phase_seconds("stepping", trace.elapsed(step_sp, stepping_start))
+    tel.add_phase_seconds("total", trace.elapsed(tsp, wall_start))
     record_session(tel)
     return TransientResult(circuit, times, node_samples, currents, telemetry=tel)
 

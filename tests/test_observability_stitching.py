@@ -1,0 +1,128 @@
+"""Cross-process span stitching through the parallel map.
+
+Worker processes trace into their own tracer; their spans ship back with
+the results and re-parent under the dispatching ``parallel_map`` span.  The
+exactly-once guarantee is the point under test: every task appears in the
+stitched trace once — when it ran in a pool worker, when the pool broke and
+was respawned, and when the map finally degraded to the serial path.
+"""
+
+import pytest
+
+from repro.analysis.parallel import parallel_map_traced
+from repro.observability import metrics as obs_metrics
+from repro.observability import trace
+from repro.testing import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    faults.clear_faults()
+    trace.disable_tracing()
+    obs_metrics.disable_metrics()
+    yield
+    faults.clear_faults()
+    trace.disable_tracing()
+    obs_metrics.disable_metrics()
+
+
+def _traced_double(x):
+    """Module-level (picklable) worker: two nested spans and a counter."""
+    with trace.span("work_task", index=x):
+        with trace.span("work_inner"):
+            pass
+    obs_metrics.inc("repro_test_tasks_total")
+    return 2 * x
+
+
+def _span_index(tracer):
+    by_name = {}
+    for sp in tracer.spans:
+        by_name.setdefault(sp.name, []).append(sp)
+    return by_name
+
+
+class TestPoolStitching:
+    def test_two_workers_every_task_span_exactly_once(self):
+        tracer = trace.enable_tracing()
+        registry = obs_metrics.enable_metrics()
+        results, used_pool = parallel_map_traced(
+            _traced_double, range(4), max_workers=2
+        )
+        assert results == [0, 2, 4, 6]
+        assert used_pool is True
+
+        by_name = _span_index(tracer)
+        (pm,) = by_name["parallel_map"]
+        assert pm.attributes["used_pool"] is True
+
+        tasks = by_name["work_task"]
+        assert sorted(sp.attributes["index"] for sp in tasks) == [0, 1, 2, 3]
+        assert all(sp.parent_id == pm.span_id for sp in tasks)
+        # Worker spans carry the worker pid prefix, so stitched ids can
+        # never collide with parent-side ids.
+        parent_prefix = pm.span_id.split(".", 1)[0]
+        assert all(
+            sp.span_id.split(".", 1)[0] != parent_prefix for sp in tasks
+        )
+
+        inners = by_name["work_inner"]
+        assert len(inners) == 4
+        task_ids = {sp.span_id for sp in tasks}
+        assert all(sp.parent_id in task_ids for sp in inners)
+
+        all_ids = [sp.span_id for sp in tracer.spans]
+        assert len(all_ids) == len(set(all_ids)) == 9
+        # Rebasing sanity: adopted spans live on this process's timeline.
+        assert all(sp.duration is not None and sp.duration >= 0
+                   for sp in tracer.spans)
+        assert all(pm.start <= sp.start <= pm.end for sp in tasks)
+
+        assert registry.get("repro_test_tasks_total").value == 4
+
+    def test_worker_metrics_merge_without_tracing(self):
+        registry = obs_metrics.enable_metrics()
+        results, used_pool = parallel_map_traced(
+            _traced_double, range(4), max_workers=2
+        )
+        assert results == [0, 2, 4, 6] and used_pool
+        assert registry.get("repro_test_tasks_total").value == 4
+        assert trace.active_tracer() is None
+
+
+class TestBrokenPoolStitching:
+    def test_respawn_then_serial_keeps_spans_exactly_once(self):
+        """A worker killed on task 0 breaks the pool on every attempt; the
+        map degrades to serial.  Spans from the dead attempts die with
+        their results, so each task still appears exactly once — now
+        parented directly under the parallel_map span, with the breakage
+        recorded as span events."""
+        faults.install_faults("worker:task=0")
+        tracer = trace.enable_tracing()
+        registry = obs_metrics.enable_metrics()
+        with pytest.warns(RuntimeWarning, match="process pool broke"):
+            results, used_pool = parallel_map_traced(
+                _traced_double, range(4), max_workers=2
+            )
+        assert results == [0, 2, 4, 6]
+        assert used_pool is False
+
+        by_name = _span_index(tracer)
+        (pm,) = by_name["parallel_map"]
+        assert pm.attributes["used_pool"] is False
+        event_names = [ev["name"] for ev in pm.events]
+        assert event_names.count("broken_process_pool") >= 1
+        assert event_names.count("pool_degraded_to_serial") == 1
+
+        tasks = by_name["work_task"]
+        assert sorted(sp.attributes["index"] for sp in tasks) == [0, 1, 2, 3]
+        # Serial recompute ran in this process, inside the map span.
+        assert all(sp.parent_id == pm.span_id for sp in tasks)
+        parent_prefix = pm.span_id.split(".", 1)[0]
+        assert all(
+            sp.span_id.split(".", 1)[0] == parent_prefix for sp in tasks
+        )
+        assert len(by_name["work_inner"]) == 4
+
+        assert registry.get("repro_test_tasks_total").value == 4
+        assert registry.get("repro_pool_degradations_total").value == 1

@@ -168,6 +168,41 @@ class TestTelemetryRecord:
         assert clone == tel
 
 
+class TestForwardCompatExtras:
+    """Journals written by a *newer* producer must round-trip losslessly."""
+
+    def test_unknown_numeric_keys_survive_in_extras(self):
+        import warnings as _warnings
+        from repro.spice import telemetry as tel_mod
+
+        data = SolverTelemetry(newton_solves=2).as_dict()
+        data["future_counter"] = 5
+        data["future_flag"] = True        # bool is not a counter
+        data["future_note"] = "text"      # nor is a string
+        tel_mod._warned_extras.discard("future_counter")
+        tel_mod._warned_extras.discard("future_flag")
+        tel_mod._warned_extras.discard("future_note")
+        with pytest.warns(RuntimeWarning, match="future_counter"):
+            tel = SolverTelemetry.from_dict(data)
+        assert tel.newton_solves == 2
+        assert tel.extras == {"future_counter": 5}
+        # Warn once per process per counter name, not per journal line.
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            again = SolverTelemetry.from_dict(data)
+        assert again.extras == {"future_counter": 5}
+
+    def test_extras_reemitted_at_top_level_and_merged(self):
+        a = SolverTelemetry()
+        a.extras["future_counter"] = 5
+        b = SolverTelemetry()
+        b.extras["future_counter"] = 3
+        a.merge(b)
+        assert a.extras["future_counter"] == 8
+        # Round trip hands the newer consumer back its exact counter.
+        assert a.as_dict()["future_counter"] == 8
+
+
 class TestSessionTelemetry:
     def test_disabled_by_default(self):
         assert session_telemetry() is None
