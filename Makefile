@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-smoke bench-perf campaign-smoke trace-smoke reports examples clean
+.PHONY: install test bench bench-smoke bench-perf campaign-smoke trace-smoke softdep-smoke reports examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -50,6 +50,12 @@ trace-smoke:
 	  assert 'repro_phase_seconds_bucket' in text, 'phase histogram missing'; \
 	  print('prometheus export ok')"
 	rm -f trace_smoke.json metrics_smoke.prom
+
+# Soft-dependency smoke: run the engine with scipy blocked at the import
+# machinery and numba disabled, proving the dense/numpy fallbacks of the
+# sparse tier, the batched rank-1 lane and the compiled MOSFET kernel.
+softdep-smoke:
+	$(PY) scripts/softdep_smoke.py
 
 # Regenerate every paper artifact into benchmarks/reports/*.txt and
 # the run logs the task description asks for.

@@ -1,13 +1,18 @@
 """Benchmark P1 — engine fast path and batched ensemble vs their baselines.
 
-Two regression-tracked comparisons:
+Four regression-tracked comparisons:
 
 * the cached-assembly scalar engine against ``legacy_reference=True`` (a
   byte-for-byte preservation of the seed Newton loop and device
-  evaluation), on one golden transient and a Fig. 3-class sweep; and
+  evaluation), on one golden transient and a Fig. 3-class sweep;
 * the batched lockstep engine (one vectorized Newton loop for the whole
   ensemble) against the scalar fast path it shares its numerics with, on
-  the same driver-count sweep.
+  the same driver-count sweep;
+* the sparse linear-algebra tier (CSC assembly + cached-pattern ``splu``)
+  against the dense LAPACK path on generated large-N RC-ladder networks
+  (``sparse_scaling``); and
+* the adaptive batched lockstep engine against per-instance scalar
+  adaptive runs on a Fig. 3-class ensemble (``adaptive_batch``).
 
 Every speedup is gated on peak parity to 1e-9 V first.  The summaries
 merge into ``BENCH_perf.json`` at the repo root, together with host
@@ -43,12 +48,16 @@ from repro.analysis.simulate import (
     simulate_ssn,
     simulate_ssn_cache_clear,
 )
-from repro.spice.transient import TransientOptions
+from repro.spice.mna import SPARSE_AUTO_THRESHOLD, sparse_available
+from repro.spice.transient import TransientOptions, transient
+from repro.testing.netlists import ladder_circuit
 
 #: Required end-to-end gain of the fast path over the seed engine.
 MIN_SPEEDUP = 3.0
 #: Required gain of the batched ensemble over the scalar fast path.
 MIN_BATCH_SPEEDUP = 3.0
+#: Required gain of sparse splu over dense LAPACK on the largest ladder.
+MIN_SPARSE_SPEEDUP = 5.0
 #: Peak-voltage agreement between any two engines.
 PARITY_TOL = 1e-9
 #: Worst-case share of an untraced run the disabled instrumentation may
@@ -58,9 +67,23 @@ MAX_DISABLED_OVERHEAD = 0.03
 SINGLE_N = 10
 SWEEP_COUNTS = list(range(1, 31, 4))  # Fig. 3 range, strided for runtime
 
+#: Ladder sizes for the sparse-scaling comparison.  The auto threshold
+#: sits at SPARSE_AUTO_THRESHOLD unknowns; the tier is sized for the
+#: largest entry, where dense LAPACK pays the full O(n^3) toll.
+SPARSE_LADDER_SECTIONS = [150, 300, 600]
+SPARSE_TSTOP = 0.5e-9
+SPARSE_DT = 0.02e-9
+
+#: Adaptive ensemble: denser Fig. 3 stride than the fixed-step sweep —
+#: the scalar baseline repeats the whole step-doubling controller per
+#: instance, so a wider ensemble is what the batch path amortizes.
+ADAPTIVE_COUNTS = list(range(1, 31, 2))
+
 #: --quick smoke sizes: still exercises every engine, finishes in seconds.
 QUICK_SINGLE_N = 3
 QUICK_SWEEP_COUNTS = [1, 4]
+QUICK_SPARSE_SECTIONS = [SPARSE_AUTO_THRESHOLD + 10]
+QUICK_ADAPTIVE_COUNTS = [1, 4]
 
 #: Timing repetitions for the batch comparison; the hosts this runs on
 #: are shared and noisy, so each side reports its best of several runs.
@@ -222,6 +245,137 @@ def test_batched_sweep_speedup(tech018, wall_clock, perf_report, publish, quick)
         f"driver sweep (N={counts[0]}..{counts[-1]}): "
         f"scalar {wall_clock.timings['batched_sweep_scalar']:.2f}s -> "
         f"batch {wall_clock.timings['batched_sweep_batch']:.2f}s  "
+        f"({speedup:.1f}x)\n",
+    )
+
+    assert speedup >= MIN_BATCH_SPEEDUP
+
+
+def test_sparse_scaling(wall_clock, perf_report, publish, quick):
+    """Sparse tier vs dense LAPACK on generated large-N ladder networks.
+
+    Each ladder runs once per backend on the same fixed grid; parity is
+    asserted bitwise on the time axis and to 1e-9 V on every node before
+    any timing is compared.  ``--quick`` shrinks to one ladder just above
+    the auto threshold and asserts the sparse path *engages* (telemetry
+    records splu factorizations and the sparse backend) without gating on
+    wall clock.  The speedup gate applies to the largest ladder only —
+    the size the tier exists for."""
+    if not sparse_available():
+        pytest.skip("scipy.sparse not importable")
+    sections = QUICK_SPARSE_SECTIONS if quick else SPARSE_LADDER_SECTIONS
+
+    rows = []
+    for n in sections:
+        dense = wall_clock.measure(
+            f"sparse_ladder_dense_{n}", transient,
+            ladder_circuit(n), SPARSE_TSTOP, SPARSE_DT,
+            options=TransientOptions(sparse=False))
+        # sparse="auto" (the default), proving the size heuristic engages
+        # the tier on its own above the threshold.
+        sparse = wall_clock.measure(
+            f"sparse_ladder_sparse_{n}", transient,
+            ladder_circuit(n), SPARSE_TSTOP, SPARSE_DT)
+
+        assert np.array_equal(dense.times, sparse.times)
+        worst = max(
+            np.max(np.abs(dense.voltage(node).y - sparse.voltage(node).y))
+            for node in dense.node_names
+        )
+        assert worst <= PARITY_TOL
+        assert sparse.telemetry.sparse_factorizations > 0
+        assert sparse.telemetry.extras.get("backend_sparse_splu") == 1
+        rows.append({
+            "sections": n,
+            "unknowns": n + 3,
+            "steps": len(sparse.times) - 1,
+            "dense_seconds": wall_clock.timings[f"sparse_ladder_dense_{n}"],
+            "sparse_seconds": wall_clock.timings[f"sparse_ladder_sparse_{n}"],
+            "speedup": wall_clock.speedup(
+                f"sparse_ladder_dense_{n}", f"sparse_ladder_sparse_{n}"),
+            "worst_dv_volts": float(worst),
+        })
+
+    if quick:
+        return
+
+    payload = {
+        "sparse_scaling": {
+            "ladders": rows,
+            "min_speedup_largest": MIN_SPARSE_SPEEDUP,
+        },
+    }
+    perf_report(payload)
+
+    lines = ["sparse splu tier vs dense LAPACK on RC-ladder networks", ""]
+    for row in rows:
+        lines.append(
+            f"{row['sections']} sections ({row['unknowns']} unknowns): "
+            f"dense {row['dense_seconds']:.2f}s -> "
+            f"sparse {row['sparse_seconds']:.2f}s  ({row['speedup']:.1f}x)"
+        )
+    publish("bench_perf_sparse", "\n".join(lines) + "\n")
+
+    assert rows[-1]["speedup"] >= MIN_SPARSE_SPEEDUP
+
+
+def test_adaptive_batch_speedup(tech018, wall_clock, perf_report, publish, quick):
+    """Adaptive batched lockstep vs per-instance scalar adaptive runs.
+
+    Both sides run the same step-doubling controller over the same Fig. 3
+    ensemble; the batch path phase-aligns the big/half/half solve triplet
+    across instances while each keeps its own (t, h).  Peak parity to
+    1e-9 V gates the comparison, and the batch results must prove the
+    lockstep path actually ran (mask_steps > 0, zero fallbacks)."""
+    counts = QUICK_ADAPTIVE_COUNTS if quick else ADAPTIVE_COUNTS
+    base = _spec(tech018, 1)
+    specs = [dataclasses.replace(base, n_drivers=n) for n in counts]
+    adaptive = TransientOptions(adaptive=True)
+
+    def scalar_run():
+        simulate_ssn_cache_clear()
+        return simulate_many(specs, options=adaptive, engine="scalar")
+
+    def batch_run():
+        simulate_ssn_cache_clear()
+        return simulate_many(specs, options=adaptive, engine="batch")
+
+    # Warm both paths (model constant caches, lazy imports) before timing.
+    scalar_run()
+    batch_run()
+
+    reps = 1 if quick else TIMING_REPS
+    scalar_res = _best_of(wall_clock, "adaptive_scalar", scalar_run, reps)
+    batch_res = _best_of(wall_clock, "adaptive_batch", batch_run, reps)
+
+    for s, b in zip(scalar_res, batch_res):
+        assert abs(b.peak_voltage - s.peak_voltage) <= PARITY_TOL
+        assert s.telemetry.accepted_steps == b.telemetry.accepted_steps
+    assert all(b.telemetry.mask_steps > 0 for b in batch_res)
+    assert all(b.telemetry.batch_fallbacks == 0 for b in batch_res)
+
+    speedup = wall_clock.speedup("adaptive_scalar", "adaptive_batch")
+    if quick:
+        return
+
+    payload = {
+        "adaptive_batch": {
+            "counts": counts,
+            "scalar_seconds": wall_clock.timings["adaptive_scalar"],
+            "batch_seconds": wall_clock.timings["adaptive_batch"],
+            "speedup": speedup,
+            "timing_reps": reps,
+        },
+    }
+    perf_report(payload)
+
+    publish(
+        "bench_perf_adaptive",
+        "adaptive batched lockstep vs scalar adaptive runs\n\n"
+        f"driver ensemble (N={counts[0]}..{counts[-1]}, "
+        f"{len(counts)} instances): "
+        f"scalar {wall_clock.timings['adaptive_scalar']:.2f}s -> "
+        f"batch {wall_clock.timings['adaptive_batch']:.2f}s  "
         f"({speedup:.1f}x)\n",
     )
 

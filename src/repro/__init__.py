@@ -27,10 +27,17 @@ Quickstart: see ``examples/quickstart.py`` or :mod:`repro.core`.
 
 __version__ = "1.0.0"
 
-from . import analysis, baselines, core, devices, experiments, packaging, process, spice
+import importlib
 
-__all__ = [
-    "__version__",
+#: Subpackages resolved lazily (PEP 562).  The circuit engine
+#: (:mod:`repro.spice`, :mod:`repro.devices`) treats scipy and numba as
+#: soft dependencies with dense/numpy fallbacks; eager imports here would
+#: defeat that by dragging in the scipy-hard analysis/fitting stack the
+#: moment anything touched ``repro``.  Lazy resolution keeps
+#: ``import repro.spice`` runnable on a numpy-only interpreter (exercised
+#: by ``make softdep-smoke``) while ``repro.analysis`` et al. behave
+#: exactly as before for everyone who has the full toolchain.
+_SUBPACKAGES = (
     "analysis",
     "baselines",
     "core",
@@ -39,4 +46,18 @@ __all__ = [
     "packaging",
     "process",
     "spice",
-]
+)
+
+__all__ = ["__version__", *_SUBPACKAGES]
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SUBPACKAGES))

@@ -18,9 +18,12 @@ and finally ``"scalar"``.
 
 The batch engine degrades gracefully: configurations whose circuits cannot
 share a lockstep batch (mixed topologies, unsupported elements) and option
-modes the lockstep loop does not implement (adaptive stepping, the frozen
-legacy engine) silently fall back to the scalar path, so ``"batch"`` is
-always safe to request.
+modes the lockstep loop does not implement (the frozen legacy engine)
+silently fall back to the scalar path, so ``"batch"`` is always safe to
+request.  Adaptive stepping *is* lockstep-capable: sweeps, Monte Carlo
+fleets and campaigns with ``TransientOptions(adaptive=True)`` batch like
+fixed-step runs, each instance walking its own accepted-step sequence
+behind per-instance masks.
 """
 
 from __future__ import annotations

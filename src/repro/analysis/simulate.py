@@ -243,7 +243,7 @@ def _simulate_many_batched(specs, options) -> list[SsnSimulation]:
                     [circuits[i] for i in members], tstop, dt, options=options
                 )
             except BatchIncompatibleError:
-                pass  # e.g. adaptive/legacy options: scalar fallback below
+                pass  # e.g. the legacy engine: scalar fallback below
             else:
                 for i, result in zip(members, results):
                     sims[i] = _package_simulation(specs[i], result)

@@ -47,6 +47,7 @@ import sys
 from .analysis.campaign import CampaignConfig, CampaignRunner
 from .analysis.driver_bank import DriverBankSpec
 from .analysis.engine import ENGINES, set_default_engine
+from .spice.mna import SPARSE_MODES, set_default_sparse
 from .observability import atomic_write_json, summarize_trace_file
 from .observability import metrics as obs_metrics
 from .observability import trace as obs_trace
@@ -122,7 +123,7 @@ def _add_tech_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _telemetry_parent() -> argparse.ArgumentParser:
-    """Shared ``--telemetry`` / ``--telemetry-json`` / ``--engine`` flags."""
+    """Shared ``--telemetry``/``--telemetry-json``/``--engine``/``--sparse`` flags."""
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
         "--telemetry", action="store_true",
@@ -138,6 +139,13 @@ def _telemetry_parent() -> argparse.ArgumentParser:
         "same-topology ensembles in one vectorized Newton loop, 'scalar' "
         "simulates them one at a time, 'auto' picks per workload "
         "(default: $REPRO_ENGINE, else scalar)",
+    )
+    parent.add_argument(
+        "--sparse", choices=list(SPARSE_MODES), default=None,
+        help="linear-algebra tier: 'on' forces CSC assembly + splu "
+        "factorization, 'off' forces the dense LAPACK path, 'auto' "
+        "engages sparse above the size threshold "
+        "(default: $REPRO_SPARSE, else auto)",
     )
     parent.add_argument(
         "--trace", metavar="PATH", default=None,
@@ -550,6 +558,7 @@ def main(argv=None) -> int:
     ) if trace_path else None
     registry = obs_metrics.enable_metrics() if metrics_path else None
     set_default_engine(getattr(args, "engine", None))
+    set_default_sparse(getattr(args, "sparse", None))
     try:
         print(handlers[args.command](args))
         if session is not None:
@@ -564,6 +573,7 @@ def main(argv=None) -> int:
             write_prometheus(metrics_path, registry)
     finally:
         set_default_engine(None)
+        set_default_sparse(None)
         obs_trace.disable_tracing()
         obs_metrics.disable_metrics()
         if session is not None:

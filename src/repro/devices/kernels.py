@@ -1,0 +1,184 @@
+"""Optional compiled operating-point kernel for the golden MOSFET model.
+
+The batched lockstep engine's per-iterate device cost is seven vectorized
+evaluations of :meth:`BsimLikeMosfet.ids` (center plus six finite-difference
+perturbations, see :meth:`MosfetModel.partials_array`).  Each evaluation is
+~20 elementwise numpy operations, and at ensemble widths of a few dozen the
+per-operation dispatch overhead — not the flops — dominates.  This module
+JIT-compiles the whole seven-point stencil into one fused loop with
+`numba <https://numba.pydata.org>`_ when it is importable:
+
+* **Soft dependency** — numba is *not* a requirement of this project.  When
+  it is absent (the CI baseline), :func:`compiled_partials` returns ``None``
+  and callers keep the pure-numpy ``partials_array`` path; nothing changes.
+* **Opt-out** — setting the ``REPRO_NO_NUMBA`` environment variable to any
+  non-empty value disables compilation even when numba is installed
+  (debugging aid, and the lever behind the no-numba CI matrix leg).
+* **Numerics** — the kernel mirrors ``BsimLikeMosfet._ids_forward_scalar``
+  (itself the scalar twin of the vectorized ``_ids_forward``): the same
+  IEEE-double operations, the same stable softplus, the same ``vds < 0``
+  source/drain swap and the same finite-difference step.  Compiled and
+  numpy operating points agree to rounding; Newton contraction pins the
+  converged waveforms together under the engine's 1e-9 golden-parity
+  contract (asserted by the test suite whenever numba happens to be
+  present).
+* **Scope** — only scalar-parameter :class:`BsimLikeMosfet` instances
+  compile.  Stacked models (``(B,)`` parameter fields from
+  :func:`repro.devices.bsim_like.stack_models`) keep the numpy path: their
+  per-element constants would turn the fused constant tuple into arrays
+  and the win evaporates.
+
+The engaged backend is visible in telemetry: batched runs record
+``backend_numba_kernel`` in ``SolverTelemetry.extras`` next to the
+linear-algebra tier (see ``repro.spice.telemetry.record_backend``).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+
+from .base import _FD_STEP, OperatingPoint
+from .bsim_like import BsimLikeMosfet
+
+#: Environment variable disabling the compiled kernel when set (non-empty).
+NUMBA_DISABLE_ENV = "REPRO_NO_NUMBA"
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # pragma: no cover - the CI baseline has no numba
+    _numba = None
+
+#: Compiled stencil, built lazily on first use (JIT compilation is slow;
+#: importing this module must stay cheap for numpy-only users).
+_kernel = None
+
+
+def kernel_available() -> bool:
+    """True when numba is importable and not disabled via the environment."""
+    return _numba is not None and not os.environ.get(NUMBA_DISABLE_ENV)
+
+
+def _build_kernel():  # pragma: no cover - requires numba
+    """Compile the seven-point operating-point stencil (once per process)."""
+    njit = _numba.njit
+
+    @njit(cache=True)
+    def ids_one(vgs, vds, vbs, vth_base, gamma, sigma, ecl, two_nvt,
+                inv_two_nvt, four_delta, delta, theta, beta0, inv_ecl,
+                lam, phi):
+        # Source/drain swap for a reversed channel, as in ids_scalar.
+        sign = 1.0
+        if vds < 0.0:
+            vgs = vgs - vds
+            vbs = vbs - vds
+            vds = -vds
+            sign = -1.0
+        arg = phi - vbs
+        if arg < 1e-12:
+            arg = 1e-12
+        vth = vth_base + gamma * math.sqrt(arg) - sigma * vds
+        x = (vgs - vth) * inv_two_nvt
+        if x > 0.0:
+            soft = x + math.log1p(math.exp(-x))
+        else:
+            soft = math.log1p(math.exp(x))
+        vgsteff = two_nvt * soft
+        vdsat = vgsteff * ecl / (vgsteff + ecl)
+        t = vdsat - vds - delta
+        vdseff = vdsat - 0.5 * (t + math.sqrt(t * t + four_delta * vdsat))
+        if vdseff < 0.0:
+            vdseff = 0.0
+        beta = beta0 / (1.0 + theta * vgsteff)
+        core = beta * (vgsteff - 0.5 * vdseff) * vdseff / (
+            1.0 + vdseff * inv_ecl)
+        over = vds - vdseff
+        clm = 1.0 + lam * (over if over > 0.0 else 0.0)
+        return sign * core * clm
+
+    @njit(cache=True)
+    def stencil(vgs, vds, vbs, h, vth_base, gamma, sigma, ecl, two_nvt,
+                inv_two_nvt, four_delta, delta, theta, beta0, inv_ecl,
+                lam, phi):
+        n = vgs.shape[0]
+        ids = np.empty(n)
+        gm = np.empty(n)
+        gds = np.empty(n)
+        gmbs = np.empty(n)
+        inv_2h = 1.0 / (2.0 * h)
+        for i in range(n):
+            g = vgs[i]
+            d = vds[i]
+            b = vbs[i]
+            ids[i] = ids_one(g, d, b, vth_base, gamma, sigma, ecl, two_nvt,
+                             inv_two_nvt, four_delta, delta, theta, beta0,
+                             inv_ecl, lam, phi)
+            gm[i] = (
+                ids_one(g + h, d, b, vth_base, gamma, sigma, ecl, two_nvt,
+                        inv_two_nvt, four_delta, delta, theta, beta0,
+                        inv_ecl, lam, phi)
+                - ids_one(g - h, d, b, vth_base, gamma, sigma, ecl, two_nvt,
+                          inv_two_nvt, four_delta, delta, theta, beta0,
+                          inv_ecl, lam, phi)
+            ) * inv_2h
+            gds[i] = (
+                ids_one(g, d + h, b, vth_base, gamma, sigma, ecl, two_nvt,
+                        inv_two_nvt, four_delta, delta, theta, beta0,
+                        inv_ecl, lam, phi)
+                - ids_one(g, d - h, b, vth_base, gamma, sigma, ecl, two_nvt,
+                          inv_two_nvt, four_delta, delta, theta, beta0,
+                          inv_ecl, lam, phi)
+            ) * inv_2h
+            gmbs[i] = (
+                ids_one(g, d, b + h, vth_base, gamma, sigma, ecl, two_nvt,
+                        inv_two_nvt, four_delta, delta, theta, beta0,
+                        inv_ecl, lam, phi)
+                - ids_one(g, d, b - h, vth_base, gamma, sigma, ecl, two_nvt,
+                          inv_two_nvt, four_delta, delta, theta, beta0,
+                          inv_ecl, lam, phi)
+            ) * inv_2h
+        return ids, gm, gds, gmbs
+
+    return stencil
+
+
+def compiled_partials(model):
+    """A compiled ``(vgs, vds, vbs) -> OperatingPoint`` closure, or None.
+
+    ``None`` means "use the numpy path": numba missing, compilation
+    disabled via :data:`NUMBA_DISABLE_ENV`, a non-golden model family, or
+    a stacked model whose parameter fields are ``(B,)`` arrays.
+    """
+    global _kernel
+    if not kernel_available():
+        return None
+    if not isinstance(model, BsimLikeMosfet):
+        return None
+    consts = []
+    for value in model._array_consts():
+        arr = np.asarray(value, dtype=float)
+        if arr.ndim != 0:
+            return None  # stacked parameters: keep the vectorized numpy path
+        consts.append(float(arr))
+    consts = tuple(consts)
+    if _kernel is None:  # pragma: no cover - requires numba
+        _kernel = _build_kernel()
+    kernel = _kernel
+    h = _FD_STEP
+
+    def run(vgs, vds, vbs):  # pragma: no cover - requires numba
+        vgs, vds, vbs = np.broadcast_arrays(
+            np.asarray(vgs, dtype=float), np.asarray(vds, dtype=float),
+            np.asarray(vbs, dtype=float))
+        shape = vgs.shape
+        ids, gm, gds, gmbs = kernel(
+            np.ascontiguousarray(vgs).ravel(),
+            np.ascontiguousarray(vds).ravel(),
+            np.ascontiguousarray(vbs).ravel(), h, *consts)
+        return OperatingPoint(ids=ids.reshape(shape), gm=gm.reshape(shape),
+                              gds=gds.reshape(shape),
+                              gmbs=gmbs.reshape(shape))
+
+    return run

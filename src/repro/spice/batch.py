@@ -43,8 +43,16 @@ instances should chunk (the analysis layer does, see
 from __future__ import annotations
 
 import time
+import warnings
 
 import numpy as np
+
+try:  # scipy is an optional accelerator, not a hard dependency
+    from scipy.linalg import lu_factor as _lu_factor
+    from scipy.linalg import lu_solve as _lu_solve
+except Exception:  # pragma: no cover - exercised via the no-scipy CI leg
+    _lu_factor = None
+    _lu_solve = None
 
 from ..observability import trace
 from .circuit import Circuit
@@ -59,8 +67,14 @@ from .elements import (
 from .mna import MnaSystem
 from .mosfet import MosfetBank, MosfetElement
 from .solver import DEFAULT_MAX_UPDATE
-from .telemetry import SolverTelemetry, record_session
-from .transient import TransientOptions, TransientResult, transient
+from .telemetry import SolverTelemetry, record_backend, record_session
+from .transient import (
+    _MIN_STEP_DIVISOR,
+    _SampleRecorder,
+    TransientOptions,
+    TransientResult,
+    transient,
+)
 
 #: Conductance forcing a capacitor to its initial condition in "ic" mode
 #: (mirrors repro.spice.elements._IC_FORCE_CONDUCTANCE).
@@ -74,8 +88,8 @@ class BatchIncompatibleError(ValueError):
 
     Raised for mixed topologies, mismatched source breakpoints, element
     types the batched engine does not stamp, or option modes it does not
-    implement (adaptive stepping, the frozen legacy engine).  Callers
-    route such ensembles to the scalar engine instead.
+    implement (the frozen legacy engine).  Callers route such ensembles to
+    the scalar engine instead.
     """
 
 
@@ -173,7 +187,15 @@ def _add_rhs_current(z: np.ndarray, frm: int, to: int, i) -> None:
 
 
 class _Bank:
-    """Base bank: B aligned instances of one template element position."""
+    """Base bank: B aligned instances of one template element position.
+
+    ``dt`` and ``trap`` arguments are scalars on the fixed-step lockstep
+    path (every instance shares the grid) and per-instance ``(B,)`` arrays
+    on the adaptive path, where each instance carries its own step and
+    integrator phase; the companion formulas select per instance with the
+    same float operations either way, so a lane's values are bitwise those
+    the scalar engine would produce.
+    """
 
     #: Whether the underlying element family records a current waveform.
     has_current = False
@@ -186,20 +208,42 @@ class _Bank:
         self.nodes = elements[0].nodes
         self.system = system
 
-    def stamp_matrix(self, A, mode: str, dt: float, trap: bool) -> None:
+    def stamp_matrix(self, A, mode: str, dt, trap) -> None:
         """Linear matrix contribution (constant across Newton iterates)."""
 
-    def stamp_rhs(self, z, mode: str, t: float, dt: float, trap: bool) -> None:
+    def stamp_rhs(self, z, mode: str, t, dt, trap) -> None:
         """Per-step right-hand-side contribution."""
 
     def init_state(self, x) -> None:
         """Initialize companion state from the (B, n) IC solution."""
 
-    def commit(self, x, dt: float, trap: bool) -> None:
+    def commit(self, x, dt, trap) -> None:
         """Roll companion state after an accepted step."""
 
-    def current(self, x, mode: str, dt: float, trap: bool) -> np.ndarray:
+    def state_snapshot(self):
+        """Copies of the mutable companion state (None when stateless)."""
+        return None
+
+    def state_restore(self, snap, mask) -> None:
+        """Restore the masked instances' state from a snapshot."""
+
+    def current(self, x, mode: str, dt, trap) -> np.ndarray:
         raise NotImplementedError
+
+
+def _per_instance(trap, when_trap, when_be):
+    """Select companion values by integrator phase, scalar or per-instance.
+
+    The fixed lockstep path passes a python bool (one phase for the whole
+    ensemble) and gets the single branch, exactly as before; the adaptive
+    path passes a ``(B,)`` bool mask and gets an elementwise select whose
+    chosen lane is the same IEEE arithmetic as the scalar branch.
+    """
+    if trap is True:
+        return when_trap()
+    if trap is False:
+        return when_be()
+    return np.where(trap, when_trap(), when_be())
 
 
 class _ResistorBank(_Bank):
@@ -233,12 +277,20 @@ class _CapacitorBank(_Bank):
         self.v = np.zeros(len(elements))
         self.i = np.zeros(len(elements))
 
-    def _geq(self, dt: float, trap: bool) -> np.ndarray:
-        return (2.0 * self.farads / dt) if trap else (self.farads / dt)
+    def _geq(self, dt, trap) -> np.ndarray:
+        return _per_instance(
+            trap,
+            lambda: 2.0 * self.farads / dt,
+            lambda: self.farads / dt,
+        )
 
-    def _companion(self, dt: float, trap: bool):
+    def _companion(self, dt, trap):
         geq = self._geq(dt, trap)
-        ieq = geq * self.v + self.i if trap else geq * self.v
+        ieq = _per_instance(
+            trap,
+            lambda: geq * self.v + self.i,
+            lambda: geq * self.v,
+        )
         return geq, ieq
 
     def stamp_matrix(self, A, mode, dt, trap):
@@ -282,6 +334,13 @@ class _CapacitorBank(_Bank):
         geq, ieq = self._companion(dt, trap)
         return geq * (_v(x, a) - _v(x, b)) - ieq
 
+    def state_snapshot(self):
+        return self.v.copy(), self.i.copy()
+
+    def state_restore(self, snap, mask):
+        self.v[mask] = snap[0][mask]
+        self.i[mask] = snap[1][mask]
+
 
 class _InductorBank(_Bank):
     has_current = True
@@ -298,8 +357,12 @@ class _InductorBank(_Bank):
         self.i = np.zeros(len(elements))
         self.v = np.zeros(len(elements))
 
-    def _req(self, dt: float, trap: bool) -> np.ndarray:
-        return (2.0 * self.henries / dt) if trap else (self.henries / dt)
+    def _req(self, dt, trap) -> np.ndarray:
+        return _per_instance(
+            trap,
+            lambda: 2.0 * self.henries / dt,
+            lambda: self.henries / dt,
+        )
 
     def stamp_matrix(self, A, mode, dt, trap):
         a, b = self.nodes
@@ -326,7 +389,11 @@ class _InductorBank(_Bank):
             z[:, self.row] += -_IC_INDUCTOR_R * self.ic
             return
         req = self._req(dt, trap)
-        veq = (-self.v - req * self.i) if trap else (-req * self.i)
+        veq = _per_instance(
+            trap,
+            lambda: -self.v - req * self.i,
+            lambda: -req * self.i,
+        )
         z[:, self.row] += veq
 
     def init_state(self, x):
@@ -346,6 +413,13 @@ class _InductorBank(_Bank):
             return self.ic.copy()
         return np.array(x[:, self.row])
 
+    def state_snapshot(self):
+        return self.i.copy(), self.v.copy()
+
+    def state_restore(self, snap, mask):
+        self.i[mask] = snap[0][mask]
+        self.v[mask] = snap[1][mask]
+
 
 class _MutualBank(_Bank):
     def __init__(self, elements, system, inductor_banks):
@@ -355,8 +429,12 @@ class _MutualBank(_Bank):
         )
         self.pair = inductor_banks  # (bank of la, bank of lb)
 
-    def _factor(self, dt: float, trap: bool) -> np.ndarray:
-        return (2.0 * self.mutual / dt) if trap else (self.mutual / dt)
+    def _factor(self, dt, trap) -> np.ndarray:
+        return _per_instance(
+            trap,
+            lambda: 2.0 * self.mutual / dt,
+            lambda: self.mutual / dt,
+        )
 
     def stamp_matrix(self, A, mode, dt, trap):
         if mode != "tran":
@@ -385,7 +463,14 @@ class _VoltageSourceBank(_Bank):
         self.shared = shapes[0] if all(s == shapes[0] for s in shapes[1:]) else None
         self.shapes = shapes
 
-    def _value(self, t: float):
+    def _value(self, t):
+        if isinstance(t, np.ndarray):
+            # Adaptive lockstep: every instance sits at its own time.  The
+            # shape dataclasses are scalar piecewise evaluators, so walk the
+            # batch (sources are few; the loop is invisible next to solves).
+            if self.shared is not None:
+                return np.array([self.shared(tb) for tb in t])
+            return np.array([s(tb) for s, tb in zip(self.shapes, t)])
         if self.shared is not None:
             return self.shared(t)
         return np.array([s(t) for s in self.shapes])
@@ -416,9 +501,15 @@ class _CurrentSourceBank(_Bank):
 
     def stamp_rhs(self, z, mode, t, dt, trap):
         frm, to = self.nodes
-        value = self.shared(t) if self.shared is not None else np.array(
-            [s(t) for s in self.shapes]
-        )
+        if isinstance(t, np.ndarray):
+            if self.shared is not None:
+                value = np.array([self.shared(tb) for tb in t])
+            else:
+                value = np.array([s(tb) for s, tb in zip(self.shapes, t)])
+        elif self.shared is not None:
+            value = self.shared(t)
+        else:
+            value = np.array([s(t) for s in self.shapes])
         _add_rhs_current(z, frm, to, value)
 
 
@@ -488,25 +579,31 @@ class _Rank1Lane:
         A_iter = A_lin + u v^T,    u = e_d - e_s (constant),
                                    v = per-iterate conductances,
 
-    and with ``W = A_lin^{-1}`` (inverted once per ``(mode, dt, trap,
-    gmin)`` cache key) each Newton iterate's dense solve collapses to a
-    handful of O(B n) operations:
+    and with per-instance LU factorizations of ``A_lin`` (computed once per
+    ``(mode, dt, trap, gmin)`` cache key, never forming the inverse
+    explicitly) each Newton iterate's dense solve collapses to a handful of
+    O(B n) operations:
 
-        x = y - (W u) (v^T y) / (1 + v^T W u),    y = W (z - ieq u).
+        x = y - (Wu) (v^T y) / (1 + v^T Wu),    y = A_lin^{-1} (z - ieq u),
 
-    Since ``z`` is constant within one solve, ``W z`` is computed once per
-    solve and the iterate only folds in the ``ieq`` term.  This removes the
-    linear-stack copy, the device scatter and the batched LAPACK solve from
-    the Newton loop entirely — the dominant per-iterate costs after device
-    evaluation.
+    where ``Wu = A_lin^{-1} u`` is one triangular solve per key and ``y``
+    one per solve (``z`` is constant within a solve; only the ``ieq`` term
+    varies per iterate and folds in as a rank-1 correction).  Backward
+    substitution against the cached factors replaces the seed's explicit
+    ``np.linalg.inv`` — same flop class per key, but no O(n^3)
+    inverse-matrix product, and the triangular solves keep the error bound
+    of pivoted LU instead of amplifying through an explicitly formed
+    inverse on ill-conditioned stacks (stiff IC stamps).
 
-    The lane is numerically a *different* solver than LAPACK's LU, so
-    iterates differ from the scalar engine's at rounding level; Newton
-    contraction pins the converged points back together (the golden-parity
-    suite bounds the waveform difference under the same 1e-9 contract).
-    If the linear stack is singular (floating subcircuits) the inverse
-    does not exist: the lane reports unavailable and the caller uses the
-    dense batched solve, preserving the least-squares degradation path.
+    The lane is numerically a *different* solver than the batched LAPACK
+    path, so iterates differ from the scalar engine's at rounding level;
+    Newton contraction pins the converged points back together (the
+    golden-parity suite bounds the waveform difference under the same 1e-9
+    contract).  If the linear stack is singular (floating subcircuits) a
+    zero pivot surfaces in the factors: the lane reports unavailable and
+    the caller uses the dense batched solve, preserving the least-squares
+    degradation path.  Without scipy there is no factorized solve; the
+    lane stands down and the dense batched path (pure numpy) serves.
     """
 
     def __init__(self, adapter: _MosfetBankAdapter):
@@ -518,40 +615,63 @@ class _Rank1Lane:
         self.sc = s - 1
         self.bc = b - 1
         self._key: tuple | None = None
-        self._W: np.ndarray | None = None
+        self._factors: list | None = None
         self.wu: np.ndarray | None = None
 
     def prepare(self, A: np.ndarray, key: tuple, alive: np.ndarray,
-                identity: np.ndarray) -> np.ndarray | None:
-        """The cached inverse stack for this key, or None if singular."""
+                identity: np.ndarray):
+        """A solve handle (``self``) for this key, or None if unavailable."""
+        if _lu_factor is None:
+            return None
         if key != self._key:
             self._key = key
+            self._factors = None
+            self.wu = None
             src = A
             if not alive.all():
                 # Failed instances may have any linear stamp; keep the
-                # stack invertible by swapping their rows for identity.
+                # stack factorizable by swapping their rows for identity.
                 src = A.copy()
                 src[~alive] = identity
-            try:
-                W = np.linalg.inv(src)
-            except np.linalg.LinAlgError:
-                self._W = None
-                self.wu = None
-                return None
-            if not np.isfinite(W).all():
-                self._W = None
-                self.wu = None
-                return None
-            self._W = W
-            if self.dc >= 0 and self.sc >= 0:
-                self.wu = W[:, :, self.dc] - W[:, :, self.sc]
-            elif self.dc >= 0:
-                self.wu = W[:, :, self.dc].copy()
-            elif self.sc >= 0:
-                self.wu = -W[:, :, self.sc]
-            else:  # degenerate d == s == ground: no device coupling at all
-                self.wu = np.zeros(A.shape[:2])
-        return self._W
+            factors = []
+            with warnings.catch_warnings():
+                # Exact singularity raises/warns depending on the scipy
+                # version; both routes end in "lane unavailable".
+                warnings.simplefilter("ignore")
+                for k in range(len(src)):
+                    try:
+                        lu, piv = _lu_factor(src[k], check_finite=False)
+                    except (ValueError, np.linalg.LinAlgError):
+                        return None
+                    if not np.isfinite(lu).all() or (
+                        np.abs(np.diagonal(lu)) == 0.0
+                    ).any():
+                        return None
+                    factors.append((lu, piv))
+            if self.dc < 0 and self.sc < 0:
+                # Degenerate d == s == ground: no device coupling at all.
+                wu = np.zeros(A.shape[:2])
+            else:
+                u = np.zeros(A.shape[1])
+                if self.dc >= 0:
+                    u[self.dc] += 1.0
+                if self.sc >= 0:
+                    u[self.sc] -= 1.0
+                wu = np.stack(
+                    [_lu_solve(f, u, check_finite=False) for f in factors]
+                )
+                if not np.isfinite(wu).all():
+                    return None
+            self._factors = factors
+            self.wu = wu
+        return self if self._factors is not None else None
+
+    def solve(self, z: np.ndarray) -> np.ndarray:
+        """``A_lin^{-1} z`` per instance through the cached factorizations."""
+        return np.stack(
+            [_lu_solve(f, z[k], check_finite=False)
+             for k, f in enumerate(self._factors)]
+        )
 
     def bias(self, x: np.ndarray):
         """(vgs, vds, vbs) per instance, without per-node helper calls."""
@@ -654,8 +774,10 @@ def batch_transient(
         tstop: shared end time in seconds.
         dt: shared base time step in seconds.
         tstart: shared start time.
-        options: engine knobs; ``adaptive`` and ``legacy_reference`` are
-            not implemented in lockstep and raise.
+        options: engine knobs; ``adaptive`` routes to the per-instance
+            LTE-masked lockstep (each instance walks its *own* accepted
+            step sequence, bit-identical to the scalar controller's);
+            ``legacy_reference`` has no batched form and raises.
 
     Returns:
         One :class:`~repro.spice.transient.TransientResult` per circuit, in
@@ -673,9 +795,6 @@ def batch_transient(
     if dt <= 0:
         raise ValueError("dt must be positive")
     opts = options or TransientOptions()
-    if opts.adaptive:
-        raise BatchIncompatibleError("adaptive stepping is not batchable; "
-                                     "use the scalar engine")
     if opts.legacy_reference:
         raise BatchIncompatibleError("the frozen legacy engine has no batched form")
 
@@ -707,6 +826,10 @@ def batch_transient(
 
     method = opts.method
     wall_start = time.perf_counter()
+
+    if opts.adaptive:
+        return _adaptive_lockstep(circuits, system, banks, opts, tstop, dt,
+                                  tstart, wall_start)
 
     # Vectorized per-instance telemetry counters (folded into real
     # SolverTelemetry records at the end; python-object updates per step
@@ -793,18 +916,18 @@ def batch_transient(
 
         active = alive.copy()
         all_active = not any_dead
-        lane_W = None
+        lane = None
         if rank1 is not None:
-            lane_W = rank1.prepare(A, (mode, dt_now, trap, gmin), alive, identity)
-            if lane_W is not None:
+            lane = rank1.prepare(A, (mode, dt_now, trap, gmin), alive, identity)
+            if lane is not None:
                 # z is constant within the solve; only the ieq term of the
                 # device RHS varies per iterate, folded in below.
-                y_base = np.matmul(lane_W, z[:, :, None])[:, :, 0]
-                wu = rank1.wu
+                y_base = lane.solve(z)
+                wu = lane.wu
                 dev = rank1.adapter
         for _ in range(opts.max_newton):
             np.add(c_iters, active, out=c_iters)
-            if lane_W is not None:
+            if lane is not None:
                 vgs, vds, vbs = rank1.bias(x)
                 op = dev.bank.partials(vgs, vds, vbs)
                 gm, gds, gmbs = op.gm, op.gds, op.gmbs
@@ -936,6 +1059,7 @@ def batch_transient(
         stepping_share = trace.elapsed(step_sp, stepping_start) / batch
         total_share = (now - wall_start) / batch
 
+        kernel_on = any(b.bank.kernel_engaged for b in device_banks)
         results: list[TransientResult | None] = [None] * batch
         for b in range(batch):
             if not alive[b]:
@@ -947,6 +1071,9 @@ def batch_transient(
                 base_assemblies=int(c_solves[b]),
                 nonlinear_restamps=int(c_iters[b]),
             )
+            record_backend(tel, "dense_lu")
+            if kernel_on:
+                record_backend(tel, "numba_kernel")
             tel.add_phase_seconds("ic", ic_share)
             tel.add_phase_seconds("stepping", stepping_share)
             tel.add_phase_seconds("total", total_share)
@@ -973,22 +1100,400 @@ def batch_transient(
     return results
 
 
+def _adaptive_lockstep(circuits, system: MnaSystem, banks, opts, tstop: float,
+                       dt: float, tstart: float, wall_start: float):
+    """LTE-controlled lockstep: every instance walks its own step sequence.
+
+    The fixed-step lockstep shares one grid across the ensemble; the
+    adaptive controller cannot, because each instance's local truncation
+    error drives its own step sizes.  Instead of serializing, the engine
+    keeps the ensemble *phase-aligned*: every outer round runs the step-
+    doubling triplet — one full ``h`` step (BIG), two ``h/2`` steps (MID,
+    HALF2) — for all unfinished instances at once, each at its **own**
+    ``(t, h, integrator-phase)`` carried as per-instance arrays.  A
+    participation mask gates which rows of each vectorized solve are real;
+    masked-out lanes get identity rows and their results are discarded.
+
+    Parity contract: the controller is the scalar engine's, executed
+    elementwise — the same companion arithmetic per lane (``np.where``
+    blends preserve the selected branch bitwise), the same Newton damping
+    and convergence tests, the same LTE formula, the same
+    shrink/floor-accept/regrow float expressions, the same breakpoint
+    landing rules.  Each instance therefore accepts and rejects *exactly*
+    the steps the scalar engine would, with identical telemetry counts
+    (``newton_solves``/``iterations``, ``accepted_steps``,
+    ``step_rejections``/``retries``, ``lte_rejections``); ``mask_steps``
+    additionally counts the instance's masked solve participations —
+    a batch-only diagnostic of lockstep efficiency.
+
+    Newton failure handling is per instance: a failing lane halves its own
+    step without disturbing its neighbours; only a lane that bottoms out
+    below ``min_dt`` leaves the ensemble for the scalar engine (which owns
+    the terminal ConvergenceError and its telemetry; the record carries
+    ``batch_fallbacks = 1`` like the fixed path's ladder exits).
+    """
+    batch = len(circuits)
+    n = system.size
+    nn = system.num_node_unknowns
+    linear_banks = [b for b in banks if not b.nonlinear]
+    device_banks = [b for b in banks if b.nonlinear]
+    measured = [b for b in banks if b.has_current]
+    stateful = [b for b in banks if b.state_snapshot() is not None]
+    method_trap = opts.method == "trap"
+    min_h = opts.min_dt if opts.min_dt is not None else dt / _MIN_STEP_DIVISOR
+
+    # Vectorized per-instance telemetry (same counting points as the scalar
+    # adaptive loop; folded into SolverTelemetry records at the end).
+    c_solves = np.zeros(batch, dtype=int)
+    c_iters = np.zeros(batch, dtype=int)
+    c_steps = np.zeros(batch, dtype=int)
+    c_rej = np.zeros(batch, dtype=int)
+    c_retry = np.zeros(batch, dtype=int)
+    c_lte = np.zeros(batch, dtype=int)
+    c_mask = np.zeros(batch, dtype=int)
+
+    alive = np.ones(batch, dtype=bool)
+    fallback = np.zeros(batch, dtype=bool)
+    x_acc = np.zeros((batch, n))
+
+    lin_A = np.zeros((batch, n, n))
+    lin_z = np.zeros((batch, n))
+    lin_key: tuple | None = None
+    work_A = np.empty((batch, n, n))
+    work_z = np.empty((batch, n))
+    identity = np.eye(n)
+
+    def linear_matrix(mode, dt_arr, trap_arr, gmin):
+        nonlocal lin_key
+        # Per-instance steps and phases enter the cache key by value; the
+        # stack is reused whenever a whole round repeats them (e.g. every
+        # instance regrowing at the cap).
+        key = (mode, dt_arr.tobytes(), trap_arr.tobytes(), gmin)
+        if key != lin_key:
+            lin_A[:] = 0.0
+            for bank in linear_banks:
+                bank.stamp_matrix(lin_A, mode, dt_arr, trap_arr)
+            for bank in device_banks:
+                bank.stamp_matrix(lin_A, mode, dt_arr, trap_arr, gmin=gmin)
+            lin_key = key
+        return lin_A
+
+    def linear_rhs(mode, t_arr, dt_arr, trap_arr):
+        lin_z[:] = 0.0
+        for bank in linear_banks:
+            bank.stamp_rhs(lin_z, mode, t_arr, dt_arr, trap_arr)
+        return lin_z
+
+    def newton_round(mode, t_arr, dt_arr, trap_arr, gmin, mask, x0):
+        """One phase solve over the masked instances.
+
+        Returns ``(x, failed)``: rows outside ``mask`` keep ``x0``'s
+        values, ``failed`` flags masked instances whose solve did not
+        converge (budget exhausted or a non-finite iterate) — the
+        per-instance analogue of the scalar engine's ConvergenceError.
+        """
+        failed = np.zeros(batch, dtype=bool)
+        x = x0.copy()
+        if not mask.any():
+            return x, failed
+        np.add(c_solves, mask, out=c_solves)
+        A = linear_matrix(mode, dt_arr, trap_arr, gmin)
+        z = linear_rhs(mode, t_arr, dt_arr, trap_arr)
+
+        if not device_banks:
+            # Affine system: one direct batched solve, iterations stay 0
+            # (matching the scalar direct-solve path).
+            np.copyto(work_A, A)
+            np.copyto(work_z, z)
+            off = ~mask
+            if off.any():
+                work_A[off] = identity
+                work_z[off] = 0.0
+            xn = _solve_stack(work_A, work_z)
+            finite = np.isfinite(xn).all(axis=1)
+            x = np.where((mask & finite)[:, None], xn, x)
+            failed = mask & ~finite
+            return x, failed
+
+        active = mask.copy()
+        for _ in range(opts.max_newton):
+            np.add(c_iters, active, out=c_iters)
+            np.copyto(work_A, A)
+            np.copyto(work_z, z)
+            for bank in device_banks:
+                bank.stamp_iterate(work_A, work_z, x)
+            off = ~active
+            if off.any():
+                work_A[off] = identity
+                work_z[off] = 0.0
+            xn = _solve_stack(work_A, work_z)
+            finite = np.isfinite(xn).all(axis=1)
+            bad = active & ~finite
+            if bad.any():
+                failed |= bad
+                active = active & finite
+                if not active.any():
+                    return x, failed
+                xn = np.where(finite[:, None], xn, x)
+            dx = xn - x
+            adx = np.abs(dx)
+            step = adx.max(axis=1)
+            damped = step > DEFAULT_MAX_UPDATE
+            if damped.any():
+                scale = DEFAULT_MAX_UPDATE / np.maximum(step, DEFAULT_MAX_UPDATE)
+                moved = np.where(damped[:, None], x + dx * scale[:, None], xn)
+            else:
+                moved = xn
+            x = np.where(active[:, None], moved, x)
+            conv = (adx <= opts.abstol + opts.reltol * np.abs(xn)).all(axis=1)
+            settled = active & ~damped & conv
+            if settled.any():
+                active = active & ~settled
+                if not active.any():
+                    return x, failed
+        failed |= active
+        return x, failed
+
+    results: list[TransientResult | None] = [None] * batch
+    with trace.span("batch_transient", batch=batch, tstop=tstop, dt=dt,
+                    adaptive=True) as bsp:
+        # -- t=0 consistency solve ---------------------------------------------------
+        dt0 = np.full(batch, dt)
+        no_trap = np.zeros(batch, dtype=bool)
+        with trace.span("ic") as ic_sp:
+            x_acc, ic_failed = newton_round(
+                "ic", np.full(batch, tstart), dt0, no_trap,
+                max(opts.gmin, 1e-9), alive, x_acc)
+            if ic_failed.any():
+                alive[ic_failed] = False
+                fallback[ic_failed] = True
+        ic_elapsed = trace.elapsed(ic_sp, wall_start)
+        for bank in banks:
+            bank.init_state(x_acc)
+
+        bps = [b for b in circuits[0].breakpoints() if tstart < b < tstop]
+        bps.append(tstop)
+        bp_arr = np.array(bps)
+        bp_idx = np.zeros(batch, dtype=int)
+        last_bp = len(bps) - 1
+
+        current_names = [b.name for b in measured]
+        recorders = [_SampleRecorder(nn, current_names) for _ in range(batch)]
+        cur_block = np.empty((batch, len(measured)))
+
+        def sample_currents(mode, dt_now, trap_now, x):
+            for j, bank in enumerate(measured):
+                cur_block[:, j] = bank.current(x, mode, dt_now, trap_now)
+            return cur_block
+
+        sample_currents("ic", dt, False, x_acc)
+        for b in np.flatnonzero(alive):
+            recorders[b].append(tstart, x_acc[b, :nn], cur_block[b])
+
+        # Per-instance integrator state.
+        t_i = np.full(batch, tstart)
+        h_i = np.full(batch, dt)
+        # A pending reject-retry overrides the min(h, breakpoint-gap)
+        # clamp: the scalar controller does not re-clamp a halved/shrunk
+        # step within the retry loop.  NaN means "no retry pending".
+        retry_h = np.full(batch, np.nan)
+        first_step = np.ones(batch, dtype=bool)
+        stepping_start = time.perf_counter()
+
+        with trace.span("stepping") as step_sp:
+            while True:
+                pending = alive & (t_i < tstop - 1e-21)
+                if not pending.any():
+                    break
+                np.add(c_mask, pending, out=c_mask)
+                gap = bp_arr[bp_idx] - t_i
+                h_step = np.where(np.isnan(retry_h),
+                                  np.minimum(h_i, gap), retry_h)
+                # Finished/fallen-back lanes ride along with a harmless
+                # dummy step (their results are never consumed; the dummy
+                # keeps the vectorized companion math division-safe).
+                h_step = np.where(pending, h_step, 1.0)
+                if method_trap:
+                    trap_big = pending & ~first_step
+                else:
+                    trap_big = no_trap
+
+                # Step-doubling triplet, every lane at its own (t, h).
+                x_big, fail_big = newton_round(
+                    "tran", t_i + h_step, h_step, trap_big, opts.gmin,
+                    pending, x_acc)
+                ok = pending & ~fail_big
+
+                half = h_step / 2.0
+                x_mid, fail_mid = newton_round(
+                    "tran", t_i + half, half, trap_big, opts.gmin, ok, x_acc)
+                ok = ok & ~fail_mid
+
+                # Mid-point commit for lanes still in flight; the snapshot
+                # restores every other lane afterwards (commit is all-lane
+                # vectorized math) and, at the end of the round, every lane
+                # that did not accept.
+                snaps = [bank.state_snapshot() for bank in stateful]
+                for bank in banks:
+                    bank.commit(x_mid, half, trap_big)
+                not_ok = ~ok
+                for bank, snap in zip(stateful, snaps):
+                    bank.state_restore(snap, not_ok)
+
+                # The second half step always runs on post-commit history
+                # (the scalar engine's mid-commit clears first_step).
+                trap_h2 = np.full(batch, method_trap)
+                x_new, fail_h2 = newton_round(
+                    "tran", t_i + h_step, half, trap_h2, opts.gmin, ok, x_mid)
+                ok = ok & ~fail_h2
+
+                # Newton failures: per-instance step halving, scalar-engine
+                # fallback once a lane's ladder bottoms out.
+                nfail = pending & ~ok
+                if nfail.any():
+                    np.add(c_rej, nfail, out=c_rej)
+                    h_next = h_step / 2.0
+                    dead = nfail & (h_next < min_h)
+                    if dead.any():
+                        alive[dead] = False
+                        fallback[dead] = True
+                    retrying = nfail & ~dead
+                    np.add(c_retry, retrying, out=c_retry)
+                    retry_h[retrying] = h_next[retrying]
+
+                # LTE control (scalar formulas, elementwise).
+                err = np.zeros(batch)
+                if nn and ok.any():
+                    scale = opts.lte_atol + opts.lte_rtol * np.abs(x_new[:, :nn])
+                    err = np.max(
+                        np.abs(x_big[:, :nn] - x_new[:, :nn]) / scale, axis=1)
+                lte_bad = ok & (err > 1.0)
+                np.add(c_lte, lte_bad, out=c_lte)
+                pos = err > 0.0
+                inv_cbrt = np.ones(batch)
+                inv_cbrt[pos] = err[pos] ** (-1.0 / 3.0)
+                h_shrunk = np.maximum(
+                    h_step * np.maximum(0.9 * inv_cbrt, 0.25), min_h)
+                # Accept-at-the-floor quirk: a shrink clamped to min_h is
+                # accepted with the *old* step's solutions but advances t
+                # by the *new* (floored) step — exactly the scalar loop's
+                # reassign-then-break.
+                floor_acc = lte_bad & (h_shrunk <= min_h)
+                accepted = (ok & ~lte_bad) | floor_acc
+                lte_retry = lte_bad & ~floor_acc
+                retry_h[lte_retry] = h_shrunk[lte_retry]
+
+                # Currents sample the pre-commit (mid-committed) history,
+                # then the final half-step commit lands; every lane that
+                # did not accept is rolled back to its pre-round state.
+                sample_currents("tran", half, trap_h2, x_new)
+                for bank in banks:
+                    bank.commit(x_new, half, trap_h2)
+                not_acc = ~accepted
+                for bank, snap in zip(stateful, snaps):
+                    bank.state_restore(snap, not_acc)
+
+                if accepted.any():
+                    h_used = np.where(floor_acc, h_shrunk, h_step)
+                    # Regrowth from the rejecting err on floor-accepts,
+                    # from the accepted err otherwise — scalar's `factor`.
+                    factor = np.full(batch, opts.max_growth)
+                    factor[pos] = 0.9 * inv_cbrt[pos]
+                    grown = np.minimum(dt, h_used * np.minimum(
+                        np.maximum(factor, 0.25), opts.max_growth))
+                    t_i = np.where(accepted, t_i + h_used, t_i)
+                    x_acc = np.where(accepted[:, None], x_new, x_acc)
+                    np.add(c_steps, accepted, out=c_steps)
+                    h_i = np.where(accepted, grown, h_i)
+                    retry_h[accepted] = np.nan
+                    first_step = first_step & ~accepted
+                    nbp = bp_arr[bp_idx]
+                    landed = accepted & (
+                        (np.abs(t_i - nbp) < 1e-21) | (t_i >= nbp))
+                    if landed.any():
+                        # Source slope discontinuity: restart the lane's
+                        # integrator with a backward-Euler step.
+                        first_step = first_step | landed
+                        bp_idx = np.where(
+                            landed, np.minimum(bp_idx + 1, last_bp), bp_idx)
+                    for b in np.flatnonzero(accepted):
+                        recorders[b].append(t_i[b], x_new[b, :nn], cur_block[b])
+
+        now = time.perf_counter()
+        ic_share = ic_elapsed / batch
+        stepping_share = trace.elapsed(step_sp, stepping_start) / batch
+        total_share = (now - wall_start) / batch
+
+        kernel_on = any(b.bank.kernel_engaged for b in device_banks)
+        for b in range(batch):
+            if not alive[b]:
+                continue
+            times, nodes, currents = recorders[b].finish()
+            tel = SolverTelemetry(
+                newton_solves=int(c_solves[b]),
+                newton_iterations=int(c_iters[b]),
+                accepted_steps=int(c_steps[b]),
+                step_rejections=int(c_rej[b]),
+                step_retries=int(c_retry[b]),
+                lte_rejections=int(c_lte[b]),
+                base_assemblies=int(c_solves[b]),
+                nonlinear_restamps=int(c_iters[b]),
+                mask_steps=int(c_mask[b]),
+            )
+            record_backend(tel, "dense_lu")
+            if kernel_on:
+                record_backend(tel, "numba_kernel")
+            tel.add_phase_seconds("ic", ic_share)
+            tel.add_phase_seconds("stepping", stepping_share)
+            tel.add_phase_seconds("total", total_share)
+            record_session(tel)
+            results[b] = TransientResult(circuits[b], times, nodes, currents,
+                                         telemetry=tel)
+
+        bsp.set_attribute("fallbacks", int(fallback.sum()))
+        for b in np.flatnonzero(fallback):
+            # This lane needed the scalar engine's recovery ladder (or its
+            # terminal ConvergenceError); partial batched work is discarded.
+            result = transient(circuits[b], tstop, dt, tstart=tstart,
+                               options=opts)
+            result.telemetry.batch_fallbacks += 1
+            record_session(SolverTelemetry(batch_fallbacks=1))
+            results[b] = result
+
+    return results
+
+
 def _solve_stack(A: np.ndarray, z: np.ndarray) -> np.ndarray:
     """Batched dense solve with the scalar engine's singular fallback.
 
     ``numpy.linalg.solve`` rejects the whole stack when any one matrix is
     singular; the scalar path degrades that instance to least squares
-    (floating subcircuits), so mirror it per instance on failure.
+    (floating subcircuits), so mirror it per instance on failure.  Instead
+    of serializing the entire batch, one vectorized ``slogdet`` over the
+    stack screens the singular lanes up front: the solvable majority gets a
+    single batched re-solve and only the degenerate few pay the per-lane
+    least-squares path — one bad instance no longer turns the whole
+    ensemble's iterate into B sequential LAPACK calls.
     """
     try:
         # NumPy >= 2.0 treats a 2-D ``b`` as one matrix, not a vector
         # stack, so carry an explicit trailing axis.
         return np.linalg.solve(A, z[..., None])[..., 0]
     except np.linalg.LinAlgError:
+        sign, _ = np.linalg.slogdet(A)
+        good = sign != 0
         out = np.empty_like(z)
-        for k in range(len(A)):
+        if good.any():
             try:
-                out[k] = np.linalg.solve(A[k], z[k])
+                out[good] = np.linalg.solve(A[good], z[good, :, None])[..., 0]
             except np.linalg.LinAlgError:
-                out[k], *_ = np.linalg.lstsq(A[k], z[k], rcond=None)
+                # The determinant screen can miss a pivot-level breakdown;
+                # only then serialize the screened lanes.
+                for k in np.flatnonzero(good):
+                    try:
+                        out[k] = np.linalg.solve(A[k], z[k])
+                    except np.linalg.LinAlgError:
+                        out[k], *_ = np.linalg.lstsq(A[k], z[k], rcond=None)
+        for k in np.flatnonzero(~good):
+            out[k], *_ = np.linalg.lstsq(A[k], z[k], rcond=None)
         return out

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..devices.base import OperatingPoint, reference_partials
 from ..devices.bsim_like import BsimLikeMosfet, stack_models
+from ..devices.kernels import compiled_partials
 from .elements import Element
 
 
@@ -110,9 +111,23 @@ class MosfetBank:
         else:
             self._model = None
             self._models = models
+        # Compiled seven-point stencil (numba soft dependency); ``None``
+        # keeps the pure-numpy partials_array path — always the case when
+        # numba is absent, REPRO_NO_NUMBA is set, or the parameters are
+        # stacked per instance (see repro.devices.kernels).
+        self._kernel = (
+            compiled_partials(self._model) if self._model is not None else None
+        )
+
+    @property
+    def kernel_engaged(self) -> bool:
+        """Whether operating points run through the compiled numba stencil."""
+        return self._kernel is not None
 
     def partials(self, vgs, vds, vbs) -> OperatingPoint:
         """Per-instance operating points; fields are ``(B,)`` arrays."""
+        if self._kernel is not None:
+            return self._kernel(vgs, vds, vbs)
         if self._model is not None:
             return self._model.partials_array(vgs, vds, vbs)
         ops = [m.partials(float(g), float(d), float(b))

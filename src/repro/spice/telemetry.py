@@ -33,6 +33,11 @@ from typing import Iterable, Optional
 #: storing; never round-tripped into ``extras``.
 _DERIVED_KEYS = frozenset({"ok", "recovered_rejections"})
 
+#: ``extras`` keys this version itself produces (the engaged linear-algebra
+#: backends); round-tripped through :meth:`from_dict` without the
+#: newer-producer warning.
+BACKEND_PREFIX = "backend_"
+
 #: Unknown-counter names already warned about in this process (warn once).
 _warned_extras: set[str] = set()
 
@@ -61,6 +66,16 @@ class SolverTelemetry:
         lu_cache_invalidations: cached factors dropped because the
             assembled matrix no longer matched the cached one (staleness
             guard) despite an identical cache key.
+        sparse_factorizations: sparse ``splu`` factorizations computed by
+            the sparse MNA tier (:mod:`repro.spice.mna`); each one replaces
+            a dense ``O(n^3)`` LAPACK factorization.
+        sparse_pattern_reuses: sparse assemblies that reused a cached
+            symbolic pattern (cursor fill + ``bincount`` accumulation)
+            instead of re-recording the stamp coordinates.
+        mask_steps: masked lockstep rounds an instance participated in
+            inside the batched *adaptive* engine (each adaptive step is a
+            big/half/half phase triple over per-instance step masks);
+            0 on the scalar path and on fixed-step lockstep runs.
         base_assemblies: linear-base stamp passes (once per fast solve).
         nonlinear_restamps: nonlinear-device restamp passes (once per
             fast Newton iterate).
@@ -111,6 +126,9 @@ class SolverTelemetry:
     lu_cache_hits: int = 0
     lu_cache_misses: int = 0
     lu_cache_invalidations: int = 0
+    sparse_factorizations: int = 0
+    sparse_pattern_reuses: int = 0
+    mask_steps: int = 0
     base_assemblies: int = 0
     nonlinear_restamps: int = 0
     full_assemblies: int = 0
@@ -181,6 +199,10 @@ class SolverTelemetry:
                 tel.extras[key] = tel.extras.get(key, 0) + value
             else:
                 dropped.append(key)
+        # Backend counters are extras this version writes itself — they
+        # round-trip silently, not as newer-producer surprises.
+        unknown = {k: v for k, v in unknown.items()
+                   if not k.startswith(BACKEND_PREFIX)}
         fresh = sorted(set(unknown) - _warned_extras)
         if fresh:
             _warned_extras.update(fresh)
@@ -226,6 +248,18 @@ class SolverTelemetry:
             f"  assemblies (base/nonlin/full): {self.base_assemblies} / "
             f"{self.nonlinear_restamps} / {self.full_assemblies}",
         ]
+        if self.sparse_factorizations or self.sparse_pattern_reuses:
+            lines.append(
+                f"  sparse splu / pattern reuse:  {self.sparse_factorizations}"
+                f" / {self.sparse_pattern_reuses}"
+            )
+        if self.mask_steps:
+            lines.append(f"  adaptive-batch mask steps:    {self.mask_steps}")
+        backends = {k[len(BACKEND_PREFIX):]: v for k, v in self.extras.items()
+                    if k.startswith(BACKEND_PREFIX)}
+        if backends:
+            used = ", ".join(f"{k}={v}" for k, v in sorted(backends.items()))
+            lines.append(f"  linear-algebra backends:      {used}")
         if self.batch_fallbacks:
             lines.append(f"  batch -> scalar fallbacks:    {self.batch_fallbacks}")
         if self.retries or self.degradations or self.chunks_failed:
@@ -235,8 +269,10 @@ class SolverTelemetry:
             )
         if self.checkpoint_writes:
             lines.append(f"  checkpoint commits:           {self.checkpoint_writes}")
-        if self.extras:
-            extras = ", ".join(f"{k}={v}" for k, v in sorted(self.extras.items()))
+        foreign = {k: v for k, v in self.extras.items()
+                   if not k.startswith(BACKEND_PREFIX)}
+        if foreign:
+            extras = ", ".join(f"{k}={v}" for k, v in sorted(foreign.items()))
             lines.append(f"  newer-producer counters:      {extras}")
         if self.phase_seconds:
             phases = ", ".join(
@@ -244,6 +280,20 @@ class SolverTelemetry:
             )
             lines.append(f"  wall clock: {phases}")
         return "\n".join(lines)
+
+
+def record_backend(telemetry: SolverTelemetry | None, backend: str) -> None:
+    """Count one run's engaged linear-algebra backend in ``extras``.
+
+    ``backend`` is one of ``"dense_lu"``, ``"sparse_splu"`` or
+    ``"numba_kernel"`` (a run can engage several, e.g. a sparse solve with
+    the compiled device kernel).  Stored as ``backend_<name>`` counters so
+    :meth:`SolverTelemetry.merge` sums them across runs and benchmark
+    reports are self-describing about what actually executed.
+    """
+    if telemetry is not None:
+        key = BACKEND_PREFIX + backend
+        telemetry.extras[key] = telemetry.extras.get(key, 0) + 1
 
 
 # -- session aggregation (process-local) -------------------------------------------

@@ -33,9 +33,9 @@ import numpy as np
 from ..observability import metrics as obs_metrics
 from ..observability import trace
 from .circuit import Circuit
-from .mna import MnaSystem
+from .mna import MnaSystem, resolve_sparse
 from .solver import ConvergenceError, newton_solve
-from .telemetry import SolverTelemetry, record_session
+from .telemetry import SolverTelemetry, record_backend, record_session
 from .waveform import Waveform
 
 #: Refuse to shrink the step below base_dt / _MIN_STEP_DIVISOR.
@@ -63,6 +63,14 @@ class TransientOptions:
             the adaptive controller); ``None`` (default) keeps the seed
             behavior of ``dt / 4096``.  A rejection that would need a step
             below this floor is unrecoverable and raises.
+        sparse: linear-algebra tier selection.  ``True`` forces CSC
+            assembly plus ``scipy.sparse.linalg.splu`` factorization
+            (degrading to dense with a warning when scipy is absent),
+            ``False`` forces the dense LAPACK path, and ``"auto"`` (the
+            default) engages sparse above
+            :data:`repro.spice.mna.SPARSE_AUTO_THRESHOLD` unknowns —
+            overridable process-wide via
+            :func:`repro.spice.mna.set_default_sparse` or ``REPRO_SPARSE``.
         legacy_reference: run the frozen seed engine (full re-assembly at
             every Newton iterate, vectorized finite-difference device
             partials).  Slower; exists so the fast path can be regression-
@@ -79,11 +87,16 @@ class TransientOptions:
     lte_atol: float = 1e-6
     max_growth: float = 2.0
     min_dt: float | None = None
+    sparse: bool | str = "auto"
     legacy_reference: bool = False
 
     def __post_init__(self):
         if self.method not in ("trap", "be"):
             raise ValueError(f"unknown integration method {self.method!r}")
+        if self.sparse not in (True, False, "auto"):
+            raise ValueError(
+                f"sparse must be True, False or 'auto', not {self.sparse!r}"
+            )
         if self.lte_rtol <= 0 or self.lte_atol <= 0:
             raise ValueError("LTE tolerances must be positive")
         if self.max_growth <= 1.0:
@@ -197,10 +210,13 @@ def transient(
     system = MnaSystem(circuit)
     states: dict = {}
     tel = SolverTelemetry()
+    if fast and resolve_sparse(opts.sparse, system.size):
+        system.sparse = True
+    record_backend(tel, "sparse_splu" if system.sparse else "dense_lu")
     wall_start = time.perf_counter()
 
-    with trace.span("transient", tstop=tstop, dt=dt,
-                    adaptive=opts.adaptive, method=opts.method) as tsp:
+    with trace.span("transient", tstop=tstop, dt=dt, adaptive=opts.adaptive,
+                    method=opts.method, sparse=system.sparse) as tsp:
         # t=0 consistency solve: capacitors forced to their ICs, inductors to
         # theirs.
         with trace.span("ic") as ic_sp:

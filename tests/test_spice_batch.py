@@ -158,16 +158,22 @@ class TestCompatibilityGuards:
         with pytest.raises(BatchIncompatibleError):
             batch_transient(circuits, 1e-9, 1e-12)
 
-    @pytest.mark.parametrize(
-        "options",
-        [TransientOptions(adaptive=True), TransientOptions(legacy_reference=True)],
-        ids=["adaptive", "legacy"],
-    )
-    def test_unbatchable_options_raise(self, tech018, options):
+    def test_unbatchable_options_raise(self, tech018):
         specs = _driver_specs(tech018, [2, 4])
         circuits = [build_driver_bank(s) for s in specs]
         with pytest.raises(BatchIncompatibleError):
-            batch_transient(circuits, 1e-9, 1e-12, options=options)
+            batch_transient(circuits, 1e-9, 1e-12,
+                            options=TransientOptions(legacy_reference=True))
+
+    def test_adaptive_is_batchable(self, tech018):
+        """Adaptive stepping runs in lockstep now (see
+        tests/test_spice_batch_adaptive.py for the parity suite)."""
+        specs = _driver_specs(tech018, [2, 4])
+        circuits = [build_driver_bank(s) for s in specs]
+        results = batch_transient(circuits, 1e-9, 1e-12,
+                                  options=TransientOptions(adaptive=True))
+        assert len(results) == len(circuits)
+        assert all(r.telemetry.accepted_steps > 0 for r in results)
 
     def test_empty_ensemble_is_empty(self):
         assert batch_transient([], 1e-9, 1e-12) == []
