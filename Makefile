@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-smoke bench-perf campaign-smoke trace-smoke softdep-smoke reports examples clean
+.PHONY: install test bench bench-smoke bench-perf campaign-smoke trace-smoke softdep-smoke serve-smoke reports examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -56,6 +56,13 @@ trace-smoke:
 # sparse tier, the batched rank-1 lane and the compiled MOSFET kernel.
 softdep-smoke:
 	$(PY) scripts/softdep_smoke.py
+
+# Serving-layer smoke: a live in-process server answers a cold /simulate
+# (miss), its bit-identical repeat from the persistent store (hit), and
+# three stalled concurrent requests as one computation (dedup); then the
+# /metrics text is scraped.  Strict RuntimeWarnings inside the script.
+serve-smoke:
+	$(PY) scripts/serve_smoke.py
 
 # Regenerate every paper artifact into benchmarks/reports/*.txt and
 # the run logs the task description asks for.

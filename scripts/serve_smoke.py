@@ -1,0 +1,91 @@
+"""Serving-layer smoke: miss -> hit -> dedup against a live server.
+
+Drives one in-process :class:`repro.service.SsnService` (ephemeral port,
+throwaway store) through the three serving outcomes and a ``/metrics``
+scrape:
+
+* a cold ``/simulate`` computes and persists (outcome ``miss``);
+* the identical repeat — with the in-process memo wiped, so only the
+  persistent store can answer — returns the bit-identical payload
+  (outcome ``hit``);
+* three concurrent requests for a *new* spec, with the compute stalled
+  by the deterministic fault injector, collapse onto one computation
+  (outcomes ``dedup``/``dedup``/``miss``, one compute counted);
+* the Prometheus text carries the request/outcome counters and the
+  store-write totals.
+
+Runs under ``-W``-style strict RuntimeWarnings (installed below, so the
+gate travels with the script).  Run via ``make serve-smoke``; CI's
+``service-smoke`` job executes it next to the service test suites.
+"""
+
+import asyncio
+import tempfile
+import warnings
+
+warnings.simplefilter("error", RuntimeWarning)
+
+from repro.analysis.simulate import simulate_ssn_cache_clear  # noqa: E402
+from repro.service import SsnService, arequest  # noqa: E402
+from repro.testing import faults  # noqa: E402
+from repro.testing.faults import FaultRule  # noqa: E402
+
+PARAMS = {"n_drivers": 2, "inductance": 1e-9, "rise_time": 0.5e-9}
+
+
+async def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        service = SsnService(store_root=root, port=0)
+        await service.start()
+        try:
+            await drive(service)
+        finally:
+            await service.close()
+    print("serve smoke ok")
+
+
+async def drive(service: SsnService) -> None:
+    async def post(path, payload):
+        return await arequest("127.0.0.1", service.port, "POST", path, payload)
+
+    status, first = await post("/simulate", PARAMS)
+    assert status == 200, f"simulate answered {status}: {first}"
+    assert first["outcome"] == "miss", first["outcome"]
+
+    # Wipe the in-process memo: the repeat answer must come from the
+    # persistent store alone, bit-identical.
+    simulate_ssn_cache_clear()
+    status, again = await post("/simulate", PARAMS)
+    assert status == 200 and again["outcome"] == "hit", again
+    assert again["waveforms"] == first["waveforms"], "hit is not bit-identical"
+    assert again["peak_voltage"] == first["peak_voltage"]
+    print(f"store hit ok: key {first['key'][:12]}..., "
+          f"peak {first['peak_voltage']:.6g} V")
+
+    # Stall the single fresh compute long enough for the followers to
+    # observe the in-flight leader and dedup onto it.
+    faults.install_faults([FaultRule(kind="stall", seconds=0.5)])
+    try:
+        answers = await asyncio.gather(*(
+            post("/simulate", dict(PARAMS, n_drivers=3)) for _ in range(3)
+        ))
+    finally:
+        faults.clear_faults()
+    assert all(status == 200 for status, _ in answers)
+    outcomes = sorted(payload["outcome"] for _, payload in answers)
+    assert outcomes == ["dedup", "dedup", "miss"], outcomes
+    assert len({payload["key"] for _, payload in answers}) == 1
+    print("dedup ok: 3 concurrent requests, outcomes " + "/".join(outcomes))
+
+    status, text = await arequest(
+        "127.0.0.1", service.port, "GET", "/metrics")
+    assert status == 200
+    for needle in ("repro_service_requests_total", 'outcome="hit"',
+                   'outcome="dedup"', "repro_service_computes_total",
+                   "repro_store_writes_total"):
+        assert needle in text, f"{needle!r} missing from /metrics"
+    print("metrics scrape ok")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

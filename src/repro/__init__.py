@@ -21,6 +21,8 @@ Package layout:
 * :mod:`repro.analysis`   — golden-simulation harness, sweeps, metrics,
   Monte Carlo.
 * :mod:`repro.experiments`— one module per paper table/figure.
+* :mod:`repro.service`    — persistent content-addressed result store and
+  the async HTTP serving layer (``python -m repro serve``).
 
 Quickstart: see ``examples/quickstart.py`` or :mod:`repro.core`.
 """
@@ -45,6 +47,7 @@ _SUBPACKAGES = (
     "experiments",
     "packaging",
     "process",
+    "service",
     "spice",
 )
 

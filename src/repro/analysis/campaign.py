@@ -169,10 +169,22 @@ def _record_from(index: int, sim: SsnSimulation, rung: str) -> dict:
     }
 
 
-def _simulate_rung(spec: DriverBankSpec, rung: str) -> SsnSimulation:
-    if rung == "legacy":
-        return simulate_ssn_cached(spec, options=LEGACY_OPTIONS)
-    return simulate_ssn_cached(spec)
+def _rung_options(rung: str, options: TransientOptions | None) -> TransientOptions | None:
+    """The transient options one recovery rung actually simulates under.
+
+    The legacy rung forces the frozen seed engine on top of whatever the
+    caller requested; the other rungs pass the request through untouched.
+    """
+    if rung != "legacy":
+        return options
+    if options is None:
+        return LEGACY_OPTIONS
+    return dataclasses.replace(options, legacy_reference=True)
+
+
+def _simulate_rung(spec: DriverBankSpec, rung: str,
+                   options: TransientOptions | None = None) -> SsnSimulation:
+    return simulate_ssn_cached(spec, options=_rung_options(rung, options))
 
 
 def _instance_record(payload: tuple) -> dict:
@@ -182,12 +194,12 @@ def _instance_record(payload: tuple) -> dict:
     injector's stall fault sleeps here) and enforces the per-task deadline
     on the attempt's wall clock.
     """
-    index, spec, rung, deadline = payload
+    index, spec, rung, deadline, options = payload
     with faults.scope(task=index, engine=rung):
         start = time.perf_counter()
         with trace.span("task", index=index, engine=rung):
             faults.probe("task")
-            sim = _simulate_rung(spec, rung)
+            sim = _simulate_rung(spec, rung, options)
         elapsed = time.perf_counter() - start
     if deadline is not None and elapsed > deadline:
         raise DeadlineExceeded(
@@ -281,16 +293,18 @@ class CampaignRunner:
             time.sleep(min(cfg.backoff_cap, cfg.backoff_base * (2.0 ** attempt)))
 
     def _bulk(self, indices: Sequence[int], specs: Sequence[DriverBankSpec],
-              rung: str, tally: SolverTelemetry) -> list[dict]:
+              rung: str, tally: SolverTelemetry,
+              options: TransientOptions | None = None) -> list[dict]:
         """One whole-chunk execution attempt at one engine rung."""
         faults.probe("engine")
         cfg = self.config
         if rung == "batch":
             # Lockstep shares one wall clock across the ensemble, so the
             # per-task deadline applies on the scalar rungs only.
-            sims = simulate_many(list(specs), engine="batch")
+            sims = simulate_many(list(specs), engine="batch", options=options)
             return [_record_from(i, sim, rung) for i, sim in zip(indices, sims)]
-        payloads = [(i, spec, rung, cfg.deadline) for i, spec in zip(indices, specs)]
+        payloads = [(i, spec, rung, cfg.deadline, options)
+                    for i, spec in zip(indices, specs)]
         if rung == "scalar":
             records, used_pool = parallel_map_traced(
                 _instance_record, payloads, max_workers=cfg.max_workers,
@@ -306,7 +320,8 @@ class CampaignRunner:
         return [_instance_record(p) for p in payloads]
 
     def _recover_instance(self, ci: int, index: int, spec: DriverBankSpec,
-                          rung0: str, tally: SolverTelemetry) -> dict:
+                          rung0: str, tally: SolverTelemetry,
+                          options: TransientOptions | None = None) -> dict:
         """Retry one instance down the engine ladder until it lands."""
         cfg = self.config
         last_exc: BaseException | None = None
@@ -317,7 +332,8 @@ class CampaignRunner:
                 with faults.scope(chunk=ci, task=index, attempt=attempt,
                                   phase="instance", engine=rung):
                     try:
-                        return _instance_record((index, spec, rung, cfg.deadline))
+                        return _instance_record(
+                            (index, spec, rung, cfg.deadline, options))
                     except Exception as exc:
                         last_exc = exc
                         if attempt < cfg.max_retries:
@@ -334,7 +350,8 @@ class CampaignRunner:
 
     def _run_chunk(self, ci: int, indices: Sequence[int],
                    specs: Sequence[DriverBankSpec], rung0: str,
-                   chunk_sp=trace.NOOP_SPAN) -> dict:
+                   chunk_sp=trace.NOOP_SPAN,
+                   options: TransientOptions | None = None) -> dict:
         cfg = self.config
         tally = SolverTelemetry()  # this chunk's recovery counters
         records: list[dict] | None = None
@@ -342,7 +359,7 @@ class CampaignRunner:
         for attempt in range(1 + cfg.max_retries):
             with faults.scope(chunk=ci, attempt=attempt, phase="bulk", engine=rung0):
                 try:
-                    records = self._bulk(indices, specs, rung0, tally)
+                    records = self._bulk(indices, specs, rung0, tally, options)
                     break
                 except Exception:
                     chunk_sp.add_event("bulk_attempt_failed", attempt=attempt)
@@ -360,7 +377,7 @@ class CampaignRunner:
             tally.chunks_failed += 1
             chunk_sp.add_event("per_instance_recovery")
             records = [
-                self._recover_instance(ci, i, spec, rung0, tally)
+                self._recover_instance(ci, i, spec, rung0, tally, options)
                 for i, spec in zip(indices, specs)
             ]
             obs_metrics.observe("repro_chunk_retry_latency_seconds",
@@ -379,7 +396,8 @@ class CampaignRunner:
         }
 
     def run_specs(self, specs: Sequence[DriverBankSpec], kind: str = "simulate",
-                  fingerprint_extra: dict | None = None) -> list[dict]:
+                  fingerprint_extra: dict | None = None,
+                  options: TransientOptions | None = None) -> list[dict]:
         """Execute every spec, returning one summary record per spec.
 
         The core campaign loop: chunk the specs, skip chunks already in
@@ -389,6 +407,12 @@ class CampaignRunner:
         propagates — the journal already holds every completed chunk, so
         re-running with ``resume=True`` finishes the campaign without
         recomputing them.
+
+        ``options`` threads explicit :class:`TransientOptions` through
+        every rung of the execution ladder (the serving layer's dispatch
+        path); the legacy rung overlays ``legacy_reference=True`` on top.
+        Default (``None``) runs keep the journal fingerprint unchanged, so
+        existing checkpoints stay resumable.
         """
         specs = list(specs)
         cfg = self.config
@@ -396,9 +420,10 @@ class CampaignRunner:
         if n == 0:
             return []
         rung0 = resolve_engine(cfg.engine, n)
-        fingerprint = self._fingerprint(
-            kind, n, cfg.chunk_size, fingerprint_extra or {}
-        )
+        extra = dict(fingerprint_extra or {})
+        if options is not None:
+            extra["options"] = repr(options)
+        fingerprint = self._fingerprint(kind, n, cfg.chunk_size, extra)
         header = {
             "version": CHECKPOINT_VERSION,
             "kind": kind,
@@ -431,7 +456,7 @@ class CampaignRunner:
                         faults.probe("chunk")
                         done[ci] = self._run_chunk(
                             ci, indices, [specs[i] for i in indices], rung0,
-                            chunk_sp=chunk_sp,
+                            chunk_sp=chunk_sp, options=options,
                         )
                 if path is not None:
                     self._write_journal(path, header, done)

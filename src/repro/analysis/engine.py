@@ -48,6 +48,22 @@ ENGINE_ENV = "REPRO_ENGINE"
 _default_engine: str | None = None
 
 
+def default_engine() -> str:
+    """The engine a run with no explicit ``engine=`` argument would consult.
+
+    Pure read of the process-wide default / ``REPRO_ENGINE`` precedence
+    chain — no ``"auto"`` resolution, no metrics side effects, no
+    validation (an invalid environment value is returned verbatim and
+    rejected later by :func:`resolve_engine`, exactly where it is
+    consumed).  Result-cache keys fold this in so flipping the default
+    between calls can never return a stale-keyed hit.
+    """
+    engine = _default_engine
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or "scalar"
+    return engine
+
+
 def set_default_engine(engine: str | None) -> None:
     """Install a process-wide default engine (``None`` clears it).
 

@@ -9,14 +9,19 @@ window.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import functools
 import math
+import threading
 
+from ..devices.kernels import kernel_available
+from ..observability import metrics as obs_metrics
 from ..spice.batch import BatchIncompatibleError, batch_transient, lockstep_signature
+from ..spice.mna import default_sparse_mode
 from ..spice.telemetry import SolverTelemetry, record_session
 from ..spice.transient import TransientOptions, transient
-from .engine import resolve_engine
+from .engine import default_engine, resolve_engine
 from .parallel import parallel_map_traced
 from ..spice.waveform import Waveform
 from .driver_bank import (
@@ -139,9 +144,140 @@ def _package_simulation(spec: DriverBankSpec, result) -> SsnSimulation:
     )
 
 
-@functools.lru_cache(maxsize=256)
-def _simulate_ssn_memo(spec, tstop, dt, options):
-    return simulate_ssn(spec, tstop, dt, options)
+def resolved_backend(options: TransientOptions | None = None) -> tuple:
+    """Snapshot of the process-global backend defaults a run resolves under.
+
+    A golden simulation's exact output (including its telemetry and
+    ``extras`` backend records) depends not only on the explicit arguments
+    but on three process-wide defaults that can be flipped between calls:
+    the engine default (:func:`repro.analysis.engine.set_default_engine` /
+    ``REPRO_ENGINE``), the sparse-tier default
+    (:func:`repro.spice.mna.set_default_sparse` / ``REPRO_SPARSE``), and
+    the availability of the compiled MOSFET kernel (numba import +
+    ``REPRO_NO_NUMBA``).  Returns a sorted tuple of ``(name, value)``
+    pairs, hashable and JSON-friendly, that every result-cache key — the
+    in-process memo and the persistent service store — must fold in so a
+    default flip is a cache miss, never a stale hit.
+
+    An explicit ``TransientOptions.sparse`` of ``True``/``False`` pins the
+    tier, so the global sparse default is irrelevant (and excluded) for
+    such option sets.
+    """
+    sparse = "auto" if options is None else options.sparse
+    if sparse == "auto":
+        sparse = default_sparse_mode()
+    return (
+        ("engine", default_engine()),
+        ("kernel", "numba" if kernel_available() else "numpy"),
+        ("sparse", str(sparse)),
+    )
+
+
+def ssn_memo_key(
+    spec: DriverBankSpec,
+    tstop: float | None = None,
+    dt: float | None = None,
+    options: TransientOptions | None = None,
+) -> tuple:
+    """The exact memo key of one golden simulation request.
+
+    Every component is a frozen dataclass or scalar plus the
+    :func:`resolved_backend` snapshot, so equality means "the same
+    simulation under the same process-global defaults".  The persistent
+    service store (:mod:`repro.service`) derives its content-addressed
+    fingerprints from this same function, keeping the two cache tiers'
+    key contracts identical by construction.
+    """
+    return (spec, tstop, dt, options, resolved_backend(options))
+
+
+def freeze_simulation(sim: SsnSimulation) -> SsnSimulation:
+    """Mark every waveform array of ``sim`` read-only, in place.
+
+    Cached simulations are shared between all their callers; a caller
+    mutating ``sim.ssn.y`` would silently corrupt every later cache hit.
+    With the buffers frozen, such a write raises ``ValueError`` instead.
+    Returns ``sim`` for chaining.
+    """
+    for wf in (sim.ssn, sim.inductor_current, sim.driver_current,
+               sim.input_voltage, sim.output_voltage):
+        wf.t.setflags(write=False)
+        wf.y.setflags(write=False)
+    return sim
+
+
+class _SsnMemoCache:
+    """Bounded, thread-safe LRU of frozen golden simulations.
+
+    Replaces the former ``functools.lru_cache`` so the cache can (a) tag
+    each lookup as hit or fresh compute — the pooled telemetry path and
+    the service layer both need that distinction — and (b) freeze every
+    stored simulation's waveforms.  The simulation itself runs outside
+    the lock; two threads racing on one key at worst compute it twice
+    (the service layer's in-flight dedup prevents exactly that for HTTP
+    traffic).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._data: collections.OrderedDict = collections.OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def fetch(self, key) -> SsnSimulation | None:
+        with self._lock:
+            sim = self._data.get(key)
+            if sim is None:
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+        obs_metrics.inc("repro_ssn_memo_hits_total")
+        return sim
+
+    def insert(self, key, sim: SsnSimulation) -> None:
+        with self._lock:
+            self.misses += 1
+            self._data[key] = sim
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+        obs_metrics.inc("repro_ssn_memo_misses_total")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_memo = _SsnMemoCache()
+
+
+def simulate_ssn_cached_fresh(
+    spec: DriverBankSpec,
+    tstop: float | None = None,
+    dt: float | None = None,
+    options: TransientOptions | None = None,
+) -> tuple[SsnSimulation, bool]:
+    """:func:`simulate_ssn_cached` plus whether the Newton loop really ran.
+
+    Returns ``(sim, fresh)``; ``fresh`` is False exactly when the result
+    came out of the memo, i.e. its ``telemetry`` describes work done by an
+    *earlier* call.  Callers that fold telemetry into session aggregates
+    (the pooled scalar path, the serving layer) must skip stale records or
+    they double-count Newton work that never ran.
+    """
+    key = ssn_memo_key(spec, tstop, dt, options)
+    sim = _memo.fetch(key)
+    if sim is not None:
+        return sim, False
+    sim = freeze_simulation(simulate_ssn(spec, tstop, dt, options))
+    _memo.insert(key, sim)
+    return sim, True
 
 
 def simulate_ssn_cached(
@@ -150,21 +286,32 @@ def simulate_ssn_cached(
     dt: float | None = None,
     options: TransientOptions | None = None,
 ) -> SsnSimulation:
-    """Memoized :func:`simulate_ssn` keyed on the frozen spec.
+    """Memoized :func:`simulate_ssn` keyed on the frozen spec *and* backend.
 
     Paper figures revisit the same configurations (the Fig. 3 and Fig. 4
     sweeps share their base points; ablations re-run nominal corners), so
     repeated points are free.  Every argument is a frozen dataclass (or
-    scalar), making the memo key exact; results are shared, so callers
-    must treat the returned waveforms as read-only — which every
-    experiment already does.
+    scalar), and the key additionally folds in :func:`resolved_backend` —
+    flipping ``set_default_sparse``/``REPRO_SPARSE`` or
+    ``set_default_engine``/``REPRO_ENGINE`` between calls recomputes
+    instead of returning a result (and telemetry) from the old backend.
+    Results are shared, and their waveform arrays are frozen
+    (``writeable=False``): an accidental mutation raises instead of
+    silently corrupting every later cache hit.
     """
-    return _simulate_ssn_memo(spec, tstop, dt, options)
+    sim, _ = simulate_ssn_cached_fresh(spec, tstop, dt, options)
+    return sim
 
 
 def simulate_ssn_cache_clear() -> None:
     """Drop all memoized golden simulations (mainly for tests)."""
-    _simulate_ssn_memo.cache_clear()
+    _memo.clear()
+
+
+def simulate_ssn_cache_stats() -> dict:
+    """Memo observability: ``{"hits", "misses", "size", "maxsize"}``."""
+    return {"hits": _memo.hits, "misses": _memo.misses,
+            "size": len(_memo), "maxsize": _memo.maxsize}
 
 
 def simulate_many(
@@ -199,15 +346,20 @@ def simulate_many(
     specs = list(specs)
     if resolve_engine(engine, len(specs)) == "batch":
         return _simulate_many_batched(specs, options)
-    if options is None:
-        fn = simulate_ssn_cached
-    else:
-        fn = functools.partial(_simulate_with_options, options=options)
-    sims, used_pool = parallel_map_traced(fn, specs, max_workers=max_workers)
+    fn = _simulate_tagged if options is None else functools.partial(
+        _simulate_tagged, options=options)
+    tagged, used_pool = parallel_map_traced(fn, specs, max_workers=max_workers)
     if used_pool:
-        for sim in sims:
-            record_session(sim.telemetry)
-    return sims
+        # Worker-side session aggregation dies with the workers, so the
+        # parent stitches their telemetry in here — but only for *fresh*
+        # computes.  A worker-side memo hit (duplicate spec, or a fork
+        # inheriting the parent's warm memo) carries the telemetry of a run
+        # that was already recorded when it actually executed; re-recording
+        # it would double-count Newton work that never ran this call.
+        for sim, fresh in tagged:
+            if fresh:
+                record_session(sim.telemetry)
+    return [sim for sim, _ in tagged]
 
 
 def _simulate_many_batched(specs, options) -> list[SsnSimulation]:
@@ -259,5 +411,6 @@ def aggregate_telemetry(sims) -> SolverTelemetry:
     return SolverTelemetry.aggregate(sim.telemetry for sim in sims)
 
 
-def _simulate_with_options(spec, options):
-    return simulate_ssn_cached(spec, options=options)
+def _simulate_tagged(spec, options=None):
+    """Pool-worker mapper: memoized simulate plus the hit/fresh tag."""
+    return simulate_ssn_cached_fresh(spec, options=options)

@@ -14,8 +14,12 @@ Seven commands cover the library's day-to-day uses:
   capacitance or rise time) against the ASDM estimate.
 * ``montecarlo``— golden transient Monte Carlo under device variation.
 * ``simulate``  — golden-simulate a list of driver counts and print peaks.
+* ``serve``     — the SSN service (:mod:`repro.service`): an async HTTP
+  front end answering simulate/sweep/montecarlo queries from the
+  persistent content-addressed result store, deduplicating identical
+  in-flight requests and dispatching misses onto the campaign runner.
 
-The last three run *campaigns* — long multi-simulation workloads — through
+``sweep``/``montecarlo``/``simulate`` run *campaigns* — long multi-simulation workloads — through
 the fault-tolerant runner (:mod:`repro.analysis.campaign`): they accept
 ``--checkpoint PATH`` (journal completed chunks atomically), ``--resume``
 (replay the journal and run only what's missing, bit-identical to an
@@ -319,6 +323,32 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("-c", "--capacitance", type=float, default=None)
     sim.add_argument("-t", "--rise-time", type=float, default=0.5e-9)
 
+    srv = sub.add_parser(
+        "serve",
+        help="serve simulate/sweep/montecarlo over HTTP from the "
+        "persistent result store",
+        parents=[_telemetry_parent()],
+    )
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    srv.add_argument("--port", type=int, default=8431,
+                     help="bind port; 0 picks an ephemeral port and prints "
+                     "it (default 8431)")
+    srv.add_argument("--store", metavar="DIR", default=".repro_store",
+                     help="result-database directory (default .repro_store)")
+    srv.add_argument("--max-retries", type=int, default=2, metavar="N",
+                     help="campaign retry budget for dispatched misses "
+                     "(default 2)")
+    srv.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                     help="per-task wall-clock budget of dispatched misses "
+                     "(default: none)")
+    srv.add_argument("--chunk-size", type=int, default=8, metavar="N",
+                     help="campaign chunk size for Monte Carlo fleets "
+                     "(default 8)")
+    srv.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="process-pool width for dispatched campaigns "
+                     "(default: $REPRO_MAX_WORKERS, else serial)")
+
     tr = sub.add_parser("trace", help="inspect trace files written by --trace")
     tr_sub = tr.add_subparsers(dest="trace_command", required=True)
     tr_sum = tr_sub.add_parser(
@@ -501,6 +531,23 @@ def _run_montecarlo(args) -> str:
     return "\n".join(lines)
 
 
+def _run_serve(args) -> str:
+    # Local import: the service stack (asyncio server, store) is only
+    # needed by this command.
+    from .service import ServiceConfig, run_server
+
+    config = ServiceConfig(
+        host=args.host, port=args.port, store_root=args.store,
+        max_retries=args.max_retries, deadline=args.deadline,
+        chunk_size=args.chunk_size, max_workers=args.workers,
+    )
+    try:
+        run_server(config, announce=lambda line: print(line, flush=True))
+    except KeyboardInterrupt:
+        pass
+    return "server stopped"
+
+
 def _run_trace(args) -> str:
     return summarize_trace_file(args.file, max_depth=args.max_depth)
 
@@ -544,6 +591,7 @@ def main(argv=None) -> int:
         "sweep": _run_sweep,
         "montecarlo": _run_montecarlo,
         "simulate": _run_simulate,
+        "serve": _run_serve,
         "trace": _run_trace,
     }
     trace_path = getattr(args, "trace", None)

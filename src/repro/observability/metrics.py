@@ -34,6 +34,7 @@ DEFAULT_BUCKETS: dict[str, tuple[float, ...]] = {
     "repro_phase_seconds": (1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0),
     "repro_chunk_retry_latency_seconds": (1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0),
     "repro_checkpoint_write_seconds": (1e-4, 1e-3, 1e-2, 0.1, 1.0),
+    "repro_service_request_seconds": (1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0),
 }
 
 #: Fallback buckets for histograms observed without a registered default.

@@ -1,0 +1,42 @@
+"""SSN-as-a-service: persistent result store + async HTTP front end.
+
+The serving backbone of the "millions of users" story: repeat queries are
+answered from a content-addressed, schema-versioned result database
+(:mod:`repro.service.store`) keyed on the exact simulation fingerprint
+(:mod:`repro.service.keys` — circuit spec, resolved time grid, option
+set, resolved backend defaults), identical in-flight requests collapse
+onto one computation, and genuine misses dispatch onto the
+fault-tolerant campaign runner in the background
+(:mod:`repro.service.server`).  Start it with ``python -m repro serve``.
+"""
+
+from .client import ServiceClient, ServiceError, arequest
+from .keys import KEY_SCHEME_VERSION, canonical_request, result_key
+from .server import BadRequest, ServiceConfig, SsnService, run_server
+from .store import (
+    RECORD_SCHEMA_VERSION,
+    ResultStore,
+    montecarlo_from_record,
+    montecarlo_record,
+    simulation_from_record,
+    simulation_record,
+)
+
+__all__ = [
+    "BadRequest",
+    "KEY_SCHEME_VERSION",
+    "RECORD_SCHEMA_VERSION",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SsnService",
+    "arequest",
+    "canonical_request",
+    "montecarlo_from_record",
+    "montecarlo_record",
+    "result_key",
+    "run_server",
+    "simulation_from_record",
+    "simulation_record",
+]

@@ -1,0 +1,106 @@
+"""Thin stdlib clients for the SSN service.
+
+:class:`ServiceClient` is the blocking convenience wrapper
+(``http.client``, one connection per call — the server answers with
+``Connection: close``); :func:`arequest` is the raw asyncio counterpart
+used by the concurrency tests and anything already inside an event loop.
+Neither adds dependencies.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+
+class ServiceError(RuntimeError):
+    """A non-200 service response; carries ``.status`` and ``.payload``."""
+
+    def __init__(self, status: int, payload):
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Blocking JSON client for one service address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8431,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, method: str, path: str, payload: dict | None = None):
+        """One request/response cycle; returns ``(status, decoded body)``."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload).encode()
+            headers = {} if body is None else {
+                "Content-Type": "application/json"}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        finally:
+            conn.close()
+        ctype = response.getheader("Content-Type", "")
+        if ctype.startswith("application/json"):
+            return response.status, json.loads(raw.decode())
+        return response.status, raw.decode()
+
+    def _checked(self, method: str, path: str, payload: dict | None = None):
+        status, decoded = self.request(method, path, payload)
+        if status != 200:
+            raise ServiceError(status, decoded)
+        return decoded
+
+    def simulate(self, **params) -> dict:
+        return self._checked("POST", "/simulate", params)
+
+    def sweep(self, **params) -> dict:
+        return self._checked("POST", "/sweep", params)
+
+    def montecarlo(self, **params) -> dict:
+        return self._checked("POST", "/montecarlo", params)
+
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        return self._checked("GET", "/metrics")
+
+
+async def arequest(host: str, port: int, method: str, path: str,
+                   payload: dict | None = None):
+    """Async one-shot request over a raw stream; ``(status, decoded body)``.
+
+    Lives on the caller's event loop, so tests can ``gather`` many of
+    these against an in-process server to exercise in-flight dedup
+    deterministically.
+    """
+    import asyncio
+
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = b"" if payload is None else json.dumps(payload).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    header_blob, _, payload_blob = raw.partition(b"\r\n\r\n")
+    status_line = header_blob.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split()[1])
+    headers = header_blob.decode("latin-1").lower()
+    if "content-type: application/json" in headers:
+        return status, json.loads(payload_blob.decode())
+    return status, payload_blob.decode()

@@ -1,0 +1,75 @@
+"""Content-addressed result keys for the persistent SSN store.
+
+One golden simulation is exactly determined by four things: the frozen
+circuit spec, the resolved time grid, the transient-option set, and the
+process-global backend defaults the run resolves under (engine, sparse
+tier, compiled-kernel availability).  :func:`result_key` hashes a
+canonical JSON rendering of all four into a hex fingerprint; equal keys
+mean "bit-identical simulation", so the store can serve a repeat query
+without re-entering the Newton loop, and a flipped backend default is a
+different key — a miss, never a stale hit.
+
+The backend snapshot is the *same* :func:`repro.analysis.simulate.resolved_backend`
+the in-process memo folds into its key, so the two cache tiers share one
+key contract by construction.  Floats are rendered with :func:`repr`
+(the shortest exact round trip), dataclasses with their deterministic
+``repr``; the digest is SHA-256, never truncated — keys are the full
+64 hex characters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..analysis.driver_bank import DriverBankSpec
+from ..analysis.simulate import default_stop_time, default_time_step, resolved_backend
+from ..spice.transient import TransientOptions
+
+#: Bumped whenever the canonical payload layout changes; part of the hash,
+#: so a scheme change invalidates every previously stored key at once.
+KEY_SCHEME_VERSION = 1
+
+
+def canonical_request(
+    spec: DriverBankSpec,
+    tstop: float | None = None,
+    dt: float | None = None,
+    options: TransientOptions | None = None,
+    kind: str = "simulate",
+    extra: dict | None = None,
+) -> dict:
+    """The canonical JSON-able payload :func:`result_key` hashes.
+
+    ``tstop``/``dt`` are resolved to their spec-derived defaults before
+    rendering, so "defaulted" and "explicitly passed the default value"
+    spell the same key.  ``extra`` carries workload parameters beyond one
+    transient run (Monte Carlo trial count and seed, sweep identity);
+    its values must be JSON-serializable.
+    """
+    return {
+        "scheme": KEY_SCHEME_VERSION,
+        "kind": str(kind),
+        "spec": repr(spec),
+        "tstop": repr(default_stop_time(spec) if tstop is None else float(tstop)),
+        "dt": repr(default_time_step(spec) if dt is None else float(dt)),
+        "options": repr(options),
+        "backend": [list(pair) for pair in resolved_backend(options)],
+        "extra": dict(sorted((extra or {}).items())),
+    }
+
+
+def result_key(
+    spec: DriverBankSpec,
+    tstop: float | None = None,
+    dt: float | None = None,
+    options: TransientOptions | None = None,
+    kind: str = "simulate",
+    extra: dict | None = None,
+) -> str:
+    """64-hex-char content fingerprint of one analysis request."""
+    payload = canonical_request(spec, tstop, dt, options, kind=kind, extra=extra)
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    )
+    return digest.hexdigest()

@@ -1,0 +1,505 @@
+"""Async HTTP front end serving SSN results from the persistent store.
+
+The paper's economics — fit once, answer repeat queries cheaply — only
+materialize at traffic scale if repeat queries never re-enter the Newton
+loop.  This server puts three layers between a request and the solver:
+
+1. **In-flight dedup** — identical concurrent requests (equal
+   :func:`repro.service.keys.result_key`) collapse onto one computation;
+   followers await the leader's result (outcome ``"dedup"``).
+2. **Persistent store** — a key already computed, by any earlier process,
+   is answered straight from the validated record (outcome ``"hit"``)
+   with zero solver work.
+3. **Background dispatch** — a genuine miss runs on a worker thread
+   through the fault-tolerant :class:`~repro.analysis.campaign.CampaignRunner`
+   (retry ladder, engine degradation), is atomically published to the
+   store, and then answered (outcome ``"miss"``).
+
+Zero new dependencies: the HTTP/1.1 layer is hand-rolled on
+``asyncio.start_server`` (no ``http.server``), responses are
+``Connection: close``, and the endpoints speak plain JSON:
+
+* ``POST /simulate``   — one golden simulation (optionally with waveforms).
+* ``POST /sweep``      — a knob sweep; each point goes through the same
+  key/dedup/store path, so overlapping sweeps share work.
+* ``POST /montecarlo`` — a golden transient Monte Carlo distribution.
+* ``GET /healthz``     — liveness + store location.
+* ``GET /metrics``     — Prometheus text of the process registry
+  (request/outcome counters, store activity, solver histograms).
+
+Prometheus metrics and trace spans (``service_request`` down to the
+solver's ``newton_solve``) thread through every path via
+:mod:`repro.observability`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import time
+
+from ..analysis.campaign import CampaignConfig, CampaignRunner, _rung_options
+from ..analysis.driver_bank import DriverBankSpec
+from ..analysis.montecarlo import DeviceSpread, transient_peak_distribution
+from ..analysis.simulate import simulate_ssn_cached_fresh
+from ..observability import metrics as obs_metrics
+from ..observability import trace
+from ..observability.export import to_prometheus_text
+from ..process import get_technology
+from ..spice.transient import TransientOptions
+from .keys import canonical_request, result_key
+from .store import ResultStore, simulation_record, montecarlo_record
+
+#: Upper bounds on one request's header block and body, in bytes.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Spec fields a request may set, with coercions (None = required).
+_SPEC_FIELDS = {
+    "n_drivers": int,
+    "inductance": float,
+    "rise_time": float,
+    "capacitance": float,
+    "resistance": float,
+    "load_capacitance": float,
+    "driver_strength": float,
+    "collapse": bool,
+}
+
+#: Sweepable spec knobs: name -> per-value coercion.
+_SWEEP_KNOBS = {
+    "n_drivers": int,
+    "inductance": float,
+    "capacitance": float,
+    "rise_time": float,
+}
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+}
+
+
+class BadRequest(ValueError):
+    """A malformed or invalid request body (answered with HTTP 400)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one serving process.
+
+    Attributes:
+        host: bind address.
+        port: bind port; 0 picks an ephemeral port (reported after bind).
+        store_root: result-database directory.
+        max_retries: per-chunk retry budget of the dispatch campaigns.
+        deadline: per-task wall-clock budget in seconds (None = unlimited).
+        chunk_size: campaign chunk size for multi-instance workloads
+            (Monte Carlo trial fleets).
+        max_workers: process-pool width for campaign bulk execution
+            (None honors ``REPRO_MAX_WORKERS``, else serial).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8431
+    store_root: str | os.PathLike = ".repro_store"
+    max_retries: int = 2
+    deadline: float | None = None
+    chunk_size: int = 8
+    max_workers: int | None = None
+
+
+def _parse_options(payload) -> TransientOptions | None:
+    """Build :class:`TransientOptions` from a request's ``options`` object."""
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        raise BadRequest("'options' must be a JSON object")
+    allowed = {f.name for f in dataclasses.fields(TransientOptions)}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise BadRequest(f"unknown transient options: {', '.join(unknown)}")
+    try:
+        return TransientOptions(**payload)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"invalid transient options: {exc}") from exc
+
+
+def _spec_from(params: dict) -> DriverBankSpec:
+    """Build the :class:`DriverBankSpec` a request's spec fields describe."""
+    try:
+        technology = get_technology(str(params.get("tech", "tsmc018")))
+    except (KeyError, ValueError) as exc:
+        raise BadRequest(f"unknown technology: {exc}") from exc
+    if "n_drivers" not in params:
+        raise BadRequest("'n_drivers' is required")
+    # The CLI's defaults: 5 nH ground path, 0.5 ns edge.
+    kwargs = {"inductance": 5e-9, "rise_time": 0.5e-9}
+    for name, coerce in _SPEC_FIELDS.items():
+        if name not in params or params[name] is None:
+            continue
+        try:
+            kwargs[name] = coerce(params[name])
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"invalid {name!r}: {exc}") from exc
+    offsets = params.get("input_offsets")
+    if offsets is not None:
+        try:
+            kwargs["input_offsets"] = tuple(float(v) for v in offsets)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"invalid 'input_offsets': {exc}") from exc
+    try:
+        return DriverBankSpec(technology=technology, **kwargs)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"invalid spec: {exc}") from exc
+
+
+def _check_params(params, allowed: set[str], endpoint: str) -> dict:
+    if not isinstance(params, dict):
+        raise BadRequest(f"{endpoint} expects a JSON object body")
+    unknown = sorted(set(params) - allowed)
+    if unknown:
+        raise BadRequest(
+            f"unknown {endpoint} parameters: {', '.join(unknown)}"
+        )
+    return params
+
+
+_SPEC_PARAMS = set(_SPEC_FIELDS) | {"tech", "input_offsets", "options"}
+
+
+class SsnService:
+    """The serving loop: store + dedup map + campaign dispatch."""
+
+    def __init__(self, config: ServiceConfig | None = None, **kwargs):
+        if config is not None and kwargs:
+            raise TypeError("pass either a ServiceConfig or keyword knobs, not both")
+        self.config = config if config is not None else ServiceConfig(**kwargs)
+        self.store = ResultStore(self.config.store_root)
+        self._inflight: dict[str, asyncio.Task] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self.port: int | None = None
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket (and a metrics registry, if absent)."""
+        if obs_metrics.active_registry() is None:
+            obs_metrics.enable_metrics()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def run(self, announce=None) -> None:
+        """Start, optionally announce the bound address, and serve forever."""
+        await self.start()
+        if announce is not None:
+            announce(
+                f"repro service listening on "
+                f"http://{self.config.host}:{self.port} "
+                f"(store: {self.store.root})"
+            )
+        await self.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._inflight.values()):
+            task.cancel()
+
+    # -- HTTP plumbing ---------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        start = time.perf_counter()
+        endpoint = "unparsed"
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+                endpoint = path
+                status, payload, ctype = await self._dispatch(method, path, body)
+            except BadRequest as exc:
+                status, payload, ctype = 400, {"error": str(exc)}, "application/json"
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return  # client went away mid-request; nothing to answer
+            except Exception as exc:  # computation / internal failures -> 500
+                status = 500
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+                ctype = "application/json"
+            body_bytes = payload if isinstance(payload, bytes) else (
+                json.dumps(payload, sort_keys=True) + "\n").encode()
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(body_bytes)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode() + body_bytes)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            obs_metrics.observe("repro_service_request_seconds",
+                                time.perf_counter() - start,
+                                labels={"endpoint": endpoint})
+
+    @staticmethod
+    async def _read_request(reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise BadRequest("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        total = 0
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if total > MAX_HEADER_BYTES:
+                raise BadRequest("header block too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise BadRequest("request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, target.split("?", 1)[0], body
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "GET only"}, "application/json"
+            return 200, {"status": "ok", "store": str(self.store.root),
+                         "inflight": len(self._inflight)}, "application/json"
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "GET only"}, "application/json"
+            registry = obs_metrics.active_registry()
+            text = "" if registry is None else to_prometheus_text(registry)
+            return 200, text.encode(), "text/plain; version=0.0.4; charset=utf-8"
+        handlers = {"/simulate": self._handle_simulate,
+                    "/sweep": self._handle_sweep,
+                    "/montecarlo": self._handle_montecarlo}
+        handler = handlers.get(path)
+        if handler is None:
+            return 404, {"error": f"no such endpoint {path!r}"}, "application/json"
+        if method != "POST":
+            return 405, {"error": "POST only"}, "application/json"
+        try:
+            params = json.loads(body.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from exc
+        return 200, await handler(params), "application/json"
+
+    # -- endpoints -------------------------------------------------------------------
+
+    async def _handle_simulate(self, params) -> dict:
+        params = _check_params(
+            params, _SPEC_PARAMS | {"include_waveforms"}, "/simulate")
+        spec = _spec_from(params)
+        options = _parse_options(params.get("options"))
+        include_waveforms = bool(params.get("include_waveforms", True))
+        with trace.span("service_request", endpoint="simulate"):
+            record, outcome = await self._serve_simulation(
+                spec, options, endpoint="simulate")
+        return self._simulation_payload(record, outcome, include_waveforms)
+
+    async def _handle_sweep(self, params) -> dict:
+        params = _check_params(
+            params, _SPEC_PARAMS | {"knob", "values"}, "/sweep")
+        knob = str(params.get("knob", "n_drivers"))
+        coerce = _SWEEP_KNOBS.get(knob)
+        if coerce is None:
+            raise BadRequest(
+                f"unknown sweep knob {knob!r}; choose from "
+                f"{sorted(_SWEEP_KNOBS)}")
+        values = params.get("values")
+        if not isinstance(values, list) or not values:
+            raise BadRequest("'values' must be a non-empty JSON array")
+        base_params = {k: v for k, v in params.items()
+                       if k not in ("knob", "values")}
+        base_params.setdefault("n_drivers", 4)
+        options = _parse_options(params.get("options"))
+        specs = []
+        for value in values:
+            point = dict(base_params)
+            try:
+                point[knob] = coerce(value)
+            except (TypeError, ValueError) as exc:
+                raise BadRequest(f"invalid {knob} value {value!r}: {exc}") from exc
+            specs.append(_spec_from(point))
+        with trace.span("service_request", endpoint="sweep", points=len(specs)):
+            served = await asyncio.gather(*(
+                self._serve_simulation(spec, options, endpoint="sweep")
+                for spec in specs
+            ))
+        points = []
+        for value, spec, (record, outcome) in zip(values, specs, served):
+            points.append({
+                "value": value,
+                "key": record["key"],
+                "outcome": outcome,
+                "peak_voltage": record["peak_voltage"],
+                "peak_time": record["peak_time"],
+            })
+        return {"knob": knob, "points": points}
+
+    async def _handle_montecarlo(self, params) -> dict:
+        params = _check_params(
+            params,
+            _SPEC_PARAMS | {"trials", "seed", "vth_sigma", "mu_sigma"},
+            "/montecarlo")
+        spec = _spec_from(params)
+        options = _parse_options(params.get("options"))
+        if options is not None:
+            raise BadRequest("/montecarlo does not accept 'options' yet")
+        try:
+            trials = int(params.get("trials", 64))
+            seed = int(params.get("seed", 0))
+            spread = DeviceSpread(
+                **{k: float(params[k]) for k in ("vth_sigma", "mu_sigma")
+                   if params.get(k) is not None})
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"invalid Monte Carlo parameters: {exc}") from exc
+        if trials < 1:
+            raise BadRequest("'trials' must be at least 1")
+        extra = {"trials": trials, "seed": seed, "spread": repr(spread)}
+        key = result_key(spec, kind="montecarlo", extra=extra)
+        with trace.span("service_request", endpoint="montecarlo"):
+            record, outcome = await self._serve_record(
+                key, "montecarlo", endpoint="montecarlo",
+                compute=lambda: self._compute_montecarlo_sync(
+                    key, spec, spread, trials, seed),
+            )
+        return {
+            "key": key, "outcome": outcome,
+            "trials": trials, "seed": seed,
+            "mean": record["mean"], "std": record["std"],
+            "p95": record["p95"], "nominal": record["nominal"],
+            "samples": record["samples"],
+            "telemetry": record.get("telemetry"),
+        }
+
+    # -- serving core ----------------------------------------------------------------
+
+    async def _serve_simulation(self, spec: DriverBankSpec,
+                                options: TransientOptions | None,
+                                endpoint: str):
+        key = result_key(spec, options=options)
+        return await self._serve_record(
+            key, "simulate", endpoint=endpoint,
+            compute=lambda: self._compute_simulation_sync(key, spec, options),
+        )
+
+    async def _serve_record(self, key: str, kind: str, endpoint: str, compute):
+        """hit / dedup / miss resolution of one keyed request.
+
+        ``compute`` is a zero-argument sync function returning the record
+        dict; on a miss it runs on a worker thread, its result is
+        atomically published to the store, and every deduped follower of
+        the same key receives the same record object.
+        """
+        task = self._inflight.get(key)
+        if task is not None:
+            outcome = "dedup"
+            record = await asyncio.shield(task)
+        else:
+            record = self.store.load(key)
+            if record is not None and record.get("kind") == kind:
+                outcome = "hit"
+            else:
+                outcome = "miss"
+                task = asyncio.get_running_loop().create_task(
+                    self._compute_and_publish(key, compute))
+                self._inflight[key] = task
+                record = await asyncio.shield(task)
+        obs_metrics.inc("repro_service_requests_total",
+                        labels={"endpoint": endpoint, "outcome": outcome})
+        return record, outcome
+
+    async def _compute_and_publish(self, key: str, compute) -> dict:
+        try:
+            with trace.span("service_compute", key=key[:12]):
+                record = await asyncio.to_thread(compute)
+                await asyncio.to_thread(self.store.put, key, record)
+            return record
+        finally:
+            self._inflight.pop(key, None)
+
+    def _campaign_config(self) -> CampaignConfig:
+        cfg = self.config
+        return CampaignConfig(
+            chunk_size=cfg.chunk_size, max_retries=cfg.max_retries,
+            deadline=cfg.deadline, max_workers=cfg.max_workers,
+        )
+
+    def _compute_simulation_sync(self, key: str, spec: DriverBankSpec,
+                                 options: TransientOptions | None) -> dict:
+        """Miss path: dispatch one spec onto the fault-tolerant runner.
+
+        The campaign executes (and journals nothing — no checkpoint is
+        configured for interactive traffic) through the full retry /
+        degradation ladder; the warm in-process memo then hands the full
+        waveform set over without a second solve.
+        """
+        obs_metrics.inc("repro_service_computes_total")
+        runner = CampaignRunner(self._campaign_config())
+        records = runner.run_specs([spec], kind="service-simulate",
+                                   options=options)
+        rung = records[0]["engine"]
+        sim, _ = simulate_ssn_cached_fresh(
+            spec, options=_rung_options(rung, options))
+        return simulation_record(key, sim, meta={
+            "engine": rung,
+            "request": canonical_request(spec, options=options),
+        })
+
+    def _compute_montecarlo_sync(self, key: str, spec: DriverBankSpec,
+                                 spread: DeviceSpread, trials: int,
+                                 seed: int) -> dict:
+        obs_metrics.inc("repro_service_computes_total")
+        result = transient_peak_distribution(
+            spec, spread=spread, trials=trials, seed=seed,
+            campaign=self._campaign_config(),
+        )
+        return montecarlo_record(key, result, meta={
+            "request": canonical_request(
+                spec, kind="montecarlo",
+                extra={"trials": trials, "seed": seed, "spread": repr(spread)}),
+        })
+
+    # -- payload shaping -------------------------------------------------------------
+
+    @staticmethod
+    def _simulation_payload(record: dict, outcome: str,
+                            include_waveforms: bool) -> dict:
+        payload = {
+            "key": record["key"],
+            "outcome": outcome,
+            "peak_voltage": record["peak_voltage"],
+            "peak_time": record["peak_time"],
+            "engine": record.get("meta", {}).get("engine"),
+            "telemetry": record.get("telemetry"),
+        }
+        if include_waveforms:
+            payload["waveforms"] = record["waveforms"]
+        return payload
+
+
+def run_server(config: ServiceConfig | None = None, announce=None,
+               **kwargs) -> None:
+    """Blocking entry point: serve until interrupted (the CLI's path)."""
+    service = SsnService(config, **kwargs)
+    asyncio.run(service.run(announce=announce))

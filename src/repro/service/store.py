@@ -1,0 +1,265 @@
+"""Persistent, content-addressed store of golden SSN results.
+
+One record per :func:`repro.service.keys.result_key`, written as a
+schema-versioned JSON file through the shared crash-safe
+:func:`repro.observability.atomic.atomic_write` (tempfile + fsync +
+``os.replace``), so a reader — or a crash at any instant — sees either no
+record or a complete record, never a torn one.  Every load re-validates
+the record: JSON shape, schema version, key match (the file content must
+hash-address itself) and an embedded SHA-256 payload checksum.  A record
+failing any check is *quarantined* — moved aside into ``quarantine/`` and
+treated as a miss — so one corrupt file costs one recompute, never a
+crash or a wrong answer.
+
+Float fidelity: waveform samples and summary numbers serialize through
+:mod:`json`, whose float rendering is ``repr`` — the shortest exact round
+trip — so a stored simulation deserializes bit-identical to the run that
+produced it.  Deserialized waveform arrays come back frozen
+(``writeable=False``), the same read-only contract as the in-process
+memo.
+
+The ``crash-write`` rule of the deterministic fault injector
+(:mod:`repro.testing.faults`) fires mid-write here exactly as it does in
+the campaign checkpoint journal, under fault scope ``phase="store"`` so
+tests can target store writes alone.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..analysis.driver_bank import DriverBankSpec
+from ..analysis.montecarlo import MonteCarloResult
+from ..analysis.simulate import SsnSimulation, freeze_simulation
+from ..observability import metrics as obs_metrics
+from ..observability.atomic import atomic_write
+from ..spice.telemetry import SolverTelemetry
+from ..spice.waveform import Waveform
+from ..testing import faults
+
+#: Bumped on incompatible record-layout changes; a stored record with any
+#: other version is quarantined and recomputed, never misread.
+RECORD_SCHEMA_VERSION = 1
+
+#: The five waveforms a simulation record persists, in layout order.
+WAVEFORM_FIELDS = ("ssn", "inductor_current", "driver_current",
+                   "input_voltage", "output_voltage")
+
+
+def _checksum(record: dict) -> str:
+    """SHA-256 over the canonical rendering of everything but the checksum."""
+    payload = {k: v for k, v in record.items() if k != "checksum"}
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def _waveform_payload(wf: Waveform) -> dict:
+    return {"t": wf.t.tolist(), "y": wf.y.tolist()}
+
+
+def _waveform_from(payload: dict) -> Waveform:
+    wf = Waveform(np.asarray(payload["t"], dtype=float),
+                  np.asarray(payload["y"], dtype=float))
+    wf.t.setflags(write=False)
+    wf.y.setflags(write=False)
+    return wf
+
+
+def simulation_record(key: str, sim: SsnSimulation,
+                      meta: dict | None = None) -> dict:
+    """Render one golden simulation as a store record (sans checksum)."""
+    record = {
+        "schema": RECORD_SCHEMA_VERSION,
+        "key": key,
+        "kind": "simulate",
+        "spec": repr(sim.spec),
+        "peak_voltage": float(sim.peak_voltage),
+        "peak_time": float(sim.peak_time),
+        "waveforms": {name: _waveform_payload(getattr(sim, name))
+                      for name in WAVEFORM_FIELDS},
+        "telemetry": None if sim.telemetry is None else sim.telemetry.as_dict(),
+        "meta": dict(meta or {}),
+    }
+    return record
+
+
+def simulation_from_record(record: dict, spec: DriverBankSpec) -> SsnSimulation:
+    """Rebuild the :class:`SsnSimulation` a record serialized.
+
+    The spec is supplied by the caller (who derived the record's key from
+    it) rather than parsed back out of the record — specs embed technology
+    cards whose identity lives in the process, not the JSON.
+    """
+    waveforms = {name: _waveform_from(record["waveforms"][name])
+                 for name in WAVEFORM_FIELDS}
+    telemetry = record.get("telemetry")
+    return freeze_simulation(SsnSimulation(
+        spec=spec,
+        peak_voltage=float(record["peak_voltage"]),
+        peak_time=float(record["peak_time"]),
+        telemetry=None if telemetry is None else SolverTelemetry.from_dict(telemetry),
+        **waveforms,
+    ))
+
+
+def montecarlo_record(key: str, result: MonteCarloResult,
+                      meta: dict | None = None) -> dict:
+    """Render one Monte Carlo distribution as a store record (sans checksum)."""
+    return {
+        "schema": RECORD_SCHEMA_VERSION,
+        "key": key,
+        "kind": "montecarlo",
+        "samples": np.asarray(result.samples, dtype=float).tolist(),
+        "mean": float(result.mean),
+        "std": float(result.std),
+        "p95": float(result.p95),
+        "nominal": float(result.nominal),
+        "telemetry": None if result.telemetry is None else result.telemetry.as_dict(),
+        "meta": dict(meta or {}),
+    }
+
+
+def montecarlo_from_record(record: dict) -> MonteCarloResult:
+    """Rebuild the :class:`MonteCarloResult` a record serialized."""
+    samples = np.asarray(record["samples"], dtype=float)
+    samples.setflags(write=False)
+    telemetry = record.get("telemetry")
+    return MonteCarloResult(
+        samples=samples,
+        mean=float(record["mean"]),
+        std=float(record["std"]),
+        p95=float(record["p95"]),
+        nominal=float(record["nominal"]),
+        telemetry=None if telemetry is None else SolverTelemetry.from_dict(telemetry),
+    )
+
+
+class ResultStore:
+    """Directory-backed result database, one validated JSON file per key.
+
+    Layout: ``root/<key[:2]>/<key>.json`` (two-hex-char fan-out keeps any
+    single directory small at millions of records) plus ``root/quarantine/``
+    for records that failed validation.  All writes are atomic; concurrent
+    writers of the *same* key are idempotent (equal content), concurrent
+    writers of different keys never touch the same file.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir = self.root / "quarantine"
+
+    # -- paths -----------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    # -- writes ----------------------------------------------------------------------
+
+    def put(self, key: str, record: dict) -> Path:
+        """Checksum and atomically publish one record under its key.
+
+        The serialized text is written in two chunks with the fault
+        injector's ``checkpoint`` probe between them (fault scope
+        ``phase="store"``): an armed ``crash-write`` rule aborts with half
+        the record in the temp file, proving a torn write can never land
+        under the committed name.
+        """
+        record = dict(record)
+        record["key"] = key
+        record.setdefault("schema", RECORD_SCHEMA_VERSION)
+        record["checksum"] = _checksum(record)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(record, sort_keys=True) + "\n"
+        mid = len(text) // 2
+
+        def chunks():
+            yield text[:mid]
+            with faults.scope(phase="store"):
+                faults.probe("checkpoint")
+            yield text[mid:]
+
+        atomic_write(path, chunks())
+        obs_metrics.inc("repro_store_writes_total")
+        return path
+
+    def put_simulation(self, key: str, sim: SsnSimulation,
+                       meta: dict | None = None) -> Path:
+        return self.put(key, simulation_record(key, sim, meta=meta))
+
+    def put_montecarlo(self, key: str, result: MonteCarloResult,
+                       meta: dict | None = None) -> Path:
+        return self.put(key, montecarlo_record(key, result, meta=meta))
+
+    # -- reads -----------------------------------------------------------------------
+
+    def load(self, key: str) -> dict | None:
+        """The validated record stored under ``key``, or None (a miss).
+
+        Misses include: no file, unparseable JSON, wrong schema version,
+        key mismatch (file stored under a name its content does not
+        claim) and checksum mismatch.  Every invalid file is quarantined
+        on the way out, so the next write of the key starts clean.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            obs_metrics.inc("repro_store_misses_total")
+            return None
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return self._quarantine(path, "unreadable")
+        if not isinstance(record, dict):
+            return self._quarantine(path, "malformed")
+        if record.get("schema") != RECORD_SCHEMA_VERSION:
+            return self._quarantine(path, "schema")
+        if record.get("key") != key:
+            return self._quarantine(path, "key")
+        if record.get("checksum") != _checksum(record):
+            return self._quarantine(path, "checksum")
+        obs_metrics.inc("repro_store_hits_total")
+        return record
+
+    def get_simulation(self, key: str, spec: DriverBankSpec) -> SsnSimulation | None:
+        record = self.load(key)
+        if record is None or record.get("kind") != "simulate":
+            return None
+        return simulation_from_record(record, spec)
+
+    def get_montecarlo(self, key: str) -> MonteCarloResult | None:
+        record = self.load(key)
+        if record is None or record.get("kind") != "montecarlo":
+            return None
+        return montecarlo_from_record(record)
+
+    # -- quarantine ------------------------------------------------------------------
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move an invalid record aside and report the miss (returns None)."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        with contextlib.suppress(OSError):
+            os.replace(path, self.quarantine_dir / path.name)
+        obs_metrics.inc("repro_store_quarantined_total",
+                        labels={"reason": reason})
+        obs_metrics.inc("repro_store_misses_total")
+        return None
+
+    def quarantined(self) -> list[Path]:
+        """Quarantined record files, for inspection and tests."""
+        if not self.quarantine_dir.exists():
+            return []
+        return sorted(self.quarantine_dir.glob("*.json"))

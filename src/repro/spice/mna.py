@@ -105,6 +105,25 @@ def set_default_sparse(mode: str | None) -> None:
     _default_sparse = mode
 
 
+def default_sparse_mode() -> str:
+    """The effective process-wide ``sparse="auto"`` default mode.
+
+    Pure read of the :func:`set_default_sparse` / ``REPRO_SPARSE``
+    precedence chain, normalized to one of :data:`SPARSE_MODES`.  An
+    invalid environment value silently maps to ``"auto"`` here — the
+    :class:`RuntimeWarning` for it belongs to :func:`resolve_sparse` at
+    simulation time, not to every cache-key derivation.  Result-cache keys
+    fold this in so flipping the default between calls can never return a
+    stale-keyed hit.
+    """
+    mode = _default_sparse
+    if mode is None:
+        mode = os.environ.get(SPARSE_ENV) or "auto"
+        if mode not in SPARSE_MODES:
+            mode = "auto"
+    return mode
+
+
 def resolve_sparse(option, size: int) -> bool:
     """Resolve a ``TransientOptions.sparse`` request to a concrete bool.
 

@@ -1,0 +1,202 @@
+"""Memoized-simulation correctness: key resolution, freezing, telemetry.
+
+Regression coverage for two former bugs in the golden-simulation cache:
+
+* the memo key ignored the process-global backend defaults, so flipping
+  ``set_default_sparse``/``REPRO_SPARSE`` or ``set_default_engine``/
+  ``REPRO_ENGINE`` between calls could serve a result (and telemetry)
+  computed under the *old* backend — now the resolved backend snapshot is
+  part of the key and a flip forces a recompute;
+* ``simulate_many``'s pooled scalar path folded *every* worker result's
+  telemetry into the parent's session aggregator, double counting Newton
+  work whenever a fork-inherited warm memo answered inside a worker — now
+  only freshly computed results are recorded.
+
+Plus the shared-result safety contract: memoized waveform arrays are
+frozen, so accidental mutation raises instead of corrupting later hits.
+"""
+
+import pytest
+
+from repro.analysis.driver_bank import DriverBankSpec
+from repro.analysis.engine import default_engine, set_default_engine
+from repro.analysis.simulate import (
+    resolved_backend,
+    simulate_many,
+    simulate_ssn_cache_clear,
+    simulate_ssn_cache_stats,
+    simulate_ssn_cached,
+    simulate_ssn_cached_fresh,
+    ssn_memo_key,
+)
+from repro.spice.mna import default_sparse_mode, set_default_sparse
+from repro.spice.telemetry import (
+    disable_session_telemetry,
+    enable_session_telemetry,
+)
+from repro.spice.transient import TransientOptions
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache_and_defaults():
+    simulate_ssn_cache_clear()
+    set_default_engine(None)
+    set_default_sparse(None)
+    disable_session_telemetry()
+    yield
+    simulate_ssn_cache_clear()
+    set_default_engine(None)
+    set_default_sparse(None)
+    disable_session_telemetry()
+
+
+@pytest.fixture
+def spec(tech018):
+    return DriverBankSpec(
+        technology=tech018, n_drivers=1, inductance=1e-9, rise_time=0.5e-9
+    )
+
+
+class TestBackendResolution:
+    def test_defaults_resolve(self):
+        assert default_engine() == "scalar"
+        assert default_sparse_mode() == "auto"
+        backend = dict(resolved_backend())
+        assert set(backend) == {"engine", "kernel", "sparse"}
+
+    def test_setters_and_env_feed_the_snapshot(self, monkeypatch):
+        set_default_engine("batch")
+        assert dict(resolved_backend())["engine"] == "batch"
+        set_default_engine(None)
+        monkeypatch.setenv("REPRO_ENGINE", "batch")
+        assert dict(resolved_backend())["engine"] == "batch"
+        set_default_sparse("on")
+        assert dict(resolved_backend())["sparse"] == "on"
+        set_default_sparse(None)
+        monkeypatch.setenv("REPRO_SPARSE", "off")
+        assert dict(resolved_backend())["sparse"] == "off"
+
+    def test_explicit_sparse_option_wins_over_the_default(self):
+        set_default_sparse("on")
+        options = TransientOptions(sparse=False)
+        assert dict(resolved_backend(options))["sparse"] == "False"
+        # "auto" in the options defers to the process default.
+        assert dict(resolved_backend(TransientOptions()))["sparse"] == "on"
+
+
+class TestMemoKeying:
+    def test_repeat_call_hits(self, spec):
+        first = simulate_ssn_cached(spec)
+        again = simulate_ssn_cached(spec)
+        assert again is first
+        stats = simulate_ssn_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_fresh_flag_reports_compute_vs_hit(self, spec):
+        sim, fresh = simulate_ssn_cached_fresh(spec)
+        assert fresh is True
+        again, fresh = simulate_ssn_cached_fresh(spec)
+        assert fresh is False and again is sim
+
+    def test_sparse_default_flip_forces_recompute(self, spec):
+        baseline = simulate_ssn_cached(spec)
+        set_default_sparse("on")
+        _, fresh = simulate_ssn_cached_fresh(spec)
+        assert fresh is True
+        set_default_sparse(None)
+        again, fresh = simulate_ssn_cached_fresh(spec)
+        assert fresh is False and again is baseline
+
+    def test_engine_default_flip_forces_recompute(self, spec):
+        baseline = simulate_ssn_cached(spec)
+        set_default_engine("batch")
+        _, fresh = simulate_ssn_cached_fresh(spec)
+        assert fresh is True
+        set_default_engine(None)
+        again, fresh = simulate_ssn_cached_fresh(spec)
+        assert fresh is False and again is baseline
+
+    def test_env_flip_forces_recompute(self, spec, monkeypatch):
+        simulate_ssn_cached(spec)
+        monkeypatch.setenv("REPRO_SPARSE", "on")
+        _, fresh = simulate_ssn_cached_fresh(spec)
+        assert fresh is True
+        monkeypatch.setenv("REPRO_ENGINE", "batch")
+        _, fresh = simulate_ssn_cached_fresh(spec)
+        assert fresh is True
+
+    def test_memo_key_is_hashable_and_backend_tagged(self, spec):
+        key = ssn_memo_key(spec)
+        assert hash(key) == hash(ssn_memo_key(spec))
+        assert dict(key[-1]) == dict(resolved_backend())
+        set_default_sparse("on")
+        assert ssn_memo_key(spec) != key
+
+
+class TestFrozenResults:
+    def test_memoized_waveforms_reject_mutation(self, spec):
+        sim = simulate_ssn_cached(spec)
+        for wf in (sim.ssn, sim.inductor_current, sim.driver_current,
+                   sim.input_voltage, sim.output_voltage):
+            with pytest.raises(ValueError):
+                wf.y[0] = 1.0
+            with pytest.raises(ValueError):
+                wf.t[0] = 1.0
+
+    def test_hit_returns_the_same_frozen_object(self, spec):
+        first = simulate_ssn_cached(spec)
+        again = simulate_ssn_cached(spec)
+        assert again is first
+        assert not again.ssn.y.flags.writeable
+
+
+class TestPooledTelemetry:
+    def _specs(self, tech, counts):
+        return [
+            DriverBankSpec(technology=tech, n_drivers=n, inductance=1e-9,
+                           rise_time=0.5e-9)
+            for n in counts
+        ]
+
+    def test_fresh_runs_record_session_telemetry(self, tech018):
+        specs = self._specs(tech018, (1, 2))
+        session = enable_session_telemetry()
+        simulate_many(specs, max_workers=2, engine="scalar")
+        assert session.newton_solves > 0
+
+    def test_memo_hits_do_not_rerecord_session_telemetry(self, tech018):
+        """The former double-count: pool workers fork with a warm memo.
+
+        Everything below was already simulated (and its Newton work
+        recorded) before the session aggregator is armed; whether the map
+        then runs serially (in-process memo hits) or in fork-started
+        workers (inherited-memo hits), no *new* solver work happens, so
+        the session must stay at zero.
+        """
+        specs = self._specs(tech018, (1, 2))
+        for spec in specs:
+            simulate_ssn_cached(spec)
+        session = enable_session_telemetry()
+        simulate_many(specs * 2, max_workers=2, engine="scalar")
+        assert session.newton_solves == 0
+        assert session.newton_iterations == 0
+
+    def test_duplicate_specs_in_one_pooled_map_count_once(self, tech018):
+        """Four duplicates across two workers solve at most twice.
+
+        The former bug recorded every worker *result* (4x one run's
+        solves); the fix records fresh computes only — at most one per
+        worker, exactly one on the serial fallback.
+        """
+        (spec,) = self._specs(tech018, (3,))
+        session = enable_session_telemetry()
+        from repro.analysis.simulate import simulate_ssn
+
+        simulate_ssn(spec)
+        per_run = session.newton_solves
+        assert per_run > 0
+        disable_session_telemetry()
+        simulate_ssn_cache_clear()
+        session = enable_session_telemetry()
+        simulate_many([spec] * 4, max_workers=2, engine="scalar")
+        assert per_run <= session.newton_solves <= 2 * per_run

@@ -1,0 +1,307 @@
+"""The HTTP serving layer: hit / miss / dedup semantics end to end.
+
+Each test runs a real :class:`~repro.service.server.SsnService` on an
+ephemeral port inside the test's own event loop and talks to it over a
+raw socket (:func:`repro.service.client.arequest`), so the hand-rolled
+HTTP plumbing is exercised along with the serving logic.  The headline
+guarantees: a repeat query is answered from the persistent store with
+*zero* Newton solves and a bit-identical payload, identical concurrent
+requests collapse onto exactly one computation, and a corrupt or
+stale-schema record costs one recompute, never a crash or a wrong answer.
+"""
+
+import asyncio
+import contextlib
+import json
+
+import pytest
+
+from repro.analysis.driver_bank import DriverBankSpec
+from repro.analysis.simulate import simulate_ssn, simulate_ssn_cache_clear
+from repro.observability import metrics as obs_metrics
+from repro.process import get_technology
+from repro.service import RECORD_SCHEMA_VERSION, ResultStore, SsnService, arequest
+from repro.spice.telemetry import (
+    disable_session_telemetry,
+    enable_session_telemetry,
+)
+from repro.testing import faults
+from repro.testing.faults import FaultRule
+
+#: One small, fast request body shared by most tests.
+PARAMS = {"n_drivers": 2, "inductance": 1e-9, "rise_time": 0.5e-9,
+          "tech": "tsmc018"}
+
+
+@pytest.fixture(autouse=True)
+def registry():
+    """Fresh per-test process state: metrics, memo, faults, telemetry."""
+    simulate_ssn_cache_clear()
+    faults.clear_faults()
+    disable_session_telemetry()
+    registry = obs_metrics.enable_metrics()
+    yield registry
+    simulate_ssn_cache_clear()
+    faults.clear_faults()
+    disable_session_telemetry()
+    obs_metrics.disable_metrics()
+
+
+@contextlib.asynccontextmanager
+async def service_on(tmp_path, **kwargs):
+    service = SsnService(store_root=tmp_path / "store", port=0, **kwargs)
+    await service.start()
+    try:
+        yield service
+    finally:
+        await service.close()
+
+
+async def post(service, path, payload):
+    return await arequest("127.0.0.1", service.port, "POST", path, payload)
+
+
+def spec_of(params):
+    return DriverBankSpec(
+        technology=get_technology(params.get("tech", "tsmc018")),
+        n_drivers=params["n_drivers"],
+        inductance=params["inductance"],
+        rise_time=params["rise_time"],
+    )
+
+
+class TestSimulate:
+    def test_miss_then_hit_is_bit_identical_with_zero_solves(self, tmp_path):
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                status, first = await post(service, "/simulate", PARAMS)
+            assert status == 200 and first["outcome"] == "miss"
+            # A "new process": cold in-process memo, session telemetry
+            # armed, same persistent store.  The repeat answer must come
+            # from the store alone.
+            simulate_ssn_cache_clear()
+            session = enable_session_telemetry()
+            async with service_on(tmp_path) as service:
+                status, again = await post(service, "/simulate", PARAMS)
+            assert status == 200 and again["outcome"] == "hit"
+            assert session.newton_solves == 0
+            assert again["key"] == first["key"]
+            assert again["peak_voltage"] == first["peak_voltage"]
+            assert again["peak_time"] == first["peak_time"]
+            assert again["waveforms"] == first["waveforms"]
+            return first
+
+        first = asyncio.run(scenario())
+        # The served numbers are the golden simulation's, exactly: JSON
+        # floats render via repr, the shortest exact round trip.
+        sim = simulate_ssn(spec_of(PARAMS))
+        assert first["peak_voltage"] == sim.peak_voltage
+        assert first["waveforms"]["ssn"]["y"] == sim.ssn.y.tolist()
+        assert first["waveforms"]["ssn"]["t"] == sim.ssn.t.tolist()
+
+    def test_waveforms_are_optional(self, tmp_path):
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                params = dict(PARAMS, include_waveforms=False)
+                status, payload = await post(service, "/simulate", params)
+            assert status == 200
+            assert "waveforms" not in payload
+
+        asyncio.run(scenario())
+
+    def test_explicit_options_key_separately(self, tmp_path):
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                _, base = await post(service, "/simulate", PARAMS)
+                params = dict(PARAMS, options={"abstol": 1e-10})
+                _, tighter = await post(service, "/simulate", params)
+            assert base["key"] != tighter["key"]
+            assert tighter["outcome"] == "miss"
+
+        asyncio.run(scenario())
+
+
+class TestDedup:
+    def test_concurrent_identical_requests_share_one_compute(
+            self, tmp_path, registry):
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                # Stall the (single) compute at the campaign's task probe
+                # long enough for the followers to arrive and observe the
+                # in-flight leader.
+                faults.install_faults([FaultRule(kind="stall", seconds=0.5)])
+                try:
+                    return await asyncio.gather(*(
+                        post(service, "/simulate", PARAMS) for _ in range(3)
+                    ))
+                finally:
+                    faults.clear_faults()
+
+        answered = asyncio.run(scenario())
+        assert [status for status, _ in answered] == [200, 200, 200]
+        outcomes = sorted(payload["outcome"] for _, payload in answered)
+        assert outcomes == ["dedup", "dedup", "miss"]
+        payloads = [payload for _, payload in answered]
+        assert len({p["key"] for p in payloads}) == 1
+        assert len({p["peak_voltage"] for p in payloads}) == 1
+        computes = registry.get("repro_service_computes_total")
+        assert computes is not None and computes.value == 1
+        served = registry.get("repro_service_requests_total",
+                              {"endpoint": "simulate", "outcome": "dedup"})
+        assert served is not None and served.value == 2
+
+
+class TestStoreRecovery:
+    def _store(self, tmp_path):
+        return ResultStore(tmp_path / "store")
+
+    def test_corrupt_record_is_quarantined_and_recomputed(
+            self, tmp_path, registry):
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                _, first = await post(service, "/simulate", PARAMS)
+                store = self._store(tmp_path)
+                store.path_for(first["key"]).write_text("{torn")
+                simulate_ssn_cache_clear()
+                _, again = await post(service, "/simulate", PARAMS)
+            return first, again, store
+
+        first, again, store = asyncio.run(scenario())
+        assert again["outcome"] == "miss"
+        assert again["peak_voltage"] == first["peak_voltage"]
+        assert store.quarantined()
+        # The recompute re-published a valid record under the same key.
+        assert store.load(first["key"]) is not None
+
+    def test_schema_bump_forces_recompute(self, tmp_path):
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                _, first = await post(service, "/simulate", PARAMS)
+                store = self._store(tmp_path)
+                path = store.path_for(first["key"])
+                record = json.loads(path.read_text())
+                record["schema"] = RECORD_SCHEMA_VERSION + 1
+                path.write_text(json.dumps(record))
+                simulate_ssn_cache_clear()
+                _, again = await post(service, "/simulate", PARAMS)
+            return first, again
+
+        first, again = asyncio.run(scenario())
+        assert again["outcome"] == "miss"
+        assert again["waveforms"] == first["waveforms"]
+
+
+class TestSweepAndMonteCarlo:
+    def test_sweep_repeat_is_all_hits(self, tmp_path):
+        body = {"knob": "n_drivers", "values": [1, 2],
+                "inductance": 1e-9, "rise_time": 0.5e-9}
+
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                _, first = await post(service, "/sweep", body)
+                simulate_ssn_cache_clear()
+                _, again = await post(service, "/sweep", body)
+            return first, again
+
+        first, again = asyncio.run(scenario())
+        assert [p["outcome"] for p in first["points"]] == ["miss", "miss"]
+        assert [p["outcome"] for p in again["points"]] == ["hit", "hit"]
+        assert [p["peak_voltage"] for p in again["points"]] == [
+            p["peak_voltage"] for p in first["points"]]
+
+    def test_sweep_points_share_the_simulate_namespace(self, tmp_path):
+        """A /simulate answer pre-populates the same spec's sweep point."""
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                _, single = await post(service, "/simulate",
+                                       dict(PARAMS, n_drivers=1))
+                simulate_ssn_cache_clear()
+                body = {"knob": "n_drivers", "values": [1],
+                        "inductance": 1e-9, "rise_time": 0.5e-9}
+                _, swept = await post(service, "/sweep", body)
+            return single, swept
+
+        single, swept = asyncio.run(scenario())
+        point = swept["points"][0]
+        assert point["key"] == single["key"]
+        assert point["outcome"] == "hit"
+
+    def test_montecarlo_repeat_hit_is_bit_identical(self, tmp_path):
+        body = {"n_drivers": 1, "inductance": 1e-9, "rise_time": 0.5e-9,
+                "trials": 6, "seed": 3}
+
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                _, first = await post(service, "/montecarlo", body)
+                simulate_ssn_cache_clear()
+                session = enable_session_telemetry()
+                _, again = await post(service, "/montecarlo", body)
+            return first, again, session
+
+        first, again, session = asyncio.run(scenario())
+        assert first["outcome"] == "miss" and again["outcome"] == "hit"
+        assert session.newton_solves == 0
+        assert again["samples"] == first["samples"]
+        assert again["mean"] == first["mean"]
+        assert again["p95"] == first["p95"]
+
+
+class TestHttpSurface:
+    async def _get(self, service, path):
+        return await arequest("127.0.0.1", service.port, "GET", path)
+
+    def test_health_metrics_and_errors(self, tmp_path):
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                results = {}
+                results["health"] = await self._get(service, "/healthz")
+                _, _ = await post(service, "/simulate", PARAMS)
+                results["metrics"] = await self._get(service, "/metrics")
+                results["missing"] = await self._get(service, "/nope")
+                results["wrong_method"] = await self._get(service, "/simulate")
+                results["unknown_param"] = await post(
+                    service, "/simulate", dict(PARAMS, bogus=1))
+                results["no_drivers"] = await post(
+                    service, "/simulate", {"inductance": 1e-9})
+                results["bad_knob"] = await post(
+                    service, "/sweep", {"knob": "vdd", "values": [1]})
+                status, _ = await arequest(
+                    "127.0.0.1", service.port, "POST", "/simulate",
+                    payload=None)
+                results["empty_body"] = (status, None)
+            return results
+
+        results = asyncio.run(scenario())
+        status, health = results["health"]
+        assert status == 200 and health["status"] == "ok"
+        status, text = results["metrics"]
+        assert status == 200
+        assert "repro_service_requests_total" in text
+        assert "repro_store_writes_total" in text
+        assert results["missing"][0] == 404
+        assert results["wrong_method"][0] == 405
+        assert results["unknown_param"][0] == 400
+        assert "bogus" in results["unknown_param"][1]["error"]
+        assert results["no_drivers"][0] == 400
+        assert results["bad_knob"][0] == 400
+        # An empty POST body is "{}", which fails spec validation, not parsing.
+        assert results["empty_body"][0] == 400
+
+    def test_malformed_json_is_a_400(self, tmp_path):
+        async def scenario():
+            async with service_on(tmp_path) as service:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.port)
+                body = b"{not json"
+                writer.write(
+                    b"POST /simulate HTTP/1.1\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: %d\r\n"
+                    b"Connection: close\r\n\r\n%s" % (len(body), body))
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+            return raw
+
+        raw = asyncio.run(scenario())
+        assert raw.startswith(b"HTTP/1.1 400")

@@ -1,0 +1,236 @@
+"""Persistent result store: key contract, atomicity, and quarantine.
+
+The store's one promise is "equal key, bit-identical result" — so these
+tests pin the key function (backend flips change the key, defaults and
+explicit defaults spell the same key), the JSON round trip (arrays come
+back exactly equal and frozen), and every validation failure path
+(garbage, stolen name, stale schema, tampered payload), each of which
+must quarantine-and-miss rather than crash or serve a wrong answer.  The
+fault injector's ``crash-write`` rule proves a torn write can never land
+under the committed name.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.driver_bank import DriverBankSpec
+from repro.analysis.engine import set_default_engine
+from repro.analysis.simulate import simulate_ssn, ssn_memo_key
+from repro.observability import metrics as obs_metrics
+from repro.service import (
+    RECORD_SCHEMA_VERSION,
+    ResultStore,
+    canonical_request,
+    result_key,
+    simulation_from_record,
+    simulation_record,
+)
+from repro.spice.mna import set_default_sparse
+from repro.spice.transient import TransientOptions
+from repro.testing import faults
+from repro.testing.faults import FaultRule, InjectedCrash
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_state():
+    faults.clear_faults()
+    set_default_engine(None)
+    set_default_sparse(None)
+    yield
+    faults.clear_faults()
+    set_default_engine(None)
+    set_default_sparse(None)
+
+
+@pytest.fixture
+def spec(tech018):
+    return DriverBankSpec(
+        technology=tech018, n_drivers=2, inductance=1e-9, rise_time=0.5e-9
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+class TestKeys:
+    def test_key_is_stable_and_full_length(self, spec):
+        key = result_key(spec)
+        assert key == result_key(spec)
+        assert len(key) == 64 and set(key) <= set("0123456789abcdef")
+
+    def test_explicit_defaults_spell_the_same_key(self, spec):
+        payload = canonical_request(spec)
+        assert result_key(spec) == result_key(
+            spec, tstop=float(payload["tstop"]), dt=float(payload["dt"])
+        )
+
+    def test_inputs_distinguish_keys(self, spec):
+        base = result_key(spec)
+        assert result_key(spec, options=TransientOptions(abstol=1e-10)) != base
+        assert result_key(spec, kind="montecarlo") != base
+        assert result_key(spec, extra={"trials": 8}) != base
+        import dataclasses
+
+        other = dataclasses.replace(spec, n_drivers=3)
+        assert result_key(other) != base
+
+    def test_backend_default_flip_changes_the_key(self, spec):
+        base = result_key(spec)
+        set_default_sparse("on")
+        sparse_key = result_key(spec)
+        set_default_sparse(None)
+        set_default_engine("batch")
+        engine_key = result_key(spec)
+        assert len({base, sparse_key, engine_key}) == 3
+
+    def test_backend_env_flip_changes_the_key(self, spec, monkeypatch):
+        base = result_key(spec)
+        monkeypatch.setenv("REPRO_SPARSE", "on")
+        sparse_key = result_key(spec)
+        monkeypatch.setenv("REPRO_SPARSE", "off")
+        monkeypatch.setenv("REPRO_ENGINE", "batch")
+        engine_key = result_key(spec)
+        assert len({base, sparse_key, engine_key}) == 3
+
+    def test_explicit_sparse_option_ignores_the_global_default(self, spec):
+        pinned = result_key(spec, options=TransientOptions(sparse=False))
+        set_default_sparse("on")
+        assert result_key(spec, options=TransientOptions(sparse=False)) == pinned
+
+    def test_store_key_and_memo_key_share_the_backend_snapshot(self, spec):
+        backend_of = lambda: dict(ssn_memo_key(spec)[-1])
+        payload = canonical_request(spec)
+        assert dict(tuple(pair) for pair in payload["backend"]) == backend_of()
+
+
+class TestRoundTrip:
+    def test_simulation_round_trip_is_bit_identical(self, store, spec):
+        sim = simulate_ssn(spec)
+        key = result_key(spec)
+        store.put(key, simulation_record(key, sim, meta={"engine": "scalar"}))
+        assert key in store and len(store) == 1
+        loaded = store.get_simulation(key, spec)
+        assert loaded is not None
+        assert loaded.peak_voltage == sim.peak_voltage
+        assert loaded.peak_time == sim.peak_time
+        for name in ("ssn", "inductor_current", "driver_current",
+                     "input_voltage", "output_voltage"):
+            fresh = getattr(sim, name)
+            back = getattr(loaded, name)
+            np.testing.assert_array_equal(back.t, fresh.t)
+            np.testing.assert_array_equal(back.y, fresh.y)
+
+    def test_loaded_waveforms_are_frozen(self, store, spec):
+        key = result_key(spec)
+        store.put_simulation(key, simulate_ssn(spec))
+        loaded = store.get_simulation(key, spec)
+        with pytest.raises(ValueError):
+            loaded.ssn.y[0] = 1.0
+        with pytest.raises(ValueError):
+            loaded.ssn.t[0] = 1.0
+
+    def test_kind_mismatch_is_a_typed_miss(self, store, spec):
+        key = result_key(spec)
+        store.put_simulation(key, simulate_ssn(spec))
+        assert store.get_montecarlo(key) is None
+        assert store.get_simulation(key, spec) is not None
+
+
+class TestQuarantine:
+    def _put_one(self, store, spec):
+        key = result_key(spec)
+        store.put_simulation(key, simulate_ssn(spec))
+        return key, store.path_for(key)
+
+    def test_garbage_record_is_quarantined(self, store, spec):
+        registry = obs_metrics.enable_metrics()
+        try:
+            key, path = self._put_one(store, spec)
+            path.write_text("{not json")
+            assert store.load(key) is None
+            assert [p.name for p in store.quarantined()] == [path.name]
+            assert not path.exists()
+            counter = registry.get("repro_store_quarantined_total",
+                                   {"reason": "unreadable"})
+            assert counter is not None and counter.value == 1
+        finally:
+            obs_metrics.disable_metrics()
+
+    def test_non_object_record_is_quarantined(self, store, spec):
+        key, path = self._put_one(store, spec)
+        path.write_text(json.dumps([1, 2, 3]))
+        assert store.load(key) is None
+        assert store.quarantined()
+
+    def test_schema_bump_is_quarantined(self, store, spec):
+        key, path = self._put_one(store, spec)
+        record = json.loads(path.read_text())
+        record["schema"] = RECORD_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(record))
+        assert store.load(key) is None
+        assert store.quarantined()
+
+    def test_key_mismatch_is_quarantined(self, store, spec):
+        key, path = self._put_one(store, spec)
+        stolen = result_key(spec, extra={"other": 1})
+        stolen_path = store.path_for(stolen)
+        stolen_path.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, stolen_path)
+        assert store.load(stolen) is None
+        assert store.quarantined()
+
+    def test_checksum_tamper_is_quarantined(self, store, spec):
+        key, path = self._put_one(store, spec)
+        record = json.loads(path.read_text())
+        record["peak_voltage"] = record["peak_voltage"] * 2.0
+        path.write_text(json.dumps(record))
+        assert store.load(key) is None
+        assert store.quarantined()
+
+    def test_quarantine_then_rewrite_recovers(self, store, spec):
+        key, path = self._put_one(store, spec)
+        path.write_text("torn")
+        assert store.load(key) is None
+        store.put_simulation(key, simulate_ssn(spec))
+        assert store.get_simulation(key, spec) is not None
+
+
+class TestCrashWrite:
+    def test_injected_crash_leaves_no_record_and_no_temp_file(self, store, spec):
+        sim = simulate_ssn(spec)
+        key = result_key(spec)
+        faults.install_faults([FaultRule(kind="crash-write", phase="store")],
+                              mirror_env=False)
+        with pytest.raises(InjectedCrash):
+            store.put_simulation(key, sim)
+        assert key not in store
+        assert store.load(key) is None
+        leftovers = [p for p in store.root.rglob("*") if p.is_file()]
+        assert leftovers == []
+        faults.clear_faults()
+        store.put_simulation(key, sim)
+        loaded = store.get_simulation(key, spec)
+        assert loaded is not None and loaded.peak_voltage == sim.peak_voltage
+
+    def test_store_scope_does_not_catch_other_phases(self, store, spec):
+        faults.install_faults(
+            [FaultRule(kind="crash-write", phase="checkpointing")],
+            mirror_env=False)
+        key = result_key(spec)
+        store.put_simulation(key, simulate_ssn(spec))
+        assert store.get_simulation(key, spec) is not None
+
+    def test_record_rewrite_is_idempotent(self, store, spec):
+        sim = simulate_ssn(spec)
+        key = result_key(spec)
+        first = store.put_simulation(key, sim).read_text()
+        second = store.put_simulation(key, sim).read_text()
+        assert first == second
+        record = json.loads(first)
+        rebuilt = simulation_from_record(record, spec)
+        np.testing.assert_array_equal(rebuilt.ssn.y, sim.ssn.y)
