@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-smoke bench-perf campaign-smoke trace-smoke softdep-smoke serve-smoke reports examples clean
+.PHONY: install test bench bench-smoke bench-perf campaign-smoke trace-smoke softdep-smoke serve-smoke surrogate-smoke reports examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -63,6 +63,12 @@ softdep-smoke:
 # /metrics text is scraped.  Strict RuntimeWarnings inside the script.
 serve-smoke:
 	$(PY) scripts/serve_smoke.py
+
+# Surrogate-tier smoke: fit a reduced model from quick golden sweeps,
+# answer an in-region spec in closed form, and prove the out-of-region
+# refusal routes to the full simulator with waveform parity.
+surrogate-smoke:
+	$(PY) scripts/surrogate_smoke.py
 
 # Regenerate every paper artifact into benchmarks/reports/*.txt and
 # the run logs the task description asks for.

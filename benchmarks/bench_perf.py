@@ -12,7 +12,11 @@ Four regression-tracked comparisons:
   against the dense LAPACK path on generated large-N RC-ladder networks
   (``sparse_scaling``); and
 * the adaptive batched lockstep engine against per-instance scalar
-  adaptive runs on a Fig. 3-class ensemble (``adaptive_batch``).
+  adaptive runs on a Fig. 3-class ensemble (``adaptive_batch``); and
+* the fitted surrogate tier against a cold scalar fast-path compute on
+  in-region single-point queries, with the fitted peak error gated
+  against the golden MNA and out-of-region routing proven bit-exact
+  (``surrogate_latency``).
 
 Every speedup is gated on peak parity to 1e-9 V first.  The summaries
 merge into ``BENCH_perf.json`` at the repo root, together with host
@@ -58,6 +62,10 @@ MIN_SPEEDUP = 3.0
 MIN_BATCH_SPEEDUP = 3.0
 #: Required gain of sparse splu over dense LAPACK on the largest ladder.
 MIN_SPARSE_SPEEDUP = 5.0
+#: Required gain of an in-region surrogate query over the scalar fast path.
+MIN_SURROGATE_SPEEDUP = 100.0
+#: Worst in-region peak error the surrogate may show vs the golden MNA.
+MAX_SURROGATE_ERROR_PERCENT = 3.0
 #: Peak-voltage agreement between any two engines.
 PARITY_TOL = 1e-9
 #: Worst-case share of an untraced run the disabled instrumentation may
@@ -151,13 +159,25 @@ def test_fastpath_speedup(tech018, wall_clock, perf_report, publish, quick):
     simulate_ssn_cache_clear()
     single_n = QUICK_SINGLE_N if quick else SINGLE_N
     counts = QUICK_SWEEP_COUNTS if quick else SWEEP_COUNTS
+    reps = 1 if quick else TIMING_REPS
 
-    legacy_peak = wall_clock.measure("single_legacy", _run_single, tech018, LEGACY, single_n)
-    fast_peak = wall_clock.measure("single_fast", _run_single, tech018, None, single_n)
+    # Every timed side clears the memo first so each rep re-runs the full
+    # compute; min-of-N then discards cold-start and scheduler noise, the
+    # same protocol the batch/adaptive sections already use.
+    def single(options):
+        simulate_ssn_cache_clear()
+        return _run_single(tech018, options, single_n)
+
+    def sweep(options):
+        simulate_ssn_cache_clear()
+        return _run_sweep(tech018, options, counts)
+
+    legacy_peak = _best_of(wall_clock, "single_legacy", lambda: single(LEGACY), reps)
+    fast_peak = _best_of(wall_clock, "single_fast", lambda: single(None), reps)
     assert abs(fast_peak - legacy_peak) <= PARITY_TOL
 
-    legacy_peaks = wall_clock.measure("sweep_legacy", _run_sweep, tech018, LEGACY, counts)
-    fast_peaks = wall_clock.measure("sweep_fast", _run_sweep, tech018, None, counts)
+    legacy_peaks = _best_of(wall_clock, "sweep_legacy", lambda: sweep(LEGACY), reps)
+    fast_peaks = _best_of(wall_clock, "sweep_fast", lambda: sweep(None), reps)
     for lp, fp in zip(legacy_peaks, fast_peaks):
         assert abs(fp - lp) <= PARITY_TOL
 
@@ -177,12 +197,14 @@ def test_fastpath_speedup(tech018, wall_clock, perf_report, publish, quick):
             "legacy_seconds": wall_clock.timings["single_legacy"],
             "fast_seconds": wall_clock.timings["single_fast"],
             "speedup": single_speedup,
+            "timing_reps": reps,
         },
         "driver_sweep": {
             "counts": counts,
             "legacy_seconds": wall_clock.timings["sweep_legacy"],
             "fast_seconds": wall_clock.timings["sweep_fast"],
             "speedup": sweep_speedup,
+            "timing_reps": reps,
         },
     }
     perf_report(payload)
@@ -380,6 +402,119 @@ def test_adaptive_batch_speedup(tech018, wall_clock, perf_report, publish, quick
     )
 
     assert speedup >= MIN_BATCH_SPEEDUP
+
+
+def test_surrogate_latency(tech018, wall_clock, perf_report, publish, quick):
+    """Surrogate tier vs the scalar fast path on single-point queries.
+
+    The serving story's top rung: fit one surrogate over the stock box,
+    then show (a) an in-region query answers >= 100x faster than a cold
+    scalar fast-path simulation while staying within 3% of the golden MNA
+    peak, and (b) an out-of-region query is *provably* routed to the full
+    engine — ``surrogate_refusals == 1`` in its telemetry and waveform
+    parity to 1e-9 V against a direct scalar run.  The timed surrogate
+    path is the registry's full serving cost (model lookup + validity
+    checks + closed form), not just the formula evaluation.
+    """
+    from repro.surrogate import default_registry, fit_surrogate
+
+    box = dict(n_drivers=(2, 12), inductance=(2e-9, 8e-9),
+               rise_time=(0.2e-9, 0.8e-9))
+    samples = 2  # corners + center: 9 golden training sims
+    model = fit_surrogate(tech018, samples_per_knob=samples, **box)
+    assert model.error.max_abs_percent <= model.tolerance_percent
+
+    probe = DriverBankSpec(technology=tech018, n_drivers=7,
+                           inductance=4e-9, rise_time=0.5e-9)
+    registry = default_registry()
+    registry.clear()
+    registry.register(model)
+    try:
+        # -- in-region: surrogate answers, and tracks the golden peak ----
+        [hit] = simulate_many([probe], engine="surrogate")
+        assert hit.telemetry.extras.get("surrogate_hits") == 1
+        simulate_ssn_cache_clear()
+        golden = simulate_ssn(probe)
+        error_percent = 100.0 * abs(hit.peak_voltage - golden.peak_voltage) / (
+            golden.peak_voltage)
+        assert error_percent <= MAX_SURROGATE_ERROR_PERCENT
+
+        # -- latency: registry serving cost vs one cold scalar compute ---
+        def scalar_once():
+            simulate_ssn_cache_clear()
+            return simulate_ssn(probe).peak_voltage
+
+        scalar_once()  # warm model caches and lazy imports before timing
+        reps = 1 if quick else TIMING_REPS
+        _best_of(wall_clock, "surrogate_scalar", scalar_once, reps)
+
+        queries = 10 if quick else 1000
+
+        def answer_loop():
+            answer = None
+            for _ in range(queries):
+                answer = registry.answer(probe)
+            return answer
+
+        assert answer_loop() is not None
+        _best_of(wall_clock, "surrogate_answer_loop", answer_loop, reps)
+        wall_clock.timings["surrogate_query"] = (
+            wall_clock.timings["surrogate_answer_loop"] / queries)
+        speedup = wall_clock.speedup("surrogate_scalar", "surrogate_query")
+
+        # -- out-of-region: provably routed to the full engine -----------
+        outside = dataclasses.replace(probe, n_drivers=40)
+        [routed] = simulate_many([outside], engine="surrogate")
+        assert routed.telemetry.extras.get("surrogate_refusals") == 1
+        simulate_ssn_cache_clear()
+        direct = simulate_ssn(outside)
+        worst_dv = max(
+            routed.ssn.max_abs_difference(direct.ssn),
+            routed.output_voltage.max_abs_difference(direct.output_voltage),
+        )
+        assert worst_dv <= PARITY_TOL
+        assert abs(routed.peak_voltage - direct.peak_voltage) <= PARITY_TOL
+    finally:
+        registry.clear()
+
+    if quick:
+        return
+
+    payload = {
+        "surrogate_latency": {
+            "box": model.region.as_payload(),
+            "probe": {"n_drivers": probe.n_drivers,
+                      "inductance": probe.inductance,
+                      "rise_time": probe.rise_time},
+            "training_points": model.n_training,
+            "fitted_max_error_percent": model.error.max_abs_percent,
+            "probe_error_percent": error_percent,
+            "scalar_seconds": wall_clock.timings["surrogate_scalar"],
+            "query_seconds": wall_clock.timings["surrogate_query"],
+            "queries_per_rep": queries,
+            "speedup": speedup,
+            "min_speedup": MIN_SURROGATE_SPEEDUP,
+            "max_error_percent": MAX_SURROGATE_ERROR_PERCENT,
+            "out_of_region_worst_dv_volts": float(worst_dv),
+            "timing_reps": reps,
+        },
+    }
+    perf_report(payload)
+
+    publish(
+        "bench_perf_surrogate",
+        "surrogate tier vs scalar fast path on single-point queries\n\n"
+        f"in-region probe (N={probe.n_drivers}): scalar "
+        f"{wall_clock.timings['surrogate_scalar'] * 1e3:.1f} ms -> surrogate "
+        f"{wall_clock.timings['surrogate_query'] * 1e6:.1f} us per query "
+        f"({speedup:.0f}x), peak error {error_percent:.2f}% "
+        f"(bound {model.error.max_abs_percent:.2f}%)\n"
+        f"out-of-region probe: routed to the full engine, waveform parity "
+        f"{worst_dv:.1e} V\n",
+    )
+
+    assert speedup >= MIN_SURROGATE_SPEEDUP
+    assert error_percent <= MAX_SURROGATE_ERROR_PERCENT
 
 
 def test_tracing_overhead(tech018, wall_clock, perf_report, publish, quick):

@@ -82,7 +82,10 @@ async def drive(service: SsnService) -> None:
     assert status == 200
     for needle in ("repro_service_requests_total", 'outcome="hit"',
                    'outcome="dedup"', "repro_service_computes_total",
-                   "repro_store_writes_total"):
+                   "repro_store_writes_total",
+                   # The surrogate tier counts every routing decision even
+                   # with an empty store: each fresh spec is a miss.
+                   "repro_surrogate_misses_total"):
         assert needle in text, f"{needle!r} missing from /metrics"
     print("metrics scrape ok")
 

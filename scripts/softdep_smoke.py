@@ -11,6 +11,10 @@ not scipy is installed), sets ``REPRO_NO_NUMBA``, and then drives the
 engine end to end:
 
 * availability probes report both accelerators absent;
+* ``repro.core`` imports clean (the PEP 562 scipy-free contract) and the
+  ASDM extraction — the fit the surrogate tier depends on — runs on the
+  pure-numpy lstsq path, while the scipy-backed alpha-power baseline
+  raises a plain ImportError only when actually called;
 * a forced-sparse transient warns once and runs dense, telemetry
   recording the dense backend and zero sparse factorizations;
 * ``sparse="auto"`` never engages, at any size;
@@ -68,6 +72,26 @@ with warnings.catch_warnings():
     warnings.simplefilter("ignore")
     check(resolve_sparse("auto", 10_000) is False,
           "sparse='auto' never engages without scipy")
+
+print("model extraction on the numpy-only interpreter")
+import repro.core  # noqa: E402  (must import with scipy blocked)
+
+from repro.core import fit_alpha_power, fit_asdm  # noqa: E402
+from repro.devices.sweep import sweep_id_vg  # noqa: E402
+from repro.process import TSMC018  # noqa: E402
+
+surface = sweep_id_vg(TSMC018.driver_device(), TSMC018.vdd)
+params, report = fit_asdm(surface)
+check(params.k > 0 and np.isfinite([params.k, params.v0, params.lam]).all(),
+      "fit_asdm runs pure-numpy (no scipy) and yields finite parameters")
+check(report.max_relative_error < 0.10,
+      "scipy-free ASDM fit quality matches the Fig. 1 contract")
+try:
+    fit_alpha_power(surface)
+except ImportError:
+    check(True, "fit_alpha_power raises ImportError only when called")
+else:
+    raise SystemExit("softdep smoke FAILED: fit_alpha_power imported scipy")
 
 print("forced-sparse transient degrades to dense")
 with warnings.catch_warnings(record=True) as caught:

@@ -1,0 +1,96 @@
+"""Surrogate-tier smoke: fit -> in-region answer -> provable refusal.
+
+Drives the microsecond answering tier (``repro.surrogate``) end to end
+in well under a minute:
+
+* fit a surrogate over a small 3-knob box from golden fast-path sweeps
+  and check the fitted error bound honors the declared tolerance;
+* register it in the process-wide registry and serve an in-region spec
+  through ``simulate_many(engine="surrogate")`` — zero Newton
+  iterations, ``surrogate_hits == 1`` in telemetry, and the closed-form
+  peak within the fitted error bound of the golden simulation;
+* push an out-of-region spec down the same rung and prove the refusal
+  routed to the full simulator: ``surrogate_refusals == 1``, the SSN
+  waveform within 1e-9 V of a direct scalar run, and Newton iterations
+  actually spent.
+
+Run via ``make surrogate-smoke``; CI's ``surrogate-smoke`` job executes
+it next to the surrogate test suite.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.driver_bank import DriverBankSpec
+from repro.analysis.simulate import simulate_many, simulate_ssn_cache_clear
+from repro.process import get_technology
+from repro.surrogate import default_registry, fit_surrogate
+
+PARITY_TOL = 1e-9
+
+
+def check(condition, label):
+    if not condition:
+        raise SystemExit(f"surrogate smoke FAILED: {label}")
+    print(f"  ok: {label}")
+
+
+def main() -> None:
+    tech = get_technology("tsmc018")
+
+    print("fitting over a quick 3-knob box")
+    model = fit_surrogate(
+        tech,
+        n_drivers=(2, 6),
+        inductance=(2e-9, 5e-9),
+        rise_time=(0.4e-9, 0.7e-9),
+        samples_per_knob=2,
+    )
+    check(model.error.n_points >= 8, "training grid covered the box corners")
+    check(model.error.max_abs_percent <= model.tolerance_percent,
+          f"fitted bound {model.error.max_abs_percent:.2f}% within "
+          f"{model.tolerance_percent:.0f}% tolerance")
+
+    registry = default_registry()
+    registry.register(model)
+    try:
+        in_region = DriverBankSpec(
+            technology=tech, n_drivers=4, inductance=3e-9, rise_time=0.5e-9
+        )
+        print("in-region query through the surrogate engine rung")
+        simulate_ssn_cache_clear()
+        (hit,) = simulate_many([in_region], engine="surrogate")
+        check(hit.telemetry.extras.get("surrogate_hits") == 1,
+              "telemetry tagged the surrogate hit")
+        check(hit.telemetry.newton_iterations == 0,
+              "closed-form answer spent zero Newton iterations")
+        simulate_ssn_cache_clear()
+        (golden,) = simulate_many([in_region], engine="scalar")
+        error = abs(hit.peak_voltage - golden.peak_voltage) / golden.peak_voltage
+        check(error * 100.0 <= model.error.max_abs_percent,
+              f"peak error {error * 100.0:.2f}% within the fitted bound")
+
+        print("out-of-region query routes to the full simulator")
+        out_region = dataclasses.replace(in_region, n_drivers=40)
+        simulate_ssn_cache_clear()
+        (routed,) = simulate_many([out_region], engine="surrogate")
+        check(routed.telemetry.extras.get("surrogate_refusals") == 1,
+              "telemetry tagged the validity-region refusal")
+        check(routed.telemetry.newton_iterations > 0,
+              "fallback ran the real Newton loop")
+        simulate_ssn_cache_clear()
+        (direct,) = simulate_many([out_region], engine="scalar")
+        worst = float(np.max(np.abs(routed.ssn.y - direct.ssn.y)))
+        check(worst <= PARITY_TOL,
+              f"fallback waveform parity {worst:.3e} V <= 1e-9")
+        check(abs(routed.peak_voltage - direct.peak_voltage) <= PARITY_TOL,
+              "fallback peak matches the direct scalar run")
+    finally:
+        registry.clear()
+
+    print("surrogate smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,8 @@ Package layout:
 * :mod:`repro.experiments`— one module per paper table/figure.
 * :mod:`repro.service`    — persistent content-addressed result store and
   the async HTTP serving layer (``python -m repro serve``).
+* :mod:`repro.surrogate`  — auto-fitted closed-form surrogate tier with
+  validity regions and error bounds (the microsecond answer path).
 
 Quickstart: see ``examples/quickstart.py`` or :mod:`repro.core`.
 """
@@ -49,6 +51,7 @@ _SUBPACKAGES = (
     "process",
     "service",
     "spice",
+    "surrogate",
 )
 
 __all__ = ["__version__", *_SUBPACKAGES]

@@ -298,10 +298,12 @@ class CampaignRunner:
         """One whole-chunk execution attempt at one engine rung."""
         faults.probe("engine")
         cfg = self.config
-        if rung == "batch":
-            # Lockstep shares one wall clock across the ensemble, so the
-            # per-task deadline applies on the scalar rungs only.
-            sims = simulate_many(list(specs), engine="batch", options=options)
+        if rung in ("surrogate", "batch"):
+            # Whole-ensemble rungs: the surrogate tier routes per spec
+            # inside simulate_many (falling back to full engines itself),
+            # and lockstep shares one wall clock across the ensemble, so
+            # the per-task deadline applies on the scalar rungs only.
+            sims = simulate_many(list(specs), engine=rung, options=options)
             return [_record_from(i, sim, rung) for i, sim in zip(indices, sims)]
         payloads = [(i, spec, rung, cfg.deadline, options)
                     for i, spec in zip(indices, specs)]

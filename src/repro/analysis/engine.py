@@ -1,6 +1,6 @@
 """Execution-engine selection for the analysis layer.
 
-The golden simulations can run on two transient engines:
+The golden simulations can run on several engines:
 
 * ``"scalar"`` — one :func:`repro.spice.transient.transient` call per
   configuration (optionally fanned out over a process pool).  This is the
@@ -8,8 +8,14 @@ The golden simulations can run on two transient engines:
 * ``"batch"`` — configurations that share a lockstep signature are folded
   into one :func:`repro.spice.batch.batch_transient` call: a single
   vectorized Newton loop advances the whole ensemble at once.
+* ``"surrogate"`` — in-region queries answered in microseconds by fitted
+  closed-form models (:mod:`repro.surrogate`) before any MNA assembly;
+  out-of-region, bound-violating or uncovered queries fall through to the
+  full engines with the decision recorded in telemetry.
 * ``"auto"`` — ``"batch"`` whenever more than one configuration is
-  requested, ``"scalar"`` otherwise.
+  requested, ``"scalar"`` otherwise.  ``"auto"`` never resolves to the
+  surrogate tier: an approximate answer path must be opted into
+  explicitly.
 
 Selection precedence, highest first: an explicit ``engine=`` argument, the
 process-wide default installed with :func:`set_default_engine` (the CLI's
@@ -33,14 +39,15 @@ import os
 from ..observability import metrics as obs_metrics
 
 #: Recognized engine names, in documentation order.
-ENGINES = ("auto", "batch", "scalar")
+ENGINES = ("auto", "batch", "scalar", "surrogate")
 
 #: The campaign runner's graceful-degradation ladder, strongest rung first:
-#: the vectorized lockstep engine, the scalar fast path, and finally the
-#: frozen legacy reference engine (slow but the most battle-tested
-#: numerics).  "legacy" is an execution rung, not a selectable default
-#: engine, so it is not part of :data:`ENGINES`.
-DEGRADATION_LADDER = ("batch", "scalar", "legacy")
+#: the fitted closed-form surrogate tier, the vectorized lockstep engine,
+#: the scalar fast path, and finally the frozen legacy reference engine
+#: (slow but the most battle-tested numerics).  "legacy" is an execution
+#: rung, not a selectable default engine, so it is not part of
+#: :data:`ENGINES`.
+DEGRADATION_LADDER = ("surrogate", "batch", "scalar", "legacy")
 
 #: Environment variable consulted when no explicit engine is given.
 ENGINE_ENV = "REPRO_ENGINE"
@@ -78,7 +85,7 @@ def set_default_engine(engine: str | None) -> None:
 
 
 def resolve_engine(engine: str | None = None, n_items: int | None = None) -> str:
-    """Resolve an engine request to a concrete ``"batch"`` or ``"scalar"``.
+    """Resolve an engine request to ``"surrogate"``, ``"batch"`` or ``"scalar"``.
 
     Args:
         engine: explicit request, or None to consult the process default
@@ -88,7 +95,9 @@ def resolve_engine(engine: str | None = None, n_items: int | None = None) -> str
             leaves ``"auto"`` resolved toward ``"batch"``.
 
     Returns:
-        ``"batch"`` or ``"scalar"``.
+        ``"surrogate"``, ``"batch"`` or ``"scalar"``.  ``"auto"`` never
+        resolves to ``"surrogate"``; the approximate tier must be asked
+        for by name.
     """
     if engine is None:
         engine = _default_engine
@@ -105,10 +114,14 @@ def resolve_engine(engine: str | None = None, n_items: int | None = None) -> str
 def degradation_rungs(start: str) -> tuple[str, ...]:
     """Per-instance recovery rungs at and below ``start``, strongest first.
 
-    The batch rung only exists for *bulk* (whole-chunk) execution — a
-    single instance has no lockstep to exploit — so per-instance recovery
-    after a failed batch chunk begins at the scalar fast path:
+    The surrogate and batch rungs only exist for *bulk* (whole-chunk)
+    execution — the surrogate tier already degrades per-spec inside its
+    own routing, and a single instance has no lockstep to exploit — so
+    per-instance recovery after a failed chunk begins at the scalar fast
+    path:
 
+    >>> degradation_rungs("surrogate")
+    ('scalar', 'legacy')
     >>> degradation_rungs("batch")
     ('scalar', 'legacy')
     >>> degradation_rungs("scalar")
@@ -121,4 +134,4 @@ def degradation_rungs(start: str) -> tuple[str, ...]:
             f"unknown rung {start!r}; choose from {DEGRADATION_LADDER}"
         )
     rungs = DEGRADATION_LADDER[DEGRADATION_LADDER.index(start):]
-    return tuple(r for r in rungs if r != "batch")
+    return tuple(r for r in rungs if r not in ("surrogate", "batch"))

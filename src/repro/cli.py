@@ -18,6 +18,13 @@ Seven commands cover the library's day-to-day uses:
   front end answering simulate/sweep/montecarlo queries from the
   persistent content-addressed result store, deduplicating identical
   in-flight requests and dispatching misses onto the campaign runner.
+* ``surrogate`` — fit and inspect the microsecond surrogate tier
+  (:mod:`repro.surrogate`): ``surrogate fit`` characterizes a technology
+  over a parameter box and persists the fitted model (with validity
+  region and error bounds) into the result store; ``surrogate inspect``
+  lists the store's fitted models.  ``--engine surrogate`` on the
+  campaign commands answers in-region points from the process-default
+  registry.
 
 ``sweep``/``montecarlo``/``simulate`` run *campaigns* — long multi-simulation workloads — through
 the fault-tolerant runner (:mod:`repro.analysis.campaign`): they accept
@@ -141,7 +148,9 @@ def _telemetry_parent() -> argparse.ArgumentParser:
         "--engine", choices=list(ENGINES), default=None,
         help="transient engine for golden simulations: 'batch' runs "
         "same-topology ensembles in one vectorized Newton loop, 'scalar' "
-        "simulates them one at a time, 'auto' picks per workload "
+        "simulates them one at a time, 'surrogate' answers in-region "
+        "points from fitted closed-form models (falling back to full "
+        "engines otherwise), 'auto' picks per workload "
         "(default: $REPRO_ENGINE, else scalar)",
     )
     parent.add_argument(
@@ -348,6 +357,54 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--workers", type=int, default=None, metavar="N",
                      help="process-pool width for dispatched campaigns "
                      "(default: $REPRO_MAX_WORKERS, else serial)")
+    srv.add_argument("--no-surrogate", action="store_true",
+                     help="disable surrogate-first answering (every "
+                     "/simulate goes through the exact store/dispatch path)")
+    srv.add_argument("--no-refine", action="store_true",
+                     help="skip the background golden refinement behind "
+                     "surrogate answers")
+
+    sg = sub.add_parser(
+        "surrogate",
+        help="fit / inspect the microsecond surrogate tier",
+        parents=[telemetry_parent],
+    )
+    sg_sub = sg.add_subparsers(dest="surrogate_command", required=True)
+    sg_fit = sg_sub.add_parser(
+        "fit", help="fit a surrogate over a parameter box and store it")
+    _add_tech_argument(sg_fit)
+    sg_fit.add_argument("--store", metavar="DIR", default=".repro_store",
+                        help="result-database directory to persist the "
+                        "fitted model into (default .repro_store)")
+    sg_fit.add_argument("--drivers", default="2:12", metavar="LO:HI",
+                        help="driver-count validity interval (default 2:12)")
+    sg_fit.add_argument("--inductance", default="2e-9:8e-9", metavar="LO:HI",
+                        help="ground-inductance interval in henries "
+                        "(default 2e-9:8e-9)")
+    sg_fit.add_argument("--rise-time", default="0.2e-9:0.8e-9", metavar="LO:HI",
+                        help="rise-time interval in seconds "
+                        "(default 0.2e-9:0.8e-9)")
+    sg_fit.add_argument("--capacitance", default=None, metavar="LO:HI",
+                        help="ground-capacitance interval in farads; fits an "
+                        "LC surrogate (default: none -> L-only topology)")
+    sg_fit.add_argument("--guard", type=float, default=0.0,
+                        help="extrapolation allowance per knob as a fraction "
+                        "of its span (default 0 = strict box)")
+    sg_fit.add_argument("--tolerance", type=float, default=3.0,
+                        metavar="PERCENT",
+                        help="worst-case peak-error tolerance the model may "
+                        "serve under (default 3)")
+    sg_fit.add_argument("--samples", type=int, default=2, metavar="N",
+                        help="training-grid density per knob; 2 = box "
+                        "corners (default 2)")
+    sg_fit.add_argument("--strength", type=float, default=1.0,
+                        help="driver width multiple frozen into the model "
+                        "(default 1)")
+    sg_inspect = sg_sub.add_parser(
+        "inspect", help="list the fitted surrogate models in a store")
+    sg_inspect.add_argument("--store", metavar="DIR", default=".repro_store",
+                            help="result-database directory "
+                            "(default .repro_store)")
 
     tr = sub.add_parser("trace", help="inspect trace files written by --trace")
     tr_sub = tr.add_subparsers(dest="trace_command", required=True)
@@ -540,12 +597,84 @@ def _run_serve(args) -> str:
         host=args.host, port=args.port, store_root=args.store,
         max_retries=args.max_retries, deadline=args.deadline,
         chunk_size=args.chunk_size, max_workers=args.workers,
+        surrogate=not args.no_surrogate,
+        surrogate_refine=not args.no_refine,
     )
     try:
         run_server(config, announce=lambda line: print(line, flush=True))
     except KeyboardInterrupt:
         pass
     return "server stopped"
+
+
+def _parse_interval(text: str, name: str) -> tuple[float, float]:
+    """Parse a ``LO:HI`` interval argument into a (lo, hi) float pair."""
+    try:
+        lo_text, hi_text = text.split(":")
+        lo, hi = float(lo_text), float(hi_text)
+    except ValueError:
+        raise SystemExit(f"--{name}: expected LO:HI, got {text!r}") from None
+    if not lo < hi:
+        raise SystemExit(f"--{name}: need LO < HI, got {text!r}")
+    return lo, hi
+
+
+def _run_surrogate(args) -> str:
+    # Local import: the surrogate tier and store are only needed here.
+    from .service import ResultStore, surrogate_key
+    from .surrogate import fit_surrogate
+
+    store = ResultStore(args.store)
+    if args.surrogate_command == "inspect":
+        lines = [f"surrogate models in {args.store}:"]
+        count = 0
+        for record in store.iter_records(kind="surrogate"):
+            model = record["model"]
+            error = model["error"]
+            box = ", ".join(
+                f"{knob} [{lo:.3g}, {hi:.3g}]"
+                for knob, (lo, hi) in sorted(model["region"]["box"].items())
+            )
+            lines.append(
+                f"  {model['technology']}/{model['topology']}"
+                f"/{model['operating_region']}: max err "
+                f"{error['max_abs_percent']:.2f}% over "
+                f"{model['n_training']} training points; {box}"
+            )
+            count += 1
+        if count == 0:
+            lines.append("  (none)")
+        return "\n".join(lines)
+
+    model = fit_surrogate(
+        args.tech,
+        n_drivers=_parse_interval(args.drivers, "drivers"),
+        inductance=_parse_interval(args.inductance, "inductance"),
+        rise_time=_parse_interval(args.rise_time, "rise-time"),
+        capacitance=(None if args.capacitance is None
+                     else _parse_interval(args.capacitance, "capacitance")),
+        guard=args.guard,
+        tolerance_percent=args.tolerance,
+        samples_per_knob=args.samples,
+        driver_strength=args.strength,
+        # Honor an explicit --engine; otherwise train batched, the fastest
+        # exact path for the factorial grid.
+        engine=None if args.engine else "batch",
+    )
+    key = surrogate_key(model.technology, model.topology, model.operating_region)
+    store.put_surrogate(key, model)
+    box = ", ".join(f"{knob} [{lo:.3g}, {hi:.3g}]" for knob, lo, hi in model.region.box)
+    return "\n".join([
+        f"fitted surrogate {model.technology}/{model.topology}"
+        f"/{model.operating_region} -> {args.store} ({key[:12]}...)",
+        f"  validity box: {box} (guard {model.region.guard:g})",
+        f"  ASDM: K = {model.asdm.k * 1e3:.3f} mA/V, V0 = {model.asdm.v0:.3f} V, "
+        f"lambda = {model.asdm.lam:.3f}",
+        f"  peak error vs golden MNA: max {model.error.max_abs_percent:.2f}%, "
+        f"mean {model.error.mean_abs_percent:.2f}% "
+        f"over {model.n_training} training points "
+        f"(serving tolerance {model.tolerance_percent:g}%)",
+    ])
 
 
 def _run_trace(args) -> str:
@@ -592,6 +721,7 @@ def main(argv=None) -> int:
         "montecarlo": _run_montecarlo,
         "simulate": _run_simulate,
         "serve": _run_serve,
+        "surrogate": _run_surrogate,
         "trace": _run_trace,
     }
     trace_path = getattr(args, "trace", None)

@@ -19,8 +19,6 @@ from __future__ import annotations
 
 import math
 
-from scipy import optimize
-
 from .asdm import AsdmParameters
 
 
@@ -47,7 +45,13 @@ def figure_for_noise_budget(budget: float, params: AsdmParameters, vdd: float) -
     Vmax(Z) increases monotonically in Z and saturates at
     ``(VDD - V0)/lambda``; budgets at or above that bound are unreachable
     by any finite Z and raise ValueError.
+
+    scipy is imported here, not at module scope, so ``import repro.core``
+    stays runnable on a numpy-only interpreter (the PEP 562 soft-dep
+    contract); only this root solve needs ``brentq``.
     """
+    from scipy import optimize
+
     if budget <= 0:
         raise ValueError("noise budget must be positive")
     supremum = (vdd - params.v0) / params.lam

@@ -22,7 +22,6 @@ from __future__ import annotations
 import dataclasses
 
 import numpy as np
-from scipy import optimize
 
 from ..devices.sweep import IvSurface
 from .asdm import AsdmParameters
@@ -133,7 +132,15 @@ def fit_asdm(surface: IvSurface, floor_fraction: float = 0.05) -> tuple[AsdmPara
 def fit_alpha_power(
     surface: IvSurface, floor_fraction: float = 0.02
 ) -> tuple[AlphaPowerSsnParameters, FitReport]:
-    """Fit the alpha-power saturation law to the Vs = 0 curve of a surface."""
+    """Fit the alpha-power saturation law to the Vs = 0 curve of a surface.
+
+    scipy is imported here, not at module scope: the ASDM path
+    (:func:`fit_asdm`) is pure numpy, and ``repro.core`` keeps the
+    scipy-free import contract of the PEP 562 layout — only actually
+    *calling* this baseline fit requires scipy.
+    """
+    from scipy import optimize
+
     ids = surface.curve(0.0)
     vg = surface.vg
     keep = ids > floor_fraction * float(np.max(ids))

@@ -11,7 +11,7 @@ fault-tolerant campaign runner in the background
 """
 
 from .client import ServiceClient, ServiceError, arequest
-from .keys import KEY_SCHEME_VERSION, canonical_request, result_key
+from .keys import KEY_SCHEME_VERSION, canonical_request, result_key, surrogate_key
 from .server import BadRequest, ServiceConfig, SsnService, run_server
 from .store import (
     RECORD_SCHEMA_VERSION,
@@ -20,6 +20,8 @@ from .store import (
     montecarlo_record,
     simulation_from_record,
     simulation_record,
+    surrogate_from_record,
+    surrogate_record,
 )
 
 __all__ = [
@@ -39,4 +41,7 @@ __all__ = [
     "run_server",
     "simulation_from_record",
     "simulation_record",
+    "surrogate_from_record",
+    "surrogate_key",
+    "surrogate_record",
 ]

@@ -73,3 +73,25 @@ def result_key(
         json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
     )
     return digest.hexdigest()
+
+
+def surrogate_key(technology: str, topology: str, operating_region: str) -> str:
+    """Deterministic store key of one fitted surrogate model.
+
+    Unlike result keys, surrogate keys are *identity* keys — they name the
+    (technology, topology signature, operating region) slot, not the
+    fitted content — so the serving layer can probe the store for a warm
+    model without enumerating the directory, and a re-fit overwrites its
+    predecessor in place.
+    """
+    payload = {
+        "scheme": KEY_SCHEME_VERSION,
+        "kind": "surrogate",
+        "technology": str(technology),
+        "topology": str(topology),
+        "region": str(operating_region),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    )
+    return digest.hexdigest()

@@ -2,15 +2,20 @@
 
 The paper's economics — fit once, answer repeat queries cheaply — only
 materialize at traffic scale if repeat queries never re-enter the Newton
-loop.  This server puts three layers between a request and the solver:
+loop.  This server puts four layers between a request and the solver:
 
-1. **In-flight dedup** — identical concurrent requests (equal
+1. **Surrogate-first answering** — a ``/simulate`` request accepted by a
+   fitted surrogate model (:mod:`repro.surrogate`; warmed on demand from
+   the store's ``surrogate`` records) is answered in closed form
+   (outcome ``"surrogate"``), with an optional background full-sim
+   refinement publishing the golden record for later exact hits.
+2. **In-flight dedup** — identical concurrent requests (equal
    :func:`repro.service.keys.result_key`) collapse onto one computation;
    followers await the leader's result (outcome ``"dedup"``).
-2. **Persistent store** — a key already computed, by any earlier process,
+3. **Persistent store** — a key already computed, by any earlier process,
    is answered straight from the validated record (outcome ``"hit"``)
    with zero solver work.
-3. **Background dispatch** — a genuine miss runs on a worker thread
+4. **Background dispatch** — a genuine miss runs on a worker thread
    through the fault-tolerant :class:`~repro.analysis.campaign.CampaignRunner`
    (retry ladder, engine degradation), is atomically published to the
    store, and then answered (outcome ``"miss"``).
@@ -49,8 +54,19 @@ from ..observability import trace
 from ..observability.export import to_prometheus_text
 from ..process import get_technology
 from ..spice.transient import TransientOptions
-from .keys import canonical_request, result_key
-from .store import ResultStore, simulation_record, montecarlo_record
+from ..surrogate import (
+    REGIONS_BY_TOPOLOGY,
+    SurrogateRegistry,
+    topology_signature,
+)
+from .keys import canonical_request, result_key, surrogate_key
+from .store import (
+    ResultStore,
+    WAVEFORM_FIELDS,
+    _waveform_payload,
+    montecarlo_record,
+    simulation_record,
+)
 
 #: Upper bounds on one request's header block and body, in bytes.
 MAX_HEADER_BYTES = 64 * 1024
@@ -100,6 +116,12 @@ class ServiceConfig:
             (Monte Carlo trial fleets).
         max_workers: process-pool width for campaign bulk execution
             (None honors ``REPRO_MAX_WORKERS``, else serial).
+        surrogate: serve in-region ``/simulate`` requests from fitted
+            surrogate models (clients can also opt out per request with
+            ``"surrogate": false``).
+        surrogate_refine: on a surrogate answer, kick off a background
+            full simulation that publishes the golden record, so the next
+            identical request is an exact store hit.
     """
 
     host: str = "127.0.0.1"
@@ -109,6 +131,8 @@ class ServiceConfig:
     deadline: float | None = None
     chunk_size: int = 8
     max_workers: int | None = None
+    surrogate: bool = True
+    surrogate_refine: bool = True
 
 
 def _parse_options(payload) -> TransientOptions | None:
@@ -181,6 +205,12 @@ class SsnService:
         self._inflight: dict[str, asyncio.Task] = {}
         self._server: asyncio.AbstractServer | None = None
         self.port: int | None = None
+        #: Fitted surrogate models this server may answer from, warmed
+        #: lazily from the store's ``surrogate`` records (one probe per
+        #: identity key per process; restart to pick up later fits).
+        self.registry = SurrogateRegistry()
+        self._surrogate_probed: set[str] = set()
+        self._refine_tasks: set[asyncio.Task] = set()
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -215,6 +245,14 @@ class SsnService:
             await self._server.wait_closed()
         for task in list(self._inflight.values()):
             task.cancel()
+        for task in list(self._refine_tasks):
+            task.cancel()
+
+    async def drain_background(self) -> None:
+        """Await every pending background refinement (tests and shutdown)."""
+        while self._refine_tasks:
+            await asyncio.gather(*list(self._refine_tasks),
+                                 return_exceptions=True)
 
     # -- HTTP plumbing ---------------------------------------------------------------
 
@@ -307,11 +345,18 @@ class SsnService:
 
     async def _handle_simulate(self, params) -> dict:
         params = _check_params(
-            params, _SPEC_PARAMS | {"include_waveforms"}, "/simulate")
+            params, _SPEC_PARAMS | {"include_waveforms", "surrogate"},
+            "/simulate")
         spec = _spec_from(params)
         options = _parse_options(params.get("options"))
         include_waveforms = bool(params.get("include_waveforms", True))
+        use_surrogate = self.config.surrogate and bool(
+            params.get("surrogate", True))
         with trace.span("service_request", endpoint="simulate"):
+            if use_surrogate and options is None:
+                payload = self._try_surrogate(spec, include_waveforms)
+                if payload is not None:
+                    return payload
             record, outcome = await self._serve_simulation(
                 spec, options, endpoint="simulate")
         return self._simulation_payload(record, outcome, include_waveforms)
@@ -391,6 +436,93 @@ class SsnService:
             "samples": record["samples"],
             "telemetry": record.get("telemetry"),
         }
+
+    # -- surrogate-first answering ---------------------------------------------------
+
+    def _warm_surrogates(self, spec: DriverBankSpec) -> None:
+        """Load any stored surrogate models covering ``spec``'s query slot.
+
+        Surrogate store keys are identity keys (one per technology /
+        topology / operating region), so warming probes at most the
+        handful of slots a query could hit — no directory enumeration.
+        Each slot is probed once per server process, negative or not.
+        """
+        topology = topology_signature(spec)
+        for region in REGIONS_BY_TOPOLOGY.get(topology, ()):
+            key = surrogate_key(spec.technology.name, topology, region)
+            if key in self._surrogate_probed:
+                continue
+            self._surrogate_probed.add(key)
+            model = self.store.get_surrogate(key)
+            if model is not None:
+                self.registry.register(model)
+                obs_metrics.inc("repro_surrogate_warmed_total")
+
+    def _try_surrogate(self, spec: DriverBankSpec,
+                       include_waveforms: bool) -> dict | None:
+        """The closed-form answer for an in-region request, or None.
+
+        Refusals and misses return None — the caller falls through to the
+        exact dedup/store/dispatch path, bit-identical to a server with
+        no surrogate tier (the registry's ``repro_surrogate_*`` counters
+        record why).  A hit optionally schedules background refinement so
+        the golden record eventually backs the same key; once it does (or
+        the exact answer was ever computed), the store hit outranks the
+        surrogate — approximate answers only ever stand in for work not
+        yet done.
+        """
+        self._warm_surrogates(spec)
+        key = result_key(spec)
+        if key in self.store:
+            return None  # the exact record is already on disk
+        model, _reason = self.registry.lookup(spec)
+        if model is None:
+            return None
+        sim = model.simulation(spec)
+        if self.config.surrogate_refine:
+            self._schedule_refinement(key, spec)
+        obs_metrics.inc("repro_service_requests_total",
+                        labels={"endpoint": "simulate", "outcome": "surrogate"})
+        payload = {
+            "key": key,
+            "outcome": "surrogate",
+            "peak_voltage": sim.peak_voltage,
+            "peak_time": sim.peak_time,
+            "engine": "surrogate",
+            "telemetry": sim.telemetry.as_dict(),
+            "surrogate": {
+                "technology": model.technology,
+                "topology": model.topology,
+                "operating_region": model.operating_region,
+                "error_bound_percent": model.error.max_abs_percent,
+                "tolerance_percent": model.tolerance_percent,
+            },
+        }
+        if include_waveforms:
+            payload["waveforms"] = {
+                name: _waveform_payload(getattr(sim, name))
+                for name in WAVEFORM_FIELDS
+            }
+        return payload
+
+    def _schedule_refinement(self, key: str, spec: DriverBankSpec) -> None:
+        """Fire-and-forget the golden computation behind a surrogate answer."""
+        if key in self._inflight or key in self.store:
+            return
+        task = asyncio.get_running_loop().create_task(self._refine(key, spec))
+        self._refine_tasks.add(task)
+        task.add_done_callback(self._refine_tasks.discard)
+
+    async def _refine(self, key: str, spec: DriverBankSpec) -> None:
+        try:
+            await self._serve_record(
+                key, "simulate", endpoint="surrogate_refine",
+                compute=lambda: self._compute_simulation_sync(key, spec, None),
+            )
+        except Exception:
+            # Background work: the client already has its answer, and the
+            # next exact request recomputes; just count the failure.
+            obs_metrics.inc("repro_surrogate_refine_errors_total")
 
     # -- serving core ----------------------------------------------------------------
 

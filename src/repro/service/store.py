@@ -141,6 +141,29 @@ def montecarlo_from_record(record: dict) -> MonteCarloResult:
     )
 
 
+def surrogate_record(key: str, model, meta: dict | None = None) -> dict:
+    """Render one fitted surrogate model as a store record (sans checksum).
+
+    ``model`` is a :class:`repro.surrogate.SurrogateModel`; typed loosely
+    so the store module never imports the surrogate package (which builds
+    on the analysis stack) at import time.
+    """
+    return {
+        "schema": RECORD_SCHEMA_VERSION,
+        "key": key,
+        "kind": "surrogate",
+        "model": model.as_payload(),
+        "meta": dict(meta or {}),
+    }
+
+
+def surrogate_from_record(record: dict):
+    """Rebuild the :class:`repro.surrogate.SurrogateModel` a record holds."""
+    from ..surrogate import SurrogateModel
+
+    return SurrogateModel.from_payload(record["model"])
+
+
 class ResultStore:
     """Directory-backed result database, one validated JSON file per key.
 
@@ -205,6 +228,10 @@ class ResultStore:
                        meta: dict | None = None) -> Path:
         return self.put(key, montecarlo_record(key, result, meta=meta))
 
+    def put_surrogate(self, key: str, model, meta: dict | None = None) -> Path:
+        """Persist a fitted surrogate model under its identity key."""
+        return self.put(key, surrogate_record(key, model, meta=meta))
+
     # -- reads -----------------------------------------------------------------------
 
     def load(self, key: str) -> dict | None:
@@ -245,6 +272,36 @@ class ResultStore:
         if record is None or record.get("kind") != "montecarlo":
             return None
         return montecarlo_from_record(record)
+
+    def get_surrogate(self, key: str):
+        """The fitted surrogate model stored under ``key``, or None.
+
+        A record that stores a different kind, or a model payload this
+        version cannot rebuild (an incompatible surrogate schema), is a
+        miss — the caller re-fits — never an exception.
+        """
+        record = self.load(key)
+        if record is None or record.get("kind") != "surrogate":
+            return None
+        try:
+            return surrogate_from_record(record)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def iter_records(self, kind: str | None = None):
+        """Every validated record in the store, optionally kind-filtered.
+
+        Loads through :meth:`load`, so invalid files are quarantined on
+        the way past rather than yielded.  Used by ``repro surrogate
+        inspect``; result sweeps at scale should use the key-addressed
+        reads instead.
+        """
+        for path in sorted(self.root.glob("??/*.json")):
+            record = self.load(path.stem)
+            if record is None:
+                continue
+            if kind is None or record.get("kind") == kind:
+                yield record
 
     # -- quarantine ------------------------------------------------------------------
 

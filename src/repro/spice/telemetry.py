@@ -38,6 +38,11 @@ _DERIVED_KEYS = frozenset({"ok", "recovered_rejections"})
 #: newer-producer warning.
 BACKEND_PREFIX = "backend_"
 
+#: Surrogate-tier routing decisions (``surrogate_hits`` /
+#: ``surrogate_misses`` / ``surrogate_refusals``), likewise written by this
+#: version and round-tripped silently.
+SURROGATE_PREFIX = "surrogate_"
+
 #: Unknown-counter names already warned about in this process (warn once).
 _warned_extras: set[str] = set()
 
@@ -199,10 +204,11 @@ class SolverTelemetry:
                 tel.extras[key] = tel.extras.get(key, 0) + value
             else:
                 dropped.append(key)
-        # Backend counters are extras this version writes itself — they
-        # round-trip silently, not as newer-producer surprises.
+        # Backend and surrogate-routing counters are extras this version
+        # writes itself — they round-trip silently, not as newer-producer
+        # surprises.
         unknown = {k: v for k, v in unknown.items()
-                   if not k.startswith(BACKEND_PREFIX)}
+                   if not k.startswith((BACKEND_PREFIX, SURROGATE_PREFIX))}
         fresh = sorted(set(unknown) - _warned_extras)
         if fresh:
             _warned_extras.update(fresh)

@@ -1,0 +1,138 @@
+"""The surrogate registry: lookup, routing decisions, and their telemetry.
+
+A :class:`SurrogateRegistry` holds fitted :class:`SurrogateModel` s keyed
+by (technology, topology signature, operating region) and turns a query
+spec into one of three routing decisions:
+
+* **hit** — some model's full validity contract accepts the spec; the
+  closed-form answer is authoritative (within its recorded error bound).
+* **refusal** — candidate models exist for the spec's (technology,
+  topology) but every one declines: out of box, wrong damping regime,
+  template mismatch, or a violated error bound.  The refusal *reason* is
+  reported so callers can see why the fast path was not taken.
+* **miss** — no model covers the (technology, topology) at all.
+
+Refusals and misses both route to the full engines; the distinction
+matters operationally (a refusal names a fittable gap, a miss an unfitted
+space) and each decision increments its own ``repro_surrogate_*`` counter
+and lands in a trace span.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..analysis.driver_bank import DriverBankSpec
+from ..observability import metrics as obs_metrics
+from ..observability import trace
+from .model import SurrogateAnswer, SurrogateModel, topology_signature
+
+#: Prometheus-side counters (``repro_surrogate_refusals_total`` additionally
+#: carries a ``reason`` label with the refusal category).
+HITS_METRIC = "repro_surrogate_hits_total"
+MISSES_METRIC = "repro_surrogate_misses_total"
+REFUSALS_METRIC = "repro_surrogate_refusals_total"
+
+
+def _reason_category(reason: str) -> str:
+    """The metrics label of a refusal reason: the part before the colon."""
+    return reason.split(":", 1)[0].strip()
+
+
+class SurrogateRegistry:
+    """Thread-safe collection of fitted surrogates with routing telemetry."""
+
+    def __init__(self):
+        self._models: dict[tuple[str, str, str], SurrogateModel] = {}
+        self._lock = threading.Lock()
+
+    def register(self, model: SurrogateModel) -> tuple[str, str, str]:
+        """Add (or replace) the model under its (tech, topology, region) key."""
+        with self._lock:
+            self._models[model.key] = model
+        return model.key
+
+    def models(self) -> list[SurrogateModel]:
+        with self._lock:
+            return list(self._models.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._models.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._models)
+
+    # -- routing ---------------------------------------------------------------------
+
+    def lookup(self, spec: DriverBankSpec, options=None
+               ) -> tuple[SurrogateModel | None, str | None]:
+        """Route one query: ``(model, None)`` hit, ``(None, reason)`` refusal,
+        ``(None, None)`` miss.
+
+        Candidates are every registered model of the spec's (technology,
+        topology signature), across operating regions; each applies its own
+        validity contract.  The first acceptance wins; with none, the first
+        candidate's reason is reported.  Every decision increments its
+        ``repro_surrogate_*`` counter and is recorded in a trace span.
+        """
+        signature = topology_signature(spec)
+        with self._lock:
+            candidates = [m for (tech, topo, _), m in self._models.items()
+                          if tech == spec.technology.name and topo == signature]
+        outcome, reason, model = "miss", None, None
+        for candidate in candidates:
+            why = candidate.validate(spec, options=options)
+            if why is None:
+                outcome, model = "hit", candidate
+                break
+            if reason is None:
+                reason = why
+        if model is None and reason is not None:
+            outcome = "refusal"
+
+        if outcome == "hit":
+            obs_metrics.inc(HITS_METRIC)
+        elif outcome == "refusal":
+            obs_metrics.inc(REFUSALS_METRIC,
+                            labels={"reason": _reason_category(reason)})
+        else:
+            obs_metrics.inc(MISSES_METRIC)
+        with trace.span("surrogate_route", outcome=outcome,
+                        technology=spec.technology.name, topology=signature,
+                        reason=reason or ""):
+            pass
+        return model, reason
+
+    def answer(self, spec: DriverBankSpec, options=None) -> SurrogateAnswer | None:
+        """The microsecond peak answer, or None on refusal/miss."""
+        model, _ = self.lookup(spec, options=options)
+        if model is None:
+            return None
+        return model.answer(spec)
+
+    def route_simulation(self, spec: DriverBankSpec, options=None):
+        """``(simulation | None, outcome)`` for the engine-ladder integration.
+
+        ``outcome`` is ``"hit"``/``"refusal"``/``"miss"``; the simulation is
+        the synthesized closed-form :class:`SsnSimulation` on a hit, None
+        otherwise (the caller falls back to a full engine and tags the
+        fallback's telemetry with the outcome).
+        """
+        model, reason = self.lookup(spec, options=options)
+        if model is not None:
+            return model.simulation(spec), "hit"
+        return None, "refusal" if reason is not None else "miss"
+
+
+#: Process-wide default registry — what ``simulate_many(engine="surrogate")``
+#: and the ``--engine surrogate`` CLI flag consult.  Empty until something
+#: registers a fitted model, so the surrogate rung degrades to a pure
+#: pass-through (every spec a miss) out of the box.
+_default = SurrogateRegistry()
+
+
+def default_registry() -> SurrogateRegistry:
+    """The process-wide registry the surrogate engine rung consults."""
+    return _default

@@ -68,7 +68,7 @@ class TestResolveEngine:
             set_default_engine("vectorized")
 
     def test_engine_names_frozen(self):
-        assert ENGINES == ("auto", "batch", "scalar")
+        assert ENGINES == ("auto", "batch", "scalar", "surrogate")
 
 
 class TestSimulateManyRouting:

@@ -98,3 +98,108 @@ class TestFitSquareLaw:
         sq = models018.square_law
         assert float(sq.saturation_current(sq.vth - 0.1)) == 0.0
         assert float(sq.saturation_current(sq.vth + 1.0)) > 0.0
+
+
+def ideal_surface(law, vdd=1.8) -> IvSurface:
+    """A surface synthesized directly from a closed-form law — no device.
+
+    The ``vs`` rows all carry the same curve (the baselines ignore body
+    effect), so the fitters see ideal, noiseless data.
+    """
+    vg = np.arange(0.0, vdd + 1e-12, 0.01)
+    vs = np.array([0.0, 0.2, 0.4])
+    ids = np.tile(law(vg), (len(vs), 1))
+    return IvSurface(vg=vg, vs=vs, ids=ids, vdd=vdd)
+
+
+class TestIdealSurfaceRoundTrips:
+    """Generating parameters in, generating parameters out — no device model."""
+
+    def test_alpha_power_round_trip(self):
+        b, vth, alpha = 3.5e-3, 0.48, 1.32
+        surface = ideal_surface(
+            lambda vg: b * np.power(np.maximum(vg - vth, 0.0), alpha))
+        fitted, report = fit_alpha_power(surface)
+        assert fitted.b == pytest.approx(b, rel=1e-4)
+        assert fitted.vth == pytest.approx(vth, abs=1e-4)
+        assert fitted.alpha == pytest.approx(alpha, abs=1e-3)
+        assert report.max_relative_error < 1e-4
+
+    def test_square_law_round_trip(self):
+        beta, vth = 6.0e-3, 0.52
+        surface = ideal_surface(
+            lambda vg: 0.5 * beta * np.square(np.maximum(vg - vth, 0.0)))
+        fitted, report = fit_square_law(surface)
+        assert fitted.beta == pytest.approx(beta, rel=1e-6)
+        assert fitted.vth == pytest.approx(vth, abs=1e-6)
+        assert report.max_relative_error < 1e-9
+
+    def test_asdm_round_trip_from_raw_arrays(self):
+        truth = AsdmParameters(k=5.1e-3, v0=0.58, lam=1.12)
+        fitted, report = fit_asdm(surface_from_asdm(truth))
+        for got, want in [(fitted.k, truth.k), (fitted.v0, truth.v0),
+                          (fitted.lam, truth.lam)]:
+            assert got == pytest.approx(want, rel=1e-4)
+        assert np.isfinite([fitted.k, fitted.v0, fitted.lam]).all()
+        assert report.n_points > 0
+
+
+class TestRetentionEdge:
+    """floor_fraction edge cases must raise cleanly, never emit NaNs."""
+
+    def test_all_points_excluded_raises(self):
+        # A constant surface: every sample equals the peak, so a floor
+        # just below 1.0 retains everything — but a peak of zero retains
+        # nothing anywhere.
+        vg = np.linspace(0.0, 1.8, 10)
+        vs = np.array([0.0])
+        surface = IvSurface(vg=vg, vs=vs, ids=np.zeros((1, 10)), vdd=1.8)
+        with pytest.raises(ValueError, match="too few strongly-on"):
+            fit_asdm(surface, floor_fraction=0.5)
+
+    def test_near_unity_floor_raises_not_nan(self):
+        truth = AsdmParameters(k=4e-3, v0=0.6, lam=1.0)
+        surface = surface_from_asdm(truth)
+        with pytest.raises(ValueError, match="too few strongly-on"):
+            # Only the single peak sample survives a floor this high.
+            fit_asdm(surface, floor_fraction=0.999999)
+
+    def test_single_point_surface_raises(self):
+        surface = IvSurface(vg=np.array([1.8]), vs=np.array([0.0]),
+                            ids=np.array([[1e-3]]), vdd=1.8)
+        with pytest.raises(ValueError, match="too few strongly-on"):
+            fit_asdm(surface)
+
+    def test_alpha_power_thin_curve_raises(self):
+        vg = np.linspace(0.0, 1.8, 20)
+        ids = np.where(vg > 1.75, 1e-3, 1e-9)  # two points above any floor
+        surface = IvSurface(vg=vg, vs=np.array([0.0]),
+                            ids=ids[None, :], vdd=1.8)
+        with pytest.raises(ValueError, match="too few points"):
+            fit_alpha_power(surface)
+
+    def test_square_law_thin_curve_raises(self):
+        vg = np.linspace(0.0, 1.8, 20)
+        ids = np.where(vg > 1.75, 1e-3, 1e-9)
+        surface = IvSurface(vg=vg, vs=np.array([0.0]),
+                            ids=ids[None, :], vdd=1.8)
+        with pytest.raises(ValueError, match="too few points"):
+            fit_square_law(surface)
+
+    def test_degenerate_negative_slope_raises(self):
+        # Currents *fall* with Vg: the lstsq slope goes negative and the
+        # fit must refuse rather than return an unphysical K.
+        vg = np.linspace(0.5, 1.8, 30)
+        vs = np.array([0.0, 0.2])
+        ids = np.tile(np.linspace(2e-3, 1e-3, 30), (2, 1))
+        surface = IvSurface(vg=vg, vs=vs, ids=ids, vdd=1.8)
+        with pytest.raises(ValueError, match="non-positive transconductance"):
+            fit_asdm(surface, floor_fraction=0.01)
+
+    def test_square_law_negative_slope_raises(self):
+        vg = np.linspace(0.5, 1.8, 30)
+        ids = np.linspace(2e-3, 1e-3, 30)
+        surface = IvSurface(vg=vg, vs=np.array([0.0]),
+                            ids=ids[None, :], vdd=1.8)
+        with pytest.raises(ValueError, match="non-positive slope"):
+            fit_square_law(surface, floor_fraction=0.01)

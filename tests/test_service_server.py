@@ -305,3 +305,93 @@ class TestHttpSurface:
 
         raw = asyncio.run(scenario())
         assert raw.startswith(b"HTTP/1.1 400")
+
+
+class TestSurrogateFirst:
+    """The serving tier's new first layer: fitted models answer in-region."""
+
+    #: In-region for the box below; distinct from PARAMS so the two
+    #: namespaces never collide in the store.
+    IN_REGION = {"n_drivers": 4, "inductance": 3e-9, "rise_time": 0.5e-9,
+                 "tech": "tsmc018"}
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        from repro.surrogate import fit_surrogate
+
+        return fit_surrogate(
+            "tsmc018", n_drivers=(2, 6), inductance=(2e-9, 5e-9),
+            rise_time=(0.4e-9, 0.7e-9))
+
+    def warmed_store(self, tmp_path, model):
+        from repro.service import surrogate_key
+
+        store = ResultStore(tmp_path / "store")
+        store.put_surrogate(
+            surrogate_key(model.technology, model.topology,
+                          model.operating_region), model)
+        return store
+
+    def test_in_region_is_answered_surrogate_then_refined(
+            self, tmp_path, model, registry):
+        async def scenario():
+            self.warmed_store(tmp_path, model)
+            async with service_on(tmp_path) as service:
+                status, first = await post(service, "/simulate", self.IN_REGION)
+                # Background refinement publishes the golden record, after
+                # which the same request is an exact store hit.
+                await service.drain_background()
+                status2, refined = await post(service, "/simulate", self.IN_REGION)
+            return status, first, status2, refined
+
+        status, first, status2, refined = asyncio.run(scenario())
+        assert status == 200 and first["outcome"] == "surrogate"
+        assert first["engine"] == "surrogate"
+        assert first["surrogate"]["technology"] == "tsmc018"
+        assert first["surrogate"]["operating_region"] == "first_order"
+        assert first["telemetry"]["surrogate_hits"] == 1
+        golden = simulate_ssn(spec_of(self.IN_REGION))
+        bound = first["surrogate"]["error_bound_percent"] / 100.0
+        assert abs(first["peak_voltage"] - golden.peak_voltage) <= (
+            bound * golden.peak_voltage)
+        assert status2 == 200 and refined["outcome"] == "hit"
+        assert refined["peak_voltage"] == golden.peak_voltage
+        assert refined["key"] == first["key"]
+
+    def test_out_of_region_takes_the_full_path(self, tmp_path, model, registry):
+        async def scenario():
+            self.warmed_store(tmp_path, model)
+            async with service_on(tmp_path) as service:
+                params = dict(self.IN_REGION, n_drivers=40)
+                _, payload = await post(service, "/simulate", params)
+            return payload
+
+        payload = asyncio.run(scenario())
+        assert payload["outcome"] == "miss"  # computed, not surrogate
+
+    def test_per_request_and_per_server_opt_out(self, tmp_path, model, registry):
+        async def scenario():
+            self.warmed_store(tmp_path, model)
+            async with service_on(tmp_path) as service:
+                _, per_request = await post(
+                    service, "/simulate", dict(self.IN_REGION, surrogate=False))
+            async with service_on(tmp_path, surrogate=False) as service:
+                _, per_server = await post(service, "/simulate", self.IN_REGION)
+            return per_request, per_server
+
+        per_request, per_server = asyncio.run(scenario())
+        assert per_request["outcome"] in ("miss", "hit")
+        assert per_server["outcome"] in ("miss", "hit")
+
+    def test_surrogate_metrics_are_exported(self, tmp_path, model, registry):
+        async def scenario():
+            self.warmed_store(tmp_path, model)
+            async with service_on(tmp_path) as service:
+                await post(service, "/simulate", self.IN_REGION)
+                return await arequest(
+                    "127.0.0.1", service.port, "GET", "/metrics")
+
+        status, text = asyncio.run(scenario())
+        assert status == 200
+        assert "repro_surrogate_hits_total" in text
+        assert "repro_surrogate_warmed_total" in text
