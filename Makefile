@@ -2,7 +2,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: install test bench bench-smoke bench-perf campaign-smoke trace-smoke softdep-smoke serve-smoke surrogate-smoke reports examples clean
+.PHONY: install test bench bench-smoke bench-perf campaign-smoke trace-smoke softdep-smoke serve-smoke surrogate-smoke status-smoke reports examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -69,6 +69,13 @@ serve-smoke:
 # refusal routes to the full simulator with waveform parity.
 surrogate-smoke:
 	$(PY) scripts/surrogate_smoke.py
+
+# Operational-health smoke: a live server answers a surrogate hit with
+# the shadow audit forced on, /statusz is schema-checked, and the
+# durable event journal is replayed offline through the status/events
+# CLI.  Strict RuntimeWarnings inside the script.
+status-smoke:
+	$(PY) scripts/status_smoke.py
 
 # Regenerate every paper artifact into benchmarks/reports/*.txt and
 # the run logs the task description asks for.

@@ -43,7 +43,9 @@ import time
 import numpy as np
 import pytest
 
+from repro.analysis.campaign import CampaignConfig, CampaignRunner
 from repro.analysis.driver_bank import DriverBankSpec
+from repro.observability import events as obs_events
 from repro.observability import metrics as obs_metrics
 from repro.observability import trace as obs_trace
 from repro.process import TSMC018
@@ -607,4 +609,100 @@ def test_tracing_overhead(tech018, wall_clock, perf_report, publish, quick):
         f"({100 * enabled_fraction:+.1f}%, {len(tracer.spans)} spans)\n"
         f"disabled-instrumentation bound: {100 * disabled_fraction:.2f}% "
         f"of the untraced run (budget {100 * MAX_DISABLED_OVERHEAD:.0f}%)\n",
+    )
+
+
+def test_events_overhead(tech018, wall_clock, perf_report, publish, quick,
+                         tmp_path):
+    """The event journal must be free when off and cheap when on.
+
+    Three measurements on one checkpointed campaign — the workload that
+    crosses the most journal sites per run (chunk lifecycle, checkpoint
+    publication, pool adoption):
+
+    * the journal-off wall clock (emit sites present but disabled — the
+      shape every direct run has);
+    * the same campaign with a durable file-backed journal enabled, with
+      peak parity asserted; the recorded event count is the *proof* of
+      how many emit sites the run actually crosses;
+    * the disabled :func:`~repro.observability.events.emit` no-op
+      micro-timed, then scaled by the proven site count.  That bounds the
+      disabled journal's share of the run as a ratio of back-to-back
+      timings on one host (shared-runner noise largely cancels), so it is
+      asserted even in ``--quick`` mode.
+    """
+    counts = QUICK_SWEEP_COUNTS if quick else SWEEP_COUNTS
+    reps = 1 if quick else TIMING_REPS
+    ckpt = tmp_path / "campaign.jsonl"
+    base = _spec(tech018, 1)
+    specs = [dataclasses.replace(base, n_drivers=n) for n in counts]
+
+    def run():
+        simulate_ssn_cache_clear()
+        if ckpt.exists():
+            ckpt.unlink()
+        runner = CampaignRunner(CampaignConfig(
+            chunk_size=2, max_workers=1, engine="scalar",
+            backoff_base=0.0, checkpoint=ckpt))
+        return [s.peak_voltage for s in runner.run_simulate(specs)]
+
+    run()  # warm model caches and lazy imports before timing
+
+    peaks_off = _best_of(wall_clock, "events_off", run, reps)
+
+    journal = obs_events.enable_events(tmp_path / "events.jsonl")
+    try:
+        peaks_on = _best_of(wall_clock, "events_on", run, reps)
+        recorded = journal.recorded
+    finally:
+        obs_events.disable_events()
+    assert max(abs(a - b) for a, b in zip(peaks_on, peaks_off)) <= PARITY_TOL
+    assert recorded > 0, "journaled campaign recorded no events"
+    # The journal accumulated across every timing rep; each rep crosses
+    # the same deterministic site sequence.
+    hot_sites = max(1, recorded // reps)
+
+    # Disabled-path cost per site: one emit() call — a module-global read
+    # and a None check after Python packs the keyword attributes.
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        obs_events.emit("chunk_retry", chunk=0, attempt=1)
+    per_site = (time.perf_counter() - start) / calls
+    # 2x the proven count is a safety margin for sites a clean run skips
+    # (retries, degradations, quarantines, flight recording).
+    disabled_fraction = (
+        2 * hot_sites * per_site / wall_clock.timings["events_off"]
+    )
+    enabled_fraction = wall_clock.speedup("events_on", "events_off") - 1.0
+
+    assert disabled_fraction < MAX_DISABLED_OVERHEAD
+
+    if quick:
+        return
+
+    payload = {
+        "events_overhead": {
+            "sweep_counts": counts,
+            "journal_off_seconds": wall_clock.timings["events_off"],
+            "journal_on_seconds": wall_clock.timings["events_on"],
+            "events_per_run": hot_sites,
+            "noop_emit_seconds": per_site,
+            "disabled_overhead_fraction": disabled_fraction,
+            "enabled_overhead_fraction": enabled_fraction,
+            "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+            "timing_reps": reps,
+        },
+    }
+    perf_report(payload)
+
+    publish(
+        "bench_perf_events",
+        "event-journal overhead on one checkpointed campaign "
+        f"({len(counts)} specs)\n\n"
+        f"journal off {wall_clock.timings['events_off']:.2f}s -> durable "
+        f"journal on {wall_clock.timings['events_on']:.2f}s "
+        f"({100 * enabled_fraction:+.1f}%, {hot_sites} events/run)\n"
+        f"disabled-journal bound: {100 * disabled_fraction:.2f}% of the "
+        f"journal-off run (budget {100 * MAX_DISABLED_OVERHEAD:.0f}%)\n",
     )

@@ -1,0 +1,129 @@
+"""Operational-health smoke: surrogate hit -> forced audit -> /statusz.
+
+Drives one in-process :class:`repro.service.SsnService` (ephemeral port,
+throwaway store pre-seeded with a quick-fitted surrogate, audit fraction
+forced to 1.0) through the health layer end to end:
+
+* ``/healthz`` answers ``ok`` once the warm-up scan registered the model;
+* an in-region ``/simulate`` is answered by the surrogate and enrolled
+  in the shadow audit;
+* draining the background refinement resolves the audit against the
+  golden record (samples >= 1, no demotion — the model is honest);
+* ``/statusz`` carries the versioned schema: store state, request/outcome
+  totals, latency quantiles, the SLO window, audit summaries and the
+  event-journal tail;
+* after the server closes, the durable journal on disk replays the
+  request sequence, and ``repro status --store`` / ``repro events``
+  summarize it offline.
+
+Runs under ``-W``-style strict RuntimeWarnings (installed below, so the
+gate travels with the script).  Run via ``make status-smoke``; CI's
+``status-smoke`` job executes it next to the service suites.
+"""
+
+import asyncio
+import tempfile
+import warnings
+from pathlib import Path
+
+warnings.simplefilter("error", RuntimeWarning)
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.observability import events as obs_events  # noqa: E402
+from repro.observability.health import STATUS_SCHEMA_VERSION  # noqa: E402
+from repro.service import (  # noqa: E402
+    ResultStore,
+    SsnService,
+    arequest,
+    surrogate_key,
+)
+from repro.surrogate import fit_surrogate  # noqa: E402
+
+IN_REGION = {"n_drivers": 4, "inductance": 3e-9, "rise_time": 0.5e-9,
+             "tech": "tsmc018"}
+
+
+def check(condition, label):
+    if not condition:
+        raise SystemExit(f"status smoke FAILED: {label}")
+    print(f"  ok: {label}")
+
+
+async def drive(root: str) -> None:
+    print("fitting and persisting a quick surrogate")
+    model = fit_surrogate(
+        "tsmc018", n_drivers=(2, 6), inductance=(2e-9, 5e-9),
+        rise_time=(0.4e-9, 0.7e-9), samples_per_knob=2)
+    store = ResultStore(root)
+    store.put_surrogate(
+        surrogate_key(model.technology, model.topology,
+                      model.operating_region), model)
+
+    service = SsnService(store_root=root, port=0, audit_fraction=1.0)
+    await service.start()
+    try:
+        async def get(path):
+            return await arequest("127.0.0.1", service.port, "GET", path)
+
+        status, health = await get("/healthz")
+        check(status == 200 and health["status"] == "ok",
+              "healthz reports ready after the warm-up scan")
+
+        status, first = await arequest(
+            "127.0.0.1", service.port, "POST", "/simulate", IN_REGION)
+        check(status == 200 and first["outcome"] == "surrogate",
+              "in-region request answered by the surrogate tier")
+
+        # The background golden refinement is the audit's reference; with
+        # fraction 1.0 this request is guaranteed to be enrolled.
+        await service.drain_background()
+
+        status, payload = await get("/statusz")
+        check(status == 200 and payload["schema"] == STATUS_SCHEMA_VERSION,
+              "statusz carries the versioned schema")
+        check(payload["status"] == "ok" and payload["ready"] is True,
+              "statusz reports ready")
+        check(payload["store"]["records"] >= 2,
+              "store holds the surrogate and its golden refinement")
+        totals = payload["requests"]["totals"]
+        check(totals["simulate"].get("surrogate") == 1.0,
+              "request totals count the surrogate outcome")
+        check("/simulate" in payload["latency"],
+              "latency quantiles cover the request path")
+        check(payload["slo"]["error_budget"]["state"] == "ok",
+              "error budget intact")
+        audit = payload["surrogate"]["audit"]
+        region = "/".join((model.technology, model.topology,
+                           model.operating_region))
+        check(audit["regions"].get(region, {}).get("samples", 0) >= 1,
+              "shadow audit resolved at least one sample")
+        check(audit["regions"][region]["demoted"] is False,
+              "an honest model is not demoted")
+        check(payload["events"]["recorded"] >= 3,
+              "statusz exposes the journal tail")
+    finally:
+        await service.close()
+
+    journal_path = Path(root) / "events.jsonl"
+    events = obs_events.read_journal(journal_path)
+    names = [event["name"] for event in events]
+    check("service_ready" in names and "service_request" in names
+          and "surrogate_audited" in names,
+          "durable journal replays the sequence after the server is gone")
+
+    print("offline CLI views over the same store")
+    check(cli_main(["status", "--store", root]) == 0, "repro status --store")
+    check(cli_main(["events", "summarize", str(journal_path)]) == 0,
+          "repro events summarize")
+    check(cli_main(["events", "tail", str(journal_path), "-n", "3"]) == 0,
+          "repro events tail")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        asyncio.run(drive(root))
+    print("status smoke ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -53,6 +53,8 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from ..observability import events as obs_events
+from ..observability import health as obs_health
 from ..observability import metrics as obs_metrics
 from ..observability import trace
 from ..observability.atomic import atomic_write
@@ -115,6 +117,9 @@ class CampaignConfig:
             :func:`repro.analysis.parallel.parallel_map`).
         engine: starting engine rung (``"batch"``/``"scalar"``/``"auto"``;
             default per :func:`repro.analysis.engine.resolve_engine`).
+        flight_dir: directory for a flight-recorder bundle (last events +
+            spans + metrics) dumped when an instance exhausts the whole
+            recovery ladder (default: ``$REPRO_FLIGHT_DIR``, else none).
     """
 
     checkpoint: str | os.PathLike | None = None
@@ -126,6 +131,7 @@ class CampaignConfig:
     backoff_cap: float = 1.0
     max_workers: int | None = None
     engine: str | None = None
+    flight_dir: str | os.PathLike | None = None
 
     def __post_init__(self):
         if self.chunk_size < 1:
@@ -259,6 +265,7 @@ class CampaignRunner:
         self.telemetry.checkpoint_writes += 1
         obs_metrics.observe("repro_checkpoint_write_seconds",
                             trace.elapsed(sp, start))
+        obs_events.emit("checkpoint_write", path=str(path), chunks=len(done))
 
     def _load_journal(self, path: Path, header: dict) -> dict[int, dict]:
         """Replay a journal, validating it belongs to this exact workload."""
@@ -348,6 +355,13 @@ class CampaignRunner:
             f"recovery ladder {degradation_rungs(rung0)}: {last_exc}"
         )
         error.telemetry = self.telemetry
+        # The campaign is about to die unrecovered: journal the moment and
+        # dump a flight bundle (events + spans + metrics) for the operator.
+        obs_events.emit("campaign_unrecovered", chunk=ci, index=index,
+                        error=str(last_exc))
+        obs_health.maybe_flight_record(
+            self.config.flight_dir, "campaign_unrecovered",
+            extra={"chunk": ci, "index": index, "error": str(last_exc)})
         raise error from last_exc
 
     def _run_chunk(self, ci: int, indices: Sequence[int],
@@ -365,6 +379,8 @@ class CampaignRunner:
                     break
                 except Exception:
                     chunk_sp.add_event("bulk_attempt_failed", attempt=attempt)
+                    obs_events.emit("chunk_retry", chunk=ci, attempt=attempt,
+                                    engine=rung0)
                     if attempt < cfg.max_retries:
                         tally.retries += 1
                         self._sleep_backoff(attempt)
@@ -378,6 +394,7 @@ class CampaignRunner:
             # walking its own rung ladder.
             tally.chunks_failed += 1
             chunk_sp.add_event("per_instance_recovery")
+            obs_events.emit("chunk_degraded", chunk=ci, engine=rung0)
             records = [
                 self._recover_instance(ci, i, spec, rung0, tally, options)
                 for i, spec in zip(indices, specs)
@@ -441,6 +458,8 @@ class CampaignRunner:
                 if cfg.resume:
                     done = self._load_journal(path, header)
                     csp.set_attribute("resumed_chunks", len(done))
+                    obs_events.emit("campaign_resumed", kind=kind,
+                                    chunks=len(done))
                 else:
                     # Fresh run: commit a header-only journal immediately so
                     # an interrupt during the first chunk still leaves valid

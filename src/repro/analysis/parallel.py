@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..observability import events as obs_events
 from ..observability import metrics as obs_metrics
 from ..observability import trace
 from ..spice.telemetry import SolverTelemetry, record_session
@@ -86,39 +87,44 @@ def resolve_workers(max_workers: int | None = None) -> int:
     return max_workers
 
 
-def _observability_config() -> tuple[dict | None, bool] | None:
-    """The parent's tracing/metrics state as a picklable worker bootstrap.
+def _observability_config() -> tuple[dict | None, bool, dict | None] | None:
+    """The parent's tracing/metrics/events state as a picklable bootstrap.
 
-    None when both are disabled (the production default), keeping the
+    None when all three are disabled (the production default), keeping the
     worker payload byte-identical to the uninstrumented one.
     """
     tracer = trace.active_tracer()
     want_metrics = obs_metrics.active_registry() is not None
-    if tracer is None and not want_metrics:
+    journal = obs_events.active_journal()
+    if tracer is None and not want_metrics and journal is None:
         return None
-    return (None if tracer is None else tracer.config(), want_metrics)
+    return (None if tracer is None else tracer.config(), want_metrics,
+            None if journal is None else journal.config())
 
 
 def _pool_invoke(
     payload: tuple[Callable[[T], R], int, T, tuple | None]
-) -> tuple[R, list | None, dict | None]:
+) -> tuple[R, list | None, dict | None, list | None]:
     """Worker-side shim: publish the task index as fault scope, then call.
 
     Module-level (picklable) on purpose.  The ``worker`` probe is what lets
     the fault injector kill this specific worker process deterministically;
     with no fault plan installed it is a no-op.
 
-    When the parent traces or collects metrics, a fresh tracer/registry is
-    enabled around the call and its serialized spans/metrics ride back with
-    the result, where :func:`parallel_map_traced` re-parents the spans
-    under the dispatching span (cross-process stitching).
+    When the parent traces, collects metrics or journals events, a fresh
+    tracer/registry/journal is enabled around the call and its serialized
+    spans/metrics/events ride back with the result, where
+    :func:`parallel_map_traced` re-parents the spans under the dispatching
+    span and folds metrics and events into the parent (cross-process
+    stitching).  Worker journals are memory-only — the parent's file keeps
+    exactly one writer.
     """
     fn, index, item, obs_cfg = payload
     with faults.scope(task=index):
         faults.probe("worker")
         if obs_cfg is None:
-            return fn(item), None, None
-        trace_cfg, want_metrics = obs_cfg
+            return fn(item), None, None, None
+        trace_cfg, want_metrics, events_cfg = obs_cfg
         if trace_cfg is not None:
             # Offset the sampling seed per task so head-based sampling
             # draws independently across the fleet, yet deterministically
@@ -132,12 +138,17 @@ def _pool_invoke(
             trace.enable_tracing(**cfg)
         if want_metrics:
             obs_metrics.enable_metrics()
+        if events_cfg is not None:
+            obs_events.enable_events(**events_cfg)
         try:
             result = fn(item)
-            return result, trace.snapshot_spans(), obs_metrics.snapshot_metrics()
+            return (result, trace.snapshot_spans(),
+                    obs_metrics.snapshot_metrics(),
+                    obs_events.snapshot_events() or None)
         finally:
             trace.disable_tracing()
             obs_metrics.disable_metrics()
+            obs_events.disable_events()
 
 
 def parallel_map(
@@ -220,13 +231,15 @@ def parallel_map_traced(
             # handing out the results.
             parent_id = trace.current_span_id()
             registry = obs_metrics.active_registry()
-            for _, spans_payload, metrics_payload in outs:
+            for _, spans_payload, metrics_payload, events_payload in outs:
                 if spans_payload:
                     trace.adopt_spans(spans_payload, parent_id=parent_id)
                 if metrics_payload and registry is not None:
                     registry.merge_dict(metrics_payload)
+                if events_payload:
+                    obs_events.adopt_events(events_payload)
             sp.set_attribute("used_pool", True)
-            return [result for result, _, _ in outs], True
+            return [result for result, _, _, _ in outs], True
         warnings.warn(
             "process pool broke; recomputing the map serially",
             RuntimeWarning, stacklevel=2,
@@ -238,6 +251,7 @@ def parallel_map_traced(
         else:
             record_session(SolverTelemetry(degradations=1))
         obs_metrics.inc("repro_pool_degradations_total")
+        obs_events.emit("pool_degraded", items=len(work))
         sp.add_event("pool_degraded_to_serial")
         sp.set_attribute("used_pool", False)
         return [fn(item) for item in work], False

@@ -18,6 +18,11 @@ Seven commands cover the library's day-to-day uses:
   front end answering simulate/sweep/montecarlo queries from the
   persistent content-addressed result store, deduplicating identical
   in-flight requests and dispatching misses onto the campaign runner.
+* ``status``    — operational health: fetch a running server's
+  ``/statusz`` snapshot (``--url``), or summarize a store directory and
+  its durable event journal offline (``--store``/``--events``).
+* ``events``    — inspect durable event journals: ``events tail`` prints
+  the most recent entries, ``events summarize`` the per-name counts.
 * ``surrogate`` — fit and inspect the microsecond surrogate tier
   (:mod:`repro.surrogate`): ``surrogate fit`` characterizes a technology
   over a parameter box and persists the fitted model (with validity
@@ -60,6 +65,7 @@ from .analysis.driver_bank import DriverBankSpec
 from .analysis.engine import ENGINES, set_default_engine
 from .spice.mna import SPARSE_MODES, set_default_sparse
 from .observability import atomic_write_json, summarize_trace_file
+from .observability import events as obs_events
 from .observability import metrics as obs_metrics
 from .observability import trace as obs_trace
 from .observability.export import write_chrome_trace, write_prometheus
@@ -363,6 +369,48 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--no-refine", action="store_true",
                      help="skip the background golden refinement behind "
                      "surrogate answers")
+    srv.add_argument("--events", metavar="PATH", default="auto",
+                     help="durable event-journal file (default: "
+                     "events.jsonl inside the store)")
+    srv.add_argument("--no-events", action="store_true",
+                     help="disable the durable event journal")
+    srv.add_argument("--audit-fraction", type=float, default=0.1,
+                     metavar="F",
+                     help="fraction of surrogate answers shadow-audited "
+                     "against their golden refinement (default 0.1; "
+                     "0 disables)")
+    srv.add_argument("--flight-dir", metavar="DIR", default=None,
+                     help="directory for flight-recorder bundles on "
+                     "compute crashes (default: $REPRO_FLIGHT_DIR, "
+                     "else disabled)")
+
+    st = sub.add_parser(
+        "status",
+        help="operational health: query a server's /statusz or summarize "
+        "a store + event journal offline")
+    st.add_argument("--url", metavar="URL", default=None,
+                    help="base URL of a running server "
+                    "(e.g. http://127.0.0.1:8431); fetches /statusz")
+    st.add_argument("--store", metavar="DIR", default=".repro_store",
+                    help="result-database directory for the offline view "
+                    "(default .repro_store)")
+    st.add_argument("--events", metavar="PATH", default=None,
+                    help="event-journal file for the offline view "
+                    "(default: events.jsonl inside the store)")
+    st.add_argument("--json", action="store_true",
+                    help="print the raw /statusz JSON (with --url)")
+
+    ev = sub.add_parser(
+        "events", help="inspect durable event journals (JSONL)")
+    ev_sub = ev.add_subparsers(dest="events_command", required=True)
+    ev_tail = ev_sub.add_parser(
+        "tail", help="print the most recent journal events")
+    ev_tail.add_argument("file", help="event-journal JSONL file")
+    ev_tail.add_argument("-n", "--lines", type=int, default=10, metavar="N",
+                         help="events to show (default 10)")
+    ev_sum = ev_sub.add_parser(
+        "summarize", help="print per-event-name counts of a journal")
+    ev_sum.add_argument("file", help="event-journal JSONL file")
 
     sg = sub.add_parser(
         "surrogate",
@@ -599,12 +647,121 @@ def _run_serve(args) -> str:
         chunk_size=args.chunk_size, max_workers=args.workers,
         surrogate=not args.no_surrogate,
         surrogate_refine=not args.no_refine,
+        audit_fraction=args.audit_fraction,
+        events_path=None if args.no_events else args.events,
+        flight_dir=args.flight_dir,
     )
     try:
         run_server(config, announce=lambda line: print(line, flush=True))
     except KeyboardInterrupt:
         pass
     return "server stopped"
+
+
+def _statusz_lines(payload: dict) -> list[str]:
+    """Render a ``/statusz`` JSON snapshot as a short human report."""
+    lines = [f"status: {payload.get('status', '?')}"]
+    store = payload.get("store") or {}
+    if store:
+        lines.append(f"  store: {store.get('records', '?')} records, "
+                     f"{store.get('quarantined', 0)} quarantined "
+                     f"({store.get('root', '?')})")
+    lines.append(f"  inflight: {payload.get('inflight', 0)}")
+    slo = payload.get("slo") or {}
+    if slo:
+        budget = slo.get("error_budget") or {}
+        lines.append(
+            f"  slo[{slo.get('window_seconds', '?')}s]: "
+            f"{slo.get('requests', 0)} requests, "
+            f"error rate {slo.get('error_rate', 0.0):.4f}, "
+            f"hit rate {slo.get('hit_rate', 0.0):.2f}, "
+            f"surrogate rate {slo.get('surrogate_rate', 0.0):.2f}, "
+            f"budget {budget.get('state', '?')} "
+            f"({budget.get('remaining', 0.0):.2f} remaining)")
+    surrogate = payload.get("surrogate") or {}
+    if surrogate:
+        audit = surrogate.get("audit") or {}
+        lines.append(f"  surrogate: {surrogate.get('models', 0)} models, "
+                     f"audit fraction {audit.get('fraction', 0.0):g}, "
+                     f"{audit.get('pending', 0)} audits pending")
+        for region, stats in sorted((audit.get("regions") or {}).items()):
+            flag = "  DEMOTED" if stats.get("demoted") else ""
+            lines.append(
+                f"    {region}: {stats.get('samples', 0)} audited, "
+                f"max err {stats.get('max_abs_percent', 0.0):.2f}%{flag}")
+        for slot in audit.get("demoted") or []:
+            lines.append(
+                f"    demoted {slot.get('technology')}/{slot.get('topology')}"
+                f"/{slot.get('operating_region')}: {slot.get('reason')}")
+    events = payload.get("events") or {}
+    if events:
+        lines.append(f"  events: {events.get('recorded', 0)} recorded "
+                     f"-> {events.get('path') or '(memory only)'}")
+    return lines
+
+
+def _run_status(args) -> str:
+    if args.url:
+        # Local import: only this branch needs an HTTP client.
+        import json
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/statusz"
+        try:
+            with urllib.request.urlopen(url, timeout=10) as response:
+                payload = json.loads(response.read().decode())
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"status: cannot fetch {url}: {exc}") from None
+        if args.json:
+            return json.dumps(payload, indent=2, sort_keys=True)
+        return "\n".join([f"statusz from {url}:"] + _statusz_lines(payload))
+
+    # Offline view: summarize the store directory and its event journal.
+    import json
+    from pathlib import Path
+
+    from .service import ResultStore
+
+    root = Path(args.store)
+    if not root.exists():
+        raise SystemExit(f"status: no store at {root} "
+                         "(pass --store or --url)")
+    store = ResultStore(root)
+    events_path = Path(args.events) if args.events else root / "events.jsonl"
+    lines = [
+        f"store {root}: {len(store)} records, "
+        f"{len(store.quarantined())} quarantined",
+    ]
+    kinds: dict[str, int] = {}
+    for path in sorted(root.glob("??/*.json")):
+        try:
+            record = json.loads(path.read_text())
+            kind = record.get("kind", "?") if isinstance(record, dict) else "?"
+        except (OSError, ValueError):
+            kind = "?"
+        kinds[kind] = kinds.get(kind, 0) + 1
+    for kind in sorted(kinds):
+        lines.append(f"  {kind}: {kinds[kind]}")
+    if events_path.exists():
+        events = obs_events.read_journal(events_path)
+        lines.append(f"journal {events_path}:")
+        lines.extend("  " + line for line in
+                     obs_events.summarize_events(events).splitlines())
+    else:
+        lines.append(f"journal {events_path}: (absent)")
+    return "\n".join(lines)
+
+
+def _run_events(args) -> str:
+    events = obs_events.read_journal(args.file)
+    if args.events_command == "tail":
+        if not events:
+            return f"{args.file}: no events"
+        shown = events[-max(args.lines, 0):]
+        return "\n".join(obs_events.format_event(event) for event in shown)
+    return "\n".join([f"{args.file}:"] +
+                     ["  " + line for line in
+                      obs_events.summarize_events(events).splitlines()])
 
 
 def _parse_interval(text: str, name: str) -> tuple[float, float]:
@@ -721,6 +878,8 @@ def main(argv=None) -> int:
         "montecarlo": _run_montecarlo,
         "simulate": _run_simulate,
         "serve": _run_serve,
+        "status": _run_status,
+        "events": _run_events,
         "surrogate": _run_surrogate,
         "trace": _run_trace,
     }

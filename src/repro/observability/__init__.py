@@ -14,12 +14,40 @@ Three cooperating pieces, all process-local and off by default:
   timeline summaries; :mod:`~repro.observability.atomic` publishes every
   artifact via tempfile + fsync + ``os.replace``.
 
-See ``docs/observability.md`` for the span taxonomy, bucket layouts,
-overhead budget and CLI workflow (``--trace`` / ``--metrics`` /
-``repro trace summarize``).
+Two operational layers build on those three:
+
+* :mod:`~repro.observability.events` — a durable, schema-versioned JSONL
+  event journal (bounded ring + atomic rotation, cross-ProcessPool
+  adoption, span correlation ids) recording what *happened*: request
+  outcomes, chunk retries, quarantines, surrogate demotions.
+* :mod:`~repro.observability.health` — the operator view: rolling-window
+  SLO rates, the ``/statusz`` payload, and the crash-time flight
+  recorder.
+
+See ``docs/observability.md`` for the span taxonomy, event schema, bucket
+layouts, overhead budget and CLI workflow (``--trace`` / ``--metrics`` /
+``repro trace summarize`` / ``repro events`` / ``repro status``).
 """
 
 from .atomic import atomic_write, atomic_write_json
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    EventJournal,
+    active_journal,
+    adopt_events,
+    disable_events,
+    emit,
+    enable_events,
+    read_journal,
+    snapshot_events,
+    summarize_events,
+)
+from .health import (
+    SloAggregator,
+    flight_record,
+    maybe_flight_record,
+    statusz_snapshot,
+)
 from .metrics import (
     MetricsRegistry,
     active_registry,
@@ -48,21 +76,35 @@ from .export import (
 )
 
 __all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EventJournal",
     "MetricsRegistry",
+    "SloAggregator",
     "Span",
     "Tracer",
+    "active_journal",
     "active_registry",
     "active_tracer",
+    "adopt_events",
     "adopt_spans",
     "atomic_write",
     "atomic_write_json",
     "current_span_id",
+    "disable_events",
     "disable_metrics",
     "disable_tracing",
+    "emit",
+    "enable_events",
     "enable_metrics",
     "enable_tracing",
+    "flight_record",
+    "maybe_flight_record",
+    "read_journal",
+    "snapshot_events",
     "snapshot_spans",
     "span",
+    "statusz_snapshot",
+    "summarize_events",
     "summarize_trace_file",
     "timeline_summary",
     "to_chrome_trace",

@@ -1,0 +1,285 @@
+"""Durable, schema-versioned operational event journal.
+
+Where :mod:`~repro.observability.trace` answers "how long did this take"
+and :mod:`~repro.observability.metrics` answers "how often", the event
+journal answers "*what happened, in order*": request outcomes, campaign
+chunk retries and degradations, checkpoint writes, store quarantines,
+surrogate refusals and demotions.  It is the substrate the health surface
+(``/statusz``, the flight recorder, ``repro events``) reads from, and —
+because events survive process restarts as append-only JSONL — the record
+an operator replays after an incident.
+
+Design mirrors the tracer:
+
+* **Off by default, near-zero when off** — :func:`emit` is one module
+  global read and a ``None`` check when no journal is enabled.
+* **Module-global journal** — :func:`enable_events` / :func:`disable_events`
+  / :func:`active_journal`, so instrumented call sites never thread a
+  journal handle through APIs.
+* **Cross-ProcessPool adoption** — workers record into a memory-only
+  journal (:meth:`EventJournal.config` drops the path, so there is never
+  more than one writer per file); :func:`snapshot_events` rides the events
+  back with the results and :func:`adopt_events` folds them into the
+  parent, preserving each event's original ``(pid, seq)`` identity so
+  stitched streams are exactly-once.
+* **Correlation** — every event records the trace span id active at emit
+  time (``span_id``), linking the discrete log to the span tree.
+
+Durability: each event appends one JSONL line.  The line is written in a
+single buffered write *after* the ``crash-write`` fault probe fires
+(``faults.scope(phase="events")``), so an injected — or real — crash
+aborts before any bytes land and the journal never holds a torn line.
+When the segment exceeds ``max_bytes`` it is rotated: the last
+``ring_size`` events are rewritten through the shared
+:func:`~repro.observability.atomic.atomic_write`, bounding disk use while
+keeping recent history (a reader sees the old or the new segment, never a
+partial one).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from . import trace
+from .atomic import atomic_write
+from ..testing import faults
+
+#: Version stamped into every event; bump on any field-semantics change.
+EVENT_SCHEMA_VERSION = 1
+
+#: Default bound on the in-memory ring buffer (events kept for /statusz,
+#: flight-recorder bundles and rotation).
+DEFAULT_RING_SIZE = 512
+
+#: Default journal-segment size that triggers rotation, in bytes.
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+
+
+class EventJournal:
+    """A bounded in-memory ring plus an optional append-only JSONL segment.
+
+    Attributes:
+        path: journal file (``None`` = memory-only, the pool-worker mode).
+        ring_size: events retained in memory.
+        max_bytes: segment size beyond which the file is rotated down to
+            the ring's contents.
+        recorded: events recorded over this journal's lifetime (adopted
+            worker events included).
+    """
+
+    def __init__(self, path: str | os.PathLike | None = None,
+                 ring_size: int = DEFAULT_RING_SIZE,
+                 max_bytes: int = DEFAULT_MAX_BYTES):
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.path = None if path is None else Path(path)
+        self.ring_size = ring_size
+        self.max_bytes = max_bytes
+        self.recorded = 0
+        self._ring: collections.deque[dict] = collections.deque(
+            maxlen=ring_size)
+        self._seq = 0
+        self._pid = os.getpid()
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    # -- recording -------------------------------------------------------------------
+
+    def emit(self, name: str, **attributes) -> dict:
+        """Record one event; returns the event dict (also kept in the ring)."""
+        self._seq += 1
+        event = {
+            "schema": EVENT_SCHEMA_VERSION,
+            "seq": self._seq,
+            "t": time.time(),
+            "pid": self._pid,
+            "name": name,
+            "span_id": trace.current_span_id(),
+        }
+        if attributes:
+            event["attributes"] = attributes
+        self._record(event)
+        return event
+
+    def adopt(self, payload: Iterable[dict]) -> int:
+        """Fold events snapshotted in a worker process into this journal.
+
+        Events keep their worker-side identity (``pid``, ``seq``, ``t``,
+        ``span_id`` — worker spans are themselves adopted by the tracer, so
+        correlation ids stay resolvable) and are recorded in worker order,
+        so one worker's stream is never reordered and a discarded pool
+        attempt's events simply never arrive — exactly-once, like spans.
+        """
+        count = 0
+        for event in payload:
+            self._record(dict(event))
+            count += 1
+        return count
+
+    def _record(self, event: dict) -> None:
+        self._ring.append(event)
+        self.recorded += 1
+        if self.path is not None:
+            self._append_line(event)
+
+    def _append_line(self, event: dict) -> None:
+        line = json.dumps(event, sort_keys=True) + "\n"
+        # The probe fires *before* any bytes are written: an injected
+        # crash leaves the previous, fully-valid journal on disk.
+        with faults.scope(phase="events"):
+            faults.probe("checkpoint")
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size > self.max_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Shrink the on-disk segment to the ring's (recent) contents."""
+        lines = [json.dumps(event, sort_keys=True) + "\n"
+                 for event in self._ring]
+        mid = max(1, len(lines) // 2)
+
+        def chunks() -> Iterator[str]:
+            yield "".join(lines[:mid])
+            with faults.scope(phase="events"):
+                faults.probe("checkpoint")
+            yield "".join(lines[mid:])
+
+        atomic_write(self.path, chunks())
+
+    # -- reading ---------------------------------------------------------------------
+
+    def events(self) -> list[dict]:
+        """The ring's events, oldest first (copies of the live dicts)."""
+        return [dict(event) for event in self._ring]
+
+    def tail(self, n: int = 10) -> list[dict]:
+        """The most recent ``n`` events, oldest first."""
+        if n <= 0:
+            return []
+        return [dict(event) for event in list(self._ring)[-n:]]
+
+    # -- worker bootstrap ------------------------------------------------------------
+
+    def config(self) -> dict:
+        """Picklable bootstrap for pool workers.
+
+        Drops the path on purpose: workers journal to memory only (their
+        events ride back with the results), so the file always has exactly
+        one writer.
+        """
+        return {"ring_size": self.ring_size, "max_bytes": self.max_bytes}
+
+
+# -- module-global journal ---------------------------------------------------------
+
+_journal: EventJournal | None = None
+
+
+def enable_events(path: str | os.PathLike | None = None,
+                  ring_size: int = DEFAULT_RING_SIZE,
+                  max_bytes: int = DEFAULT_MAX_BYTES) -> EventJournal:
+    """Install (and return) the process's event journal."""
+    global _journal
+    _journal = EventJournal(path, ring_size=ring_size, max_bytes=max_bytes)
+    return _journal
+
+
+def disable_events() -> None:
+    """Remove the journal; :func:`emit` returns to its no-op fast path."""
+    global _journal
+    _journal = None
+
+
+def active_journal() -> EventJournal | None:
+    """The enabled journal, or None (the production default)."""
+    return _journal
+
+
+def emit(name: str, **attributes) -> dict | None:
+    """Record one event on the active journal; no-op (None) when disabled."""
+    journal = _journal
+    if journal is None:
+        return None
+    return journal.emit(name, **attributes)
+
+
+def snapshot_events() -> list[dict]:
+    """The active journal's ring as picklable dicts ([] when disabled)."""
+    journal = _journal
+    if journal is None:
+        return []
+    return journal.events()
+
+
+def adopt_events(payload: Iterable[dict]) -> int:
+    """Fold worker-side events into the active journal; 0 when disabled."""
+    journal = _journal
+    if journal is None:
+        return 0
+    return journal.adopt(payload)
+
+
+# -- journal files -----------------------------------------------------------------
+
+
+def read_journal(path: str | os.PathLike) -> list[dict]:
+    """Parse a journal file into event dicts, oldest first.
+
+    Blank and undecodable lines are skipped (the append protocol never
+    produces them, but an operator's journal should survive a stray edit).
+    """
+    events = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return events
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+def summarize_events(events: list[dict]) -> str:
+    """A per-name count table of an event stream (the CLI's summary view)."""
+    if not events:
+        return "no events"
+    counts: collections.Counter[str] = collections.Counter(
+        str(event.get("name", "?")) for event in events)
+    times = [event["t"] for event in events
+             if isinstance(event.get("t"), (int, float))]
+    width = max(len(name) for name in counts)
+    lines = [f"{len(events)} events, {len(counts)} kinds"]
+    if times:
+        lines[0] += f", spanning {max(times) - min(times):.3f} s"
+    for name, count in counts.most_common():
+        lines.append(f"  {name:<{width}}  {count}")
+    return "\n".join(lines)
+
+
+def format_event(event: dict) -> str:
+    """One human-readable journal line (the CLI's tail view)."""
+    stamp = event.get("t")
+    when = (time.strftime("%H:%M:%S", time.localtime(stamp))
+            if isinstance(stamp, (int, float)) else "--:--:--")
+    name = event.get("name", "?")
+    attrs = event.get("attributes") or {}
+    detail = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+    line = f"{when} [{event.get('pid', '?')}#{event.get('seq', '?')}] {name}"
+    return f"{line} {detail}" if detail else line

@@ -1,0 +1,286 @@
+"""Operational health surface: SLO aggregation, ``/statusz``, flight recorder.
+
+:mod:`~repro.observability.metrics` accumulates monotonically over a
+process's whole life, which answers "how much, ever" but not "is this
+deployment healthy *right now*".  This module layers the operator's view
+on top:
+
+* :class:`SloAggregator` — a rolling window of counter snapshots turned
+  into current rates (requests/s, error rate, hit and surrogate
+  fractions) and an error-budget state against a target error rate.
+* :func:`statusz_snapshot` — the ``GET /statusz`` JSON payload: readiness,
+  store and in-flight state, latency quantiles per endpoint (from the
+  fixed-bucket request histograms), request/outcome totals, SLO window,
+  surrogate audit state, and the event journal's tail.  ``/healthz``
+  stays the cheap liveness probe; this is the detailed, versioned view.
+* :func:`flight_record` — on an unrecovered campaign failure or a service
+  compute crash, dump the last-N events + span snapshot + metrics into a
+  single JSON bundle (atomic, and firing the ``crash-write`` fault probe
+  under ``faults.scope(phase="events")`` like every other durable write),
+  so the moments *before* an incident survive it.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from . import events as obs_events
+from . import metrics as obs_metrics
+from . import trace
+from .atomic import atomic_write
+from ..testing import faults
+
+#: Version stamped into /statusz payloads and flight bundles.
+STATUS_SCHEMA_VERSION = 1
+
+#: Environment fallback for the flight-recorder bundle directory.
+FLIGHT_ENV = "REPRO_FLIGHT_DIR"
+
+#: Request-path metric names the health view reads.
+REQUESTS_METRIC = "repro_service_requests_total"
+ERRORS_METRIC = "repro_service_errors_total"
+LATENCY_METRIC = "repro_service_request_seconds"
+
+#: Latency quantiles reported per endpoint.
+QUANTILES = (0.5, 0.9, 0.99)
+
+#: Disambiguates flight bundles written within one millisecond.
+_flight_counter = itertools.count()
+
+
+def _counter_value(metric) -> float:
+    return metric.value if isinstance(metric, obs_metrics.Counter) else 0.0
+
+
+def request_outcomes(registry: obs_metrics.MetricsRegistry
+                     ) -> dict[str, dict[str, float]]:
+    """``repro_service_requests_total`` as {endpoint: {outcome: count}}."""
+    outcomes: dict[str, dict[str, float]] = {}
+    for name, labels, metric in registry.items():
+        if name != REQUESTS_METRIC:
+            continue
+        label_map = dict(labels)
+        endpoint = label_map.get("endpoint", "?")
+        outcome = label_map.get("outcome", "?")
+        outcomes.setdefault(endpoint, {})[outcome] = _counter_value(metric)
+    return outcomes
+
+
+def error_counts(registry: obs_metrics.MetricsRegistry) -> dict[str, float]:
+    """``repro_service_errors_total`` per endpoint (500-answered requests)."""
+    errors: dict[str, float] = {}
+    for name, labels, metric in registry.items():
+        if name != ERRORS_METRIC:
+            continue
+        endpoint = dict(labels).get("endpoint", "?")
+        errors[endpoint] = _counter_value(metric)
+    return errors
+
+
+def latency_quantiles(registry: obs_metrics.MetricsRegistry,
+                      quantiles=QUANTILES) -> dict[str, dict[str, float]]:
+    """Per-endpoint request-latency quantiles from the bucket histograms.
+
+    Quantiles come from :meth:`MetricsRegistry.quantile` (bucket upper
+    bounds — conservative); NaN-valued entries (endpoint never observed)
+    are omitted so the payload stays JSON-clean.
+    """
+    latency: dict[str, dict[str, float]] = {}
+    for name, labels, metric in registry.items():
+        if name != LATENCY_METRIC or not isinstance(metric, obs_metrics.Histogram):
+            continue
+        endpoint = dict(labels).get("endpoint", "?")
+        per_q = {}
+        for q in quantiles:
+            value = metric.quantile(q)
+            if not math.isnan(value):
+                per_q[f"p{round(q * 100)}"] = value
+        if per_q:
+            latency[endpoint] = per_q
+    return latency
+
+
+class SloAggregator:
+    """Rolling-window service-level view over the monotonic counters.
+
+    Each :meth:`sample` snapshots the request/error totals; rates are the
+    delta between the oldest retained snapshot and now, so a long-lived
+    process reports *recent* health, not its lifetime average.  The error
+    budget compares the window's error rate against ``error_budget``
+    (errors per request): ``remaining`` is the unspent fraction of the
+    budget, clamped to [0, 1].
+    """
+
+    def __init__(self, window: float = 300.0, error_budget: float = 0.01):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if error_budget <= 0:
+            raise ValueError(f"error_budget must be positive, got {error_budget}")
+        self.window = window
+        self.error_budget = error_budget
+        self._samples: collections.deque[tuple[float, float, float, dict]] = (
+            collections.deque())
+
+    @staticmethod
+    def _totals(registry: obs_metrics.MetricsRegistry | None
+                ) -> tuple[float, float, dict[str, float]]:
+        if registry is None:
+            return 0.0, 0.0, {}
+        requests = 0.0
+        by_outcome: dict[str, float] = {}
+        for endpoint_outcomes in request_outcomes(registry).values():
+            for outcome, count in endpoint_outcomes.items():
+                requests += count
+                by_outcome[outcome] = by_outcome.get(outcome, 0.0) + count
+        errors = sum(error_counts(registry).values())
+        return requests, errors, by_outcome
+
+    def sample(self, registry: obs_metrics.MetricsRegistry | None,
+               now: float | None = None) -> None:
+        """Record one counter snapshot and prune beyond the window."""
+        now = time.monotonic() if now is None else now
+        requests, errors, by_outcome = self._totals(registry)
+        self._samples.append((now, requests, errors, by_outcome))
+        while (len(self._samples) > 1
+               and now - self._samples[0][0] > self.window):
+            self._samples.popleft()
+
+    def snapshot(self) -> dict:
+        """The current window's rates and error-budget state."""
+        if not self._samples:
+            return {
+                "window_seconds": self.window, "requests": 0,
+                "request_rate": 0.0, "error_rate": 0.0,
+                "hit_rate": 0.0, "surrogate_rate": 0.0,
+                "error_budget": {"target": self.error_budget,
+                                 "remaining": 1.0, "state": "ok"},
+            }
+        t0, req0, err0, out0 = self._samples[0]
+        t1, req1, err1, out1 = self._samples[-1]
+        span = max(t1 - t0, 1e-9)
+        requests = max(req1 - req0, 0.0)
+        errors = max(err1 - err0, 0.0)
+
+        def outcome_delta(outcome: str) -> float:
+            return max(out1.get(outcome, 0.0) - out0.get(outcome, 0.0), 0.0)
+
+        error_rate = errors / requests if requests else 0.0
+        remaining = max(0.0, min(1.0, 1.0 - error_rate / self.error_budget))
+        return {
+            "window_seconds": self.window,
+            "requests": requests,
+            "request_rate": requests / span if len(self._samples) > 1 else 0.0,
+            "error_rate": error_rate,
+            "hit_rate": outcome_delta("hit") / requests if requests else 0.0,
+            "surrogate_rate": (outcome_delta("surrogate") / requests
+                               if requests else 0.0),
+            "error_budget": {
+                "target": self.error_budget,
+                "remaining": remaining,
+                "state": "ok" if remaining > 0.0 else "exhausted",
+            },
+        }
+
+
+def statusz_snapshot(*, ready: bool, store: Mapping | None = None,
+                     inflight: int = 0,
+                     registry: obs_metrics.MetricsRegistry | None = None,
+                     slo: SloAggregator | None = None,
+                     surrogate: Mapping | None = None,
+                     journal: obs_events.EventJournal | None = None,
+                     events_tail: int = 5) -> dict:
+    """Assemble the versioned ``/statusz`` JSON payload."""
+    payload: dict = {
+        "schema": STATUS_SCHEMA_VERSION,
+        "status": "ok" if ready else "warming",
+        "ready": ready,
+        "inflight": inflight,
+    }
+    if store is not None:
+        payload["store"] = dict(store)
+    if registry is not None:
+        payload["requests"] = {
+            "totals": request_outcomes(registry),
+            "errors": error_counts(registry),
+        }
+        payload["latency"] = latency_quantiles(registry)
+    if slo is not None:
+        slo.sample(registry)
+        payload["slo"] = slo.snapshot()
+    if surrogate is not None:
+        payload["surrogate"] = dict(surrogate)
+    if journal is not None:
+        payload["events"] = {
+            "recorded": journal.recorded,
+            "path": None if journal.path is None else str(journal.path),
+            "tail": journal.tail(events_tail),
+        }
+    return payload
+
+
+# -- flight recorder ---------------------------------------------------------------
+
+
+def flight_record(directory: str | os.PathLike, reason: str, *,
+                  extra: Mapping | None = None) -> Path:
+    """Dump last-N events + span snapshot + metrics into one JSON bundle.
+
+    The bundle commits through :func:`atomic_write` with the
+    ``crash-write`` fault probe between its two chunks
+    (``faults.scope(phase="events")``), so torn-write atomicity is
+    testable exactly like checkpoints and store records: a crash leaves
+    either no bundle or a complete one.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = time.time()
+    bundle = {
+        "schema": STATUS_SCHEMA_VERSION,
+        "reason": reason,
+        "t": stamp,
+        "pid": os.getpid(),
+        "events": obs_events.snapshot_events(),
+        "spans": trace.snapshot_spans(),
+        "metrics": obs_metrics.snapshot_metrics(),
+        "extra": dict(extra or {}),
+    }
+    name = (f"flight-{int(stamp * 1000):013d}"
+            f"-{os.getpid()}-{next(_flight_counter)}.json")
+    text = json.dumps(bundle, sort_keys=True, indent=2, default=str) + "\n"
+    mid = max(1, len(text) // 2)
+
+    def chunks() -> Iterator[str]:
+        yield text[:mid]
+        with faults.scope(phase="events"):
+            faults.probe("checkpoint")
+        yield text[mid:]
+
+    path = atomic_write(directory / name, chunks())
+    obs_events.emit("flight_recorded", reason=reason, path=path.name)
+    return path
+
+
+def maybe_flight_record(directory: str | os.PathLike | None, reason: str, *,
+                        extra: Mapping | None = None) -> Path | None:
+    """Best-effort :func:`flight_record` on crash paths.
+
+    ``directory`` falls back to ``$REPRO_FLIGHT_DIR``; with neither set
+    this is a no-op.  Any failure writing the bundle is swallowed (and
+    counted) — the flight recorder runs while an unrecovered error is
+    already propagating, and must never mask it.
+    """
+    directory = directory or os.environ.get(FLIGHT_ENV) or None
+    if directory is None:
+        return None
+    try:
+        return flight_record(directory, reason, extra=extra)
+    except Exception:
+        obs_metrics.inc("repro_flight_record_errors_total")
+        return None

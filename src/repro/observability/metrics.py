@@ -176,6 +176,21 @@ class MetricsRegistry:
     def get(self, name: str, labels: Mapping[str, str] | None = None):
         return self._metrics.get((name, _label_key(labels)))
 
+    def quantile(self, name: str, q: float,
+                 labels: Mapping[str, str] | None = None) -> float:
+        """Approximate q-quantile of a histogram, NaN when never observed.
+
+        The health surface's latency view: a missing metric (endpoint
+        never hit) reports NaN rather than raising, so ``/statusz`` can
+        render every known endpoint uniformly.
+        """
+        metric = self.get(name, labels)
+        if metric is None:
+            return math.nan
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is not a histogram")
+        return metric.quantile(q)
+
     def __len__(self) -> int:
         return len(self._metrics)
 

@@ -28,13 +28,23 @@ Zero new dependencies: the HTTP/1.1 layer is hand-rolled on
 * ``POST /sweep``      — a knob sweep; each point goes through the same
   key/dedup/store path, so overlapping sweeps share work.
 * ``POST /montecarlo`` — a golden transient Monte Carlo distribution.
-* ``GET /healthz``     — liveness + store location.
+* ``GET /healthz``     — liveness + readiness (``"warming"`` until the
+  surrogate store warm-up completes) + store location.
+* ``GET /statusz``     — the detailed operational view
+  (:func:`repro.observability.health.statusz_snapshot`): latency
+  quantiles, request/outcome totals, rolling SLO rates and error budget,
+  surrogate audit state, event-journal tail.
 * ``GET /metrics``     — Prometheus text of the process registry
   (request/outcome counters, store activity, solver histograms).
 
 Prometheus metrics and trace spans (``service_request`` down to the
 solver's ``newton_solve``) thread through every path via
-:mod:`repro.observability`.
+:mod:`repro.observability`; request outcomes, compute crashes and
+surrogate audit decisions additionally land in the durable event journal
+(``events.jsonl`` next to the store by default), and a shadow audit
+(:mod:`repro.surrogate.audit`) re-checks a sampled fraction of
+surrogate-served answers against their background golden refinements,
+demoting a region whose observed error breaches its served tolerance.
 """
 
 from __future__ import annotations
@@ -49,6 +59,8 @@ from ..analysis.campaign import CampaignConfig, CampaignRunner, _rung_options
 from ..analysis.driver_bank import DriverBankSpec
 from ..analysis.montecarlo import DeviceSpread, transient_peak_distribution
 from ..analysis.simulate import simulate_ssn_cached_fresh
+from ..observability import events as obs_events
+from ..observability import health as obs_health
 from ..observability import metrics as obs_metrics
 from ..observability import trace
 from ..observability.export import to_prometheus_text
@@ -56,6 +68,7 @@ from ..process import get_technology
 from ..spice.transient import TransientOptions
 from ..surrogate import (
     REGIONS_BY_TOPOLOGY,
+    SurrogateAuditor,
     SurrogateRegistry,
     topology_signature,
 )
@@ -66,6 +79,7 @@ from .store import (
     _waveform_payload,
     montecarlo_record,
     simulation_record,
+    surrogate_from_record,
 )
 
 #: Upper bounds on one request's header block and body, in bytes.
@@ -122,6 +136,16 @@ class ServiceConfig:
         surrogate_refine: on a surrogate answer, kick off a background
             full simulation that publishes the golden record, so the next
             identical request is an exact store hit.
+        audit_fraction: fraction of surrogate-served answers shadow-audited
+            against their golden refinement (0 disables; requires
+            ``surrogate_refine``).
+        events_path: durable event-journal file; the default ``"auto"``
+            puts ``events.jsonl`` inside the store root, ``None`` disables
+            journaling.  A journal already enabled process-wide is reused
+            (and left alone on close).
+        flight_dir: directory for flight-recorder bundles dumped when a
+            dispatched computation crashes (default: ``$REPRO_FLIGHT_DIR``,
+            else disabled).
     """
 
     host: str = "127.0.0.1"
@@ -133,6 +157,9 @@ class ServiceConfig:
     max_workers: int | None = None
     surrogate: bool = True
     surrogate_refine: bool = True
+    audit_fraction: float = 0.1
+    events_path: str | os.PathLike | None = "auto"
+    flight_dir: str | os.PathLike | None = None
 
 
 def _parse_options(payload) -> TransientOptions | None:
@@ -211,17 +238,46 @@ class SsnService:
         self.registry = SurrogateRegistry()
         self._surrogate_probed: set[str] = set()
         self._refine_tasks: set[asyncio.Task] = set()
+        self._audit = SurrogateAuditor(
+            self.registry, fraction=self.config.audit_fraction)
+        self._slo = obs_health.SloAggregator()
+        self._ready = False
+        self._owns_journal = False
 
     # -- lifecycle -------------------------------------------------------------------
 
+    def _events_path(self) -> os.PathLike | str | None:
+        path = self.config.events_path
+        if path == "auto":
+            return self.store.root / "events.jsonl"
+        return path
+
     async def start(self) -> None:
-        """Bind the listening socket (and a metrics registry, if absent)."""
+        """Bind, then warm the surrogate registry before reporting ready.
+
+        Binding first keeps ``/healthz`` answerable (``"warming"``) while
+        the store scan runs; metrics and the event journal are enabled
+        here when no process-wide ones exist (a journal this service
+        enables is disabled again on :meth:`close`).
+        """
         if obs_metrics.active_registry() is None:
             obs_metrics.enable_metrics()
+        events_path = self._events_path()
+        if events_path is not None and obs_events.active_journal() is None:
+            obs_events.enable_events(events_path)
+            self._owns_journal = True
         self._server = await asyncio.start_server(
             self._handle, host=self.config.host, port=self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.surrogate:
+            await asyncio.to_thread(self._warm_from_store)
+        self._ready = True
+        # Baseline SLO sample: the first /statusz window measures traffic
+        # since startup, not an empty single-point delta.
+        self._slo.sample(obs_metrics.active_registry())
+        obs_events.emit("service_ready", port=self.port,
+                        models=len(self.registry))
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -247,6 +303,10 @@ class SsnService:
             task.cancel()
         for task in list(self._refine_tasks):
             task.cancel()
+        if self._owns_journal:
+            obs_events.disable_events()
+            self._owns_journal = False
+        self._ready = False
 
     async def drain_background(self) -> None:
         """Await every pending background refinement (tests and shutdown)."""
@@ -273,6 +333,10 @@ class SsnService:
                 status = 500
                 payload = {"error": f"{type(exc).__name__}: {exc}"}
                 ctype = "application/json"
+                obs_metrics.inc("repro_service_errors_total",
+                                labels={"endpoint": endpoint})
+                obs_events.emit("service_error", endpoint=endpoint,
+                                error=f"{type(exc).__name__}: {exc}")
             body_bytes = payload if isinstance(payload, bytes) else (
                 json.dumps(payload, sort_keys=True) + "\n").encode()
             head = (
@@ -319,8 +383,16 @@ class SsnService:
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "GET only"}, "application/json"
-            return 200, {"status": "ok", "store": str(self.store.root),
+            # Liveness answers as soon as the socket is bound; readiness
+            # ("ok") waits for the surrogate warm-up.  /statusz has the
+            # detailed view.
+            return 200, {"status": "ok" if self._ready else "warming",
+                         "store": str(self.store.root),
                          "inflight": len(self._inflight)}, "application/json"
+        if path == "/statusz":
+            if method != "GET":
+                return 405, {"error": "GET only"}, "application/json"
+            return 200, self._statusz(), "application/json"
         if path == "/metrics":
             if method != "GET":
                 return 405, {"error": "GET only"}, "application/json"
@@ -340,6 +412,27 @@ class SsnService:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise BadRequest(f"body is not valid JSON: {exc}") from exc
         return 200, await handler(params), "application/json"
+
+    def _statusz(self) -> dict:
+        """The ``GET /statusz`` payload (see ``docs/observability.md``)."""
+        surrogate = {
+            "enabled": self.config.surrogate,
+            "models": len(self.registry),
+            "audit": self._audit.as_payload(),
+        }
+        return obs_health.statusz_snapshot(
+            ready=self._ready,
+            store={
+                "root": str(self.store.root),
+                "records": len(self.store),
+                "quarantined": len(self.store.quarantined()),
+            },
+            inflight=len(self._inflight),
+            registry=obs_metrics.active_registry(),
+            slo=self._slo,
+            surrogate=surrogate,
+            journal=obs_events.active_journal(),
+        )
 
     # -- endpoints -------------------------------------------------------------------
 
@@ -439,6 +532,33 @@ class SsnService:
 
     # -- surrogate-first answering ---------------------------------------------------
 
+    def _warm_from_store(self) -> None:
+        """Eagerly register every stored surrogate model (startup warm-up).
+
+        Runs on a worker thread before the server reports ready, and is
+        deliberately read-only: files are parsed directly rather than
+        through :meth:`ResultStore.load`, so a startup scan never ticks
+        hit/miss counters or quarantines records the serving path would
+        handle (and count) itself.  Slots found here are marked probed so
+        the per-request lazy warm-up skips them.
+        """
+        for path in sorted(self.store.root.glob("??/*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if not isinstance(record, dict) or record.get("kind") != "surrogate":
+                continue
+            try:
+                model = surrogate_from_record(record)
+            except (KeyError, TypeError, ValueError):
+                continue
+            key = record.get("key")
+            if isinstance(key, str) and key not in self._surrogate_probed:
+                self._surrogate_probed.add(key)
+                self.registry.register(model)
+                obs_metrics.inc("repro_surrogate_warmed_total")
+
     def _warm_surrogates(self, spec: DriverBankSpec) -> None:
         """Load any stored surrogate models covering ``spec``'s query slot.
 
@@ -480,9 +600,14 @@ class SsnService:
             return None
         sim = model.simulation(spec)
         if self.config.surrogate_refine:
-            self._schedule_refinement(key, spec)
+            if self._schedule_refinement(key, spec):
+                # Shadow audit: the background golden refinement doubles
+                # as the reference for a sampled fraction of answers.
+                self._audit.track(key, model, sim.peak_voltage)
         obs_metrics.inc("repro_service_requests_total",
                         labels={"endpoint": "simulate", "outcome": "surrogate"})
+        obs_events.emit("service_request", endpoint="simulate",
+                        outcome="surrogate", key=key[:12])
         payload = {
             "key": key,
             "outcome": "surrogate",
@@ -505,17 +630,22 @@ class SsnService:
             }
         return payload
 
-    def _schedule_refinement(self, key: str, spec: DriverBankSpec) -> None:
-        """Fire-and-forget the golden computation behind a surrogate answer."""
+    def _schedule_refinement(self, key: str, spec: DriverBankSpec) -> bool:
+        """Fire-and-forget the golden computation behind a surrogate answer.
+
+        Returns whether a refinement task was actually created (the audit
+        monitor only enrolls keys whose golden reference will arrive).
+        """
         if key in self._inflight or key in self.store:
-            return
+            return False
         task = asyncio.get_running_loop().create_task(self._refine(key, spec))
         self._refine_tasks.add(task)
         task.add_done_callback(self._refine_tasks.discard)
+        return True
 
     async def _refine(self, key: str, spec: DriverBankSpec) -> None:
         try:
-            await self._serve_record(
+            record, _ = await self._serve_record(
                 key, "simulate", endpoint="surrogate_refine",
                 compute=lambda: self._compute_simulation_sync(key, spec, None),
             )
@@ -523,6 +653,16 @@ class SsnService:
             # Background work: the client already has its answer, and the
             # next exact request recomputes; just count the failure.
             obs_metrics.inc("repro_surrogate_refine_errors_total")
+            obs_events.emit("surrogate_refine_failed", key=key[:12])
+            self._audit.discard(key)
+        else:
+            # The refined record is the golden MNA answer — resolve the
+            # shadow audit (a no-op for unsampled keys).
+            reference = record.get("peak_voltage")
+            if isinstance(reference, (int, float)):
+                self._audit.resolve(key, reference)
+            else:
+                self._audit.discard(key)
 
     # -- serving core ----------------------------------------------------------------
 
@@ -559,6 +699,8 @@ class SsnService:
                 record = await asyncio.shield(task)
         obs_metrics.inc("repro_service_requests_total",
                         labels={"endpoint": endpoint, "outcome": outcome})
+        obs_events.emit("service_request", endpoint=endpoint,
+                        outcome=outcome, key=key[:12])
         return record, outcome
 
     async def _compute_and_publish(self, key: str, compute) -> dict:
@@ -567,6 +709,15 @@ class SsnService:
                 record = await asyncio.to_thread(compute)
                 await asyncio.to_thread(self.store.put, key, record)
             return record
+        except Exception as exc:
+            # A dispatched computation died past its whole recovery
+            # ladder: preserve the moments before it for the operator.
+            obs_events.emit("service_compute_failed", key=key[:12],
+                            error=f"{type(exc).__name__}: {exc}")
+            obs_health.maybe_flight_record(
+                self.config.flight_dir, "service_compute_failed",
+                extra={"key": key, "error": f"{type(exc).__name__}: {exc}"})
+            raise
         finally:
             self._inflight.pop(key, None)
 

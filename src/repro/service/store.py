@@ -37,6 +37,7 @@ import numpy as np
 from ..analysis.driver_bank import DriverBankSpec
 from ..analysis.montecarlo import MonteCarloResult
 from ..analysis.simulate import SsnSimulation, freeze_simulation
+from ..observability import events as obs_events
 from ..observability import metrics as obs_metrics
 from ..observability.atomic import atomic_write
 from ..spice.telemetry import SolverTelemetry
@@ -313,6 +314,7 @@ class ResultStore:
         obs_metrics.inc("repro_store_quarantined_total",
                         labels={"reason": reason})
         obs_metrics.inc("repro_store_misses_total")
+        obs_events.emit("store_quarantined", reason=reason, file=path.name)
         return None
 
     def quarantined(self) -> list[Path]:

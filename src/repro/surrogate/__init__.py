@@ -14,6 +14,7 @@ consults; the HTTP service keeps its own per-server registry warmed from
 the persistent store.  See ``docs/surrogate.md``.
 """
 
+from .audit import AuditObservation, SurrogateAuditor
 from .fit import fit_surrogate, training_specs
 from .model import (
     REGIONS_BY_TOPOLOGY,
@@ -26,9 +27,11 @@ from .model import (
 from .registry import SurrogateRegistry, default_registry
 
 __all__ = [
+    "AuditObservation",
     "REGIONS_BY_TOPOLOGY",
     "SURROGATE_SCHEMA_VERSION",
     "SurrogateAnswer",
+    "SurrogateAuditor",
     "SurrogateModel",
     "SurrogateRegistry",
     "ValidityRegion",

@@ -8,8 +8,11 @@ spec into one of three routing decisions:
   closed-form answer is authoritative (within its recorded error bound).
 * **refusal** — candidate models exist for the spec's (technology,
   topology) but every one declines: out of box, wrong damping regime,
-  template mismatch, or a violated error bound.  The refusal *reason* is
-  reported so callers can see why the fast path was not taken.
+  template mismatch, a violated error bound, or an audit **demotion**
+  (the shadow monitor observed the model breaching its served tolerance
+  and benched it; see :mod:`repro.surrogate.audit`).  The refusal
+  *reason* is reported so callers can see why the fast path was not
+  taken.
 * **miss** — no model covers the (technology, topology) at all.
 
 Refusals and misses both route to the full engines; the distinction
@@ -23,6 +26,7 @@ from __future__ import annotations
 import threading
 
 from ..analysis.driver_bank import DriverBankSpec
+from ..observability import events as obs_events
 from ..observability import metrics as obs_metrics
 from ..observability import trace
 from .model import SurrogateAnswer, SurrogateModel, topology_signature
@@ -32,6 +36,7 @@ from .model import SurrogateAnswer, SurrogateModel, topology_signature
 HITS_METRIC = "repro_surrogate_hits_total"
 MISSES_METRIC = "repro_surrogate_misses_total"
 REFUSALS_METRIC = "repro_surrogate_refusals_total"
+DEMOTIONS_METRIC = "repro_surrogate_audit_demotions_total"
 
 
 def _reason_category(reason: str) -> str:
@@ -44,12 +49,18 @@ class SurrogateRegistry:
 
     def __init__(self):
         self._models: dict[tuple[str, str, str], SurrogateModel] = {}
+        self._demoted: dict[tuple[str, str, str], str] = {}
         self._lock = threading.Lock()
 
     def register(self, model: SurrogateModel) -> tuple[str, str, str]:
-        """Add (or replace) the model under its (tech, topology, region) key."""
+        """Add (or replace) the model under its (tech, topology, region) key.
+
+        Re-registering a demoted slot reinstates it: a fresh fit replaces
+        whatever evidence benched the old model.
+        """
         with self._lock:
             self._models[model.key] = model
+            self._demoted.pop(model.key, None)
         return model.key
 
     def models(self) -> list[SurrogateModel]:
@@ -59,10 +70,36 @@ class SurrogateRegistry:
     def clear(self) -> None:
         with self._lock:
             self._models.clear()
+            self._demoted.clear()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._models)
+
+    # -- demotion (the audit monitor's enforcement half) -----------------------------
+
+    def demote(self, key: tuple[str, str, str], reason: str) -> bool:
+        """Bench one (technology, topology, region) slot.
+
+        A demoted model stays registered but every lookup refuses it
+        (category ``"demoted"``), so queries take the exact batch-rung
+        path until a refit reinstates the slot.  Returns False when the
+        slot was already demoted (idempotent — one breach, one event).
+        """
+        with self._lock:
+            if key in self._demoted:
+                return False
+            self._demoted[key] = reason
+        obs_metrics.inc(DEMOTIONS_METRIC)
+        obs_events.emit(
+            "surrogate_demoted", technology=key[0], topology=key[1],
+            operating_region=key[2], reason=reason)
+        return True
+
+    def demoted(self) -> dict[tuple[str, str, str], str]:
+        """The benched slots and why (key -> demotion reason)."""
+        with self._lock:
+            return dict(self._demoted)
 
     # -- routing ---------------------------------------------------------------------
 
@@ -81,9 +118,13 @@ class SurrogateRegistry:
         with self._lock:
             candidates = [m for (tech, topo, _), m in self._models.items()
                           if tech == spec.technology.name and topo == signature]
+            demoted = dict(self._demoted)
         outcome, reason, model = "miss", None, None
         for candidate in candidates:
-            why = candidate.validate(spec, options=options)
+            if candidate.key in demoted:
+                why = f"demoted: {demoted[candidate.key]}"
+            else:
+                why = candidate.validate(spec, options=options)
             if why is None:
                 outcome, model = "hit", candidate
                 break
@@ -97,6 +138,9 @@ class SurrogateRegistry:
         elif outcome == "refusal":
             obs_metrics.inc(REFUSALS_METRIC,
                             labels={"reason": _reason_category(reason)})
+            obs_events.emit(
+                "surrogate_refused", technology=spec.technology.name,
+                topology=signature, reason=reason)
         else:
             obs_metrics.inc(MISSES_METRIC)
         with trace.span("surrogate_route", outcome=outcome,

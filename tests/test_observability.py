@@ -281,6 +281,21 @@ class TestMetricsRegistry:
         reg.record_telemetry(tel)
         assert reg.get("repro_future_counter_total").value == 7
 
+    def test_quantile_accessor(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("repro_step_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.7, 5.0):
+            hist.observe(v)
+        # Registry accessor delegates to the histogram's bucket-bound
+        # quantile estimate.
+        assert reg.quantile("repro_step_seconds", 0.5) == hist.quantile(0.5)
+        assert reg.quantile("repro_step_seconds", 0.99) == hist.quantile(0.99)
+        # Unknown series is nan, not a KeyError — callers poll optimistically.
+        assert math.isnan(reg.quantile("repro_absent_seconds", 0.5))
+        reg.counter("repro_x_total").inc()
+        with pytest.raises(TypeError, match="histogram"):
+            reg.quantile("repro_x_total", 0.5)
+
 
 class TestPrometheusText:
     def test_exposition_format(self):
@@ -309,6 +324,27 @@ class TestPrometheusText:
         reg.counter("repro_x_total", labels={"p": 'a"b\\c'}).inc()
         text = to_prometheus_text(reg)
         assert r'p="a\"b\\c"' in text
+
+    def test_export_is_byte_deterministic_across_round_trip(self):
+        """Scrape stability contract: the exposition text of a registry and
+        of its dict-round-tripped clone are byte-identical — float bucket
+        bounds and sample sums render via ``repr`` (shortest exact round
+        trip), so a restored registry scrapes the same bytes.
+        """
+        reg = MetricsRegistry()
+        reg.counter("repro_retries_total").inc(3)
+        reg.gauge("repro_depth").set(0.1 + 0.2)  # a classic non-exact float
+        hist = reg.histogram("repro_step_seconds",
+                             buckets=(1e-12, 3.3333333333333335e-1, 2.0))
+        for v in (7e-13, 0.1, 0.30000000000000004, 1.9999999999999998):
+            hist.observe(v)
+        text1 = to_prometheus_text(reg)
+        clone = MetricsRegistry().merge_dict(
+            json.loads(json.dumps(reg.as_dict())))
+        assert to_prometheus_text(clone) == text1
+        # The awkward bucket bound survives exactly (repr rendering — the
+        # shortest string that parses back to the same double).
+        assert f'le="{3.3333333333333335e-1!r}"' in text1
 
 
 class TestChromeTraceExport:
